@@ -1,0 +1,62 @@
+// Command benchfig regenerates the figures of the paper's evaluation.
+//
+// Every figure of "Robust Query Processing in Co-Processor-accelerated
+// Databases" (SIGMOD 2016) has a regenerator; benchfig runs them and prints
+// the series the paper plots as text tables.
+//
+// Usage:
+//
+//	benchfig [flags] [figN ...]
+//
+// With no figure arguments (or "all"), every figure is regenerated in paper
+// order. Flags:
+//
+//	-rows N   lineorder/lineitem rows per scale factor (scales the run)
+//	-reps N   workload repetitions (higher = sharper steady state)
+//	-seed N   data generator seed
+//
+// Example:
+//
+//	benchfig fig2 fig12          # the two headline micro-benchmarks
+//	benchfig -reps 3 all         # the full evaluation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"robustdb/internal/figures"
+)
+
+func main() {
+	rows := flag.Int("rows", 0, "rows per scale factor (0 = per-figure default)")
+	reps := flag.Int("reps", 0, "workload repetitions (0 = per-figure default)")
+	seed := flag.Int64("seed", 0, "data generator seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchfig [flags] [figN ...]\nfigures: %v\nflags:\n", figures.IDs())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	opts := figures.Options{RowsPerSF: *rows, Reps: *reps, Seed: *seed}
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = figures.IDs()
+	}
+	all := figures.All()
+	for _, id := range ids {
+		builder, ok := all[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q (have %v)\n", id, figures.IDs())
+			os.Exit(2)
+		}
+		start := time.Now()
+		for _, f := range builder(opts) {
+			f.Render(os.Stdout)
+			fmt.Println()
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,143 @@
+// Command robustdb runs benchmark workloads on the simulated co-processor
+// machine and reports the paper's robustness metrics.
+//
+// Usage:
+//
+//	robustdb [flags]
+//
+// Flags:
+//
+//	-bench ssb|tpch     benchmark database (default ssb)
+//	-sf N               scale factor (default 10)
+//	-rows N             rows per scale factor (default: generator default)
+//	-strategy NAME      cpu-only | gpu-only | critical-path | data-driven |
+//	                    runtime | chopping | data-driven-chopping | all
+//	-users N            parallel user sessions (default 1)
+//	-total N            total queries, split over the users (default: one
+//	                    pass over the query mix per user)
+//	-query NAME         run a single named query instead of the full mix
+//	-cache-frac F       device cache as a fraction of the database (default 0.5)
+//	-heap-frac F        device heap as a fraction of the database (default 1.0)
+//	-admission          admit only one query at a time (baseline)
+//
+// Example — the paper's headline comparison at 20 users:
+//
+//	robustdb -bench ssb -sf 10 -users 20 -total 100 -strategy all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"robustdb"
+)
+
+func main() {
+	bench := flag.String("bench", "ssb", "benchmark: ssb or tpch")
+	sf := flag.Int("sf", 10, "scale factor")
+	rows := flag.Int("rows", 0, "rows per scale factor (0 = default)")
+	stratName := flag.String("strategy", "data-driven-chopping", "execution strategy or 'all'")
+	users := flag.Int("users", 1, "parallel user sessions")
+	total := flag.Int("total", 0, "total queries over all users")
+	queryName := flag.String("query", "", "single query to run (e.g. Q3.3)")
+	cacheFrac := flag.Float64("cache-frac", 0.5, "device cache / database bytes")
+	heapFrac := flag.Float64("heap-frac", 1.0, "device heap / database bytes")
+	admission := flag.Bool("admission", false, "admission control: one query at a time")
+	seed := flag.Int64("seed", 0, "generator seed")
+	flag.Parse()
+
+	var db *robustdb.DB
+	var queries []robustdb.WorkloadQuery
+	switch *bench {
+	case "ssb":
+		db = robustdb.OpenSSB(robustdb.SSBConfig{SF: *sf, RowsPerSF: *rows, Seed: *seed})
+		queries = robustdb.SSBQueries()
+	case "tpch":
+		db = robustdb.OpenTPCH(robustdb.TPCHConfig{SF: *sf, RowsPerSF: *rows, Seed: *seed})
+		queries = robustdb.TPCHQueries()
+	default:
+		fmt.Fprintf(os.Stderr, "robustdb: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	if *queryName != "" {
+		found := false
+		for _, q := range queries {
+			if q.Name == *queryName {
+				queries = []robustdb.WorkloadQuery{q}
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "robustdb: no query %q in %s\n", *queryName, *bench)
+			os.Exit(2)
+		}
+	}
+
+	dev := robustdb.Device{
+		CacheBytes: int64(*cacheFrac * float64(db.TotalBytes())),
+		HeapBytes:  int64(*heapFrac * float64(db.TotalBytes())),
+	}
+	fmt.Printf("database: %s sf=%d (%.1f MiB) — device cache %.1f MiB, heap %.1f MiB\n",
+		*bench, *sf, mib(db.TotalBytes()), mib(dev.CacheBytes), mib(dev.HeapBytes))
+
+	var strategies []robustdb.Strategy
+	if *stratName == "all" {
+		strategies = robustdb.AllStrategies()
+	} else {
+		s, err := strategyByName(*stratName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "robustdb:", err)
+			os.Exit(2)
+		}
+		strategies = []robustdb.Strategy{s}
+	}
+
+	fmt.Printf("%-22s %12s %10s %10s %8s %12s\n",
+		"strategy", "time", "H2D", "D2H", "aborts", "wasted")
+	for _, strat := range strategies {
+		spec := robustdb.Workload{
+			Queries:          queries,
+			Users:            *users,
+			TotalQueries:     *total,
+			AdmissionControl: *admission,
+		}
+		_, res, err := db.RunWorkload(dev, strat, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustdb: %s: %v\n", strat.Label, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-22s %12s %10s %10s %8d %12s\n",
+			strat.Label,
+			res.WorkloadTime.Round(10*time.Microsecond),
+			res.H2DTime.Round(10*time.Microsecond),
+			res.D2HTime.Round(10*time.Microsecond),
+			res.Aborts,
+			res.WastedTime.Round(10*time.Microsecond))
+	}
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
+
+func strategyByName(name string) (robustdb.Strategy, error) {
+	switch name {
+	case "cpu-only":
+		return robustdb.CPUOnly(), nil
+	case "gpu-only":
+		return robustdb.GPUOnly(), nil
+	case "critical-path":
+		return robustdb.CriticalPath(), nil
+	case "data-driven":
+		return robustdb.DataDriven(), nil
+	case "runtime":
+		return robustdb.RunTime(), nil
+	case "chopping":
+		return robustdb.Chopping(), nil
+	case "data-driven-chopping":
+		return robustdb.DataDrivenChopping(), nil
+	default:
+		return robustdb.Strategy{}, fmt.Errorf("unknown strategy %q", name)
+	}
+}

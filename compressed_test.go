@@ -1,0 +1,123 @@
+package robustdb
+
+import (
+	"testing"
+
+	"robustdb/internal/column"
+)
+
+// Compression must be transparent: every SSB and TPC-H query returns
+// identical results on the bit-packed database, while the footprint shrinks.
+func TestCompressedDatabaseEquivalence(t *testing.T) {
+	raw := OpenSSB(SSBConfig{SF: 1, RowsPerSF: 4000, Seed: 7})
+	comp := raw.Compressed()
+	if comp.TotalBytes() >= raw.TotalBytes() {
+		t.Fatalf("compression did not shrink the database: %d vs %d",
+			comp.TotalBytes(), raw.TotalBytes())
+	}
+	ratio := float64(raw.TotalBytes()) / float64(comp.TotalBytes())
+	if ratio < 1.5 {
+		t.Fatalf("SSB should compress well, got ratio %.2f", ratio)
+	}
+	dev := raw.DeviceForWorkingSet(1)
+	for _, q := range SSBQueries() {
+		rawOut, _, err := raw.Query(dev, CPUOnly(), q.Plan)
+		if err != nil {
+			t.Fatalf("%s raw: %v", q.Name, err)
+		}
+		compOut, _, err := comp.Query(dev, GPUOnly(), q.Plan)
+		if err != nil {
+			t.Fatalf("%s compressed: %v", q.Name, err)
+		}
+		assertBatchesEqual(t, q.Name, rawOut, compOut)
+	}
+}
+
+func TestCompressedTPCHEquivalence(t *testing.T) {
+	raw := OpenTPCH(TPCHConfig{SF: 1, RowsPerSF: 4000, Seed: 7})
+	comp := raw.Compressed()
+	dev := raw.DeviceForWorkingSet(1)
+	for _, q := range TPCHQueries() {
+		rawOut, _, err := raw.Query(dev, CPUOnly(), q.Plan)
+		if err != nil {
+			t.Fatalf("%s raw: %v", q.Name, err)
+		}
+		compOut, _, err := comp.Query(dev, CPUOnly(), q.Plan)
+		if err != nil {
+			t.Fatalf("%s compressed: %v", q.Name, err)
+		}
+		assertBatchesEqual(t, q.Name, rawOut, compOut)
+	}
+}
+
+// Compressed working sets shrink, which is the mechanism behind the
+// ablate-compression knee shift.
+func TestCompressedWorkingSetShrinks(t *testing.T) {
+	raw := OpenSSB(SSBConfig{SF: 1, RowsPerSF: 4000, Seed: 7})
+	comp := raw.Compressed()
+	rawWS := raw.WorkingSet(SSBQueries())
+	compWS := comp.WorkingSet(SSBQueries())
+	if compWS >= rawWS {
+		t.Fatalf("working set did not shrink: %d vs %d", compWS, rawWS)
+	}
+}
+
+func assertBatchesEqual(t *testing.T, name string, a, b *Batch) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() || a.NumColumns() != b.NumColumns() {
+		t.Fatalf("%s: shape differs: %dx%d vs %dx%d",
+			name, a.NumRows(), a.NumColumns(), b.NumRows(), b.NumColumns())
+	}
+	for ci, ac := range a.Columns() {
+		bc := b.Columns()[ci]
+		for i := 0; i < ac.Len(); i++ {
+			var av, bv interface{}
+			switch ac := ac.(type) {
+			case *column.Int64Column:
+				av, bv = ac.Values[i], bc.(*column.Int64Column).Values[i]
+			case *column.Float64Column:
+				av, bv = ac.Values[i], bc.(*column.Float64Column).Values[i]
+			case *column.DateColumn:
+				av, bv = ac.Values[i], bc.(*column.DateColumn).Values[i]
+			case *column.StringColumn:
+				av, bv = ac.Value(i), bc.(*column.StringColumn).Value(i)
+			}
+			if av != bv {
+				t.Fatalf("%s: column %s row %d: %v vs %v", name, ac.Name(), i, av, bv)
+			}
+		}
+	}
+}
+
+// Determinism: identical workload runs produce identical metrics.
+func TestWorkloadDeterminism(t *testing.T) {
+	db := OpenSSB(SSBConfig{SF: 1, RowsPerSF: 4000, Seed: 3})
+	dev := db.DeviceForWorkingSet(0.4)
+	run := func() Result {
+		_, res, err := db.RunWorkload(dev, Chopping(), Workload{
+			Queries:      SSBQueries(),
+			Users:        8,
+			TotalQueries: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.WorkloadTime != b.WorkloadTime || a.Aborts != b.Aborts ||
+		a.H2DBytes != b.H2DBytes || a.WastedTime != b.WastedTime {
+		t.Fatalf("nondeterministic runs:\n%+v\n%+v", a, b)
+	}
+	for name, la := range a.Latencies {
+		lb := b.Latencies[name]
+		if len(la) != len(lb) {
+			t.Fatalf("latency counts differ for %s", name)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("latency %s[%d] differs: %v vs %v", name, i, la[i], lb[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Ad-hoc analytics: a data-warehouse drill-down session with a custom query.
+//
+// An analyst drills into the SSB flight-3 hierarchy (region → nation → city
+// → month) and finishes with a custom SQL query. The session runs first as
+// it would arrive ad hoc (operator-driven placement dragging data over the
+// bus), then after the data placement manager (Algorithm 1 of the paper)
+// pinned the hot columns — at which point nothing crosses the bus.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"robustdb"
+	"robustdb/internal/column"
+)
+
+func main() {
+	db := robustdb.OpenSSB(robustdb.SSBConfig{SF: 5})
+	dev := db.DeviceForWorkingSet(0.6)
+
+	// The drill-down: each query narrows the previous one.
+	var drill []robustdb.WorkloadQuery
+	for _, name := range []string{"Q3.1", "Q3.2", "Q3.3", "Q3.4"} {
+		p, err := robustdb.SSBQuery(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		drill = append(drill, robustdb.WorkloadQuery{Name: name, Plan: p})
+	}
+
+	// A custom final step, written in SQL: revenue of high-discount orders
+	// by Asian supplier city. (The same plan can be built with the plan DSL
+	// in internal/plan; the SQL front end compiles to it.)
+	custom, err := db.SQL(`
+		select s_city, sum(lo_revenue) as revenue
+		from supplier, lineorder
+		where lo_suppkey = s_suppkey
+		  and s_region = 'ASIA'
+		  and lo_discount between 8 and 10
+		group by s_city
+		order by revenue desc`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	drill = append(drill, robustdb.WorkloadQuery{Name: "custom", Plan: custom})
+
+	// Ad hoc: the session arrives unannounced — nothing resident, operators
+	// drag their own data over the bus (operator-driven placement).
+	adhoc := robustdb.GPUOnly()
+	adhoc.Preload = false
+	_, cold, err := db.RunWorkload(dev, adhoc, robustdb.Workload{Queries: drill, Users: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ad hoc (operator-driven):   %8v total, %8v on the bus\n",
+		cold.WorkloadTime.Round(10*time.Microsecond),
+		(cold.H2DTime + cold.D2HTime).Round(10*time.Microsecond))
+
+	// Data-driven: the placement manager saw the access pattern, ran
+	// Algorithm 1, and pinned the hot columns before the session repeats.
+	_, warm, err := db.RunWorkload(dev, robustdb.DataDriven(), robustdb.Workload{Queries: drill, Users: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data-driven (pinned):       %8v total, %8v on the bus\n",
+		warm.WorkloadTime.Round(10*time.Microsecond),
+		(warm.H2DTime + warm.D2HTime).Round(10*time.Microsecond))
+
+	// Show the analyst the custom result.
+	out, _, err := db.Query(dev, robustdb.DataDrivenChopping(), custom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop Asian supplier cities by high-discount revenue:")
+	cities := out.MustColumn("s_city").(*column.StringColumn)
+	revenue := out.MustColumn("revenue").(*column.Float64Column)
+	for i := 0; i < out.NumRows() && i < 5; i++ {
+		fmt.Printf("  %-12s %14.0f\n", cities.Value(i), revenue.Values[i])
+	}
+}

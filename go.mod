@@ -1,0 +1,3 @@
+module robustdb
+
+go 1.22

@@ -1,0 +1,126 @@
+// Package bus simulates the PCIe link between host and co-processor: a pair
+// of directed channels with latency and bandwidth, FIFO arbitration, and
+// transfer accounting.
+//
+// The paper identifies this link as the central bottleneck of co-processor
+// query processing (§1, [11]); Figures 6, 15 and 19 plot exactly the
+// per-direction transfer times this package accumulates.
+package bus
+
+import (
+	"fmt"
+	"time"
+
+	"robustdb/internal/sim"
+)
+
+// Direction names a transfer direction.
+type Direction uint8
+
+// Transfer directions.
+const (
+	// HostToDevice is CPU → co-processor (input columns, re-uploads).
+	HostToDevice Direction = iota
+	// DeviceToHost is co-processor → CPU (results, aborted intermediates).
+	DeviceToHost
+)
+
+// String returns a short direction label.
+func (d Direction) String() string {
+	switch d {
+	case HostToDevice:
+		return "H2D"
+	case DeviceToHost:
+		return "D2H"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}
+
+// Link is one direction of the bus.
+type Link struct {
+	dir       Direction
+	bandwidth float64 // bytes per second
+	latency   time.Duration
+	slot      *sim.Pool // serializes transfers FIFO
+	bytes     int64
+	busy      time.Duration
+	transfers int64
+}
+
+// Bus is the full-duplex interconnect: independent links per direction, the
+// standard model for PCIe with separate DMA engines per direction (and the
+// reason CoGaDB uses CUDA streams, §2.5.3).
+type Bus struct {
+	links [2]*Link
+}
+
+// Config holds the physical parameters of the bus.
+type Config struct {
+	// Bandwidth is the effective per-direction bandwidth in bytes/second.
+	Bandwidth float64
+	// Latency is the fixed per-transfer setup latency.
+	Latency time.Duration
+}
+
+// New creates a bus inside the simulation s.
+func New(s *sim.Sim, cfg Config) *Bus {
+	if cfg.Bandwidth <= 0 {
+		panic(fmt.Sprintf("bus: bandwidth must be positive, got %v", cfg.Bandwidth))
+	}
+	b := &Bus{}
+	for _, d := range []Direction{HostToDevice, DeviceToHost} {
+		b.links[d] = &Link{
+			dir:       d,
+			bandwidth: cfg.Bandwidth,
+			latency:   cfg.Latency,
+			slot:      sim.NewPool(s, "bus-"+d.String(), 1),
+		}
+	}
+	return b
+}
+
+// Link returns the link of the given direction.
+func (b *Bus) Link(d Direction) *Link { return b.links[d] }
+
+// Transfer moves n bytes in direction d on behalf of process p, blocking in
+// virtual time for queueing + latency + n/bandwidth. Zero-byte transfers are
+// free and do not touch the link.
+func (b *Bus) Transfer(p *sim.Proc, d Direction, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("bus: negative transfer %d", n))
+	}
+	if n == 0 {
+		return
+	}
+	l := b.links[d]
+	l.slot.Acquire(p)
+	defer l.slot.Release()
+	dur := l.latency + time.Duration(float64(n)/l.bandwidth*float64(time.Second))
+	p.Hold(dur)
+	l.bytes += n
+	l.busy += dur
+	l.transfers++
+}
+
+// Duration returns the service time (excluding queueing) of an n-byte
+// transfer in direction d.
+func (b *Bus) Duration(d Direction, n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	l := b.links[d]
+	return l.latency + time.Duration(float64(n)/l.bandwidth*float64(time.Second))
+}
+
+// Bytes returns the total bytes moved on the link.
+func (l *Link) Bytes() int64 { return l.bytes }
+
+// BusyTime returns the accumulated service time of the link.
+func (l *Link) BusyTime() time.Duration { return l.busy }
+
+// Transfers returns the number of transfers served.
+func (l *Link) Transfers() int64 { return l.transfers }
+
+// Direction returns the link's direction.
+func (l *Link) Direction() Direction { return l.dir }

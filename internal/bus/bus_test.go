@@ -1,0 +1,122 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"robustdb/internal/sim"
+)
+
+func TestDirectionString(t *testing.T) {
+	if HostToDevice.String() != "H2D" || DeviceToHost.String() != "D2H" {
+		t.Fatal("direction labels wrong")
+	}
+	if Direction(9).String() != "dir(9)" {
+		t.Fatal("unknown direction label wrong")
+	}
+}
+
+func TestTransferTiming(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{Bandwidth: 1000, Latency: 10 * time.Millisecond}) // 1000 B/s
+	var done time.Duration
+	s.Spawn("t", func(p *sim.Proc) {
+		b.Transfer(p, HostToDevice, 500)
+		done = p.Now()
+	})
+	s.Run()
+	want := 10*time.Millisecond + 500*time.Millisecond
+	if done != want {
+		t.Fatalf("done = %v, want %v", done, want)
+	}
+	l := b.Link(HostToDevice)
+	if l.Bytes() != 500 || l.Transfers() != 1 || l.BusyTime() != want {
+		t.Fatalf("accounting: bytes=%d n=%d busy=%v", l.Bytes(), l.Transfers(), l.BusyTime())
+	}
+	if l.Direction() != HostToDevice {
+		t.Fatal("direction wrong")
+	}
+	if b.Link(DeviceToHost).Bytes() != 0 {
+		t.Fatal("other direction must be untouched")
+	}
+}
+
+func TestTransferFIFOQueueing(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{Bandwidth: 1000, Latency: 0})
+	var first, second time.Duration
+	s.Spawn("a", func(p *sim.Proc) {
+		b.Transfer(p, HostToDevice, 1000) // 1s
+		first = p.Now()
+	})
+	s.Spawn("b", func(p *sim.Proc) {
+		b.Transfer(p, HostToDevice, 1000) // queued behind a
+		second = p.Now()
+	})
+	s.Run()
+	if first != time.Second || second != 2*time.Second {
+		t.Fatalf("first=%v second=%v", first, second)
+	}
+}
+
+func TestDirectionsIndependent(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{Bandwidth: 1000, Latency: 0})
+	var up, down time.Duration
+	s.Spawn("up", func(p *sim.Proc) {
+		b.Transfer(p, HostToDevice, 1000)
+		up = p.Now()
+	})
+	s.Spawn("down", func(p *sim.Proc) {
+		b.Transfer(p, DeviceToHost, 1000)
+		down = p.Now()
+	})
+	s.Run()
+	// Full duplex: both finish at 1s.
+	if up != time.Second || down != time.Second {
+		t.Fatalf("up=%v down=%v, want 1s both", up, down)
+	}
+}
+
+func TestZeroAndNegativeTransfers(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{Bandwidth: 1000, Latency: time.Second})
+	var done time.Duration
+	var recovered interface{}
+	s.Spawn("t", func(p *sim.Proc) {
+		b.Transfer(p, HostToDevice, 0)
+		done = p.Now()
+		defer func() { recovered = recover() }()
+		b.Transfer(p, HostToDevice, -1)
+	})
+	s.Run()
+	if done != 0 {
+		t.Fatal("zero transfer should be free")
+	}
+	if recovered == nil {
+		t.Fatal("negative transfer should panic")
+	}
+	if b.Link(HostToDevice).Transfers() != 0 {
+		t.Fatal("zero transfer must not be counted")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{Bandwidth: 2000, Latency: 5 * time.Millisecond})
+	if d := b.Duration(HostToDevice, 1000); d != 5*time.Millisecond+500*time.Millisecond {
+		t.Fatalf("Duration = %v", d)
+	}
+	if d := b.Duration(DeviceToHost, 0); d != 0 {
+		t.Fatalf("zero Duration = %v", d)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.New(), Config{Bandwidth: 0})
+}

@@ -1,0 +1,111 @@
+// Package chopping implements the paper's run-time placement strategies.
+//
+// Query chopping (§5.2) is a progressive optimizer: queries are chopped into
+// their operators, leaf operators enter a global operator stream, and every
+// finished operator pulls its parent into the stream (Figures 10/11). The
+// execution engine already runs plans exactly this way; what this package
+// contributes is the *tactical* decision — on which processor a ready
+// operator runs, decided at run time with exact input sizes (§4) — and the
+// thread-pool bounds that turn run-time placement into chopping.
+//
+//   - LoadBalanced is plain run-time placement (Figure 9): HyPE-style
+//     completion-time estimates pick the processor; concurrency is unbounded.
+//   - Used with bounded worker pools (GPUWorkers/CPUWorkers in exec.Config)
+//     it becomes query chopping (Figure 12).
+//   - DataDriven is the run-time data-driven rule: co-processor iff all
+//     inputs are resident there; combined with bounded pools it is
+//     Data-Driven Chopping (§5.4).
+package chopping
+
+import (
+	"robustdb/internal/cost"
+	"robustdb/internal/exec"
+	"robustdb/internal/plan"
+)
+
+// DefaultGPUWorkers is the chopping thread-pool bound for the co-processor.
+// Two workers keep the device busy (transfer overlapped with compute) while
+// bounding the accumulated heap footprint (§5.2).
+const DefaultGPUWorkers = 2
+
+// DefaultCPUWorkers is the chopping thread-pool bound for the host,
+// matching the evaluation machine's four cores.
+const DefaultCPUWorkers = 4
+
+// LoadBalanced places each ready operator on the processor with the lowest
+// estimated completion time: current queue estimate + input transfer +
+// learned operator estimate. The co-processor is only considered when the
+// operator's estimated heap footprint currently fits — the run-time
+// knowledge compile-time heuristics cannot have (§4).
+type LoadBalanced struct{}
+
+// Name returns "runtime".
+func (LoadBalanced) Name() string { return "runtime" }
+
+// CompileTime returns nil: this is a run-time strategy.
+func (LoadBalanced) CompileTime(*exec.Engine, *plan.Plan) map[int]cost.ProcKind { return nil }
+
+// RunTime picks the processor with the lowest estimated completion time.
+// Like HyPE's learned models, the estimates cover *operator execution*;
+// transfer costs of operator-driven data placement are not modelled — which
+// is precisely why plain chopping still runs into cache thrashing and only
+// Data-Driven Chopping avoids it (paper §6.2.1, Figure 15b).
+func (LoadBalanced) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) cost.ProcKind {
+	inBytes, err := e.InputBytes(n, inputs)
+	if err != nil {
+		return cost.CPU
+	}
+	// Run-time placement knows exact input sizes; the output is estimated
+	// at input volume (conservative for selections, about right for joins).
+	work := cost.Work(inBytes, inBytes)
+	cpuT := e.Outstanding(cost.CPU) +
+		e.Learner.Estimate(n.Op.Class(), cost.CPU, work).Seconds()
+	gpuT := e.Outstanding(cost.GPU) +
+		e.Learner.Estimate(n.Op.Class(), cost.GPU, work).Seconds()
+	footprint := e.Params.HeapFootprint(n.Op.Class(), inBytes, inBytes)
+	if footprint > e.Heap.Available() {
+		return cost.CPU // would abort immediately; don't even try
+	}
+	if gpuT <= cpuT {
+		return cost.GPU
+	}
+	return cost.CPU
+}
+
+// DataDriven is the run-time data-driven placement rule (§5.4): an operator
+// runs on the co-processor iff all its base columns are cached and all its
+// intermediates are device-resident. After an abort the intermediate lives
+// on the host, so query processing continues on the CPU automatically — the
+// "trick" of Data-Driven Chopping.
+type DataDriven struct{}
+
+// Name returns "data-driven-runtime".
+func (DataDriven) Name() string { return "data-driven-runtime" }
+
+// CompileTime returns nil: this is a run-time strategy.
+func (DataDriven) CompileTime(*exec.Engine, *plan.Plan) map[int]cost.ProcKind { return nil }
+
+// RunTime pushes the operator to wherever its data is. Like every run-time
+// strategy it also exploits the one thing only run time can know (§4): the
+// current heap pressure — an operator whose footprint cannot fit right now
+// would only abort, so it runs on the CPU directly.
+func (DataDriven) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) cost.ProcKind {
+	for _, id := range n.Op.BaseColumns() {
+		if !e.Cache.Contains(id) {
+			return cost.CPU
+		}
+	}
+	for _, v := range inputs {
+		if !v.OnDevice {
+			return cost.CPU
+		}
+	}
+	inBytes, err := e.InputBytes(n, inputs)
+	if err != nil {
+		return cost.CPU
+	}
+	if e.Params.HeapFootprint(n.Op.Class(), inBytes, inBytes) > e.Heap.Available() {
+		return cost.CPU
+	}
+	return cost.GPU
+}

@@ -1,0 +1,147 @@
+package chopping
+
+import (
+	"testing"
+
+	"robustdb/internal/column"
+	"robustdb/internal/cost"
+	"robustdb/internal/engine"
+	"robustdb/internal/exec"
+	"robustdb/internal/expr"
+	"robustdb/internal/plan"
+	"robustdb/internal/sim"
+	"robustdb/internal/table"
+)
+
+func testCatalog() *table.Catalog {
+	n := 100000
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(i % 100)
+	}
+	cat := table.NewCatalog()
+	cat.MustRegister(table.MustNew("t", column.NewInt64("v", v)))
+	return cat
+}
+
+func testPlan() *plan.Plan {
+	scan := plan.Scan("t", []string{"v"}, expr.NewCmp("v", expr.LT, 50))
+	agg := plan.Aggregate(scan, nil, []engine.AggSpec{{Func: engine.Sum, Col: "v", As: "s"}})
+	return plan.New(agg)
+}
+
+func TestNamesAndCompileTime(t *testing.T) {
+	e := exec.New(testCatalog(), exec.Config{CacheBytes: 1 << 30, HeapBytes: 1 << 30})
+	pl := testPlan()
+	if (LoadBalanced{}).Name() != "runtime" || (DataDriven{}).Name() != "data-driven-runtime" {
+		t.Fatal("names wrong")
+	}
+	if (LoadBalanced{}).CompileTime(e, pl) != nil || (DataDriven{}).CompileTime(e, pl) != nil {
+		t.Fatal("run-time strategies must not return compile-time placements")
+	}
+}
+
+func TestLoadBalancedPrefersWarmGPU(t *testing.T) {
+	e := exec.New(testCatalog(), exec.Config{CacheBytes: 1 << 30, HeapBytes: 1 << 30})
+	pl := testPlan()
+	scan := pl.Leaves()[0]
+	for _, id := range scan.Op.BaseColumns() {
+		b, _ := e.Cat.ColumnBytes(id)
+		e.Cache.Insert(id, b)
+	}
+	if (LoadBalanced{}).RunTime(e, scan, nil) != cost.GPU {
+		t.Fatal("warm GPU should win")
+	}
+}
+
+func TestLoadBalancedAvoidsFullHeap(t *testing.T) {
+	e := exec.New(testCatalog(), exec.Config{CacheBytes: 1 << 30, HeapBytes: 1024})
+	pl := testPlan()
+	scan := pl.Leaves()[0]
+	for _, id := range scan.Op.BaseColumns() {
+		b, _ := e.Cat.ColumnBytes(id)
+		e.Cache.Insert(id, b)
+	}
+	if (LoadBalanced{}).RunTime(e, scan, nil) != cost.CPU {
+		t.Fatal("a full heap must push the operator to the CPU")
+	}
+}
+
+func TestLoadBalancedIsTransferBlind(t *testing.T) {
+	// HyPE-style estimates cover operator execution only: with an empty
+	// cache the placer still prefers the faster GPU — the reason plain
+	// chopping runs into cache thrashing while Data-Driven Chopping does
+	// not (§6.2.1).
+	cold := exec.New(testCatalog(), exec.Config{CacheBytes: 1 << 30, HeapBytes: 1 << 30})
+	pl := testPlan()
+	scan := pl.Leaves()[0]
+	if (LoadBalanced{}).RunTime(cold, scan, nil) != cost.GPU {
+		t.Fatal("load-balanced placement must not model transfer costs")
+	}
+}
+
+func TestDataDrivenRuntimeRule(t *testing.T) {
+	e := exec.New(testCatalog(), exec.Config{CacheBytes: 1 << 30, HeapBytes: 1 << 30})
+	pl := testPlan()
+	scan := pl.Leaves()[0]
+	root := pl.Root
+
+	if (DataDriven{}).RunTime(e, scan, nil) != cost.CPU {
+		t.Fatal("uncached base columns → CPU")
+	}
+	for _, id := range scan.Op.BaseColumns() {
+		b, _ := e.Cat.ColumnBytes(id)
+		e.Cache.Insert(id, b)
+	}
+	if (DataDriven{}).RunTime(e, scan, nil) != cost.GPU {
+		t.Fatal("cached base columns → GPU")
+	}
+	hostVal := &exec.Value{Batch: engine.MustNewBatch(column.NewInt64("x", []int64{1}))}
+	if (DataDriven{}).RunTime(e, root, []*exec.Value{hostVal}) != cost.CPU {
+		t.Fatal("host-resident input → CPU (continue after abort)")
+	}
+}
+
+// End-to-end: chopping (bounded pools + run-time placement) executes a
+// multi-user workload correctly and bounds GPU operator concurrency.
+func TestChoppingEndToEnd(t *testing.T) {
+	cat := testCatalog()
+	e := exec.New(cat, exec.Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		GPUWorkers: DefaultGPUWorkers, CPUWorkers: DefaultCPUWorkers,
+	})
+	pl := testPlan()
+	for _, id := range pl.BaseColumns() {
+		b, _ := cat.ColumnBytes(id)
+		e.Cache.Insert(id, b)
+	}
+	var sum float64
+	completed := 0
+	for u := 0; u < 8; u++ {
+		e.Sim.Spawn("user", func(p *sim.Proc) {
+			v, _, err := e.RunQuery(p, pl, LoadBalanced{})
+			if err != nil {
+				t.Errorf("query failed: %v", err)
+				return
+			}
+			sum = v.Batch.MustColumn("s").(*column.Float64Column).Values[0]
+			completed++
+		})
+	}
+	e.Sim.Run()
+	if completed != 8 {
+		t.Fatalf("completed %d of 8", completed)
+	}
+	var want float64
+	for i := 0; i < 100000; i++ {
+		if i%100 < 50 {
+			want += float64(i % 100)
+		}
+	}
+	if sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	if e.Heap.Used() != 0 {
+		t.Fatal("heap leak")
+	}
+}

@@ -1,0 +1,216 @@
+package column
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeStringAndWidth(t *testing.T) {
+	cases := []struct {
+		typ   Type
+		name  string
+		width int
+	}{
+		{Int64, "int64", 8},
+		{Float64, "float64", 8},
+		{Date, "date", 4},
+		{String, "string", 4},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.name {
+			t.Errorf("Type(%d).String() = %q, want %q", c.typ, got, c.name)
+		}
+		if got := c.typ.Width(); got != c.width {
+			t.Errorf("Type(%s).Width() = %d, want %d", c.name, got, c.width)
+		}
+	}
+	if got := Type(99).String(); got != "type(99)" {
+		t.Errorf("unknown type String() = %q", got)
+	}
+	if got := Type(99).Width(); got != 8 {
+		t.Errorf("unknown type Width() = %d, want 8", got)
+	}
+}
+
+func TestInt64Column(t *testing.T) {
+	c := NewInt64("a", []int64{10, 20, 30, 40})
+	if c.Name() != "a" || c.Type() != Int64 || c.Len() != 4 {
+		t.Fatalf("metadata wrong: %s %s %d", c.Name(), c.Type(), c.Len())
+	}
+	if c.Bytes() != 32 {
+		t.Fatalf("Bytes() = %d, want 32", c.Bytes())
+	}
+	g := c.Gather([]int32{3, 1}).(*Int64Column)
+	if g.Values[0] != 40 || g.Values[1] != 20 {
+		t.Fatalf("Gather wrong: %v", g.Values)
+	}
+}
+
+func TestFloat64Column(t *testing.T) {
+	c := NewFloat64("f", []float64{1.5, 2.5, 3.5})
+	if c.Type() != Float64 || c.Len() != 3 || c.Bytes() != 24 {
+		t.Fatalf("metadata wrong")
+	}
+	g := c.Gather([]int32{2}).(*Float64Column)
+	if g.Values[0] != 3.5 {
+		t.Fatalf("Gather wrong: %v", g.Values)
+	}
+}
+
+func TestDateColumn(t *testing.T) {
+	c := NewDate("d", []int32{100, 200})
+	if c.Type() != Date || c.Bytes() != 8 {
+		t.Fatalf("metadata wrong")
+	}
+	g := c.Gather([]int32{1, 0}).(*DateColumn)
+	if g.Values[0] != 200 || g.Values[1] != 100 {
+		t.Fatalf("Gather wrong: %v", g.Values)
+	}
+}
+
+func TestStringColumnEncoding(t *testing.T) {
+	vals := []string{"cherry", "apple", "banana", "apple", "cherry"}
+	c := NewString("s", vals)
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if !sort.StringsAreSorted(c.Dict) {
+		t.Fatalf("dictionary not sorted: %v", c.Dict)
+	}
+	for i, v := range vals {
+		if c.Value(i) != v {
+			t.Fatalf("Value(%d) = %q, want %q", i, c.Value(i), v)
+		}
+	}
+	if code, ok := c.Code("banana"); !ok || c.Dict[code] != "banana" {
+		t.Fatalf("Code(banana) = %d,%v", code, ok)
+	}
+	if _, ok := c.Code("durian"); ok {
+		t.Fatalf("Code(durian) should miss")
+	}
+	if lb := c.LowerBound("b"); c.Dict[lb] != "banana" {
+		t.Fatalf("LowerBound(b) = %d (%q)", lb, c.Dict[lb])
+	}
+	if lb := c.LowerBound("zzz"); int(lb) != len(c.Dict) {
+		t.Fatalf("LowerBound past end = %d", lb)
+	}
+}
+
+// Order preservation: code comparison must agree with string comparison.
+func TestStringColumnOrderPreserving(t *testing.T) {
+	f := func(a, b string) bool {
+		c := NewString("s", []string{a, b})
+		return (a < b) == (c.Codes[0] < c.Codes[1]) && (a == b) == (c.Codes[0] == c.Codes[1])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringColumnGatherSharesDict(t *testing.T) {
+	c := NewString("s", []string{"x", "y", "z"})
+	g := c.Gather([]int32{2, 0}).(*StringColumn)
+	if g.Value(0) != "z" || g.Value(1) != "x" {
+		t.Fatalf("Gather values wrong")
+	}
+	if &g.Dict[0] != &c.Dict[0] {
+		t.Fatalf("Gather should share the dictionary")
+	}
+}
+
+func TestStringColumnBytesIncludesDict(t *testing.T) {
+	c := NewString("s", []string{"ab", "cd"})
+	// 2 rows * 4 bytes codes + 4 bytes dictionary characters.
+	if c.Bytes() != 2*4+4 {
+		t.Fatalf("Bytes() = %d", c.Bytes())
+	}
+}
+
+func TestAll(t *testing.T) {
+	p := All(4)
+	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
+		t.Fatalf("All(4) = %v", p)
+	}
+	if p.Bytes() != 16 {
+		t.Fatalf("Bytes = %d", p.Bytes())
+	}
+}
+
+func sortedSubset(rng *rand.Rand, n int) PosList {
+	var p PosList
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			p = append(p, int32(i))
+		}
+	}
+	return p
+}
+
+func TestIntersectUnionAgainstMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a := sortedSubset(rng, 50)
+		b := sortedSubset(rng, 50)
+		inA := make(map[int32]bool)
+		for _, x := range a {
+			inA[x] = true
+		}
+		inB := make(map[int32]bool)
+		for _, x := range b {
+			inB[x] = true
+		}
+		var wantI, wantU PosList
+		for i := int32(0); i < 50; i++ {
+			if inA[i] && inB[i] {
+				wantI = append(wantI, i)
+			}
+			if inA[i] || inB[i] {
+				wantU = append(wantU, i)
+			}
+		}
+		gotI := a.Intersect(b)
+		gotU := a.Union(b)
+		if len(gotI) != len(wantI) {
+			t.Fatalf("intersect size: got %d want %d", len(gotI), len(wantI))
+		}
+		for i := range gotI {
+			if gotI[i] != wantI[i] {
+				t.Fatalf("intersect mismatch at %d", i)
+			}
+		}
+		if len(gotU) != len(wantU) {
+			t.Fatalf("union size: got %d want %d", len(gotU), len(wantU))
+		}
+		for i := range gotU {
+			if gotU[i] != wantU[i] {
+				t.Fatalf("union mismatch at %d", i)
+			}
+		}
+	}
+}
+
+// Property: Intersect and Union preserve sortedness and set semantics.
+func TestPosListProperties(t *testing.T) {
+	gen := func(seed int64) (PosList, PosList) {
+		rng := rand.New(rand.NewSource(seed))
+		return sortedSubset(rng, 100), sortedSubset(rng, 100)
+	}
+	f := func(seed int64) bool {
+		a, b := gen(seed)
+		i := a.Intersect(b)
+		u := a.Union(b)
+		if !sort.SliceIsSorted(i, func(x, y int) bool { return i[x] < i[y] }) {
+			return false
+		}
+		if !sort.SliceIsSorted(u, func(x, y int) bool { return u[x] < u[y] }) {
+			return false
+		}
+		// |A ∪ B| + |A ∩ B| = |A| + |B| for sets.
+		return len(u)+len(i) == len(a)+len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package column
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressInt64Roundtrip(t *testing.T) {
+	vals := []int64{5, 5, 5, 6, 7, 100, -3, 0, 42}
+	c := CompressInt64(NewInt64("x", vals))
+	if c.Name() != "x" || c.Type() != Int64 || c.Len() != len(vals) {
+		t.Fatal("metadata wrong")
+	}
+	for i, v := range vals {
+		if c.Value(i) != v {
+			t.Fatalf("Value(%d) = %d, want %d", i, c.Value(i), v)
+		}
+	}
+	d := c.Decompress()
+	for i, v := range vals {
+		if d.Values[i] != v {
+			t.Fatalf("Decompress[%d] = %d, want %d", i, d.Values[i], v)
+		}
+	}
+	g := c.Gather([]int32{5, 0, 6}).(*Int64Column)
+	if g.Values[0] != 100 || g.Values[1] != 5 || g.Values[2] != -3 {
+		t.Fatalf("Gather = %v", g.Values)
+	}
+}
+
+func TestCompressionShrinksNarrowDomains(t *testing.T) {
+	// A realistic benchmark column: values 0..10 (lo_discount).
+	vals := make([]int64, 100000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Int63n(11)
+	}
+	plain := NewInt64("discount", vals)
+	c := CompressInt64(plain)
+	if c.Bytes() >= plain.Bytes()/10 {
+		t.Fatalf("0..10 domain should compress >10x: %d vs %d bytes", c.Bytes(), plain.Bytes())
+	}
+	if c.CompressionRatio() < 10 {
+		t.Fatalf("ratio = %.1f", c.CompressionRatio())
+	}
+}
+
+func TestCompressConstantColumn(t *testing.T) {
+	vals := make([]int64, 1000)
+	c := CompressInt64(NewInt64("zero", vals))
+	// Width-0 blocks: only the per-block header remains.
+	if c.Bytes() >= 100 {
+		t.Fatalf("constant column should be ~9 B per 128 rows, got %d", c.Bytes())
+	}
+	for i := range vals {
+		if c.Value(i) != 0 {
+			t.Fatal("constant decode wrong")
+		}
+	}
+}
+
+func TestCompressDateRoundtrip(t *testing.T) {
+	vals := []int32{19920101, 19920102, 19981231, 19950615}
+	c := CompressDate(NewDate("d", vals))
+	if c.Type() != Date || c.Len() != 4 || c.Name() != "d" {
+		t.Fatal("metadata wrong")
+	}
+	d := c.Decompress()
+	for i, v := range vals {
+		if d.Values[i] != v {
+			t.Fatalf("date decode[%d] = %d, want %d", i, d.Values[i], v)
+		}
+	}
+	g := c.Gather([]int32{2}).(*DateColumn)
+	if g.Values[0] != 19981231 {
+		t.Fatal("date gather wrong")
+	}
+	if c.Bytes() >= NewDate("d", vals).Bytes()*3 {
+		t.Fatal("tiny column overhead out of bounds")
+	}
+}
+
+func TestMaterializedAndCompress(t *testing.T) {
+	i64 := NewInt64("a", []int64{1, 2, 3})
+	date := NewDate("d", []int32{1, 2})
+	str := NewString("s", []string{"x"})
+	flt := NewFloat64("f", []float64{1.5})
+
+	ci := Compress(i64)
+	if _, ok := ci.(*CompressedInt64Column); !ok {
+		t.Fatal("int64 should compress")
+	}
+	cd := Compress(date)
+	if _, ok := cd.(*CompressedDateColumn); !ok {
+		t.Fatal("date should compress")
+	}
+	if Compress(str) != Column(str) || Compress(flt) != Column(flt) {
+		t.Fatal("string/float should pass through")
+	}
+	if m := Materialized(ci).(*Int64Column); m.Values[2] != 3 {
+		t.Fatal("Materialized int decode wrong")
+	}
+	if m := Materialized(cd).(*DateColumn); m.Values[1] != 2 {
+		t.Fatal("Materialized date decode wrong")
+	}
+	if Materialized(str) != Column(str) {
+		t.Fatal("Materialized should pass plain columns through")
+	}
+}
+
+// Property: encode/decode round-trips for arbitrary values, including
+// extremes, and every position is randomly addressable.
+func TestCompressRoundtripProperty(t *testing.T) {
+	f := func(seed int64, extreme bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		vals := make([]int64, n)
+		for i := range vals {
+			if extreme {
+				vals[i] = int64(rng.Uint64())
+			} else {
+				vals[i] = rng.Int63n(1 << 20)
+			}
+		}
+		c := CompressInt64(NewInt64("x", vals))
+		for i, v := range vals {
+			if c.Value(i) != v {
+				return false
+			}
+		}
+		return c.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[uint64]uint8{0: 0, 1: 1, 2: 2, 3: 2, 255: 8, 256: 9, math.MaxUint64: 64}
+	for x, want := range cases {
+		if got := bitsFor(x); got != want {
+			t.Fatalf("bitsFor(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestWidth64Boundary(t *testing.T) {
+	// Values spanning the full int64 range force 64-bit packing.
+	vals := []int64{math.MinInt64, math.MaxInt64, 0, -1, 1}
+	c := CompressInt64(NewInt64("x", vals))
+	for i, v := range vals {
+		if c.Value(i) != v {
+			t.Fatalf("full-range decode[%d] = %d, want %d", i, c.Value(i), v)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package column
+
+// PosList is a selection vector: a sorted list of qualifying row positions.
+// CoGaDB-style operator-at-a-time processing passes position lists between
+// the selection operators of a query before final materialization.
+type PosList []int32
+
+// Bytes returns the in-memory footprint of the position list.
+func (p PosList) Bytes() int64 { return int64(len(p)) * 4 }
+
+// Intersect computes the sorted intersection of two sorted position lists.
+// It is the conjunction of two selections.
+func (p PosList) Intersect(q PosList) PosList {
+	out := make(PosList, 0, min(len(p), len(q)))
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		switch {
+		case p[i] < q[j]:
+			i++
+		case p[i] > q[j]:
+			j++
+		default:
+			out = append(out, p[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union computes the sorted union of two sorted position lists.
+// It is the disjunction of two selections.
+func (p PosList) Union(q PosList) PosList {
+	out := make(PosList, 0, len(p)+len(q))
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		switch {
+		case p[i] < q[j]:
+			out = append(out, p[i])
+			i++
+		case p[i] > q[j]:
+			out = append(out, q[j])
+			j++
+		default:
+			out = append(out, p[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, p[i:]...)
+	out = append(out, q[j:]...)
+	return out
+}
+
+// All returns the position list selecting every row of a column with n rows.
+func All(n int) PosList {
+	p := make(PosList, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}

@@ -1,0 +1,129 @@
+// Package device simulates the co-processor of the paper: a processor with
+// a small dedicated memory, split into a data cache for base columns and a
+// heap for operator intermediates and results.
+//
+// The heap is a byte-accurate accounting allocator that fails exactly like
+// a real device allocator does when capacity is exhausted — the mechanism
+// behind the paper's operator aborts and heap contention. (Fragmentation is
+// not modelled; CUDA's allocator is a sub-allocating pool for which a pure
+// capacity model is the accepted abstraction.)
+package device
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds the free capacity.
+// The execution engine reacts to it by aborting the operator and restarting
+// it on the CPU (paper §2.5.1).
+var ErrOutOfMemory = errors.New("device: out of memory")
+
+// Memory is an accounting allocator over a fixed capacity.
+type Memory struct {
+	name         string
+	capacity     int64
+	used         int64
+	highWater    int64
+	failedAllocs int64
+}
+
+// NewMemory creates an allocator of the given capacity in bytes.
+func NewMemory(name string, capacity int64) *Memory {
+	if capacity < 0 {
+		panic(fmt.Sprintf("device: negative capacity %d for %s", capacity, name))
+	}
+	return &Memory{name: name, capacity: capacity}
+}
+
+// Name returns the allocator name.
+func (m *Memory) Name() string { return m.name }
+
+// Capacity returns the total capacity in bytes.
+func (m *Memory) Capacity() int64 { return m.capacity }
+
+// Used returns the currently allocated bytes.
+func (m *Memory) Used() int64 { return m.used }
+
+// Available returns the remaining free bytes.
+func (m *Memory) Available() int64 { return m.capacity - m.used }
+
+// HighWater returns the maximum allocation level observed.
+func (m *Memory) HighWater() int64 { return m.highWater }
+
+// FailedAllocs returns how many allocations were rejected.
+func (m *Memory) FailedAllocs() int64 { return m.failedAllocs }
+
+// Alloc reserves n bytes or returns ErrOutOfMemory (leaving state unchanged).
+// Zero-byte allocations always succeed; negative sizes are a caller bug.
+func (m *Memory) Alloc(n int64) error {
+	if n < 0 {
+		panic(fmt.Sprintf("device: negative allocation %d on %s", n, m.name))
+	}
+	if m.used+n > m.capacity {
+		m.failedAllocs++
+		return fmt.Errorf("%w: %s needs %d bytes, %d free of %d",
+			ErrOutOfMemory, m.name, n, m.Available(), m.capacity)
+	}
+	m.used += n
+	if m.used > m.highWater {
+		m.highWater = m.used
+	}
+	return nil
+}
+
+// Release frees n bytes. Releasing more than allocated is a caller bug.
+func (m *Memory) Release(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("device: negative free %d on %s", n, m.name))
+	}
+	if n > m.used {
+		panic(fmt.Sprintf("device: %s freeing %d bytes with only %d allocated", m.name, n, m.used))
+	}
+	m.used -= n
+}
+
+// Reservation is a tracked allocation that can grow in steps and releases
+// everything it holds at once. Operators allocate in several steps and hold
+// onto already allocated memory (the reason the paper's engine cannot use
+// wait-and-admit without deadlocks, §2.5.1); a Reservation mirrors that.
+type Reservation struct {
+	mem  *Memory
+	held int64
+}
+
+// Reserve starts an empty reservation on m.
+func (m *Memory) Reserve() *Reservation {
+	return &Reservation{mem: m}
+}
+
+// Grow adds n bytes to the reservation or returns ErrOutOfMemory. On error
+// previously held bytes remain held (the caller decides whether to abort).
+func (r *Reservation) Grow(n int64) error {
+	if err := r.mem.Alloc(n); err != nil {
+		return err
+	}
+	r.held += n
+	return nil
+}
+
+// Held returns the bytes currently held by the reservation.
+func (r *Reservation) Held() int64 { return r.held }
+
+// Release frees everything the reservation holds. It is idempotent.
+func (r *Reservation) Release() {
+	if r.held > 0 {
+		r.mem.Release(r.held)
+		r.held = 0
+	}
+}
+
+// ReleasePartial frees n of the reservation's bytes (an operator freeing its
+// inputs while keeping its result, for example).
+func (r *Reservation) ReleasePartial(n int64) {
+	if n < 0 || n > r.held {
+		panic(fmt.Sprintf("device: invalid partial release %d of %d held", n, r.held))
+	}
+	r.mem.Release(n)
+	r.held -= n
+}

@@ -1,0 +1,134 @@
+package device
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryBasics(t *testing.T) {
+	m := NewMemory("gpu", 100)
+	if m.Name() != "gpu" || m.Capacity() != 100 || m.Used() != 0 || m.Available() != 100 {
+		t.Fatal("metadata wrong")
+	}
+	if err := m.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 60 || m.Available() != 40 || m.HighWater() != 60 {
+		t.Fatalf("state: used=%d avail=%d hw=%d", m.Used(), m.Available(), m.HighWater())
+	}
+	err := m.Alloc(41)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	if m.FailedAllocs() != 1 || m.Used() != 60 {
+		t.Fatal("failed alloc must not change state")
+	}
+	if err := m.Alloc(40); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(100)
+	if m.Used() != 0 || m.HighWater() != 100 {
+		t.Fatal("release wrong")
+	}
+	if err := m.Alloc(0); err != nil {
+		t.Fatal("zero alloc should succeed")
+	}
+}
+
+func TestMemoryPanics(t *testing.T) {
+	mustPanic(t, func() { NewMemory("bad", -1) })
+	m := NewMemory("m", 10)
+	mustPanic(t, func() { _ = m.Alloc(-1) })
+	mustPanic(t, func() { m.Release(-1) })
+	mustPanic(t, func() { m.Release(1) })
+}
+
+func TestReservation(t *testing.T) {
+	m := NewMemory("gpu", 100)
+	r := m.Reserve()
+	if r.Held() != 0 {
+		t.Fatal("fresh reservation should hold nothing")
+	}
+	if err := r.Grow(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Grow(30); err != nil {
+		t.Fatal(err)
+	}
+	if r.Held() != 60 || m.Used() != 60 {
+		t.Fatal("grow accounting wrong")
+	}
+	// Failed grow keeps what is held (the engine aborts explicitly).
+	if err := r.Grow(50); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	if r.Held() != 60 {
+		t.Fatal("failed grow must not change held bytes")
+	}
+	r.ReleasePartial(20)
+	if r.Held() != 40 || m.Used() != 40 {
+		t.Fatal("partial release wrong")
+	}
+	r.Release()
+	if r.Held() != 0 || m.Used() != 0 {
+		t.Fatal("release wrong")
+	}
+	r.Release() // idempotent
+	if m.Used() != 0 {
+		t.Fatal("double release changed state")
+	}
+	mustPanic(t, func() { r.ReleasePartial(1) })
+	mustPanic(t, func() { r.ReleasePartial(-1) })
+}
+
+// Property: under any interleaving of alloc/release, 0 <= used <= capacity
+// and highWater never decreases.
+func TestMemoryInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMemory("m", 1000)
+		var live []int64
+		lastHW := int64(0)
+		for i := 0; i < 300; i++ {
+			if rng.Intn(2) == 0 {
+				n := rng.Int63n(300)
+				if err := m.Alloc(n); err == nil {
+					live = append(live, n)
+				} else if !errors.Is(err, ErrOutOfMemory) {
+					return false
+				}
+			} else if len(live) > 0 {
+				k := rng.Intn(len(live))
+				m.Release(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+			if m.Used() < 0 || m.Used() > m.Capacity() {
+				return false
+			}
+			if m.HighWater() < lastHW {
+				return false
+			}
+			lastHW = m.HighWater()
+		}
+		var want int64
+		for _, n := range live {
+			want += n
+		}
+		return m.Used() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

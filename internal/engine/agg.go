@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"fmt"
+
+	"robustdb/internal/column"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	Sum AggFunc = iota
+	Count
+	Min
+	Max
+	Avg
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// AggSpec describes one aggregate: Func applied to input column Col,
+// emitted under name As. Count ignores Col.
+type AggSpec struct {
+	Func AggFunc
+	Col  string
+	As   string
+}
+
+// GroupBy groups the batch by the key columns and computes the aggregates.
+// Groups are emitted in order of first occurrence, which keeps results
+// deterministic. Key columns appear first in the output, then aggregates in
+// spec order. Grouping with no key columns produces a single global group
+// (even for an empty input, matching SQL aggregate semantics).
+func GroupBy(b *Batch, keys []string, aggs []AggSpec) (*Batch, error) {
+	keyCols := make([]column.Column, len(keys))
+	for i, k := range keys {
+		c, err := b.Column(k)
+		if err != nil {
+			return nil, fmt.Errorf("group by: %w", err)
+		}
+		keyCols[i] = c
+	}
+	type groupState struct {
+		firstRow int32
+		accums   []accumulator
+	}
+	mkAccums := func() ([]accumulator, error) {
+		accums := make([]accumulator, len(aggs))
+		for i, a := range aggs {
+			acc, err := newAccumulator(b, a)
+			if err != nil {
+				return nil, err
+			}
+			accums[i] = acc
+		}
+		return accums, nil
+	}
+
+	n := b.NumRows()
+	groups := make(map[string]*groupState)
+	var order []string
+	keyBuf := make([]byte, 0, 64)
+	for row := 0; row < n; row++ {
+		keyBuf = keyBuf[:0]
+		for _, kc := range keyCols {
+			keyBuf = appendGroupKey(keyBuf, kc, row)
+		}
+		k := string(keyBuf)
+		g, ok := groups[k]
+		if !ok {
+			accums, err := mkAccums()
+			if err != nil {
+				return nil, err
+			}
+			g = &groupState{firstRow: int32(row), accums: accums}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for _, acc := range g.accums {
+			if err := acc.add(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(keys) == 0 && len(order) == 0 {
+		// Global aggregate over an empty input still yields one row.
+		accums, err := mkAccums()
+		if err != nil {
+			return nil, err
+		}
+		groups[""] = &groupState{firstRow: 0, accums: accums}
+		order = append(order, "")
+	}
+
+	// Materialize: key columns gathered at group representatives, aggregates
+	// from the accumulators.
+	repr := make(column.PosList, len(order))
+	for i, k := range order {
+		repr[i] = groups[k].firstRow
+	}
+	out := make([]column.Column, 0, len(keys)+len(aggs))
+	for _, kc := range keyCols {
+		out = append(out, kc.Gather(repr))
+	}
+	for i, a := range aggs {
+		vals := make([]float64, len(order))
+		for j, k := range order {
+			vals[j] = groups[k].accums[i].result()
+		}
+		out = append(out, column.NewFloat64(a.As, vals))
+	}
+	return NewBatch(out...)
+}
+
+// accumulator folds rows into one aggregate value.
+type accumulator interface {
+	add(row int) error
+	result() float64
+}
+
+func newAccumulator(b *Batch, spec AggSpec) (accumulator, error) {
+	if spec.Func == Count {
+		return &countAcc{}, nil
+	}
+	c, err := b.Column(spec.Col)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate %s(%s): %w", spec.Func, spec.Col, err)
+	}
+	read, err := numericReader(c)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate %s(%s): %w", spec.Func, spec.Col, err)
+	}
+	switch spec.Func {
+	case Sum:
+		return &sumAcc{read: read}, nil
+	case Min:
+		return &minAcc{read: read}, nil
+	case Max:
+		return &maxAcc{read: read}, nil
+	case Avg:
+		return &avgAcc{read: read}, nil
+	default:
+		return nil, fmt.Errorf("aggregate: unknown function %v", spec.Func)
+	}
+}
+
+// numericReader returns a row accessor converting the column to float64.
+func numericReader(c column.Column) (func(int) float64, error) {
+	switch c := c.(type) {
+	case *column.Int64Column:
+		return func(i int) float64 { return float64(c.Values[i]) }, nil
+	case *column.Float64Column:
+		return func(i int) float64 { return c.Values[i] }, nil
+	case *column.DateColumn:
+		return func(i int) float64 { return float64(c.Values[i]) }, nil
+	default:
+		return nil, fmt.Errorf("column %s is not numeric", c.Name())
+	}
+}
+
+type countAcc struct{ n int64 }
+
+func (a *countAcc) add(int) error   { a.n++; return nil }
+func (a *countAcc) result() float64 { return float64(a.n) }
+
+type sumAcc struct {
+	read func(int) float64
+	sum  float64
+}
+
+func (a *sumAcc) add(row int) error { a.sum += a.read(row); return nil }
+func (a *sumAcc) result() float64   { return a.sum }
+
+type minAcc struct {
+	read func(int) float64
+	min  float64
+	seen bool
+}
+
+func (a *minAcc) add(row int) error {
+	v := a.read(row)
+	if !a.seen || v < a.min {
+		a.min, a.seen = v, true
+	}
+	return nil
+}
+func (a *minAcc) result() float64 { return a.min }
+
+type maxAcc struct {
+	read func(int) float64
+	max  float64
+	seen bool
+}
+
+func (a *maxAcc) add(row int) error {
+	v := a.read(row)
+	if !a.seen || v > a.max {
+		a.max, a.seen = v, true
+	}
+	return nil
+}
+func (a *maxAcc) result() float64 { return a.max }
+
+type avgAcc struct {
+	read func(int) float64
+	sum  float64
+	n    int64
+}
+
+func (a *avgAcc) add(row int) error { a.sum += a.read(row); a.n++; return nil }
+func (a *avgAcc) result() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// appendGroupKey serializes row i of the column into buf so that equal
+// values produce equal byte strings and different columns cannot alias.
+func appendGroupKey(buf []byte, c column.Column, i int) []byte {
+	var v uint64
+	switch c := c.(type) {
+	case *column.Int64Column:
+		v = uint64(c.Values[i])
+	case *column.DateColumn:
+		v = uint64(uint32(c.Values[i]))
+	case *column.StringColumn:
+		v = uint64(uint32(c.Codes[i]))
+	case *column.Float64Column:
+		// Group-by on floats groups identical bit patterns.
+		v = uint64(int64(c.Values[i] * 1e6)) // fixed-point to be robust for money values
+	}
+	buf = append(buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56),
+		0xfe) // separator
+	return buf
+}

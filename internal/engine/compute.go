@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"fmt"
+
+	"robustdb/internal/column"
+)
+
+// BinOp enumerates arithmetic operators for derived columns.
+type BinOp uint8
+
+// Arithmetic operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// String returns the operator symbol.
+func (op BinOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	default:
+		return fmt.Sprintf("binop(%d)", uint8(op))
+	}
+}
+
+// Compute evaluates "left op right" row-wise over two numeric columns of the
+// batch and returns the derived column under the given name. The result is
+// always float64, matching the engine's aggregate domain.
+func Compute(b *Batch, as string, left string, op BinOp, right string) (column.Column, error) {
+	lc, err := b.Column(left)
+	if err != nil {
+		return nil, fmt.Errorf("compute %s: %w", as, err)
+	}
+	rc, err := b.Column(right)
+	if err != nil {
+		return nil, fmt.Errorf("compute %s: %w", as, err)
+	}
+	lr, err := numericReader(lc)
+	if err != nil {
+		return nil, fmt.Errorf("compute %s: %w", as, err)
+	}
+	rr, err := numericReader(rc)
+	if err != nil {
+		return nil, fmt.Errorf("compute %s: %w", as, err)
+	}
+	n := b.NumRows()
+	out := make([]float64, n)
+	switch op {
+	case Add:
+		for i := 0; i < n; i++ {
+			out[i] = lr(i) + rr(i)
+		}
+	case Sub:
+		for i := 0; i < n; i++ {
+			out[i] = lr(i) - rr(i)
+		}
+	case Mul:
+		for i := 0; i < n; i++ {
+			out[i] = lr(i) * rr(i)
+		}
+	case Div:
+		for i := 0; i < n; i++ {
+			d := rr(i)
+			if d == 0 {
+				return nil, fmt.Errorf("compute %s: division by zero at row %d", as, i)
+			}
+			out[i] = lr(i) / d
+		}
+	default:
+		return nil, fmt.Errorf("compute %s: unknown operator %v", as, op)
+	}
+	return column.NewFloat64(as, out), nil
+}
+
+// ComputeConst evaluates "col op constant" row-wise, e.g. the
+// "1 - discount" term of TPC-H pricing expressions (written as
+// ComputeConstLeft) or "price * 0.9".
+func ComputeConst(b *Batch, as string, col string, op BinOp, k float64) (column.Column, error) {
+	c, err := b.Column(col)
+	if err != nil {
+		return nil, fmt.Errorf("compute %s: %w", as, err)
+	}
+	read, err := numericReader(c)
+	if err != nil {
+		return nil, fmt.Errorf("compute %s: %w", as, err)
+	}
+	n := b.NumRows()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := read(i)
+		switch op {
+		case Add:
+			out[i] = v + k
+		case Sub:
+			out[i] = v - k
+		case Mul:
+			out[i] = v * k
+		case Div:
+			if k == 0 {
+				return nil, fmt.Errorf("compute %s: division by zero constant", as)
+			}
+			out[i] = v / k
+		default:
+			return nil, fmt.Errorf("compute %s: unknown operator %v", as, op)
+		}
+	}
+	return column.NewFloat64(as, out), nil
+}
+
+// ComputeConstLeft evaluates "constant op col" row-wise (e.g. 1 - discount).
+func ComputeConstLeft(b *Batch, as string, k float64, op BinOp, col string) (column.Column, error) {
+	c, err := b.Column(col)
+	if err != nil {
+		return nil, fmt.Errorf("compute %s: %w", as, err)
+	}
+	read, err := numericReader(c)
+	if err != nil {
+		return nil, fmt.Errorf("compute %s: %w", as, err)
+	}
+	n := b.NumRows()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := read(i)
+		switch op {
+		case Add:
+			out[i] = k + v
+		case Sub:
+			out[i] = k - v
+		case Mul:
+			out[i] = k * v
+		case Div:
+			if v == 0 {
+				return nil, fmt.Errorf("compute %s: division by zero at row %d", as, i)
+			}
+			out[i] = k / v
+		default:
+			return nil, fmt.Errorf("compute %s: unknown operator %v", as, op)
+		}
+	}
+	return column.NewFloat64(as, out), nil
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"testing"
+
+	"robustdb/internal/column"
+)
+
+func TestBinOpString(t *testing.T) {
+	want := map[BinOp]string{Add: "+", Sub: "-", Mul: "*", Div: "/"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+	if BinOp(9).String() != "binop(9)" {
+		t.Error("unknown op rendering wrong")
+	}
+}
+
+func TestCompute(t *testing.T) {
+	b := MustNewBatch(
+		column.NewInt64("a", []int64{6, 8}),
+		column.NewFloat64("b", []float64{2, 4}),
+	)
+	cases := []struct {
+		op   BinOp
+		want []float64
+	}{
+		{Add, []float64{8, 12}},
+		{Sub, []float64{4, 4}},
+		{Mul, []float64{12, 32}},
+		{Div, []float64{3, 2}},
+	}
+	for _, c := range cases {
+		col, err := Compute(b, "r", "a", c.op, "b")
+		if err != nil {
+			t.Fatalf("%s: %v", c.op, err)
+		}
+		got := col.(*column.Float64Column).Values
+		if got[0] != c.want[0] || got[1] != c.want[1] {
+			t.Fatalf("%s: got %v want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	b := MustNewBatch(
+		column.NewInt64("a", []int64{1, 2}),
+		column.NewFloat64("z", []float64{1, 0}),
+		column.NewString("s", []string{"x", "y"}),
+	)
+	if _, err := Compute(b, "r", "zz", Add, "a"); err == nil {
+		t.Fatal("expected missing left error")
+	}
+	if _, err := Compute(b, "r", "a", Add, "zz"); err == nil {
+		t.Fatal("expected missing right error")
+	}
+	if _, err := Compute(b, "r", "s", Add, "a"); err == nil {
+		t.Fatal("expected non-numeric left error")
+	}
+	if _, err := Compute(b, "r", "a", Add, "s"); err == nil {
+		t.Fatal("expected non-numeric right error")
+	}
+	if _, err := Compute(b, "r", "a", Div, "z"); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+	if _, err := Compute(b, "r", "a", BinOp(9), "z"); err == nil {
+		t.Fatal("expected unknown-op error")
+	}
+}
+
+func TestComputeConst(t *testing.T) {
+	b := MustNewBatch(column.NewFloat64("p", []float64{100, 200}))
+	col, err := ComputeConst(b, "r", "p", Mul, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := col.(*column.Float64Column).Values
+	if got[0] != 50 || got[1] != 100 {
+		t.Fatalf("got %v", got)
+	}
+	for _, op := range []BinOp{Add, Sub, Div} {
+		if _, err := ComputeConst(b, "r", "p", op, 2); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+	}
+	if _, err := ComputeConst(b, "r", "p", Div, 0); err == nil {
+		t.Fatal("expected divide-by-zero-constant error")
+	}
+	if _, err := ComputeConst(b, "r", "zz", Mul, 1); err == nil {
+		t.Fatal("expected missing-column error")
+	}
+	if _, err := ComputeConst(b, "r", "p", BinOp(9), 1); err == nil {
+		t.Fatal("expected unknown-op error")
+	}
+	s := MustNewBatch(column.NewString("s", []string{"a"}))
+	if _, err := ComputeConst(s, "r", "s", Mul, 1); err == nil {
+		t.Fatal("expected non-numeric error")
+	}
+}
+
+func TestComputeConstLeft(t *testing.T) {
+	b := MustNewBatch(column.NewFloat64("d", []float64{0.04, 0.06}))
+	col, err := ComputeConstLeft(b, "r", 1, Sub, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := col.(*column.Float64Column).Values
+	if got[0] != 0.96 || got[1] != 0.94 {
+		t.Fatalf("got %v", got)
+	}
+	for _, op := range []BinOp{Add, Mul, Div} {
+		if _, err := ComputeConstLeft(b, "r", 2, op, "d"); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+	}
+	z := MustNewBatch(column.NewFloat64("z", []float64{0}))
+	if _, err := ComputeConstLeft(z, "r", 1, Div, "z"); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+	if _, err := ComputeConstLeft(b, "r", 1, Sub, "zz"); err == nil {
+		t.Fatal("expected missing-column error")
+	}
+	if _, err := ComputeConstLeft(b, "r", 1, BinOp(9), "d"); err == nil {
+		t.Fatal("expected unknown-op error")
+	}
+	s := MustNewBatch(column.NewString("s", []string{"a"}))
+	if _, err := ComputeConstLeft(s, "r", 1, Sub, "s"); err == nil {
+		t.Fatal("expected non-numeric error")
+	}
+}

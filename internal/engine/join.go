@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"fmt"
+
+	"robustdb/internal/column"
+)
+
+// JoinResult holds the aligned match positions of a join: row i of the join
+// output is (Left[LeftPos[i]], Right[RightPos[i]]).
+type JoinResult struct {
+	LeftPos  column.PosList
+	RightPos column.PosList
+}
+
+// NumRows returns the number of join matches.
+func (r *JoinResult) NumRows() int { return len(r.LeftPos) }
+
+// keyOf extracts the join key of row i as an int64. Join keys may be int64,
+// date, or dictionary-coded string columns (codes are only comparable within
+// one column, so string-keyed joins require both sides to share a dictionary;
+// the schemas in this repository join on integer keys only).
+func keyOf(c column.Column, i int) (int64, error) {
+	switch c := c.(type) {
+	case *column.Int64Column:
+		return c.Values[i], nil
+	case *column.DateColumn:
+		return int64(c.Values[i]), nil
+	default:
+		return 0, fmt.Errorf("join: unsupported key column type %T (%s)", c, c.Name())
+	}
+}
+
+// HashJoin computes the inner equi-join of left and right on
+// left.leftKey = right.rightKey. The hash table is built on the left
+// (conventionally the smaller, filtered dimension side) and probed with the
+// right. Matches preserve the probe order, like CoGaDB's join kernel.
+func HashJoin(left *Batch, leftKey string, right *Batch, rightKey string) (*JoinResult, error) {
+	lk, err := left.Column(leftKey)
+	if err != nil {
+		return nil, fmt.Errorf("hash join build side: %w", err)
+	}
+	rk, err := right.Column(rightKey)
+	if err != nil {
+		return nil, fmt.Errorf("hash join probe side: %w", err)
+	}
+	ht := make(map[int64][]int32, lk.Len())
+	for i := 0; i < lk.Len(); i++ {
+		k, err := keyOf(lk, i)
+		if err != nil {
+			return nil, err
+		}
+		ht[k] = append(ht[k], int32(i))
+	}
+	res := &JoinResult{}
+	for j := 0; j < rk.Len(); j++ {
+		k, err := keyOf(rk, j)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range ht[k] {
+			res.LeftPos = append(res.LeftPos, i)
+			res.RightPos = append(res.RightPos, int32(j))
+		}
+	}
+	return res, nil
+}
+
+// SemiJoin returns the probe-side positions that have at least one build-side
+// match. It implements the invisible-join style filtering of star schema
+// plans: filter a dimension, semi-join the fact table's foreign key.
+func SemiJoin(build *Batch, buildKey string, probe *Batch, probeKey string) (column.PosList, error) {
+	bk, err := build.Column(buildKey)
+	if err != nil {
+		return nil, fmt.Errorf("semi join build side: %w", err)
+	}
+	pk, err := probe.Column(probeKey)
+	if err != nil {
+		return nil, fmt.Errorf("semi join probe side: %w", err)
+	}
+	set := make(map[int64]struct{}, bk.Len())
+	for i := 0; i < bk.Len(); i++ {
+		k, err := keyOf(bk, i)
+		if err != nil {
+			return nil, err
+		}
+		set[k] = struct{}{}
+	}
+	var out column.PosList
+	for j := 0; j < pk.Len(); j++ {
+		k, err := keyOf(pk, j)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := set[k]; ok {
+			out = append(out, int32(j))
+		}
+	}
+	return out, nil
+}
+
+// NestedLoopJoin is the O(n·m) reference join used by tests to validate
+// HashJoin. It produces matches in probe order with build-order ties, the
+// same order HashJoin emits.
+func NestedLoopJoin(left *Batch, leftKey string, right *Batch, rightKey string) (*JoinResult, error) {
+	lk, err := left.Column(leftKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := right.Column(rightKey)
+	if err != nil {
+		return nil, err
+	}
+	res := &JoinResult{}
+	for j := 0; j < rk.Len(); j++ {
+		kj, err := keyOf(rk, j)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < lk.Len(); i++ {
+			ki, err := keyOf(lk, i)
+			if err != nil {
+				return nil, err
+			}
+			if ki == kj {
+				res.LeftPos = append(res.LeftPos, int32(i))
+				res.RightPos = append(res.RightPos, int32(j))
+			}
+		}
+	}
+	return res, nil
+}
+
+// MaterializeJoin gathers the requested columns from both sides of a join
+// result into one batch. Column name collisions are an error; plans qualify
+// names up front.
+func MaterializeJoin(res *JoinResult, left *Batch, leftCols []string, right *Batch, rightCols []string) (*Batch, error) {
+	cols := make([]column.Column, 0, len(leftCols)+len(rightCols))
+	for _, name := range leftCols {
+		c, err := left.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c.Gather(res.LeftPos))
+	}
+	for _, name := range rightCols {
+		c, err := right.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c.Gather(res.RightPos))
+	}
+	return NewBatch(cols...)
+}

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"robustdb/internal/column"
+)
+
+func TestHashJoinBasic(t *testing.T) {
+	dim := MustNewBatch(
+		column.NewInt64("dk", []int64{1, 2, 3}),
+		column.NewString("dname", []string{"one", "two", "three"}),
+	)
+	fact := MustNewBatch(
+		column.NewInt64("fk", []int64{2, 3, 2, 9}),
+		column.NewFloat64("val", []float64{10, 20, 30, 40}),
+	)
+	res, err := HashJoin(dim, "dk", fact, "fk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("matches = %d, want 3", res.NumRows())
+	}
+	// Probe order: fact rows 0,1,2 match.
+	wantRight := []int32{0, 1, 2}
+	wantLeft := []int32{1, 2, 1}
+	for i := range wantRight {
+		if res.RightPos[i] != wantRight[i] || res.LeftPos[i] != wantLeft[i] {
+			t.Fatalf("match %d = (%d,%d), want (%d,%d)",
+				i, res.LeftPos[i], res.RightPos[i], wantLeft[i], wantRight[i])
+		}
+	}
+	out, err := MaterializeJoin(res, dim, []string{"dname"}, fact, []string{"val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Fatalf("materialized rows = %d", out.NumRows())
+	}
+	names := out.MustColumn("dname").(*column.StringColumn)
+	if names.Value(0) != "two" || names.Value(1) != "three" || names.Value(2) != "two" {
+		t.Fatalf("dname join wrong")
+	}
+}
+
+func TestHashJoinDuplicatesBothSides(t *testing.T) {
+	l := MustNewBatch(column.NewInt64("k", []int64{5, 5}))
+	r := MustNewBatch(column.NewInt64("k", []int64{5, 5, 5}))
+	res, err := HashJoin(l, "k", r, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 6 {
+		t.Fatalf("matches = %d, want 6", res.NumRows())
+	}
+}
+
+func TestJoinDateKeys(t *testing.T) {
+	l := MustNewBatch(column.NewDate("d", []int32{10, 20}))
+	r := MustNewBatch(column.NewDate("d", []int32{20, 30}))
+	res, err := HashJoin(l, "d", r, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.LeftPos[0] != 1 || res.RightPos[0] != 0 {
+		t.Fatalf("date join wrong: %+v", res)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	b := MustNewBatch(column.NewInt64("k", []int64{1}))
+	s := MustNewBatch(column.NewFloat64("f", []float64{1}))
+	if _, err := HashJoin(b, "zz", b, "k"); err == nil {
+		t.Fatal("expected build-side error")
+	}
+	if _, err := HashJoin(b, "k", b, "zz"); err == nil {
+		t.Fatal("expected probe-side error")
+	}
+	if _, err := HashJoin(s, "f", b, "k"); err == nil {
+		t.Fatal("expected key-type error on build")
+	}
+	if _, err := HashJoin(b, "k", s, "f"); err == nil {
+		t.Fatal("expected key-type error on probe")
+	}
+	if _, err := SemiJoin(b, "zz", b, "k"); err == nil {
+		t.Fatal("expected semi-join build error")
+	}
+	if _, err := SemiJoin(b, "k", b, "zz"); err == nil {
+		t.Fatal("expected semi-join probe error")
+	}
+	if _, err := SemiJoin(s, "f", b, "k"); err == nil {
+		t.Fatal("expected semi-join key-type error")
+	}
+	if _, err := SemiJoin(b, "k", s, "f"); err == nil {
+		t.Fatal("expected semi-join probe key-type error")
+	}
+	if _, err := NestedLoopJoin(b, "zz", b, "k"); err == nil {
+		t.Fatal("expected nlj error")
+	}
+	if _, err := NestedLoopJoin(b, "k", b, "zz"); err == nil {
+		t.Fatal("expected nlj error")
+	}
+	res := &JoinResult{LeftPos: column.PosList{0}, RightPos: column.PosList{0}}
+	if _, err := MaterializeJoin(res, b, []string{"zz"}, b, nil); err == nil {
+		t.Fatal("expected materialize error left")
+	}
+	if _, err := MaterializeJoin(res, b, nil, b, []string{"zz"}); err == nil {
+		t.Fatal("expected materialize error right")
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	dim := MustNewBatch(column.NewInt64("dk", []int64{2, 4}))
+	fact := MustNewBatch(column.NewInt64("fk", []int64{1, 2, 3, 4, 2}))
+	pos, err := SemiJoin(dim, "dk", fact, "fk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 3, 4}
+	if len(pos) != len(want) {
+		t.Fatalf("semi join = %v, want %v", pos, want)
+	}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("semi join = %v, want %v", pos, want)
+		}
+	}
+}
+
+// Property: HashJoin produces exactly the matches of NestedLoopJoin, in the
+// same (probe-major, build-minor) order.
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := rng.Intn(30)+1, rng.Intn(30)+1
+		lv := make([]int64, nl)
+		rv := make([]int64, nr)
+		for i := range lv {
+			lv[i] = rng.Int63n(8)
+		}
+		for i := range rv {
+			rv[i] = rng.Int63n(8)
+		}
+		l := MustNewBatch(column.NewInt64("k", lv))
+		r := MustNewBatch(column.NewInt64("k", rv))
+		hj, err1 := HashJoin(l, "k", r, "k")
+		nlj, err2 := NestedLoopJoin(l, "k", r, "k")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if hj.NumRows() != nlj.NumRows() {
+			return false
+		}
+		for i := range hj.LeftPos {
+			if hj.LeftPos[i] != nlj.LeftPos[i] || hj.RightPos[i] != nlj.RightPos[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SemiJoin(probe) == distinct probe positions of HashJoin.
+func TestSemiJoinMatchesHashJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := rng.Intn(20)+1, rng.Intn(40)+1
+		lv := make([]int64, nl)
+		rv := make([]int64, nr)
+		for i := range lv {
+			lv[i] = rng.Int63n(6)
+		}
+		for i := range rv {
+			rv[i] = rng.Int63n(6)
+		}
+		l := MustNewBatch(column.NewInt64("k", lv))
+		r := MustNewBatch(column.NewInt64("k", rv))
+		semi, err1 := SemiJoin(l, "k", r, "k")
+		hj, err2 := HashJoin(l, "k", r, "k")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		distinct := make(map[int32]bool)
+		var order []int32
+		for _, p := range hj.RightPos {
+			if !distinct[p] {
+				distinct[p] = true
+				order = append(order, p)
+			}
+		}
+		if len(semi) != len(order) {
+			return false
+		}
+		for i := range semi {
+			if semi[i] != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"robustdb/internal/column"
+)
+
+// SortKey describes one ORDER BY term.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// OrderBy returns the batch's rows reordered by the sort keys. The sort is
+// stable, so equal keys preserve input order (deterministic results).
+func OrderBy(b *Batch, keys ...SortKey) (*Batch, error) {
+	perm, err := sortPermutation(b, keys)
+	if err != nil {
+		return nil, err
+	}
+	return b.Gather(perm), nil
+}
+
+// TopN returns the first n rows of the batch ordered by the sort keys.
+// If the batch has fewer than n rows, all rows are returned.
+func TopN(b *Batch, n int, keys ...SortKey) (*Batch, error) {
+	perm, err := sortPermutation(b, keys)
+	if err != nil {
+		return nil, err
+	}
+	if n > len(perm) {
+		n = len(perm)
+	}
+	return b.Gather(perm[:n]), nil
+}
+
+func sortPermutation(b *Batch, keys []SortKey) (column.PosList, error) {
+	cmps := make([]func(i, j int32) int, len(keys))
+	for k, key := range keys {
+		c, err := b.Column(key.Col)
+		if err != nil {
+			return nil, fmt.Errorf("order by: %w", err)
+		}
+		cmp, err := comparator(c)
+		if err != nil {
+			return nil, fmt.Errorf("order by: %w", err)
+		}
+		if key.Desc {
+			inner := cmp
+			cmp = func(i, j int32) int { return -inner(i, j) }
+		}
+		cmps[k] = cmp
+	}
+	perm := column.All(b.NumRows())
+	sort.SliceStable(perm, func(x, y int) bool {
+		for _, cmp := range cmps {
+			if d := cmp(perm[x], perm[y]); d != 0 {
+				return d < 0
+			}
+		}
+		return false
+	})
+	return perm, nil
+}
+
+// comparator returns a three-way row comparison for the column. Strings
+// compare through the order-preserving dictionary codes.
+func comparator(c column.Column) (func(i, j int32) int, error) {
+	switch c := c.(type) {
+	case *column.Int64Column:
+		return func(i, j int32) int { return cmp64(c.Values[i], c.Values[j]) }, nil
+	case *column.DateColumn:
+		return func(i, j int32) int { return cmp64(int64(c.Values[i]), int64(c.Values[j])) }, nil
+	case *column.StringColumn:
+		return func(i, j int32) int { return cmp64(int64(c.Codes[i]), int64(c.Codes[j])) }, nil
+	case *column.Float64Column:
+		return func(i, j int32) int {
+			switch {
+			case c.Values[i] < c.Values[j]:
+				return -1
+			case c.Values[i] > c.Values[j]:
+				return 1
+			default:
+				return 0
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("column %s has unsortable type %T", c.Name(), c)
+	}
+}
+
+func cmp64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

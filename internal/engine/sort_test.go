@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"robustdb/internal/column"
+)
+
+func TestOrderByAsc(t *testing.T) {
+	b := MustNewBatch(
+		column.NewInt64("x", []int64{3, 1, 2}),
+		column.NewString("s", []string{"c", "a", "b"}),
+	)
+	out, err := OrderBy(b, SortKey{Col: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := out.MustColumn("x").(*column.Int64Column).Values
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Fatalf("sorted = %v", x)
+	}
+	s := out.MustColumn("s").(*column.StringColumn)
+	if s.Value(0) != "a" {
+		t.Fatalf("payload did not follow sort")
+	}
+}
+
+func TestOrderByDescAndSecondary(t *testing.T) {
+	b := MustNewBatch(
+		column.NewInt64("y", []int64{1992, 1992, 1993}),
+		column.NewFloat64("rev", []float64{10, 30, 20}),
+	)
+	out, err := OrderBy(b, SortKey{Col: "y", Desc: true}, SortKey{Col: "rev", Desc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := out.MustColumn("y").(*column.Int64Column).Values
+	r := out.MustColumn("rev").(*column.Float64Column).Values
+	if y[0] != 1993 || r[1] != 30 || r[2] != 10 {
+		t.Fatalf("sorted = %v %v", y, r)
+	}
+}
+
+func TestOrderByStringAndDate(t *testing.T) {
+	b := MustNewBatch(
+		column.NewString("s", []string{"b", "a", "c"}),
+		column.NewDate("d", []int32{3, 1, 2}),
+	)
+	out, err := OrderBy(b, SortKey{Col: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MustColumn("s").(*column.StringColumn).Value(0) != "a" {
+		t.Fatal("string sort wrong")
+	}
+	out, err = OrderBy(b, SortKey{Col: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MustColumn("d").(*column.DateColumn).Values[0] != 1 {
+		t.Fatal("date sort wrong")
+	}
+}
+
+func TestOrderByStable(t *testing.T) {
+	b := MustNewBatch(
+		column.NewInt64("k", []int64{1, 1, 1}),
+		column.NewInt64("seq", []int64{0, 1, 2}),
+	)
+	out, err := OrderBy(b, SortKey{Col: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := out.MustColumn("seq").(*column.Int64Column).Values
+	if seq[0] != 0 || seq[1] != 1 || seq[2] != 2 {
+		t.Fatalf("sort not stable: %v", seq)
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	b := MustNewBatch(column.NewInt64("x", []int64{1}))
+	if _, err := OrderBy(b, SortKey{Col: "zz"}); err == nil {
+		t.Fatal("expected missing-column error")
+	}
+	if _, err := TopN(b, 1, SortKey{Col: "zz"}); err == nil {
+		t.Fatal("expected TopN error")
+	}
+}
+
+func TestTopN(t *testing.T) {
+	b := MustNewBatch(column.NewInt64("x", []int64{5, 3, 9, 1}))
+	out, err := TopN(b, 2, SortKey{Col: "x", Desc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := out.MustColumn("x").(*column.Int64Column).Values
+	if len(x) != 2 || x[0] != 9 || x[1] != 5 {
+		t.Fatalf("TopN = %v", x)
+	}
+	out, err = TopN(b, 99, SortKey{Col: "x"})
+	if err != nil || out.NumRows() != 4 {
+		t.Fatalf("TopN over-ask: %v %d", err, out.NumRows())
+	}
+}
+
+// Property: OrderBy yields a sorted permutation of the input.
+func TestOrderByIsSortedPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(20)
+		}
+		b := MustNewBatch(column.NewInt64("x", vals))
+		out, err := OrderBy(b, SortKey{Col: "x"})
+		if err != nil {
+			return false
+		}
+		got := out.MustColumn("x").(*column.Int64Column).Values
+		want := append([]int64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

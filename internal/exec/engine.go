@@ -1,0 +1,234 @@
+// Package exec is the execution engine: it runs physical plans through the
+// discrete-event simulator, moving data over the simulated PCIe bus,
+// allocating device heap, aborting and restarting operators on the CPU when
+// the co-processor runs out of memory (the paper's operator-level fault
+// tolerance, §2.5.1), and recording every metric the paper's figures plot.
+//
+// The engine executes plans as a dataflow: leaf operators start immediately,
+// every finished operator notifies its parent, and a parent becomes ready
+// once all children completed — which is the execution model both of
+// CoGaDB's bulk processor (inter-operator parallelism, §2.5) and of query
+// chopping's global operator stream (§5.2). Compile-time strategies fix a
+// placement before the query runs; run-time strategies decide per ready
+// operator. Thread-pool bounds on the processors' worker pools turn the
+// run-time mode into query chopping.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"robustdb/internal/bus"
+	"robustdb/internal/cache"
+	"robustdb/internal/cost"
+	"robustdb/internal/device"
+	"robustdb/internal/engine"
+	"robustdb/internal/plan"
+	"robustdb/internal/sim"
+	"robustdb/internal/table"
+)
+
+// UnboundedWorkers is the worker-pool capacity used when a strategy does not
+// limit operator concurrency (the OS/driver schedules freely, §5.2).
+const UnboundedWorkers = 4096
+
+// Config sizes the simulated machine for one run.
+type Config struct {
+	// Params are the machine's cost-model constants; nil uses DefaultParams.
+	Params *cost.Params
+	// CacheBytes is the device column cache capacity (the paper's "GPU
+	// buffer size").
+	CacheBytes int64
+	// HeapBytes is the device heap capacity for operator intermediates.
+	HeapBytes int64
+	// CachePolicy selects LRU or LFU replacement (Appendix E).
+	CachePolicy cache.Policy
+	// CPUWorkers and GPUWorkers bound operator concurrency per processor;
+	// 0 means UnboundedWorkers. Query chopping sets small bounds.
+	CPUWorkers int
+	GPUWorkers int
+	// ForceCopyBack copies every GPU operator result back to the host
+	// immediately, so successors re-upload it: the per-operator round trips
+	// of UVA-style processing, which "pays the same data transfer cost as
+	// manual data placement" (§2.5.3). Used for cold-cache baselines
+	// (Figure 1).
+	ForceCopyBack bool
+}
+
+// Processor is one simulated processor: a processor-sharing compute server
+// plus a worker pool bounding concurrent operators.
+type Processor struct {
+	Kind    cost.ProcKind
+	Server  *sim.SharedServer
+	Workers *sim.Pool
+}
+
+// Engine ties the substrates together for one simulation run.
+type Engine struct {
+	Sim     *sim.Sim
+	Cat     *table.Catalog
+	Params  *cost.Params
+	Learner *cost.Learner
+	Bus     *bus.Bus
+	Cache   *cache.Cache
+	Heap    *device.Memory
+	CPU     *Processor
+	GPU     *Processor
+	Metrics *Metrics
+
+	// outstanding tracks the estimated seconds of queued + running work per
+	// processor; run-time placement balances load with it (§5.2).
+	outstanding   map[cost.ProcKind]float64
+	queryCount    int
+	forceCopyBack bool
+}
+
+// New builds an engine over the catalog with the given configuration.
+func New(cat *table.Catalog, cfg Config) *Engine {
+	params := cfg.Params
+	if params == nil {
+		params = cost.DefaultParams()
+	}
+	cpuWorkers := cfg.CPUWorkers
+	if cpuWorkers == 0 {
+		cpuWorkers = UnboundedWorkers
+	}
+	gpuWorkers := cfg.GPUWorkers
+	if gpuWorkers == 0 {
+		gpuWorkers = UnboundedWorkers
+	}
+	s := sim.New()
+	e := &Engine{
+		Sim:     s,
+		Cat:     cat,
+		Params:  params,
+		Learner: cost.NewLearner(params),
+		Bus:     bus.New(s, bus.Config{Bandwidth: params.BusBandwidth, Latency: params.BusLatency}),
+		Cache:   cache.New(cfg.CacheBytes, cfg.CachePolicy),
+		Heap:    device.NewMemory("gpu-heap", cfg.HeapBytes),
+		CPU: &Processor{
+			Kind:    cost.CPU,
+			Server:  sim.NewSharedServer(s, "cpu", 1.0),
+			Workers: sim.NewPool(s, "cpu-workers", cpuWorkers),
+		},
+		GPU: &Processor{
+			Kind:    cost.GPU,
+			Server:  sim.NewSharedServer(s, "gpu", 1.0),
+			Workers: sim.NewPool(s, "gpu-workers", gpuWorkers),
+		},
+		Metrics:       &Metrics{},
+		outstanding:   make(map[cost.ProcKind]float64),
+		forceCopyBack: cfg.ForceCopyBack,
+	}
+	return e
+}
+
+// Processor returns the processor of the given kind.
+func (e *Engine) Processor(kind cost.ProcKind) *Processor {
+	if kind == cost.GPU {
+		return e.GPU
+	}
+	return e.CPU
+}
+
+// Outstanding returns the estimated seconds of queued + running work on the
+// processor.
+func (e *Engine) Outstanding(kind cost.ProcKind) float64 { return e.outstanding[kind] }
+
+// addLoad registers estimated work with a processor's queue estimate.
+func (e *Engine) addLoad(kind cost.ProcKind, seconds float64) { e.outstanding[kind] += seconds }
+
+// removeLoad retires estimated work from a processor's queue estimate.
+func (e *Engine) removeLoad(kind cost.ProcKind, seconds float64) {
+	e.outstanding[kind] -= seconds
+	if e.outstanding[kind] < 0 {
+		e.outstanding[kind] = 0
+	}
+}
+
+// Placer decides where operators run. Implementations live in the placer
+// (compile-time heuristics) and chopping (run-time heuristics) packages.
+type Placer interface {
+	// Name returns the strategy label used in experiment output.
+	Name() string
+	// CompileTime returns a full node-id → processor placement decided
+	// before execution, or nil for run-time strategies.
+	CompileTime(e *Engine, p *plan.Plan) map[int]cost.ProcKind
+	// RunTime places one ready operator given where its inputs currently
+	// are. Only called when CompileTime returned nil.
+	RunTime(e *Engine, n *plan.Node, inputs []*Value) cost.ProcKind
+}
+
+// Value is a materialized intermediate result and its current location.
+type Value struct {
+	Batch    *engine.Batch
+	OnDevice bool
+	res      *device.Reservation // holds the device copy while OnDevice
+}
+
+// Bytes returns the footprint of the value.
+func (v *Value) Bytes() int64 { return v.Batch.Bytes() }
+
+// InputBytes sums base-column bytes and child-result bytes of a node.
+func (e *Engine) InputBytes(n *plan.Node, inputs []*Value) (int64, error) {
+	var in int64
+	for _, id := range n.Op.BaseColumns() {
+		b, err := e.Cat.ColumnBytes(id)
+		if err != nil {
+			return 0, err
+		}
+		in += b
+	}
+	for _, v := range inputs {
+		in += v.Bytes()
+	}
+	return in, nil
+}
+
+// TransferInEstimate estimates the bus seconds needed to make the inputs of
+// n resident on kind: uncached base columns and host-resident intermediates
+// for the GPU, device-resident intermediates for the CPU.
+func (e *Engine) TransferInEstimate(kind cost.ProcKind, n *plan.Node, inputs []*Value) float64 {
+	var bytes int64
+	if kind == cost.GPU {
+		for _, id := range n.Op.BaseColumns() {
+			if !e.Cache.Contains(id) {
+				if b, err := e.Cat.ColumnBytes(id); err == nil {
+					bytes += b
+				}
+			}
+		}
+		for _, v := range inputs {
+			if !v.OnDevice {
+				bytes += v.Bytes()
+			}
+		}
+	} else {
+		for _, v := range inputs {
+			if v.OnDevice {
+				bytes += v.Bytes()
+			}
+		}
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return e.Bus.Duration(bus.HostToDevice, bytes).Seconds()
+}
+
+// nextQueryID hands out unique query names for deterministic process naming.
+func (e *Engine) nextQueryID() int {
+	e.queryCount++
+	return e.queryCount
+}
+
+// procName builds the unique simulator process name of an operator run.
+func procName(query string, n *plan.Node) string {
+	return fmt.Sprintf("%s/op%03d", query, n.ID())
+}
+
+// observe feeds a measured operator execution into the learner and metrics.
+func (e *Engine) observe(class cost.OpClass, kind cost.ProcKind, bytes int64, d time.Duration) {
+	e.Learner.Observe(class, kind, bytes, d)
+	e.Metrics.OperatorRuns++
+}

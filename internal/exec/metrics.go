@@ -1,0 +1,25 @@
+package exec
+
+import "time"
+
+// Metrics accumulates the run-wide counters the paper's figures report.
+// The simulator is single-threaded, so plain fields suffice.
+type Metrics struct {
+	// Aborts counts GPU operators that failed a device allocation and were
+	// restarted on the CPU (Figure 13).
+	Aborts int64
+	// WastedTime sums, over all aborted GPU operators, the virtual time from
+	// operator begin to abort (Figure 20).
+	WastedTime time.Duration
+	// OperatorRuns counts successfully completed operator executions.
+	OperatorRuns int64
+	// GPUOperators counts operators that completed on the GPU.
+	GPUOperators int64
+	// CPUOperators counts operators that completed on the CPU.
+	CPUOperators int64
+	// QueriesCompleted counts finished queries.
+	QueriesCompleted int64
+	// PlacementTransfers counts the H2D transfers issued by the data
+	// placement manager's background job (not charged to queries).
+	PlacementTransfers int64
+}

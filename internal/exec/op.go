@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"robustdb/internal/bus"
+	"robustdb/internal/cost"
+	"robustdb/internal/device"
+	"robustdb/internal/engine"
+	"robustdb/internal/plan"
+	"robustdb/internal/sim"
+	"robustdb/internal/table"
+)
+
+// heapPhases describes the step-wise allocation of a device operator's
+// footprint: He et al.'s kernels allocate input/flag buffers up front, then
+// prefix-sum arrays, then result buffers, each after part of the kernel ran
+// (§2.5.1: "we are forced to allocate memory in several steps and hold onto
+// already allocated memory"). Each entry is (fraction of the footprint to
+// allocate, fraction of the kernel to run afterwards).
+var heapPhases = []struct {
+	allocFraction   float64
+	computeFraction float64
+}{
+	{0.85, 0.60},
+	{0.15, 0.40},
+}
+
+// execOp runs one operator on the chosen processor. A GPU operator that
+// fails a device allocation is aborted and transparently restarted on the
+// CPU — CoGaDB's per-operator fault tolerance (§2.5.1). Whether the
+// *successors* stay on the GPU is not decided here: compile-time strategies
+// keep their fixed placement (Figure 8, left), run-time strategies see the
+// host-resident intermediate at the next placement decision (Figure 8,
+// right).
+func (e *Engine) execOp(p *sim.Proc, q *query, n *plan.Node, kind cost.ProcKind, inputs []*Value) (*Value, error) {
+	if kind == cost.GPU {
+		v, aborted, err := e.runOnGPU(p, n, inputs)
+		if err != nil {
+			return nil, err
+		}
+		if !aborted {
+			return v, nil
+		}
+		// Restart on the CPU with the inputs wherever they are now.
+	}
+	return e.runOnCPU(p, n, inputs)
+}
+
+// runOnGPU executes n on the co-processor. It reports aborted=true when a
+// device allocation failed; the operator's partial state has then been
+// rolled back and the caller restarts it on the CPU.
+func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value, aborted bool, err error) {
+	e.GPU.Workers.Acquire(p)
+	defer e.GPU.Workers.Release()
+
+	start := p.Now()
+	res := e.Heap.Reserve()
+	var refs []table.ColumnID
+	abort := func() {
+		e.Metrics.Aborts++
+		// Failed allocation + cleanup synchronize the device: every
+		// in-flight kernel stalls, and the aborting operator's memory is
+		// not reusable until the drain completes (cudaFree semantics).
+		// Under memory pressure these storms collapse GPU throughput —
+		// the amplification behind the paper's heap contention effect.
+		e.GPU.Server.Stall(e.Params.AbortSync)
+		p.Hold(e.Params.AbortSync)
+		for _, id := range refs {
+			e.Cache.Unref(id)
+		}
+		res.Release()
+		e.Metrics.WastedTime += p.Now() - start
+	}
+
+	// Input phase: base columns through the cache, intermediates onto the
+	// heap. Operators start by allocating input memory (§4.1), so failures
+	// here abort cheaply.
+	var inBytes int64
+	for _, id := range n.Op.BaseColumns() {
+		colBytes, berr := e.Cat.ColumnBytes(id)
+		if berr != nil {
+			abort()
+			return nil, false, berr
+		}
+		inBytes += colBytes
+		if e.Cache.Lookup(id) {
+			if rerr := e.Cache.Ref(id); rerr != nil {
+				abort()
+				return nil, false, rerr
+			}
+			refs = append(refs, id)
+			continue // cache hit: data is already resident
+		}
+		// Operator-driven data placement: cache the column on demand.
+		if _, ok := e.Cache.Insert(id, colBytes); ok {
+			if rerr := e.Cache.Ref(id); rerr != nil {
+				abort()
+				return nil, false, rerr
+			}
+			refs = append(refs, id)
+			e.Bus.Transfer(p, bus.HostToDevice, colBytes)
+			continue
+		}
+		// The cache cannot hold the column: stream it through the heap.
+		if aerr := res.Grow(colBytes); aerr != nil {
+			if errors.Is(aerr, device.ErrOutOfMemory) {
+				abort()
+				return nil, true, nil
+			}
+			abort()
+			return nil, false, aerr
+		}
+		e.Bus.Transfer(p, bus.HostToDevice, colBytes)
+	}
+	for _, in := range inputs {
+		inBytes += in.Bytes()
+		if in.OnDevice {
+			continue // produced by a GPU child, already resident
+		}
+		if aerr := res.Grow(in.Bytes()); aerr != nil {
+			if errors.Is(aerr, device.ErrOutOfMemory) {
+				abort()
+				return nil, true, nil
+			}
+			abort()
+			return nil, false, aerr
+		}
+		e.Bus.Transfer(p, bus.HostToDevice, in.Bytes())
+	}
+
+	// The kernel's real result; the simulator charges its cost below.
+	batches := batchesOf(inputs)
+	result, kerr := n.Op.Execute(e.Cat, batches)
+	if kerr != nil {
+		abort()
+		return nil, false, fmt.Errorf("%s on gpu: %w", n.Op.Name(), kerr)
+	}
+	outBytes := result.Bytes()
+
+	// Heap phase: scratch + result footprint. Device operators cannot
+	// pre-declare their full demand (no concise upper bound for joins,
+	// §2.5.1), so they allocate in steps and hold what they already have:
+	// the first slice up front, the rest mid-kernel. Under contention the
+	// second step fails *after* part of the kernel ran — the wasted work
+	// behind heap contention (Figures 3 and 20).
+	footprint := e.Params.HeapFootprint(n.Op.Class(), inBytes, outBytes)
+	dur := e.Params.OpDuration(n.Op.Class(), cost.GPU, cost.Work(inBytes, outBytes))
+	t0 := p.Now()
+	for _, phase := range heapPhases {
+		if aerr := res.Grow(int64(float64(footprint) * phase.allocFraction)); aerr != nil {
+			if errors.Is(aerr, device.ErrOutOfMemory) {
+				abort() // mid-kernel failure: the partial compute is wasted
+				return nil, true, nil
+			}
+			abort()
+			return nil, false, aerr
+		}
+		e.GPU.Server.Execute(p, dur.Seconds()*phase.computeFraction)
+	}
+	e.observe(n.Op.Class(), cost.GPU, cost.Work(inBytes, outBytes), p.Now()-t0)
+	e.Metrics.GPUOperators++
+
+	// Cleanup: cached inputs are no longer referenced, consumed device
+	// intermediates are freed, and the reservation shrinks to the result.
+	for _, id := range refs {
+		e.Cache.Unref(id)
+	}
+	for _, in := range inputs {
+		if in.OnDevice {
+			in.res.Release()
+			in.OnDevice = false
+			in.res = nil
+		}
+	}
+	if held := res.Held(); held >= outBytes {
+		res.ReleasePartial(held - outBytes)
+	} else if aerr := res.Grow(outBytes - held); aerr != nil {
+		// The result itself does not fit: late abort, restart on CPU.
+		e.Metrics.Aborts++
+		e.GPU.Server.Stall(e.Params.AbortSync)
+		p.Hold(e.Params.AbortSync)
+		res.Release()
+		e.Metrics.WastedTime += p.Now() - start
+		return nil, true, nil
+	}
+	if e.forceCopyBack {
+		// UVA-style processing: results travel back after every operator.
+		e.Bus.Transfer(p, bus.DeviceToHost, outBytes)
+		res.Release()
+		return &Value{Batch: result, OnDevice: false}, false, nil
+	}
+	return &Value{Batch: result, OnDevice: true, res: res}, false, nil
+}
+
+// runOnCPU executes n on the host. Device-resident inputs are copied back
+// first (the extra transfers the paper attributes to aborted operators and
+// to compile-time placement after faults).
+func (e *Engine) runOnCPU(p *sim.Proc, n *plan.Node, inputs []*Value) (*Value, error) {
+	e.CPU.Workers.Acquire(p)
+	defer e.CPU.Workers.Release()
+
+	var inBytes int64
+	for _, id := range n.Op.BaseColumns() {
+		colBytes, err := e.Cat.ColumnBytes(id)
+		if err != nil {
+			return nil, err
+		}
+		inBytes += colBytes
+	}
+	for _, in := range inputs {
+		inBytes += in.Bytes()
+		if in.OnDevice {
+			e.Bus.Transfer(p, bus.DeviceToHost, in.Bytes())
+			in.res.Release()
+			in.OnDevice = false
+			in.res = nil
+		}
+	}
+	result, err := n.Op.Execute(e.Cat, batchesOf(inputs))
+	if err != nil {
+		return nil, fmt.Errorf("%s on cpu: %w", n.Op.Name(), err)
+	}
+	outBytes := result.Bytes()
+	dur := e.Params.OpDuration(n.Op.Class(), cost.CPU, cost.Work(inBytes, outBytes))
+	t0 := p.Now()
+	e.CPU.Server.Execute(p, dur.Seconds())
+	e.observe(n.Op.Class(), cost.CPU, cost.Work(inBytes, outBytes), p.Now()-t0)
+	e.Metrics.CPUOperators++
+	return &Value{Batch: result, OnDevice: false}, nil
+}
+
+func batchesOf(inputs []*Value) []*engine.Batch {
+	out := make([]*engine.Batch, len(inputs))
+	for i, v := range inputs {
+		out[i] = v.Batch
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"robustdb/internal/bus"
+	"robustdb/internal/cost"
+	"robustdb/internal/plan"
+	"robustdb/internal/sim"
+)
+
+// query is the run-time state of one executing plan.
+type query struct {
+	engine    *Engine
+	name      string
+	plan      *plan.Plan
+	placer    Placer
+	placement map[int]cost.ProcKind // non-nil for compile-time strategies
+	parents   map[int]*plan.Node
+	pending   map[int]int
+	values    map[int]*Value
+	done      *sim.Signal
+	result    *Value
+	err       error
+	started   time.Duration
+	finished  time.Duration
+}
+
+// QueryStats reports the outcome of one query.
+type QueryStats struct {
+	// Latency is the response time of the query in virtual time.
+	Latency time.Duration
+}
+
+// RunQuery executes the plan under the given placement strategy on behalf of
+// the calling session process, blocking in virtual time until the root
+// finishes, and returns the exact query result.
+func (e *Engine) RunQuery(p *sim.Proc, pl *plan.Plan, placer Placer) (*Value, QueryStats, error) {
+	q := &query{
+		engine:  e,
+		name:    fmt.Sprintf("q%04d", e.nextQueryID()),
+		plan:    pl,
+		placer:  placer,
+		parents: make(map[int]*plan.Node),
+		pending: make(map[int]int),
+		values:  make(map[int]*Value),
+		done:    sim.NewSignal(e.Sim),
+		started: e.Sim.Now(),
+	}
+	q.placement = placer.CompileTime(e, pl)
+	for _, n := range pl.Nodes() {
+		q.pending[n.ID()] = len(n.Children)
+		for _, c := range n.Children {
+			q.parents[c.ID()] = n
+		}
+	}
+	// Chop off the leaves: they have no dependencies and start immediately
+	// (Figure 10).
+	for _, leaf := range pl.Leaves() {
+		q.scheduleNode(leaf)
+	}
+	q.done.Wait(p)
+	if q.err != nil {
+		return nil, QueryStats{}, q.err
+	}
+	e.Metrics.QueriesCompleted++
+	return q.result, QueryStats{Latency: q.finished - q.started}, nil
+}
+
+// inputs collects the child results of n in child order.
+func (q *query) inputs(n *plan.Node) []*Value {
+	vals := make([]*Value, len(n.Children))
+	for i, c := range n.Children {
+		vals[i] = q.values[c.ID()]
+	}
+	return vals
+}
+
+// scheduleNode places a ready operator and spawns its execution process.
+func (q *query) scheduleNode(n *plan.Node) {
+	e := q.engine
+	inputs := q.inputs(n)
+	var kind cost.ProcKind
+	if q.placement != nil {
+		kind = q.placement[n.ID()]
+	} else {
+		kind = q.placer.RunTime(e, n, inputs)
+	}
+	// Register the estimated demand with the processor's queue estimate so
+	// later placement decisions see the load.
+	inBytes, err := e.InputBytes(n, inputs)
+	if err != nil {
+		q.fail(err)
+		return
+	}
+	est := e.Learner.Estimate(n.Op.Class(), kind, cost.Work(inBytes, inBytes)).Seconds()
+	e.addLoad(kind, est)
+	e.Sim.Spawn(procName(q.name, n), func(p *sim.Proc) {
+		q.runNode(p, n, kind, est, inputs)
+	})
+}
+
+// runNode executes one operator (with CPU fallback on device aborts), stores
+// its result, and activates the parent when it becomes ready (Figure 11).
+func (q *query) runNode(p *sim.Proc, n *plan.Node, kind cost.ProcKind, est float64, inputs []*Value) {
+	if q.err != nil {
+		q.engine.removeLoad(kind, est)
+		return // the query already failed; drop remaining work
+	}
+	v, err := q.engine.execOp(p, q, n, kind, inputs)
+	// Retire this operator's queue estimate before any successor placement
+	// decision sees the load of work that is already done.
+	q.engine.removeLoad(kind, est)
+	if err != nil {
+		q.fail(err)
+		return
+	}
+	q.values[n.ID()] = v
+	if n == q.plan.Root {
+		// Results are returned to the user: copy back if device-resident.
+		if v.OnDevice {
+			q.engine.Bus.Transfer(p, bus.DeviceToHost, v.Bytes())
+			v.res.Release()
+			v.OnDevice = false
+			v.res = nil
+		}
+		q.result = v
+		q.finished = p.Now()
+		q.done.Fire()
+		return
+	}
+	parent := q.parents[n.ID()]
+	q.pending[parent.ID()]--
+	if q.pending[parent.ID()] == 0 {
+		q.scheduleNode(parent)
+	}
+}
+
+// fail terminates the query with an error. Device-resident intermediates are
+// released so a failed query cannot leak device memory.
+func (q *query) fail(err error) {
+	if q.err == nil {
+		q.err = err
+	}
+	for _, v := range q.values {
+		if v != nil && v.OnDevice {
+			v.res.Release()
+			v.OnDevice = false
+			v.res = nil
+		}
+	}
+	q.done.Fire()
+}

@@ -1,0 +1,72 @@
+package expr
+
+import (
+	"fmt"
+
+	"robustdb/internal/column"
+)
+
+// CmpCols compares two columns of the same relation row-wise
+// (e.g. TPC-H Q4's l_commitdate < l_receiptdate). Both columns must be
+// numeric (int64, date, or float64); mixing int-family and float works.
+type CmpCols struct {
+	Left  string
+	Op    CmpOp
+	Right string
+}
+
+// NewCmpCols builds a column-vs-column comparison predicate.
+func NewCmpCols(left string, op CmpOp, right string) *CmpCols {
+	return &CmpCols{Left: left, Op: op, Right: right}
+}
+
+// Columns returns both compared columns.
+func (c *CmpCols) Columns() []string {
+	if c.Left == c.Right {
+		return []string{c.Left}
+	}
+	return []string{c.Left, c.Right}
+}
+
+// String renders "left op right".
+func (c *CmpCols) String() string { return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right) }
+
+// Eval scans both columns and collects rows where the comparison holds.
+func (c *CmpCols) Eval(resolve func(string) (column.Column, error)) (column.PosList, error) {
+	lc, err := resolve(c.Left)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := resolve(c.Right)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := rowReader(lc)
+	if err != nil {
+		return nil, fmt.Errorf("predicate %s: %w", c, err)
+	}
+	rr, err := rowReader(rc)
+	if err != nil {
+		return nil, fmt.Errorf("predicate %s: %w", c, err)
+	}
+	if lc.Len() != rc.Len() {
+		return nil, fmt.Errorf("predicate %s: column lengths differ (%d vs %d)", c, lc.Len(), rc.Len())
+	}
+	return filterOrdered(lc.Len(), c.Op, func(i int) int {
+		return cmpFloat64(lr(i), rr(i))
+	}), nil
+}
+
+// rowReader converts a numeric column into a float64 row accessor.
+func rowReader(c column.Column) (func(int) float64, error) {
+	switch c := c.(type) {
+	case *column.Int64Column:
+		return func(i int) float64 { return float64(c.Values[i]) }, nil
+	case *column.Float64Column:
+		return func(i int) float64 { return c.Values[i] }, nil
+	case *column.DateColumn:
+		return func(i int) float64 { return float64(c.Values[i]) }, nil
+	default:
+		return nil, fmt.Errorf("column %s is not numeric", c.Name())
+	}
+}

@@ -1,0 +1,130 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"robustdb/internal/cost"
+	"robustdb/internal/exec"
+	"robustdb/internal/ssb"
+	"robustdb/internal/workload"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out: the
+// paper's compression discussion (§6.3), the chopping thread-pool bound
+// (§5.2), and the abort-synchronization stall of the device model
+// (DESIGN.md §4). They run through cmd/benchfig and bench_test.go like the
+// paper's figures.
+
+// AblateCompression reproduces the §6.3 claim: compressing the database
+// shifts the scale factor at which GPU-only execution breaks down, without
+// removing the breakdown itself. Same device, same queries — only the
+// storage format changes.
+func AblateCompression(o Options) *Figure {
+	rows := o.rowsPerSF(macroRowsPerSF)
+	cfg := macroDeviceConfig(o, true) // fixed hardware, sized on RAW SF 15
+	var xs []string
+	var raw, compressed []float64
+	for _, sf := range sfSweep {
+		xs = append(xs, fmt.Sprintf("%d", sf))
+		cat := ssbCatalog(sf, rows, o.Seed)
+		spec := workload.Spec{
+			Queries:      ssbWorkload(),
+			Users:        1,
+			TotalQueries: 13 * o.reps(2),
+		}
+		rawRes := mustRun(cat, cfg, workload.GPUOnly(), spec)
+		compRes := mustRun(cat.Compressed(), cfg, workload.GPUOnly(), spec)
+		raw = append(raw, ms(rawRes.WorkloadTime))
+		compressed = append(compressed, ms(compRes.WorkloadTime))
+	}
+	return &Figure{
+		ID:     "ablate-compression",
+		Title:  "Compression shifts the GPU-only breakdown to larger scale factors (§6.3)",
+		XLabel: "scale factor",
+		YLabel: "workload execution time [ms]",
+		X:      xs,
+		Series: []Series{
+			{Label: "GPU Only (raw)", Y: raw},
+			{Label: "GPU Only (bit-packed)", Y: compressed},
+		},
+	}
+}
+
+// AblatePoolSize sweeps the chopping thread-pool bound on the parallel
+// selection workload at 20 users: one worker under-uses the device, a few
+// workers keep it busy without contention, unbounded workers recreate heap
+// contention — the reasoning behind §5.2's "moderate parallel execution".
+func AblatePoolSize(o Options) *Figure {
+	rows := o.rowsPerSF(ssb.DefaultRowsPerSF)
+	cat := ssbCatalog(microSF, rows, o.Seed)
+	q := ssb.ParallelSelectionQuery()
+	queries := []workload.Query{{Name: q.Name, Plan: q.Plan}}
+	footprint := WorkloadFootprint(cat, queries)
+	cfg := exec.Config{
+		CacheBytes: footprint * 2,
+		HeapBytes:  int64(8.5 * float64(footprint)),
+	}
+	pools := []int{1, 2, 4, 8, 16, exec.UnboundedWorkers}
+	var xs []string
+	times := Series{Label: "workload time"}
+	aborts := Series{Label: "aborts"}
+	for _, workers := range pools {
+		label := fmt.Sprintf("%d", workers)
+		if workers == exec.UnboundedWorkers {
+			label = "unbounded"
+		}
+		xs = append(xs, label)
+		strat := workload.Chopping()
+		strat.GPUWorkers = workers
+		spec := workload.Spec{Queries: queries, Users: 20, TotalQueries: o.reps(1) * 100}
+		res := mustRun(cat, cfg, strat, spec)
+		times.Y = append(times.Y, ms(res.WorkloadTime))
+		aborts.Y = append(aborts.Y, float64(res.Aborts))
+	}
+	return &Figure{
+		ID:     "ablate-poolsize",
+		Title:  "Chopping thread-pool bound vs contention (20 users, Appendix B.2)",
+		XLabel: "GPU worker-pool size",
+		YLabel: "workload time [ms] / aborts",
+		X:      xs,
+		Series: []Series{times, aborts},
+	}
+}
+
+// AblateAbortSync sweeps the device-synchronization stall charged per abort
+// (the cudaFree-semantics constant of the machine model, DESIGN.md §4) on
+// the naive strategy at 20 users. The contention penalty scales with it;
+// chopping is immune at every setting because it never aborts.
+func AblateAbortSync(o Options) *Figure {
+	rows := o.rowsPerSF(ssb.DefaultRowsPerSF)
+	cat := ssbCatalog(microSF, rows, o.Seed)
+	q := ssb.ParallelSelectionQuery()
+	queries := []workload.Query{{Name: q.Name, Plan: q.Plan}}
+	footprint := WorkloadFootprint(cat, queries)
+	syncs := []time.Duration{0, 200 * time.Microsecond, 1500 * time.Microsecond, 5 * time.Millisecond}
+	var xs []string
+	naive := Series{Label: "GPU Only"}
+	chop := Series{Label: "Chopping"}
+	for _, sync := range syncs {
+		xs = append(xs, sync.String())
+		params := cost.DefaultParams()
+		params.AbortSync = sync
+		cfg := exec.Config{
+			Params:     params,
+			CacheBytes: footprint * 2,
+			HeapBytes:  int64(8.5 * float64(footprint)),
+		}
+		spec := workload.Spec{Queries: queries, Users: 20, TotalQueries: o.reps(1) * 100}
+		naive.Y = append(naive.Y, ms(mustRun(cat, cfg, workload.GPUOnly(), spec).WorkloadTime))
+		chop.Y = append(chop.Y, ms(mustRun(cat, cfg, workload.Chopping(), spec).WorkloadTime))
+	}
+	return &Figure{
+		ID:     "ablate-abortsync",
+		Title:  "Sensitivity to the abort-synchronization stall (20 users, Appendix B.2)",
+		XLabel: "abort sync stall",
+		YLabel: "workload execution time [ms]",
+		X:      xs,
+		Series: []Series{naive, chop},
+	}
+}

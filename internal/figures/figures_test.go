@@ -1,0 +1,171 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// fast options keep the smoke tests quick; the shape properties under test
+// are scale-invariant.
+var fast = Options{RowsPerSF: 4000, Reps: 1, Seed: 1}
+
+func maxMin(ys []float64) (mx, mn float64) {
+	mx, mn = ys[0], ys[0]
+	for _, y := range ys {
+		if y > mx {
+			mx = y
+		}
+		if y < mn && y > 0 {
+			mn = y
+		}
+	}
+	return
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{
+		ID: "figX", Title: "test", XLabel: "x", YLabel: "y",
+		X:      []string{"a", "b"},
+		Series: []Series{{Label: "s", Y: []float64{1500, 0.5}}},
+	}
+	out := f.String()
+	for _, frag := range []string{"figX", "test", "1500", "0.500", "x", "s"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("rendered figure missing %q:\n%s", frag, out)
+		}
+	}
+	// Ragged series render blanks, not panics.
+	f.Series = append(f.Series, Series{Label: "short", Y: []float64{42}})
+	_ = f.String()
+	if formatY(0) != "0" || formatY(12) != "12.0" {
+		t.Fatal("formatY wrong")
+	}
+}
+
+func TestIDsAndAll(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatal("IDs and All disagree")
+	}
+	if ids[0] != "fig1" || ids[len(ids)-4] != "fig25" {
+		t.Fatalf("IDs order wrong: %v", ids)
+	}
+	if ids[len(ids)-1] != "ablate-poolsize" {
+		t.Fatalf("ablations should sort last: %v", ids)
+	}
+	for _, id := range ids {
+		if All()[id] == nil {
+			t.Fatalf("no builder for %s", id)
+		}
+	}
+}
+
+// Figure 1: cold-cache GPU must be the slowest and hot-cache GPU the
+// fastest configuration.
+func TestFig1Shape(t *testing.T) {
+	f := Fig1(fast)
+	y := f.Series[0].Y
+	cpu, cold, hot := y[0], y[1], y[2]
+	if !(hot < cpu) {
+		t.Fatalf("hot GPU (%v) must beat CPU (%v)", hot, cpu)
+	}
+	if !(cold > cpu) {
+		t.Fatalf("cold GPU (%v) must lose to CPU (%v)", cold, cpu)
+	}
+}
+
+// Figure 2: operator-driven placement must thrash below the working set
+// (large degradation) and be flat at the optimum above it.
+func TestFig2And5And6Shapes(t *testing.T) {
+	f2 := Fig2(fast)
+	y2 := f2.Series[0].Y
+	mx, mn := maxMin(y2)
+	if mx/mn < 5 {
+		t.Fatalf("fig2 thrash factor %.1f, want > 5", mx/mn)
+	}
+	// Above the working set (the last two points) the time is optimal.
+	if y2[len(y2)-1] > mn*1.05 {
+		t.Fatalf("fig2 should reach the optimum with a full cache")
+	}
+
+	f5 := Fig5(fast)
+	y5 := f5.Series[0].Y
+	mx5, _ := maxMin(y5)
+	if mx5 >= mx {
+		t.Fatalf("data-driven worst case (%v) must beat thrashing worst case (%v)", mx5, mx)
+	}
+	// Data-driven ends at the same optimum.
+	if y5[len(y5)-1] > mn*1.05 {
+		t.Fatal("fig5 should reach the optimum with a full cache")
+	}
+
+	f6 := Fig6(fast)
+	for i, y := range f6.Series[1].Y { // Data-Driven series
+		if y != 0 {
+			t.Fatalf("data-driven must not transfer during execution (x=%s: %v)", f6.X[i], y)
+		}
+	}
+	opDriven := f6.Series[0].Y
+	if opDriven[0] == 0 {
+		t.Fatal("operator-driven must transfer when the cache is too small")
+	}
+	if opDriven[len(opDriven)-1] != 0 {
+		t.Fatal("operator-driven must stop transferring once everything is cached")
+	}
+}
+
+// Figures 3/12/13: aborts appear beyond the heap knee for the naive
+// strategy; chopping eliminates them and stays near the single-user time.
+func TestContentionShapes(t *testing.T) {
+	f13 := Fig13(fast)
+	gpuAborts := f13.Series[0].Y
+	chopAborts := f13.Series[2].Y
+	if gpuAborts[0] != 0 {
+		t.Fatal("no aborts expected at 1 user")
+	}
+	last := gpuAborts[len(gpuAborts)-1]
+	if last == 0 {
+		t.Fatal("naive GPU execution must abort under many users")
+	}
+	for i, a := range chopAborts {
+		if a != 0 {
+			t.Fatalf("chopping must not abort (x=%s: %v)", f13.X[i], a)
+		}
+	}
+	f12 := Fig12(fast)
+	chop := f12.Series[0].Y
+	mx, mn := maxMin(chop)
+	if mx/mn > 2.5 {
+		t.Fatalf("chopping should stay near-flat across users (%.2f spread)", mx/mn)
+	}
+}
+
+// Figure 16: the SSBM footprint crosses the cache size at SF 15.
+func TestFig16Crossing(t *testing.T) {
+	f := Fig16(fast)
+	var ssbm, cacheLine []float64
+	for _, s := range f.Series {
+		if s.Label == "SSBM" {
+			ssbm = s.Y
+		}
+		if s.Label == "SSBM cache" {
+			cacheLine = s.Y
+		}
+	}
+	// Find SF 15's index.
+	idx := -1
+	for i, x := range f.X {
+		if x == "15" {
+			idx = i
+		}
+	}
+	if idx <= 0 {
+		t.Fatal("SF 15 missing")
+	}
+	if ssbm[idx-1] >= cacheLine[idx-1] {
+		t.Fatal("footprint below cache before SF 15")
+	}
+	if ssbm[len(ssbm)-1] <= cacheLine[len(cacheLine)-1] {
+		t.Fatal("footprint above cache at SF 30")
+	}
+}

@@ -1,0 +1,227 @@
+package figures
+
+import (
+	"testing"
+)
+
+// tiny keeps the macro smoke tests affordable; the asserted orderings are
+// scale-invariant.
+var tiny = Options{RowsPerSF: 1500, Reps: 1, Seed: 1}
+
+func seriesByLabel(t *testing.T, f *Figure, label string) []float64 {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s.Y
+		}
+	}
+	t.Fatalf("%s: no series %q", f.ID, label)
+	return nil
+}
+
+func TestFig14Shapes(t *testing.T) {
+	figs := Fig14(tiny)
+	if len(figs) != 2 || figs[0].ID != "fig14a" || figs[1].ID != "fig14b" {
+		t.Fatal("fig14 structure wrong")
+	}
+	for _, f := range figs {
+		cpu := seriesByLabel(t, f, "CPU Only")
+		gpu := seriesByLabel(t, f, "GPU Only")
+		ddc := seriesByLabel(t, f, "Data-Driven Chopping")
+		last := len(cpu) - 1
+		// At the largest scale factor the naive GPU must lose to the CPU…
+		if gpu[last] <= cpu[last] {
+			t.Errorf("%s: GPU Only (%v) should break down at SF 30 vs CPU (%v)",
+				f.ID, gpu[last], cpu[last])
+		}
+		// …and Data-Driven Chopping must stay robust (paper: never worse
+		// than CPU-only; we allow 15%% at this tiny scale).
+		if ddc[last] > cpu[last]*1.15 {
+			t.Errorf("%s: DDC (%v) should track CPU Only (%v)", f.ID, ddc[last], cpu[last])
+		}
+		// At SF 10 everything is cached and the queries are large enough to
+		// amortize kernel launches: GPU-only must beat CPU-only. (At SF 1 of
+		// this tiny test scale the launch overhead can dominate, which is a
+		// realistic effect, so SF 1 is not asserted.)
+		sf10 := -1
+		for i, x := range f.X {
+			if x == "10" {
+				sf10 = i
+			}
+		}
+		if sf10 < 0 {
+			t.Fatalf("%s: SF 10 missing", f.ID)
+		}
+		if gpu[sf10] >= cpu[sf10] {
+			t.Errorf("%s: GPU Only (%v) should win at SF 10 vs CPU (%v)", f.ID, gpu[sf10], cpu[sf10])
+		}
+	}
+}
+
+func TestFig15DDCMovesNothing(t *testing.T) {
+	figs := Fig15(tiny)
+	for _, f := range figs {
+		ddc := seriesByLabel(t, f, "Data-Driven Chopping")
+		for i, y := range ddc {
+			if y != 0 {
+				t.Errorf("%s: DDC transferred at SF %s: %v ms", f.ID, f.X[i], y)
+			}
+		}
+		gpu := seriesByLabel(t, f, "GPU Only")
+		if gpu[len(gpu)-1] == 0 {
+			t.Errorf("%s: GPU Only should transfer at SF 30", f.ID)
+		}
+	}
+}
+
+func TestFig17Structure(t *testing.T) {
+	f := Fig17(tiny)
+	if len(f.X) != len(fig17Queries) || len(f.Series) != 4 {
+		t.Fatalf("fig17 structure wrong: %d x, %d series", len(f.X), len(f.Series))
+	}
+	gpu := seriesByLabel(t, f, "GPU Only")
+	cpu := seriesByLabel(t, f, "CPU Only")
+	worse := 0
+	for i := range gpu {
+		if gpu[i] > cpu[i] {
+			worse++
+		}
+	}
+	if worse < len(gpu)/2 {
+		t.Errorf("GPU Only should slow most queries at SF 30 (only %d/%d)", worse, len(gpu))
+	}
+}
+
+func TestFig18To20Shapes(t *testing.T) {
+	figs := Fig18(tiny)
+	f := figs[0] // SSBM
+	cpu := seriesByLabel(t, f, "CPU Only")
+	ddc := seriesByLabel(t, f, "Data-Driven Chopping")
+	last := len(cpu) - 1
+	if ddc[last] >= cpu[last] {
+		t.Errorf("DDC (%v) should beat CPU Only (%v) at 20 users, SF 10", ddc[last], cpu[last])
+	}
+	f20 := Fig20(tiny)
+	gpuWaste := seriesByLabel(t, f20, "GPU Only")
+	ddcWaste := seriesByLabel(t, f20, "Data-Driven Chopping")
+	if gpuWaste[last] < ddcWaste[last] {
+		t.Errorf("GPU Only should waste at least as much as DDC (%v vs %v)",
+			gpuWaste[last], ddcWaste[last])
+	}
+	f19 := Fig19(tiny)
+	for i, y := range seriesByLabel(t, f19[0], "Data-Driven Chopping") {
+		if y != 0 {
+			t.Errorf("DDC transferred at %s users: %v", f19[0].X[i], y)
+		}
+	}
+}
+
+func TestFig21And25Structure(t *testing.T) {
+	f21 := Fig21(tiny)
+	if len(f21.Series) != 4 || len(f21.X) != len(fig21Queries) {
+		t.Fatal("fig21 structure wrong")
+	}
+	for _, s := range f21.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("fig21 %s at %s: non-positive latency", s.Label, f21.X[i])
+			}
+		}
+	}
+	f25 := Fig25(tiny)
+	if len(f25.X) != 13 {
+		t.Fatal("fig25 should cover all 13 SSB queries")
+	}
+	one := f25.Series[0].Y
+	twenty := f25.Series[len(f25.Series)-1].Y
+	higher := 0
+	for i := range one {
+		if twenty[i] > one[i] {
+			higher++
+		}
+	}
+	if higher < 10 {
+		t.Errorf("latencies should grow with users for most queries (%d/13)", higher)
+	}
+}
+
+func TestFig22And23Structure(t *testing.T) {
+	f22 := Fig22(tiny)
+	if len(f22.Series) != 4 {
+		t.Fatal("fig22 needs 4 backends")
+	}
+	for _, name := range f22.X {
+		if name == "Q2" {
+			t.Fatal("fig22 must omit Q2 (comparator unsupported)")
+		}
+	}
+	f23 := Fig23(tiny)
+	for _, name := range f23.X {
+		if name == "Q2.2" {
+			t.Fatal("fig23 must omit Q2.2 (comparator unsupported)")
+		}
+	}
+	// Hot-cache GPU beats CPU for most queries (at this tiny scale the
+	// kernel-launch overhead can win on the microsecond-sized flight-1
+	// queries, which is itself a realistic effect).
+	ccpu := seriesByLabel(t, f23, "CoGaDB CPU")
+	cgpu := seriesByLabel(t, f23, "CoGaDB GPU")
+	wins := 0
+	for i := range ccpu {
+		if cgpu[i] < ccpu[i] {
+			wins++
+		}
+	}
+	if wins*3 < len(ccpu)*2 {
+		t.Errorf("fig23: GPU backend should win most queries (%d/%d)", wins, len(ccpu))
+	}
+}
+
+func TestFig24Shapes(t *testing.T) {
+	f := Fig24(tiny)
+	lfu := seriesByLabel(t, f, "LFU")
+	lru := seriesByLabel(t, f, "LRU")
+	// A full cache must not be slower than an empty one (no-slowdown claim).
+	if lfu[len(lfu)-1] > lfu[0]*1.05 {
+		t.Errorf("LFU with full cache (%v) should beat empty cache (%v)",
+			lfu[len(lfu)-1], lfu[0])
+	}
+	// The policies track each other within a small factor everywhere.
+	for i := range lfu {
+		hi, lo := lfu[i], lru[i]
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		if hi > lo*1.5 {
+			t.Errorf("policies diverge at %s: %v vs %v", f.X[i], lfu[i], lru[i])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	comp := AblateCompression(tiny)
+	raw := seriesByLabel(t, comp, "GPU Only (raw)")
+	packed := seriesByLabel(t, comp, "GPU Only (bit-packed)")
+	last := len(raw) - 1
+	if packed[last] >= raw[last] {
+		t.Errorf("compression should help at SF 30: %v vs %v", packed[last], raw[last])
+	}
+
+	pool := AblatePoolSize(tiny)
+	aborts := seriesByLabel(t, pool, "aborts")
+	if aborts[0] != 0 {
+		t.Error("one worker cannot contend with itself")
+	}
+	if aborts[len(aborts)-1] < aborts[1] {
+		t.Error("unbounded workers should abort at least as much as 2 workers")
+	}
+
+	sync := AblateAbortSync(tiny)
+	chop := seriesByLabel(t, sync, "Chopping")
+	for i := 1; i < len(chop); i++ {
+		if chop[i] != chop[0] {
+			t.Errorf("chopping must be insensitive to the stall constant: %v vs %v",
+				chop[i], chop[0])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"robustdb/internal/column"
+	"robustdb/internal/cost"
+	"robustdb/internal/engine"
+	"robustdb/internal/expr"
+)
+
+// Late materialization: two positional selections, intersection, fetch —
+// the pipeline shape of the paper's Appendix B.2 — must equal the direct
+// conjunctive scan.
+func TestPositionalPipelineMatchesDirectScan(t *testing.T) {
+	cat := testCatalog()
+	s1 := Scan("fact", nil, expr.NewCmp("qty", expr.GE, 20))
+	s2 := Scan("fact", nil, expr.NewCmp("fk", expr.LE, 2))
+	both := Intersect(s1, s2, "fact")
+	fetch := Fetch(both, "fact", "fk", "qty", "price")
+	p := New(fetch)
+
+	var eval func(n *Node) *engine.Batch
+	eval = func(n *Node) *engine.Batch {
+		var inputs []*engine.Batch
+		for _, c := range n.Children {
+			inputs = append(inputs, eval(c))
+		}
+		out, err := n.Op.Execute(cat, inputs)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Op.Name(), err)
+		}
+		return out
+	}
+	got := eval(p.Root)
+
+	direct, err := Scan("fact", []string{"fk", "qty", "price"}, expr.NewAnd(
+		expr.NewCmp("qty", expr.GE, 20),
+		expr.NewCmp("fk", expr.LE, 2),
+	)).Op.Execute(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != direct.NumRows() {
+		t.Fatalf("pipeline %d rows, direct %d", got.NumRows(), direct.NumRows())
+	}
+	g := got.MustColumn("qty").(*column.Int64Column).Values
+	d := direct.MustColumn("qty").(*column.Int64Column).Values
+	for i := range g {
+		if g[i] != d[i] {
+			t.Fatalf("row %d: pipeline %d, direct %d", i, g[i], d[i])
+		}
+	}
+}
+
+func TestFetchMetadata(t *testing.T) {
+	n := Fetch(Scan("fact", nil, nil), "fact", "qty", "price")
+	if n.Op.Class() != cost.Materialize {
+		t.Fatal("fetch class wrong")
+	}
+	if !strings.Contains(n.Op.Name(), "fetch(fact") {
+		t.Fatalf("Name = %q", n.Op.Name())
+	}
+	cols := n.Op.BaseColumns()
+	if len(cols) != 2 || cols[0] != "fact.qty" || cols[1] != "fact.price" {
+		t.Fatalf("BaseColumns = %v", cols)
+	}
+	i := Intersect(nil, nil, "fact")
+	if i.Op.Class() != cost.Selection || i.Op.BaseColumns() != nil {
+		t.Fatal("intersect metadata wrong")
+	}
+	if !strings.Contains(i.Op.Name(), "intersect(fact)") {
+		t.Fatalf("Name = %q", i.Op.Name())
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	cat := testCatalog()
+	rowids := engine.MustNewBatch(column.NewInt64("fact.rowid", []int64{0, 1}))
+	op := &FetchOp{Table: "fact", Cols: []string{"qty"}}
+	if _, err := op.Execute(cat, nil); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if _, err := (&FetchOp{Table: "missing", Cols: []string{"x"}}).Execute(cat,
+		[]*engine.Batch{rowids}); err == nil {
+		t.Fatal("expected unknown-table error")
+	}
+	noRowid := engine.MustNewBatch(column.NewInt64("other", []int64{0}))
+	if _, err := op.Execute(cat, []*engine.Batch{noRowid}); err == nil {
+		t.Fatal("expected missing-rowid error")
+	}
+	wrongType := engine.MustNewBatch(column.NewFloat64("fact.rowid", []float64{0}))
+	if _, err := op.Execute(cat, []*engine.Batch{wrongType}); err == nil {
+		t.Fatal("expected rowid-type error")
+	}
+	outOfRange := engine.MustNewBatch(column.NewInt64("fact.rowid", []int64{99999}))
+	if _, err := op.Execute(cat, []*engine.Batch{outOfRange}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	badCol := &FetchOp{Table: "fact", Cols: []string{"zz"}}
+	if _, err := badCol.Execute(cat, []*engine.Batch{rowids}); err == nil {
+		t.Fatal("expected unknown-column error")
+	}
+}
+
+func TestIntersectErrors(t *testing.T) {
+	cat := testCatalog()
+	a := engine.MustNewBatch(column.NewInt64("fact.rowid", []int64{0, 1}))
+	op := &IntersectOp{Table: "fact"}
+	if _, err := op.Execute(cat, []*engine.Batch{a}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	noRowid := engine.MustNewBatch(column.NewInt64("other", []int64{0}))
+	if _, err := op.Execute(cat, []*engine.Batch{a, noRowid}); err == nil {
+		t.Fatal("expected missing-rowid error")
+	}
+	wrongType := engine.MustNewBatch(column.NewFloat64("fact.rowid", []float64{0}))
+	if _, err := op.Execute(cat, []*engine.Batch{a, wrongType}); err == nil {
+		t.Fatal("expected rowid-type error")
+	}
+}
+
+func TestScanOverCompressedColumns(t *testing.T) {
+	cat := testCatalog().Compressed()
+	// Predicate + gather over compressed base columns must match the raw run.
+	raw, err := Scan("fact", []string{"fk", "qty"}, expr.NewCmp("qty", expr.GE, 30)).
+		Op.Execute(testCatalog(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Scan("fact", []string{"fk", "qty"}, expr.NewCmp("qty", expr.GE, 30)).
+		Op.Execute(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.NumRows() != comp.NumRows() {
+		t.Fatalf("rows: raw %d comp %d", raw.NumRows(), comp.NumRows())
+	}
+	r := raw.MustColumn("fk").(*column.Int64Column).Values
+	c := comp.MustColumn("fk").(*column.Int64Column).Values
+	for i := range r {
+		if r[i] != c[i] {
+			t.Fatalf("row %d: raw %d comp %d", i, r[i], c[i])
+		}
+	}
+}

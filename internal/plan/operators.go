@@ -1,0 +1,327 @@
+package plan
+
+import (
+	"fmt"
+
+	"robustdb/internal/column"
+	"robustdb/internal/cost"
+	"robustdb/internal/engine"
+	"robustdb/internal/expr"
+	"robustdb/internal/table"
+)
+
+// ScanOp filters a base table and materializes the requested columns.
+// With a nil predicate it materializes the columns unfiltered; with an empty
+// column list it emits a single "<table>.rowid" position column (the shape of
+// the paper's selection micro-benchmarks, which measure pure filtering).
+type ScanOp struct {
+	Table string
+	Cols  []string
+	Pred  expr.Predicate
+}
+
+// Scan builds a leaf scan node.
+func Scan(tbl string, cols []string, pred expr.Predicate) *Node {
+	return NewNode(&ScanOp{Table: tbl, Cols: cols, Pred: pred})
+}
+
+// Class returns cost.Selection.
+func (o *ScanOp) Class() cost.OpClass { return cost.Selection }
+
+// Name describes the scan.
+func (o *ScanOp) Name() string {
+	if o.Pred != nil {
+		return fmt.Sprintf("scan(%s where %s)", o.Table, o.Pred)
+	}
+	return fmt.Sprintf("scan(%s)", o.Table)
+}
+
+// BaseColumns returns the filter columns and the materialized columns.
+func (o *ScanOp) BaseColumns() []table.ColumnID {
+	seen := make(map[string]bool)
+	var out []table.ColumnID
+	add := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, table.MakeColumnID(o.Table, c))
+		}
+	}
+	if o.Pred != nil {
+		for _, c := range o.Pred.Columns() {
+			add(c)
+		}
+	}
+	for _, c := range o.Cols {
+		add(c)
+	}
+	return out
+}
+
+// Execute runs the scan on real data.
+func (o *ScanOp) Execute(cat *table.Catalog, _ []*engine.Batch) (*engine.Batch, error) {
+	t, err := cat.Table(o.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Compressed base columns decompress on access (kernels always run on
+	// flat data).
+	resolve := func(name string) (column.Column, error) {
+		c, err := t.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		return column.Materialized(c), nil
+	}
+	var pos column.PosList
+	if o.Pred != nil {
+		pos, err = o.Pred.Eval(resolve)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		pos = column.All(t.NumRows())
+	}
+	if len(o.Cols) == 0 {
+		ids := make([]int64, len(pos))
+		for i, p := range pos {
+			ids[i] = int64(p)
+		}
+		return engine.NewBatch(column.NewInt64(o.Table+".rowid", ids))
+	}
+	cols := make([]column.Column, len(o.Cols))
+	for i, name := range o.Cols {
+		c, err := t.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c.Gather(pos)
+	}
+	return engine.NewBatch(cols...)
+}
+
+// FilterOp filters an intermediate batch with a predicate.
+type FilterOp struct {
+	Pred expr.Predicate
+}
+
+// Filter builds a selection node over child.
+func Filter(child *Node, pred expr.Predicate) *Node {
+	return NewNode(&FilterOp{Pred: pred}, child)
+}
+
+// Class returns cost.Selection.
+func (o *FilterOp) Class() cost.OpClass { return cost.Selection }
+
+// Name describes the filter.
+func (o *FilterOp) Name() string { return fmt.Sprintf("filter(%s)", o.Pred) }
+
+// BaseColumns returns nil: filters read intermediates only.
+func (o *FilterOp) BaseColumns() []table.ColumnID { return nil }
+
+// Execute runs the filter.
+func (o *FilterOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("filter: want 1 input, got %d", len(inputs))
+	}
+	return engine.Select(inputs[0], o.Pred)
+}
+
+// ProjectOp keeps only the named columns of its input.
+type ProjectOp struct {
+	Cols []string
+}
+
+// Project builds a projection node over child.
+func Project(child *Node, cols ...string) *Node {
+	return NewNode(&ProjectOp{Cols: cols}, child)
+}
+
+// Class returns cost.Materialize.
+func (o *ProjectOp) Class() cost.OpClass { return cost.Materialize }
+
+// Name describes the projection.
+func (o *ProjectOp) Name() string { return fmt.Sprintf("project%v", o.Cols) }
+
+// BaseColumns returns nil.
+func (o *ProjectOp) BaseColumns() []table.ColumnID { return nil }
+
+// Execute runs the projection.
+func (o *ProjectOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("project: want 1 input, got %d", len(inputs))
+	}
+	return inputs[0].Project(o.Cols...)
+}
+
+// ComputeOp appends a derived column "As = Left op Right" to its input.
+// Exactly one of Right (column) or Const/ConstLeft forms is used.
+type ComputeOp struct {
+	As    string
+	Left  string
+	Op    engine.BinOp
+	Right string // column form when non-empty
+
+	Const     float64 // constant form when Right == ""
+	ConstLeft bool    // true: As = Const op Left; false: As = Left op Const
+}
+
+// Compute builds "as = left op right" over child (column × column).
+func Compute(child *Node, as, left string, op engine.BinOp, right string) *Node {
+	return NewNode(&ComputeOp{As: as, Left: left, Op: op, Right: right}, child)
+}
+
+// ComputeConst builds "as = left op k" over child.
+func ComputeConst(child *Node, as, left string, op engine.BinOp, k float64) *Node {
+	return NewNode(&ComputeOp{As: as, Left: left, Op: op, Const: k}, child)
+}
+
+// ComputeConstLeft builds "as = k op left" over child (e.g. 1 - discount).
+func ComputeConstLeft(child *Node, as string, k float64, op engine.BinOp, left string) *Node {
+	return NewNode(&ComputeOp{As: as, Left: left, Op: op, Const: k, ConstLeft: true}, child)
+}
+
+// Class returns cost.Compute.
+func (o *ComputeOp) Class() cost.OpClass { return cost.Compute }
+
+// Name describes the computation.
+func (o *ComputeOp) Name() string {
+	if o.Right != "" {
+		return fmt.Sprintf("compute(%s=%s%s%s)", o.As, o.Left, o.Op, o.Right)
+	}
+	if o.ConstLeft {
+		return fmt.Sprintf("compute(%s=%v%s%s)", o.As, o.Const, o.Op, o.Left)
+	}
+	return fmt.Sprintf("compute(%s=%s%s%v)", o.As, o.Left, o.Op, o.Const)
+}
+
+// BaseColumns returns nil.
+func (o *ComputeOp) BaseColumns() []table.ColumnID { return nil }
+
+// Execute runs the computation.
+func (o *ComputeOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("compute: want 1 input, got %d", len(inputs))
+	}
+	in := inputs[0]
+	var (
+		col column.Column
+		err error
+	)
+	switch {
+	case o.Right != "":
+		col, err = engine.Compute(in, o.As, o.Left, o.Op, o.Right)
+	case o.ConstLeft:
+		col, err = engine.ComputeConstLeft(in, o.As, o.Const, o.Op, o.Left)
+	default:
+		col, err = engine.ComputeConst(in, o.As, o.Left, o.Op, o.Const)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return in.Extend(col)
+}
+
+// JoinOp hash-joins its two children: build on the left (child 0), probe
+// with the right (child 1), keeping LeftCols and RightCols.
+type JoinOp struct {
+	LeftKey, RightKey   string
+	LeftCols, RightCols []string
+}
+
+// Join builds a hash-join node with left as the build side.
+func Join(left, right *Node, leftKey, rightKey string, leftCols, rightCols []string) *Node {
+	return NewNode(&JoinOp{
+		LeftKey: leftKey, RightKey: rightKey,
+		LeftCols: leftCols, RightCols: rightCols,
+	}, left, right)
+}
+
+// Class returns cost.Join.
+func (o *JoinOp) Class() cost.OpClass { return cost.Join }
+
+// Name describes the join.
+func (o *JoinOp) Name() string { return fmt.Sprintf("join(%s=%s)", o.LeftKey, o.RightKey) }
+
+// BaseColumns returns nil: joins read intermediates only.
+func (o *JoinOp) BaseColumns() []table.ColumnID { return nil }
+
+// Execute runs the join.
+func (o *JoinOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+	if len(inputs) != 2 {
+		return nil, fmt.Errorf("join: want 2 inputs, got %d", len(inputs))
+	}
+	res, err := engine.HashJoin(inputs[0], o.LeftKey, inputs[1], o.RightKey)
+	if err != nil {
+		return nil, err
+	}
+	return engine.MaterializeJoin(res, inputs[0], o.LeftCols, inputs[1], o.RightCols)
+}
+
+// AggregateOp groups by Keys and computes Aggs.
+type AggregateOp struct {
+	Keys []string
+	Aggs []engine.AggSpec
+}
+
+// Aggregate builds a group-by node over child.
+func Aggregate(child *Node, keys []string, aggs []engine.AggSpec) *Node {
+	return NewNode(&AggregateOp{Keys: keys, Aggs: aggs}, child)
+}
+
+// Class returns cost.Aggregation.
+func (o *AggregateOp) Class() cost.OpClass { return cost.Aggregation }
+
+// Name describes the aggregation.
+func (o *AggregateOp) Name() string { return fmt.Sprintf("aggregate(by %v)", o.Keys) }
+
+// BaseColumns returns nil.
+func (o *AggregateOp) BaseColumns() []table.ColumnID { return nil }
+
+// Execute runs the aggregation.
+func (o *AggregateOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("aggregate: want 1 input, got %d", len(inputs))
+	}
+	return engine.GroupBy(inputs[0], o.Keys, o.Aggs)
+}
+
+// SortOp orders its input; Limit > 0 keeps the first Limit rows.
+type SortOp struct {
+	Keys  []engine.SortKey
+	Limit int
+}
+
+// Sort builds an order-by node over child.
+func Sort(child *Node, keys ...engine.SortKey) *Node {
+	return NewNode(&SortOp{Keys: keys}, child)
+}
+
+// TopN builds an order-by-limit node over child.
+func TopN(child *Node, n int, keys ...engine.SortKey) *Node {
+	return NewNode(&SortOp{Keys: keys, Limit: n}, child)
+}
+
+// Class returns cost.Sort.
+func (o *SortOp) Class() cost.OpClass { return cost.Sort }
+
+// Name describes the sort.
+func (o *SortOp) Name() string {
+	if o.Limit > 0 {
+		return fmt.Sprintf("top%d(%v)", o.Limit, o.Keys)
+	}
+	return fmt.Sprintf("sort(%v)", o.Keys)
+}
+
+// BaseColumns returns nil.
+func (o *SortOp) BaseColumns() []table.ColumnID { return nil }
+
+// Execute runs the sort.
+func (o *SortOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("sort: want 1 input, got %d", len(inputs))
+	}
+	if o.Limit > 0 {
+		return engine.TopN(inputs[0], o.Limit, o.Keys...)
+	}
+	return engine.OrderBy(inputs[0], o.Keys...)
+}

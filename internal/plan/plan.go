@@ -1,0 +1,179 @@
+// Package plan defines physical query plans: trees of bulk operators in
+// CoGaDB's operator-at-a-time model. Plans are built with the constructor
+// functions (Scan, Join, Aggregate, ...) — the paper's SQL front end and
+// Selinger-style strategic optimizer are orthogonal to its contribution, so
+// the benchmark queries are expressed directly as physical plans.
+package plan
+
+import (
+	"fmt"
+
+	"robustdb/internal/cost"
+	"robustdb/internal/engine"
+	"robustdb/internal/table"
+)
+
+// Operator is one bulk operator: it consumes fully materialized inputs (one
+// per child) and materializes its output.
+type Operator interface {
+	// Class returns the cost class of the operator.
+	Class() cost.OpClass
+	// Name returns a short human-readable description.
+	Name() string
+	// BaseColumns returns the base columns the operator reads directly from
+	// the catalog (non-empty for leaf scans only). These drive caching and
+	// data-driven placement.
+	BaseColumns() []table.ColumnID
+	// Execute runs the operator on real data.
+	Execute(cat *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error)
+}
+
+// Node is one operator in a plan tree.
+type Node struct {
+	id       int
+	Op       Operator
+	Children []*Node
+
+	// EstInBytes and EstOutBytes are the compile-time size estimates set by
+	// Plan.EstimateSizes; compile-time heuristics plan with them, run-time
+	// placement ignores them (paper §4: exact cardinalities at run time).
+	EstInBytes  int64
+	EstOutBytes int64
+}
+
+// ID returns the node's plan-unique id (post-order, root last).
+func (n *Node) ID() int { return n.id }
+
+// NewNode wires an operator to its children.
+func NewNode(op Operator, children ...*Node) *Node {
+	return &Node{Op: op, Children: children}
+}
+
+// Plan is a rooted operator tree with stable node ids.
+type Plan struct {
+	Root  *Node
+	nodes []*Node
+}
+
+// New numbers the tree in post-order (children before parents, root last)
+// and returns the plan.
+func New(root *Node) *Plan {
+	p := &Plan{Root: root}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		n.id = len(p.nodes)
+		p.nodes = append(p.nodes, n)
+	}
+	walk(root)
+	return p
+}
+
+// Nodes returns all nodes in post-order.
+func (p *Plan) Nodes() []*Node { return p.nodes }
+
+// Leaves returns the nodes without children, in post-order.
+func (p *Plan) Leaves() []*Node {
+	var out []*Node
+	for _, n := range p.nodes {
+		if len(n.Children) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Parent returns the parent of n in the plan (nil for the root).
+func (p *Plan) Parent(n *Node) *Node {
+	for _, cand := range p.nodes {
+		for _, c := range cand.Children {
+			if c == n {
+				return cand
+			}
+		}
+	}
+	return nil
+}
+
+// BaseColumns returns the set of base columns the whole plan reads, in
+// first-use order.
+func (p *Plan) BaseColumns() []table.ColumnID {
+	seen := make(map[table.ColumnID]bool)
+	var out []table.ColumnID
+	for _, n := range p.nodes {
+		for _, id := range n.Op.BaseColumns() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the plan as an indented tree.
+func (p *Plan) String() string {
+	var render func(n *Node, depth int) string
+	render = func(n *Node, depth int) string {
+		s := ""
+		for i := 0; i < depth; i++ {
+			s += "  "
+		}
+		s += fmt.Sprintf("#%d %s [%s]\n", n.id, n.Op.Name(), n.Op.Class())
+		for _, c := range n.Children {
+			s += render(c, depth+1)
+		}
+		return s
+	}
+	return render(p.Root, 0)
+}
+
+// Default compile-time selectivity and size factors. Deliberately crude:
+// the paper's point about compile-time placement (§4) is precisely that such
+// estimates are unreliable.
+const (
+	estSelectivity   = 0.2
+	estAggReduction  = 0.05
+	estJoinExpansion = 1.0
+)
+
+// EstimateSizes fills EstInBytes/EstOutBytes bottom-up using base column
+// sizes from the catalog and fixed selectivity guesses.
+func (p *Plan) EstimateSizes(cat *table.Catalog) error {
+	for _, n := range p.nodes { // post-order: children first
+		var in int64
+		for _, id := range n.Op.BaseColumns() {
+			b, err := cat.ColumnBytes(id)
+			if err != nil {
+				return fmt.Errorf("plan estimate: %w", err)
+			}
+			in += b
+		}
+		for _, c := range n.Children {
+			in += c.EstOutBytes
+		}
+		n.EstInBytes = in
+		switch n.Op.Class() {
+		case cost.Selection:
+			n.EstOutBytes = int64(float64(in) * estSelectivity)
+		case cost.Join:
+			var probe int64
+			if len(n.Children) == 2 {
+				probe = n.Children[1].EstOutBytes
+			} else {
+				probe = in / 2
+			}
+			n.EstOutBytes = int64(float64(probe) * estJoinExpansion)
+		case cost.Aggregation:
+			n.EstOutBytes = int64(float64(in) * estAggReduction)
+		default: // sort, materialize, compute preserve volume
+			n.EstOutBytes = in
+		}
+		if n.EstOutBytes < 64 {
+			n.EstOutBytes = 64
+		}
+	}
+	return nil
+}

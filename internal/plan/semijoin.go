@@ -1,0 +1,45 @@
+package plan
+
+import (
+	"fmt"
+
+	"robustdb/internal/cost"
+	"robustdb/internal/engine"
+	"robustdb/internal/table"
+)
+
+// SemiJoinOp keeps the probe-side rows (child 1) that have at least one
+// match in the build side (child 0). It implements EXISTS-style filtering
+// (e.g. TPC-H Q4: orders with at least one late lineitem) and the
+// invisible-join pattern of star schema processing.
+type SemiJoinOp struct {
+	BuildKey, ProbeKey string
+}
+
+// SemiJoin builds a semi-join node: probe rows filtered by build keys.
+func SemiJoin(build, probe *Node, buildKey, probeKey string) *Node {
+	return NewNode(&SemiJoinOp{BuildKey: buildKey, ProbeKey: probeKey}, build, probe)
+}
+
+// Class returns cost.Join.
+func (o *SemiJoinOp) Class() cost.OpClass { return cost.Join }
+
+// Name describes the semi join.
+func (o *SemiJoinOp) Name() string {
+	return fmt.Sprintf("semijoin(%s=%s)", o.BuildKey, o.ProbeKey)
+}
+
+// BaseColumns returns nil: semi joins read intermediates only.
+func (o *SemiJoinOp) BaseColumns() []table.ColumnID { return nil }
+
+// Execute runs the semi join.
+func (o *SemiJoinOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+	if len(inputs) != 2 {
+		return nil, fmt.Errorf("semijoin: want 2 inputs, got %d", len(inputs))
+	}
+	pos, err := engine.SemiJoin(inputs[0], o.BuildKey, inputs[1], o.ProbeKey)
+	if err != nil {
+		return nil, err
+	}
+	return inputs[1].Gather(pos), nil
+}

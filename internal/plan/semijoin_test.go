@@ -1,0 +1,40 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"robustdb/internal/column"
+	"robustdb/internal/cost"
+	"robustdb/internal/engine"
+)
+
+func TestSemiJoinOp(t *testing.T) {
+	cat := testCatalog()
+	build := engine.MustNewBatch(column.NewInt64("k", []int64{2, 4}))
+	probe := engine.MustNewBatch(
+		column.NewInt64("k", []int64{1, 2, 3, 4}),
+		column.NewInt64("v", []int64{10, 20, 30, 40}),
+	)
+	n := SemiJoin(nil, nil, "k", "k") // node structure unused in direct Execute
+	out, err := n.Op.Execute(cat, []*engine.Batch{build, probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := out.MustColumn("v").(*column.Int64Column).Values
+	if len(v) != 2 || v[0] != 20 || v[1] != 40 {
+		t.Fatalf("semi join values = %v", v)
+	}
+	if n.Op.Class() != cost.Join || n.Op.BaseColumns() != nil {
+		t.Fatal("metadata wrong")
+	}
+	if !strings.Contains(n.Op.Name(), "semijoin") {
+		t.Fatalf("Name = %q", n.Op.Name())
+	}
+	if _, err := n.Op.Execute(cat, []*engine.Batch{build}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if _, err := (&SemiJoinOp{BuildKey: "zz", ProbeKey: "k"}).Execute(cat, []*engine.Batch{build, probe}); err == nil {
+		t.Fatal("expected key error")
+	}
+}

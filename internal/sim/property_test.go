@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: the shared server is work-conserving — for any arrival pattern,
+// the total busy time equals total service demand whenever the server never
+// idles between the first arrival and the last completion, and the makespan
+// is never shorter than demand/rate.
+func TestSharedServerWorkConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		sv := NewSharedServer(s, "cpu", 1000)
+		n := rng.Intn(20) + 1
+		var demand float64
+		for i := 0; i < n; i++ {
+			work := float64(rng.Intn(500) + 1)
+			demand += work
+			s.Spawn("t", func(p *Proc) {
+				sv.Execute(p, work)
+			})
+		}
+		end := s.Run()
+		// All tasks arrive at t=0, so the server never idles: makespan is
+		// exactly demand/rate, and busy time matches it.
+		want := time.Duration(demand / 1000 * float64(time.Second))
+		diff := end - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			return false
+		}
+		busyDiff := sv.BusyTime() - want
+		if busyDiff < 0 {
+			busyDiff = -busyDiff
+		}
+		return busyDiff <= time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: staggered arrivals never violate causality — every task
+// completes no earlier than its arrival plus its solo service time.
+func TestSharedServerCausality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		sv := NewSharedServer(s, "gpu", 500)
+		ok := true
+		for i := 0; i < rng.Intn(15)+1; i++ {
+			arrival := time.Duration(rng.Intn(100)) * time.Millisecond
+			work := float64(rng.Intn(300) + 1)
+			solo := time.Duration(work / 500 * float64(time.Second))
+			s.SpawnAt(arrival, "t", func(p *Proc) {
+				sv.Execute(p, work)
+				if p.Now()-arrival < solo-time.Microsecond {
+					ok = false
+				}
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a stall delays every in-flight completion by at least the
+// stalled window that overlaps its execution, and StalledTime accounts it.
+func TestSharedServerStallAccounting(t *testing.T) {
+	s := New()
+	sv := NewSharedServer(s, "gpu", 100)
+	var done time.Duration
+	s.Spawn("victim", func(p *Proc) {
+		sv.Execute(p, 100) // 1s solo
+		done = p.Now()
+	})
+	s.Spawn("staller", func(p *Proc) {
+		p.Hold(500 * time.Millisecond)
+		sv.Stall(200 * time.Millisecond)
+	})
+	s.Run()
+	if done != 1200*time.Millisecond {
+		t.Fatalf("stalled completion = %v, want 1.2s", done)
+	}
+	if sv.StalledTime() != 200*time.Millisecond {
+		t.Fatalf("StalledTime = %v", sv.StalledTime())
+	}
+	// Overlapping stalls extend, not stack.
+	s2 := New()
+	sv2 := NewSharedServer(s2, "gpu", 100)
+	var done2 time.Duration
+	s2.Spawn("victim", func(p *Proc) {
+		sv2.Execute(p, 100)
+		done2 = p.Now()
+	})
+	s2.Spawn("staller", func(p *Proc) {
+		p.Hold(500 * time.Millisecond)
+		sv2.Stall(200 * time.Millisecond)
+		sv2.Stall(100 * time.Millisecond) // inside the first window
+	})
+	s2.Run()
+	if done2 != 1200*time.Millisecond {
+		t.Fatalf("overlapping stalls should extend, not stack: %v", done2)
+	}
+	// Zero and negative stalls are no-ops.
+	sv2.Stall(0)
+	sv2.Stall(-time.Second)
+}
+
+// Property: pool admission preserves FIFO order under random hold times.
+func TestPoolFIFOUnderRandomLoads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		pool := NewPool(s, "p", rng.Intn(3)+1)
+		var admitted []int
+		n := rng.Intn(20) + 2
+		for i := 0; i < n; i++ {
+			i := i
+			hold := time.Duration(rng.Intn(5)+1) * time.Millisecond
+			s.Spawn("t", func(p *Proc) {
+				pool.Acquire(p)
+				admitted = append(admitted, i)
+				p.Hold(hold)
+				pool.Release()
+			})
+		}
+		s.Run()
+		for i, v := range admitted {
+			if v != i {
+				return false
+			}
+		}
+		return len(admitted) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

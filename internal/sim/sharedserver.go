@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SharedServer is a processor-sharing resource: its aggregate service rate
+// (work units per second) is divided equally among all active tasks. It
+// models a whole processor — CoGaDB parallelizes a single operator over all
+// cores of a device (intra-operator parallelism), so one operator alone gets
+// the full rate and n concurrent operators get rate/n each. Total throughput
+// is constant, which yields the paper's "an ideal system executes all
+// workloads in the same time regardless of parallelism" property.
+//
+// Admission control (the thread-pool bound of query chopping) is not the
+// server's job; put a Pool in front of it.
+type SharedServer struct {
+	sim        *Sim
+	name       string
+	rate       float64 // work units per second
+	tasks      map[*ssTask]struct{}
+	lastUpdate time.Duration
+	gen        int64 // invalidates superseded completion events
+	busy       time.Duration
+	stallUntil time.Duration
+	stalled    time.Duration
+}
+
+type ssTask struct {
+	remaining float64
+	proc      *Proc
+}
+
+// NewSharedServer creates a processor-sharing server with the given
+// aggregate rate in work units per second.
+func NewSharedServer(s *Sim, name string, rate float64) *SharedServer {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: shared server %s needs positive rate, got %v", name, rate))
+	}
+	return &SharedServer{sim: s, name: name, rate: rate, tasks: make(map[*ssTask]struct{})}
+}
+
+// Name returns the server name.
+func (sv *SharedServer) Name() string { return sv.name }
+
+// Rate returns the aggregate service rate.
+func (sv *SharedServer) Rate() float64 { return sv.rate }
+
+// Active returns the number of tasks currently in service.
+func (sv *SharedServer) Active() int { return len(sv.tasks) }
+
+// BusyTime returns the accumulated virtual time during which the server had
+// at least one active task.
+func (sv *SharedServer) BusyTime() time.Duration { return sv.busy }
+
+// Execute serves work units of demand for the calling process, sharing the
+// server with all concurrently executing tasks, and returns when the task
+// completes. Zero or negative work completes immediately.
+func (sv *SharedServer) Execute(p *Proc, work float64) {
+	if work <= 0 {
+		return
+	}
+	sv.sync()
+	t := &ssTask{remaining: work, proc: p}
+	sv.tasks[t] = struct{}{}
+	sv.reschedule()
+	p.park()
+}
+
+// Stall freezes the server for d of virtual time: no task makes progress
+// until the stall window passes. It models device-wide synchronization —
+// on real co-processors a failed allocation or a cudaFree drains all
+// in-flight kernels, which is how memory-pressure storms destroy GPU
+// throughput (the amplification behind the paper's Figure 3). Overlapping
+// stalls extend the window rather than stacking.
+func (sv *SharedServer) Stall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	sv.sync()
+	until := sv.sim.now + d
+	if until > sv.stallUntil {
+		sv.stallUntil = until
+	}
+	sv.reschedule()
+}
+
+// StalledTime returns the accumulated virtual time the server spent frozen
+// while it had active tasks.
+func (sv *SharedServer) StalledTime() time.Duration { return sv.stalled }
+
+// sync progresses every active task to the current virtual time, excluding
+// any stalled window.
+func (sv *SharedServer) sync() {
+	now := sv.sim.now
+	elapsed := now - sv.lastUpdate
+	if sv.stallUntil > sv.lastUpdate {
+		// The window [lastUpdate, min(now, stallUntil)) made no progress.
+		frozenEnd := sv.stallUntil
+		if frozenEnd > now {
+			frozenEnd = now
+		}
+		frozen := frozenEnd - sv.lastUpdate
+		elapsed -= frozen
+		if len(sv.tasks) > 0 {
+			sv.stalled += frozen
+		}
+	}
+	sv.lastUpdate = now
+	n := len(sv.tasks)
+	if n == 0 || elapsed <= 0 {
+		return
+	}
+	sv.busy += elapsed
+	done := elapsed.Seconds() * sv.rate / float64(n)
+	for t := range sv.tasks {
+		t.remaining -= done
+	}
+}
+
+// reschedule computes the next completion and schedules its event,
+// invalidating any previously scheduled one.
+func (sv *SharedServer) reschedule() {
+	sv.gen++
+	gen := sv.gen
+	if len(sv.tasks) == 0 {
+		return
+	}
+	minTask := sv.minRemaining()
+	eta := time.Duration(math.Max(0, minTask.remaining) * float64(len(sv.tasks)) / sv.rate * float64(time.Second))
+	base := sv.sim.now
+	if sv.stallUntil > base {
+		base = sv.stallUntil // completions cannot happen inside a stall
+	}
+	sv.sim.schedule(base+eta, func() {
+		if gen != sv.gen {
+			return // superseded by a later arrival or completion
+		}
+		sv.sync()
+		t := sv.minRemaining()
+		delete(sv.tasks, t)
+		sv.reschedule()
+		sv.sim.wake(t.proc)
+	})
+}
+
+// minRemaining returns the task closest to completion. Ties break on the
+// smallest pointer-independent order: we track insertion by scanning — to
+// keep determinism, the task chosen is the one with strictly smallest
+// remaining work; exact ties are broken by process name, which is unique
+// per operator instance in the execution engine.
+func (sv *SharedServer) minRemaining() *ssTask {
+	var best *ssTask
+	for t := range sv.tasks {
+		if best == nil || t.remaining < best.remaining ||
+			(t.remaining == best.remaining && t.proc.name < best.proc.name) {
+			best = t
+		}
+	}
+	return best
+}

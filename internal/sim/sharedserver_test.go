@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSharedServerSingleTask(t *testing.T) {
+	s := New()
+	sv := NewSharedServer(s, "cpu", 100) // 100 units/sec
+	var done time.Duration
+	s.Spawn("a", func(p *Proc) {
+		sv.Execute(p, 50)
+		done = p.Now()
+	})
+	s.Run()
+	if done != 500*time.Millisecond {
+		t.Fatalf("done = %v, want 500ms", done)
+	}
+	if sv.BusyTime() != 500*time.Millisecond {
+		t.Fatalf("busy = %v", sv.BusyTime())
+	}
+}
+
+func TestSharedServerAccessors(t *testing.T) {
+	s := New()
+	sv := NewSharedServer(s, "gpu", 42)
+	if sv.Name() != "gpu" || sv.Rate() != 42 || sv.Active() != 0 {
+		t.Fatal("accessors wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive rate")
+		}
+	}()
+	NewSharedServer(s, "bad", 0)
+}
+
+func TestSharedServerZeroWork(t *testing.T) {
+	s := New()
+	sv := NewSharedServer(s, "cpu", 100)
+	var done time.Duration
+	s.Spawn("a", func(p *Proc) {
+		sv.Execute(p, 0)
+		done = p.Now()
+	})
+	s.Run()
+	if done != 0 {
+		t.Fatalf("zero work should complete immediately, done = %v", done)
+	}
+}
+
+// Two equal tasks arriving together share the rate: both finish at 2·(w/rate).
+func TestSharedServerFairSharing(t *testing.T) {
+	s := New()
+	sv := NewSharedServer(s, "cpu", 100)
+	var doneA, doneB time.Duration
+	s.Spawn("a", func(p *Proc) {
+		sv.Execute(p, 50)
+		doneA = p.Now()
+	})
+	s.Spawn("b", func(p *Proc) {
+		sv.Execute(p, 50)
+		doneB = p.Now()
+	})
+	s.Run()
+	if doneA != time.Second || doneB != time.Second {
+		t.Fatalf("doneA=%v doneB=%v, want 1s both", doneA, doneB)
+	}
+}
+
+// Work conservation: n tasks of total work W finish no later than W/rate
+// (the paper's "ideal system" property for parallel workloads).
+func TestSharedServerWorkConservation(t *testing.T) {
+	for _, users := range []int{1, 2, 5, 10} {
+		s := New()
+		sv := NewSharedServer(s, "cpu", 1000)
+		total := 1000.0
+		per := total / float64(users)
+		for i := 0; i < users; i++ {
+			s.Spawn("u", func(p *Proc) {
+				sv.Execute(p, per)
+			})
+		}
+		end := s.Run()
+		if end != time.Second {
+			t.Fatalf("users=%d: end = %v, want 1s", users, end)
+		}
+	}
+}
+
+// A short task arriving during a long one delays the long one exactly by the
+// short one's shared-mode demand.
+func TestSharedServerPreemptionMath(t *testing.T) {
+	s := New()
+	sv := NewSharedServer(s, "cpu", 100)
+	var doneLong, doneShort time.Duration
+	s.Spawn("long", func(p *Proc) {
+		sv.Execute(p, 100) // alone: 1s
+		doneLong = p.Now()
+	})
+	s.Spawn("short", func(p *Proc) {
+		p.Hold(500 * time.Millisecond)
+		sv.Execute(p, 25)
+		doneShort = p.Now()
+	})
+	s.Run()
+	// At 0.5s the long task has 50 units left. Sharing at 50/s each:
+	// short finishes its 25 units at 1.0s; long then has 25 left, full rate,
+	// finishes at 1.25s.
+	if doneShort != time.Second {
+		t.Fatalf("doneShort = %v, want 1s", doneShort)
+	}
+	if doneLong != 1250*time.Millisecond {
+		t.Fatalf("doneLong = %v, want 1.25s", doneLong)
+	}
+}
+
+func TestSharedServerManyTasksDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		s := New()
+		sv := NewSharedServer(s, "cpu", 997)
+		for i := 0; i < 50; i++ {
+			i := i
+			s.Spawn("t", func(p *Proc) {
+				p.Hold(time.Duration(i) * time.Millisecond)
+				sv.Execute(p, float64(10+i%7))
+			})
+		}
+		return s.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+// The Pool+SharedServer combination: a bounded pool in front of a shared
+// server models a thread pool per processor (query chopping).
+func TestPoolBoundedSharedServer(t *testing.T) {
+	s := New()
+	sv := NewSharedServer(s, "gpu", 100)
+	pool := NewPool(s, "gpu-workers", 2)
+	maxActive := 0
+	for i := 0; i < 6; i++ {
+		s.Spawn("op", func(p *Proc) {
+			pool.Acquire(p)
+			if sv.Active()+1 > maxActive {
+				maxActive = sv.Active() + 1
+			}
+			sv.Execute(p, 10)
+			pool.Release()
+		})
+	}
+	end := s.Run()
+	if maxActive > 2 {
+		t.Fatalf("thread pool exceeded: %d concurrent", maxActive)
+	}
+	// 6 tasks × 10 units at rate 100, max 2 concurrent → total 600ms.
+	if end != 600*time.Millisecond {
+		t.Fatalf("end = %v", end)
+	}
+}

@@ -1,0 +1,45 @@
+package sim
+
+// Signal is a one-shot completion event: processes Wait on it, Fire releases
+// all current and future waiters. Query completion and session coordination
+// in the execution engine are built on it.
+type Signal struct {
+	sim     *Sim
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(s *Sim) *Signal {
+	return &Signal{sim: s}
+}
+
+// Fired reports whether the signal has fired.
+func (g *Signal) Fired() bool { return g.fired }
+
+// Wait parks the process until the signal fires. If it already fired, Wait
+// returns immediately.
+func (g *Signal) Wait(p *Proc) {
+	if g.fired {
+		return
+	}
+	g.waiters = append(g.waiters, p)
+	p.parkBlocked()
+}
+
+// Fire releases all waiters (FIFO) at the current virtual time. Firing twice
+// is a no-op.
+func (g *Signal) Fire() {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	for _, w := range g.waiters {
+		w := w
+		g.sim.unblocked()
+		g.sim.schedule(g.sim.now, func() {
+			g.sim.wake(w)
+		})
+	}
+	g.waiters = nil
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSignalWaitThenFire(t *testing.T) {
+	s := New()
+	sig := NewSignal(s)
+	var wokenAt time.Duration
+	s.Spawn("waiter", func(p *Proc) {
+		sig.Wait(p)
+		wokenAt = p.Now()
+	})
+	s.Spawn("firer", func(p *Proc) {
+		p.Hold(10 * time.Millisecond)
+		sig.Fire()
+	})
+	s.Run()
+	if wokenAt != 10*time.Millisecond {
+		t.Fatalf("wokenAt = %v", wokenAt)
+	}
+	if !sig.Fired() {
+		t.Fatal("signal should report fired")
+	}
+}
+
+func TestSignalAlreadyFired(t *testing.T) {
+	s := New()
+	sig := NewSignal(s)
+	var wokenAt time.Duration
+	s.Spawn("firer", func(p *Proc) {
+		sig.Fire()
+		sig.Fire() // idempotent
+	})
+	s.SpawnAt(5*time.Millisecond, "late-waiter", func(p *Proc) {
+		sig.Wait(p) // returns immediately
+		wokenAt = p.Now()
+	})
+	s.Run()
+	if wokenAt != 5*time.Millisecond {
+		t.Fatalf("wokenAt = %v", wokenAt)
+	}
+}
+
+func TestSignalMultipleWaiters(t *testing.T) {
+	s := New()
+	sig := NewSignal(s)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			sig.Wait(p)
+			order = append(order, name)
+		})
+	}
+	s.Spawn("firer", func(p *Proc) {
+		p.Hold(time.Millisecond)
+		sig.Fire()
+	})
+	s.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("waiters not released FIFO: %v", order)
+	}
+}
+
+func TestSignalUnfiredDeadlockDetected(t *testing.T) {
+	s := New()
+	sig := NewSignal(s)
+	s.Spawn("waiter", func(p *Proc) {
+		sig.Wait(p)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic for never-fired signal")
+		}
+	}()
+	s.Run()
+}

@@ -1,0 +1,180 @@
+// Package sim is a deterministic, process-oriented discrete-event simulator.
+//
+// It stands in for the wall clock of the paper's evaluation machine: query
+// operators, PCIe transfers, and worker threads become simulated processes
+// whose durations come from cost models instead of hardware. Processes are
+// goroutines, but exactly one runs at any instant — the scheduler resumes a
+// process, then blocks until that process either finishes or parks again —
+// so runs are reproducible bit for bit.
+//
+// Events with equal timestamps fire in scheduling order (FIFO), and resource
+// waiters queue FIFO, which is all that is needed for determinism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Sim is one simulation run: a virtual clock and its event queue.
+type Sim struct {
+	now     time.Duration
+	events  eventHeap
+	seq     int64
+	yield   chan struct{}
+	running bool
+	parked  int  // processes blocked on resources (deadlock diagnosis)
+	handoff bool // the current event transferred control to a process
+}
+
+// New creates an empty simulation at virtual time zero.
+func New() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// schedule enqueues fn to run at absolute virtual time at.
+func (s *Sim) schedule(at time.Duration, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// Proc is the handle a simulated process uses to interact with virtual time.
+// It is only valid inside the function passed to Spawn.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the process name (used in diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation the process runs in.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Spawn creates a process that starts at the current virtual time (after
+// already queued same-time events). fn runs in its own goroutine but in
+// strict alternation with the scheduler.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) {
+	s.SpawnAt(s.now, name, fn)
+}
+
+// SpawnAt creates a process that starts at absolute virtual time at.
+func (s *Sim) SpawnAt(at time.Duration, name string, fn func(p *Proc)) {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.schedule(at, func() {
+		// The event starts the process goroutine; the Run loop then blocks
+		// on s.yield until this process parks (Hold, resource wait) or
+		// finishes. Control thus strictly alternates between the scheduler
+		// and exactly one process.
+		s.handoff = true
+		go func() {
+			defer func() {
+				s.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+	})
+}
+
+// wake resumes a parked process from scheduler (event) context.
+func (s *Sim) wake(p *Proc) {
+	s.handoff = true
+	p.resume <- struct{}{}
+}
+
+// Hold advances the process's local time by d (the process "computes" or
+// "transfers" for d of virtual time).
+func (p *Proc) Hold(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative hold")
+	}
+	s := p.sim
+	s.schedule(s.now+d, func() {
+		s.wake(p)
+	})
+	p.park()
+}
+
+// park yields control to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	s := p.sim
+	s.yield <- struct{}{}
+	<-p.resume
+}
+
+// parkBlocked is park for resource waits: it is accounted so Run can
+// distinguish "no more work" from "everyone is stuck on a resource".
+func (p *Proc) parkBlocked() {
+	p.sim.parked++
+	p.park()
+}
+
+// unblocked is called on the waking side before resuming a blocked process.
+func (s *Sim) unblocked() { s.parked-- }
+
+// Run executes events until none remain. It returns the final virtual time.
+// If processes are still parked on resources when the event queue drains,
+// Run panics: the simulated system deadlocked, which is always a bug in the
+// caller's resource discipline (the paper's engine aborts operators instead
+// of waiting precisely to avoid this, cf. §2.5.1).
+func (s *Sim) Run() time.Duration {
+	if s.running {
+		panic("sim: Run is not reentrant")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		// Protocol invariant: an event either runs as a pure callback in
+		// scheduler context, or transfers control (via wake / goroutine
+		// start) to exactly one process, which yields exactly once — by
+		// parking or finishing — before the next event fires.
+		s.handoff = false
+		e.fn()
+		if s.handoff {
+			<-s.yield
+		}
+	}
+	if s.parked > 0 {
+		panic(fmt.Sprintf("sim: deadlock — %d processes parked with no pending events", s.parked))
+	}
+	return s.now
+}

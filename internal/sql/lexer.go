@@ -1,0 +1,130 @@
+// Package sql is the SQL front end: a lexer, a recursive-descent parser,
+// and a planner that compiles a pragmatic SQL subset onto the physical plan
+// DSL. CoGaDB exposes its engine through SQL (§2.5); this package plays the
+// same role for the reproduction.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	SELECT item [, item ...]
+//	FROM table [, table ...]
+//	[WHERE pred [AND pred ...]]
+//	[GROUP BY column [, column ...]]
+//	[ORDER BY key [, key ...]]
+//	[LIMIT n]
+//
+//	item   := column | agg "(" arg ")" [AS name]
+//	agg    := SUM | MIN | MAX | AVG | COUNT
+//	arg    := "*" | expr
+//	expr   := operand [("*"|"+"|"-"|"/") operand]
+//	operand:= column | number
+//	pred   := column cmp literal
+//	        | column BETWEEN literal AND literal
+//	        | column IN "(" literal [, literal ...] ")"
+//	        | column cmp column        -- equi-join when the sides live in
+//	                                   -- different tables, row filter else
+//	cmp    := "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+//	key    := column [ASC|DESC]
+//
+// Disjunctions, subqueries, and HAVING are out of scope (as in CoGaDB's
+// modified TPC-H workload, Appendix C.2); plans needing them are built with
+// the plan DSL directly.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers lower-cased; strings unquoted
+	pos  int    // byte offset, for error messages
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			start := i
+			for i < len(input) && isIdentPart(input[i]) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(input[start:i]), start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(input) && (input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			for i < len(input) && input[i] != '\'' {
+				i++
+			}
+			if i >= len(input) {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{tokString, input[start+1 : i], start})
+			i++
+		case strings.ContainsRune("(),*+-/=", rune(c)):
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		case c == '<':
+			if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{tokSymbol, input[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, "<>", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+			}
+		case c == '.':
+			toks = append(toks, token{tokSymbol, ".", i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,427 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The AST of the supported subset.
+
+// Statement is a parsed SELECT.
+type Statement struct {
+	Items   []SelectItem
+	Tables  []string
+	Preds   []Pred
+	GroupBy []string
+	OrderBy []OrderKey
+	Limit   int // 0 = no limit
+}
+
+// SelectItem is one projection: a plain column or an aggregate.
+type SelectItem struct {
+	Column string // plain column when Agg == ""
+	Agg    string // "sum", "min", "max", "avg", "count"
+	Arg    *Expr  // aggregate argument (nil for COUNT(*))
+	Alias  string
+}
+
+// Expr is an (at most binary) arithmetic expression over columns and
+// numeric literals. One level of nesting on the right side is allowed for
+// the pricing idiom `a * (1 - b)`; Right.Column == nestedMarker flags it.
+type Expr struct {
+	Op          string // "", "*", "+", "-", "/"
+	Left, Right Operand
+	Nested      *Expr
+}
+
+// Operand is a column reference or a numeric literal.
+type Operand struct {
+	Column string
+	Num    float64
+	IsNum  bool
+}
+
+// Pred is one conjunct of the WHERE clause.
+type Pred struct {
+	Col     string
+	Op      string // "=", "<>", "<", "<=", ">", ">=", "between", "in", "join"
+	Value   interface{}
+	Hi      interface{}   // BETWEEN upper bound
+	List    []interface{} // IN list
+	RightCo string        // column-vs-column comparisons ("join" carries the other side)
+}
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Column string
+	Desc   bool
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse turns a SQL string into a Statement.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %q after statement", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	if _, err := p.expect(tokIdent, "select"); err != nil {
+		return nil, err
+	}
+	st := &Statement{}
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if isKeyword(t.text) {
+			return nil, p.errf("keyword %q where a table name was expected", t.text)
+		}
+		st.Tables = append(st.Tables, t.text)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokIdent, "where") {
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			st.Preds = append(st.Preds, pred)
+			if !p.accept(tokIdent, "and") {
+				break
+			}
+		}
+	}
+	if p.accept(tokIdent, "group") {
+		if _, err := p.expect(tokIdent, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumn()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, col)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokIdent, "order") {
+		if _, err := p.expect(tokIdent, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumn()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Column: col}
+			if p.accept(tokIdent, "desc") {
+				key.Desc = true
+			} else {
+				p.accept(tokIdent, "asc")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokIdent, "limit") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, p.errf("invalid LIMIT %q", t.text)
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+var aggNames = map[string]bool{"sum": true, "min": true, "max": true, "avg": true, "count": true}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "select", "from", "where", "group", "order", "by", "limit", "and",
+		"between", "in", "as", "asc", "desc":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseItem() (SelectItem, error) {
+	t := p.cur()
+	if t.kind == tokIdent && aggNames[t.text] && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+		p.next() // agg name
+		p.next() // "("
+		item := SelectItem{Agg: t.text}
+		if t.text == "count" && p.accept(tokSymbol, "*") {
+			// COUNT(*): no argument.
+		} else {
+			expr, err := p.parseExpr()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Arg = &expr
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		if p.accept(tokIdent, "as") {
+			a, err := p.expect(tokIdent, "")
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Alias = a.text
+		}
+		return item, nil
+	}
+	col, err := p.parseColumn()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Column: col}
+	if p.accept(tokIdent, "as") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a.text
+	}
+	return item, nil
+}
+
+// parseColumn reads "name" or "table.name" and returns the bare column name
+// (column names are globally unique in the engine's schemas).
+func (p *parser) parseColumn() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	if isKeyword(t.text) {
+		return "", p.errf("keyword %q where a column was expected", t.text)
+	}
+	if p.accept(tokSymbol, ".") {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		return c.text, nil
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.cur()
+	if t.kind == tokNumber {
+		p.next()
+		n, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Operand{}, p.errf("invalid number %q", t.text)
+		}
+		return Operand{Num: n, IsNum: true}, nil
+	}
+	col, err := p.parseColumn()
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Column: col}, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	// Optional parentheses around the whole expression.
+	if p.accept(tokSymbol, "(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return Expr{}, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return Expr{}, err
+		}
+		// A parenthesized expression may be one side of a product:
+		// sum(price * (1 - discount)).
+		if op := p.cur(); op.kind == tokSymbol && strings.ContainsAny(op.text, "*+-/") && op.text != "" {
+			return Expr{}, p.errf("nested expressions deeper than one operator are not supported")
+		}
+		return e, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return Expr{}, err
+	}
+	op := p.cur()
+	if op.kind == tokSymbol && (op.text == "*" || op.text == "+" || op.text == "-" || op.text == "/") {
+		p.next()
+		// The right side may itself be parenthesized: a * (1 - b).
+		if p.accept(tokSymbol, "(") {
+			inner, err := p.parseExpr()
+			if err != nil {
+				return Expr{}, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return Expr{}, err
+			}
+			return Expr{Op: op.text, Left: left, Right: Operand{Column: nestedMarker}, Nested: &inner}, nil
+		}
+		right, err := p.parseOperand()
+		if err != nil {
+			return Expr{}, err
+		}
+		return Expr{Op: op.text, Left: left, Right: right}, nil
+	}
+	return Expr{Left: left}, nil
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	col, err := p.parseColumn()
+	if err != nil {
+		return Pred{}, err
+	}
+	if p.accept(tokIdent, "between") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return Pred{}, err
+		}
+		if _, err := p.expect(tokIdent, "and"); err != nil {
+			return Pred{}, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return Pred{}, err
+		}
+		return Pred{Col: col, Op: "between", Value: lo, Hi: hi}, nil
+	}
+	if p.accept(tokIdent, "in") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return Pred{}, err
+		}
+		var list []interface{}
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return Pred{}, err
+			}
+			list = append(list, v)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return Pred{}, err
+		}
+		return Pred{Col: col, Op: "in", List: list}, nil
+	}
+	opTok := p.cur()
+	switch opTok.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		p.next()
+	default:
+		return Pred{}, p.errf("expected a comparison after column %q, found %q", col, opTok.text)
+	}
+	// Right side: literal or column.
+	t := p.cur()
+	if t.kind == tokIdent && !isKeyword(t.text) {
+		right, err := p.parseColumn()
+		if err != nil {
+			return Pred{}, err
+		}
+		return Pred{Col: col, Op: opTok.text, RightCo: right}, nil
+	}
+	v, err := p.parseLiteral()
+	if err != nil {
+		return Pred{}, err
+	}
+	return Pred{Col: col, Op: opTok.text, Value: v}, nil
+}
+
+// parseLiteral reads a number or a string constant. Integral numbers come
+// back as int (the engine promotes as needed); fractional ones as float64.
+func (p *parser) parseLiteral() (interface{}, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.text)
+			}
+			return f, nil
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return n, nil
+	case tokString:
+		p.next()
+		return t.text, nil
+	default:
+		return nil, p.errf("expected a literal, found %q", t.text)
+	}
+}
+
+// nestedMarker flags an Expr whose right side is the Nested sub-expression.
+const nestedMarker = "\x00nested"

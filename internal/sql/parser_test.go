@@ -1,0 +1,149 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"robustdb/internal/column"
+	"robustdb/internal/tpch"
+)
+
+func TestParseQualifiedColumnsAndOperators(t *testing.T) {
+	st, err := Parse(`
+		select lineorder.lo_revenue, max(lo_tax) as top_tax, min(lo_tax), avg(lo_tax)
+		from lineorder
+		where lineorder.lo_quantity <= 10 and lo_tax >= 2 and lo_discount <> 5
+		  and lo_revenue > 100 and lo_orderkey < 50 and lo_suppkey = 3
+		order by lo_revenue desc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items[0].Column != "lo_revenue" {
+		t.Fatalf("qualified column = %q", st.Items[0].Column)
+	}
+	if st.Items[1].Alias != "top_tax" || st.Items[2].Agg != "min" || st.Items[3].Agg != "avg" {
+		t.Fatal("aggregate parsing wrong")
+	}
+	ops := make(map[string]bool)
+	for _, p := range st.Preds {
+		ops[p.Op] = true
+	}
+	for _, want := range []string{"<=", ">=", "<>", ">", "<", "="} {
+		if !ops[want] {
+			t.Fatalf("operator %q not parsed (have %v)", want, ops)
+		}
+	}
+	if !st.OrderBy[0].Desc {
+		t.Fatal("DESC not parsed")
+	}
+}
+
+// All six comparison operators execute correctly through the planner.
+func TestAllComparisonsExecute(t *testing.T) {
+	cat := ssbCat()
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		p, err := PlanQuery(cat, "select count(*) as n from lineorder where lo_quantity "+op+" 25")
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		out := evalPlan(t, cat, p)
+		if out.NumRows() != 1 {
+			t.Fatalf("%s: rows = %d", op, out.NumRows())
+		}
+	}
+	// All four arithmetic operators in aggregate arguments.
+	for _, op := range []string{"+", "-", "*", "/"} {
+		p, err := PlanQuery(cat,
+			"select sum(lo_revenue "+op+" lo_quantity) as v from lineorder where lo_orderkey < 100")
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		out := evalPlan(t, cat, p)
+		if out.MustColumn("v").(*column.Float64Column).Values[0] == 0 {
+			t.Fatalf("%s: zero aggregate", op)
+		}
+	}
+	// Constant on either side.
+	for _, q := range []string{
+		"select sum(lo_revenue * 2) as v from lineorder where lo_orderkey < 100",
+		"select sum(2 * lo_revenue) as v from lineorder where lo_orderkey < 100",
+	} {
+		p, err := PlanQuery(cat, q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		evalPlan(t, cat, p)
+	}
+}
+
+// ORDER BY an aliased aggregate resolves to the output column.
+func TestOrderByAlias(t *testing.T) {
+	cat := ssbCat()
+	p, err := PlanQuery(cat, `
+		select s_nation, sum(lo_revenue) as rev
+		from supplier, lineorder
+		where lo_suppkey = s_suppkey
+		group by s_nation
+		order by rev desc
+		limit 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evalPlan(t, cat, p)
+	rev := out.MustColumn("rev").(*column.Float64Column).Values
+	for i := 1; i < len(rev); i++ {
+		if rev[i] > rev[i-1] {
+			t.Fatal("alias ordering violated")
+		}
+	}
+}
+
+func TestParserErrorPaths(t *testing.T) {
+	bad := []string{
+		"select sum(a+b+c) from lineorder",                        // too deep
+		"select sum((1-lo_tax) * lo_revenue) as x from lineorder", // paren then operator
+		"select sum(lo_tax) as from lineorder",                    // keyword as alias
+		"select lo_tax as from lineorder",                         // keyword as alias (plain item)
+		"select lo_tax from lineorder where",                      // dangling where
+		"select lo_tax from lineorder group lo_tax",               // missing BY
+		"select lo_tax from lineorder order lo_tax",               // missing BY
+		"select lo_tax from lineorder order by lo_tax limit x",    // bad limit
+		"select count() from lineorder",                           // empty argument
+		"select lo_tax from select",                               // keyword table
+		"select lo_tax from lineorder where lo_tax in 5",          // IN without parens
+		"select lineorder. from lineorder",                        // dangling dot
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			// Some of these fail at the planner stage instead.
+			if _, err := PlanQuery(ssbCat(), q); err == nil {
+				t.Errorf("%q: expected an error", q)
+			}
+		}
+	}
+}
+
+func TestAmbiguousColumnsRejected(t *testing.T) {
+	// nation appears in both supplier (s_nation) and customer (c_nation) —
+	// those are distinct. Construct a real conflict through TPC-H's nation
+	// table joined twice? Not expressible: instead check the duplicate
+	// detection with the same table listed twice.
+	cat := tpch.Generate(tpch.Config{SF: 1, RowsPerSF: 2000, Seed: 4})
+	_, err := PlanQuery(cat, "select n_name from nation, nation")
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("expected ambiguity error, got %v", err)
+	}
+}
+
+func TestFloatLiteralsAndStrings(t *testing.T) {
+	st, err := Parse("select count(*) from t where a between 0.05 and 0.07 and b = 'x y'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preds[0].Value != 0.05 || st.Preds[0].Hi != 0.07 {
+		t.Fatalf("float bounds = %v..%v", st.Preds[0].Value, st.Preds[0].Hi)
+	}
+	if st.Preds[1].Value != "x y" {
+		t.Fatalf("string literal = %v", st.Preds[1].Value)
+	}
+}

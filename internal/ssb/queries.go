@@ -1,0 +1,270 @@
+package ssb
+
+import (
+	"robustdb/internal/engine"
+	"robustdb/internal/expr"
+	"robustdb/internal/plan"
+)
+
+// Query pairs a benchmark query name with its physical plan.
+type Query struct {
+	Name string
+	Plan *plan.Plan
+}
+
+// Queries returns all 13 SSB queries (Q1.1–Q4.3) as physical plans, in
+// benchmark order. Plans are stateless and reusable across executions.
+func Queries() []Query {
+	return []Query{
+		{"Q1.1", Q1_1()}, {"Q1.2", Q1_2()}, {"Q1.3", Q1_3()},
+		{"Q2.1", Q2_1()}, {"Q2.2", Q2_2()}, {"Q2.3", Q2_3()},
+		{"Q3.1", Q3_1()}, {"Q3.2", Q3_2()}, {"Q3.3", Q3_3()}, {"Q3.4", Q3_4()},
+		{"Q4.1", Q4_1()}, {"Q4.2", Q4_2()}, {"Q4.3", Q4_3()},
+	}
+}
+
+// QueryByName returns the named query (e.g. "Q3.3"), or ok=false.
+func QueryByName(name string) (Query, bool) {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// flight1 builds the Q1.x shape:
+//
+//	select sum(lo_extendedprice*lo_discount) as revenue
+//	from lineorder, date
+//	where lo_orderdate = d_datekey and <datePred> and <factPred>
+func flight1(datePred, factPred expr.Predicate) *plan.Plan {
+	d := plan.Scan("date", []string{"d_datekey"}, datePred)
+	f := plan.Scan("lineorder",
+		[]string{"lo_orderdate", "lo_extendedprice", "lo_discount"}, factPred)
+	j := plan.Join(d, f, "d_datekey", "lo_orderdate",
+		nil, []string{"lo_extendedprice", "lo_discount"})
+	c := plan.Compute(j, "revenue", "lo_extendedprice", engine.Mul, "lo_discount")
+	a := plan.Aggregate(c, nil, []engine.AggSpec{{Func: engine.Sum, Col: "revenue", As: "revenue"}})
+	return plan.New(a)
+}
+
+// Q1_1 is SSB Q1.1: d_year = 1993, discount 1–3, quantity < 25.
+func Q1_1() *plan.Plan {
+	return flight1(
+		expr.NewCmp("d_year", expr.EQ, 1993),
+		expr.NewAnd(
+			expr.NewBetween("lo_discount", 1, 3),
+			expr.NewCmp("lo_quantity", expr.LT, 25),
+		),
+	)
+}
+
+// Q1_2 is SSB Q1.2: d_yearmonthnum = 199401, discount 4–6, quantity 26–35.
+func Q1_2() *plan.Plan {
+	return flight1(
+		expr.NewCmp("d_yearmonthnum", expr.EQ, 199401),
+		expr.NewAnd(
+			expr.NewBetween("lo_discount", 4, 6),
+			expr.NewBetween("lo_quantity", 26, 35),
+		),
+	)
+}
+
+// Q1_3 is SSB Q1.3: week 6 of 1994, discount 5–7, quantity 26–35.
+func Q1_3() *plan.Plan {
+	return flight1(
+		expr.NewAnd(
+			expr.NewCmp("d_weeknuminyear", expr.EQ, 6),
+			expr.NewCmp("d_year", expr.EQ, 1994),
+		),
+		expr.NewAnd(
+			expr.NewBetween("lo_discount", 5, 7),
+			expr.NewBetween("lo_quantity", 26, 35),
+		),
+	)
+}
+
+// flight2 builds the Q2.x shape:
+//
+//	select sum(lo_revenue), d_year, p_brand1
+//	from lineorder, date, part, supplier
+//	where joins and <partPred> and <suppPred>
+//	group by d_year, p_brand1 order by d_year, p_brand1
+func flight2(partPred, suppPred expr.Predicate) *plan.Plan {
+	s := plan.Scan("supplier", []string{"s_suppkey"}, suppPred)
+	f := plan.Scan("lineorder",
+		[]string{"lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue"}, nil)
+	j1 := plan.Join(s, f, "s_suppkey", "lo_suppkey",
+		nil, []string{"lo_partkey", "lo_orderdate", "lo_revenue"})
+	p := plan.Scan("part", []string{"p_partkey", "p_brand1"}, partPred)
+	j2 := plan.Join(p, j1, "p_partkey", "lo_partkey",
+		[]string{"p_brand1"}, []string{"lo_orderdate", "lo_revenue"})
+	d := plan.Scan("date", []string{"d_datekey", "d_year"}, nil)
+	j3 := plan.Join(d, j2, "d_datekey", "lo_orderdate",
+		[]string{"d_year"}, []string{"p_brand1", "lo_revenue"})
+	a := plan.Aggregate(j3, []string{"d_year", "p_brand1"},
+		[]engine.AggSpec{{Func: engine.Sum, Col: "lo_revenue", As: "sum_revenue"}})
+	so := plan.Sort(a, engine.SortKey{Col: "d_year"}, engine.SortKey{Col: "p_brand1"})
+	return plan.New(so)
+}
+
+// Q2_1 is SSB Q2.1: p_category = 'MFGR#12', s_region = 'AMERICA'.
+func Q2_1() *plan.Plan {
+	return flight2(
+		expr.NewCmp("p_category", expr.EQ, "MFGR#12"),
+		expr.NewCmp("s_region", expr.EQ, "AMERICA"),
+	)
+}
+
+// Q2_2 is SSB Q2.2: p_brand1 between 'MFGR#2221' and 'MFGR#2228',
+// s_region = 'ASIA'.
+func Q2_2() *plan.Plan {
+	return flight2(
+		expr.NewBetween("p_brand1", "MFGR#2221", "MFGR#2228"),
+		expr.NewCmp("s_region", expr.EQ, "ASIA"),
+	)
+}
+
+// Q2_3 is SSB Q2.3: p_brand1 = 'MFGR#2239', s_region = 'EUROPE'.
+func Q2_3() *plan.Plan {
+	return flight2(
+		expr.NewCmp("p_brand1", expr.EQ, "MFGR#2239"),
+		expr.NewCmp("s_region", expr.EQ, "EUROPE"),
+	)
+}
+
+// flight3 builds the Q3.x shape with configurable grouping level
+// (nation or city) and predicates.
+func flight3(custPred, suppPred, datePred expr.Predicate, custAttr, suppAttr string) *plan.Plan {
+	c := plan.Scan("customer", []string{"c_custkey", custAttr}, custPred)
+	f := plan.Scan("lineorder",
+		[]string{"lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"}, nil)
+	j1 := plan.Join(c, f, "c_custkey", "lo_custkey",
+		[]string{custAttr}, []string{"lo_suppkey", "lo_orderdate", "lo_revenue"})
+	s := plan.Scan("supplier", []string{"s_suppkey", suppAttr}, suppPred)
+	j2 := plan.Join(s, j1, "s_suppkey", "lo_suppkey",
+		[]string{suppAttr}, []string{custAttr, "lo_orderdate", "lo_revenue"})
+	d := plan.Scan("date", []string{"d_datekey", "d_year"}, datePred)
+	j3 := plan.Join(d, j2, "d_datekey", "lo_orderdate",
+		[]string{"d_year"}, []string{custAttr, suppAttr, "lo_revenue"})
+	a := plan.Aggregate(j3, []string{custAttr, suppAttr, "d_year"},
+		[]engine.AggSpec{{Func: engine.Sum, Col: "lo_revenue", As: "revenue"}})
+	so := plan.Sort(a,
+		engine.SortKey{Col: "d_year"},
+		engine.SortKey{Col: "revenue", Desc: true})
+	return plan.New(so)
+}
+
+// Q3_1 is SSB Q3.1: both region 'ASIA', years 1992–1997, nation level.
+func Q3_1() *plan.Plan {
+	return flight3(
+		expr.NewCmp("c_region", expr.EQ, "ASIA"),
+		expr.NewCmp("s_region", expr.EQ, "ASIA"),
+		expr.NewBetween("d_year", 1992, 1997),
+		"c_nation", "s_nation",
+	)
+}
+
+// Q3_2 is SSB Q3.2: both nation 'UNITED STATES', years 1992–1997, city level.
+func Q3_2() *plan.Plan {
+	return flight3(
+		expr.NewCmp("c_nation", expr.EQ, "UNITED STATES"),
+		expr.NewCmp("s_nation", expr.EQ, "UNITED STATES"),
+		expr.NewBetween("d_year", 1992, 1997),
+		"c_city", "s_city",
+	)
+}
+
+// Q3_3 is SSB Q3.3: cities 'UNITED KI1'/'UNITED KI5' on both sides,
+// years 1992–1997. This is the query of the paper's Figure 1.
+func Q3_3() *plan.Plan {
+	return flight3(
+		expr.NewIn("c_city", "UNITED KI1", "UNITED KI5"),
+		expr.NewIn("s_city", "UNITED KI1", "UNITED KI5"),
+		expr.NewBetween("d_year", 1992, 1997),
+		"c_city", "s_city",
+	)
+}
+
+// Q3_4 is SSB Q3.4: like Q3.3 restricted to d_yearmonth = 'Dec1997'.
+func Q3_4() *plan.Plan {
+	return flight3(
+		expr.NewIn("c_city", "UNITED KI1", "UNITED KI5"),
+		expr.NewIn("s_city", "UNITED KI1", "UNITED KI5"),
+		expr.NewCmp("d_yearmonth", expr.EQ, "Dec1997"),
+		"c_city", "s_city",
+	)
+}
+
+// flight4 builds the Q4.x shape: profit = lo_revenue - lo_supplycost over a
+// four-dimension star join.
+func flight4(custPred, suppPred, partPred, datePred expr.Predicate,
+	custCols, suppCols, partCols []string, groupBy []string) *plan.Plan {
+	custKeep := custCols
+	c := plan.Scan("customer", append([]string{"c_custkey"}, custCols...), custPred)
+	f := plan.Scan("lineorder",
+		[]string{"lo_custkey", "lo_suppkey", "lo_partkey", "lo_orderdate",
+			"lo_revenue", "lo_supplycost"}, nil)
+	j1 := plan.Join(c, f, "c_custkey", "lo_custkey",
+		custKeep, []string{"lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost"})
+	s := plan.Scan("supplier", append([]string{"s_suppkey"}, suppCols...), suppPred)
+	j2 := plan.Join(s, j1, "s_suppkey", "lo_suppkey",
+		suppCols, append(custKeep, "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost"))
+	p := plan.Scan("part", append([]string{"p_partkey"}, partCols...), partPred)
+	j3 := plan.Join(p, j2, "p_partkey", "lo_partkey",
+		partCols, append(append(append([]string{}, custKeep...), suppCols...),
+			"lo_orderdate", "lo_revenue", "lo_supplycost"))
+	d := plan.Scan("date", []string{"d_datekey", "d_year"}, datePred)
+	j4 := plan.Join(d, j3, "d_datekey", "lo_orderdate",
+		[]string{"d_year"}, append(append(append(append([]string{}, custKeep...), suppCols...), partCols...),
+			"lo_revenue", "lo_supplycost"))
+	pr := plan.Compute(j4, "profit", "lo_revenue", engine.Sub, "lo_supplycost")
+	a := plan.Aggregate(pr, groupBy,
+		[]engine.AggSpec{{Func: engine.Sum, Col: "profit", As: "profit"}})
+	keys := make([]engine.SortKey, len(groupBy))
+	for i, g := range groupBy {
+		keys[i] = engine.SortKey{Col: g}
+	}
+	so := plan.Sort(a, keys...)
+	return plan.New(so)
+}
+
+// Q4_1 is SSB Q4.1: regions 'AMERICA', mfgr 1 or 2, by year and customer
+// nation.
+func Q4_1() *plan.Plan {
+	return flight4(
+		expr.NewCmp("c_region", expr.EQ, "AMERICA"),
+		expr.NewCmp("s_region", expr.EQ, "AMERICA"),
+		expr.NewIn("p_mfgr", "MFGR#1", "MFGR#2"),
+		nil,
+		[]string{"c_nation"}, nil, nil,
+		[]string{"d_year", "c_nation"},
+	)
+}
+
+// Q4_2 is SSB Q4.2: Q4.1 restricted to 1997–1998, by year, supplier nation,
+// and part category.
+func Q4_2() *plan.Plan {
+	return flight4(
+		expr.NewCmp("c_region", expr.EQ, "AMERICA"),
+		expr.NewCmp("s_region", expr.EQ, "AMERICA"),
+		expr.NewIn("p_mfgr", "MFGR#1", "MFGR#2"),
+		expr.NewIn("d_year", 1997, 1998),
+		nil, []string{"s_nation"}, []string{"p_category"},
+		[]string{"d_year", "s_nation", "p_category"},
+	)
+}
+
+// Q4_3 is SSB Q4.3: supplier nation 'UNITED STATES', category 'MFGR#14',
+// 1997–1998, by year, supplier city, and brand.
+func Q4_3() *plan.Plan {
+	return flight4(
+		expr.NewCmp("c_region", expr.EQ, "AMERICA"),
+		expr.NewCmp("s_nation", expr.EQ, "UNITED STATES"),
+		expr.NewCmp("p_category", expr.EQ, "MFGR#14"),
+		expr.NewIn("d_year", 1997, 1998),
+		nil, []string{"s_city"}, []string{"p_brand1"},
+		[]string{"d_year", "s_city", "p_brand1"},
+	)
+}

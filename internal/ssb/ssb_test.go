@@ -1,0 +1,283 @@
+package ssb
+
+import (
+	"testing"
+
+	"robustdb/internal/column"
+	"robustdb/internal/engine"
+	"robustdb/internal/plan"
+	"robustdb/internal/table"
+)
+
+func smallCatalog() *table.Catalog {
+	return Generate(Config{SF: 1, RowsPerSF: 6000, Seed: 42})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{SF: 1, RowsPerSF: 3000, Seed: 1})
+	b := Generate(Config{SF: 1, RowsPerSF: 3000, Seed: 1})
+	la := a.MustTable("lineorder").MustColumn("lo_custkey").(*column.Int64Column).Values
+	lb := b.MustTable("lineorder").MustColumn("lo_custkey").(*column.Int64Column).Values
+	if len(la) != len(lb) {
+		t.Fatal("row counts differ")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	c := Generate(Config{SF: 1, RowsPerSF: 3000, Seed: 2})
+	lc := c.MustTable("lineorder").MustColumn("lo_custkey").(*column.Int64Column).Values
+	same := true
+	for i := range la {
+		if la[i] != lc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestGenerateScaling(t *testing.T) {
+	sf1 := Generate(Config{SF: 1, RowsPerSF: 3000, Seed: 1})
+	sf3 := Generate(Config{SF: 3, RowsPerSF: 3000, Seed: 1})
+	if sf1.MustTable("lineorder").NumRows() != 3000 {
+		t.Fatalf("SF1 rows = %d", sf1.MustTable("lineorder").NumRows())
+	}
+	if sf3.MustTable("lineorder").NumRows() != 9000 {
+		t.Fatalf("SF3 rows = %d", sf3.MustTable("lineorder").NumRows())
+	}
+	if sf3.MustTable("date").NumRows() != sf1.MustTable("date").NumRows() {
+		t.Fatal("date dimension must not scale")
+	}
+	if sf3.TotalBytes() <= sf1.TotalBytes() {
+		t.Fatal("bigger SF must be bigger")
+	}
+}
+
+func TestGeneratePanicsOnBadSF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Config{SF: 0})
+}
+
+func TestForeignKeyIntegrity(t *testing.T) {
+	cat := smallCatalog()
+	lo := cat.MustTable("lineorder")
+	check := func(fkCol, dimTable, pkCol string) {
+		t.Helper()
+		pk := cat.MustTable(dimTable).MustColumn(pkCol)
+		valid := make(map[int64]bool)
+		switch pk := pk.(type) {
+		case *column.Int64Column:
+			for _, v := range pk.Values {
+				valid[v] = true
+			}
+		case *column.DateColumn:
+			for _, v := range pk.Values {
+				valid[int64(v)] = true
+			}
+		}
+		switch fk := lo.MustColumn(fkCol).(type) {
+		case *column.Int64Column:
+			for i, v := range fk.Values {
+				if !valid[v] {
+					t.Fatalf("%s row %d references missing %s.%s = %d", fkCol, i, dimTable, pkCol, v)
+				}
+			}
+		case *column.DateColumn:
+			for i, v := range fk.Values {
+				if !valid[int64(v)] {
+					t.Fatalf("%s row %d references missing %s.%s = %d", fkCol, i, dimTable, pkCol, v)
+				}
+			}
+		}
+	}
+	check("lo_custkey", "customer", "c_custkey")
+	check("lo_suppkey", "supplier", "s_suppkey")
+	check("lo_partkey", "part", "p_partkey")
+	check("lo_orderdate", "date", "d_datekey")
+}
+
+func TestDomains(t *testing.T) {
+	cat := smallCatalog()
+	lo := cat.MustTable("lineorder")
+	disc := lo.MustColumn("lo_discount").(*column.Int64Column).Values
+	qty := lo.MustColumn("lo_quantity").(*column.Int64Column).Values
+	tax := lo.MustColumn("lo_tax").(*column.Int64Column).Values
+	for i := range disc {
+		if disc[i] < 0 || disc[i] > 10 {
+			t.Fatalf("discount out of domain: %d", disc[i])
+		}
+		if qty[i] < 1 || qty[i] > 50 {
+			t.Fatalf("quantity out of domain: %d", qty[i])
+		}
+		if tax[i] < 0 || tax[i] > 8 {
+			t.Fatalf("tax out of domain: %d", tax[i])
+		}
+	}
+	// Regions and nations consistent.
+	cust := cat.MustTable("customer")
+	reg := cust.MustColumn("c_region").(*column.StringColumn)
+	nat := cust.MustColumn("c_nation").(*column.StringColumn)
+	for i := 0; i < cust.NumRows(); i++ {
+		nations := NationsByRegion[reg.Value(i)]
+		found := false
+		for _, n := range nations {
+			if n == nat.Value(i) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("nation %q not in region %q", nat.Value(i), reg.Value(i))
+		}
+	}
+	// Date dimension covers exactly 7 years.
+	d := cat.MustTable("date")
+	if d.NumRows() != 7*365 {
+		t.Fatalf("date rows = %d", d.NumRows())
+	}
+	years := d.MustColumn("d_year").(*column.Int64Column).Values
+	if years[0] != 1992 || years[len(years)-1] != 1998 {
+		t.Fatalf("year range: %d..%d", years[0], years[len(years)-1])
+	}
+}
+
+func TestCityFormat(t *testing.T) {
+	if got := City("UNITED KINGDOM", 1); got != "UNITED KI1" {
+		t.Fatalf("City = %q", got)
+	}
+	if got := City("PERU", 3); got != "PERU     3" {
+		t.Fatalf("City = %q", got)
+	}
+}
+
+func TestQueriesCatalogComplete(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 13 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	if _, ok := QueryByName("Q3.3"); !ok {
+		t.Fatal("Q3.3 missing")
+	}
+	if _, ok := QueryByName("Q9.9"); ok {
+		t.Fatal("Q9.9 should not exist")
+	}
+}
+
+// Every SSB query must execute without error and return a plausible result.
+func TestAllQueriesExecute(t *testing.T) {
+	cat := smallCatalog()
+	for _, q := range Queries() {
+		var eval func(n *plan.Node) *engine.Batch
+		eval = func(n *plan.Node) *engine.Batch {
+			var inputs []*engine.Batch
+			for _, c := range n.Children {
+				inputs = append(inputs, eval(c))
+			}
+			out, err := n.Op.Execute(cat, inputs)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", q.Name, n.Op.Name(), err)
+			}
+			return out
+		}
+		out := eval(q.Plan.Root)
+		if out.NumRows() == 0 && (q.Name == "Q3.1" || q.Name == "Q4.1") {
+			t.Errorf("%s returned no rows — generator domains too sparse", q.Name)
+		}
+		if out.NumColumns() == 0 {
+			t.Errorf("%s returned no columns", q.Name)
+		}
+	}
+}
+
+// Q1.1's aggregate must equal a direct row-at-a-time computation.
+func TestQ11MatchesReference(t *testing.T) {
+	cat := smallCatalog()
+	lo := cat.MustTable("lineorder")
+	d := cat.MustTable("date")
+	year := make(map[int64]bool)
+	dk := d.MustColumn("d_datekey").(*column.DateColumn).Values
+	dy := d.MustColumn("d_year").(*column.Int64Column).Values
+	for i := range dk {
+		if dy[i] == 1993 {
+			year[int64(dk[i])] = true
+		}
+	}
+	od := lo.MustColumn("lo_orderdate").(*column.DateColumn).Values
+	disc := lo.MustColumn("lo_discount").(*column.Int64Column).Values
+	qty := lo.MustColumn("lo_quantity").(*column.Int64Column).Values
+	ext := lo.MustColumn("lo_extendedprice").(*column.Int64Column).Values
+	var want float64
+	for i := range od {
+		if year[int64(od[i])] && disc[i] >= 1 && disc[i] <= 3 && qty[i] < 25 {
+			want += float64(ext[i] * disc[i])
+		}
+	}
+	var eval func(n *plan.Node) *engine.Batch
+	eval = func(n *plan.Node) *engine.Batch {
+		var inputs []*engine.Batch
+		for _, c := range n.Children {
+			inputs = append(inputs, eval(c))
+		}
+		out, err := n.Op.Execute(cat, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	out := eval(Q1_1().Root)
+	got := out.MustColumn("revenue").(*column.Float64Column).Values[0]
+	if got != want {
+		t.Fatalf("Q1.1 revenue = %v, want %v", got, want)
+	}
+}
+
+func TestMicroBenchmarks(t *testing.T) {
+	cat := smallCatalog()
+	serial := SerialSelectionQueries()
+	if len(serial) != 8 {
+		t.Fatalf("serial workload has %d queries, want 8", len(serial))
+	}
+	// The eight queries must filter eight *different* columns.
+	seen := make(map[table.ColumnID]bool)
+	for _, q := range serial {
+		cols := q.Plan.BaseColumns()
+		if len(cols) != 1 {
+			t.Fatalf("%s touches %v", q.Name, cols)
+		}
+		if seen[cols[0]] {
+			t.Fatalf("column %s filtered twice", cols[0])
+		}
+		seen[cols[0]] = true
+		if _, err := q.Plan.Root.Op.Execute(cat, nil); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+	}
+	par := ParallelSelectionQuery()
+	if len(par.Plan.Nodes()) != 5 {
+		t.Fatalf("parallel selection should be 5 operators (4 consecutive + root checksum), got %d", len(par.Plan.Nodes()))
+	}
+	var eval func(n *plan.Node) *engine.Batch
+	eval = func(n *plan.Node) *engine.Batch {
+		var inputs []*engine.Batch
+		for _, c := range n.Children {
+			inputs = append(inputs, eval(c))
+		}
+		out, err := n.Op.Execute(cat, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	out := eval(par.Plan.Root)
+	if out.NumRows() != 1 {
+		t.Fatal("parallel selection should aggregate to one row")
+	}
+}

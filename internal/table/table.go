@@ -1,0 +1,239 @@
+// Package table defines schemas, tables, and the catalog of the engine.
+//
+// A table is a named set of equally long columns. The catalog is the global
+// registry that query plans reference base columns through; it is also the
+// unit the data-placement manager keeps access statistics for.
+package table
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"robustdb/internal/column"
+)
+
+// ColumnID names a base column globally: "table.column".
+type ColumnID string
+
+// MakeColumnID builds the canonical global identifier of a column.
+func MakeColumnID(table, col string) ColumnID {
+	return ColumnID(table + "." + col)
+}
+
+// Table is an immutable named collection of columns of equal length.
+type Table struct {
+	name    string
+	cols    []column.Column
+	byName  map[string]int
+	numRows int
+}
+
+// New creates a table from its columns. All columns must have equal length
+// and distinct names.
+func New(name string, cols ...column.Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table %s: no columns", name)
+	}
+	t := &Table{name: name, cols: cols, byName: make(map[string]int, len(cols)), numRows: cols[0].Len()}
+	for i, c := range cols {
+		if c.Len() != t.numRows {
+			return nil, fmt.Errorf("table %s: column %s has %d rows, want %d", name, c.Name(), c.Len(), t.numRows)
+		}
+		if _, dup := t.byName[c.Name()]; dup {
+			return nil, fmt.Errorf("table %s: duplicate column %s", name, c.Name())
+		}
+		t.byName[c.Name()] = i
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for generators with static schemas.
+func MustNew(name string, cols ...column.Column) *Table {
+	t, err := New(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.numRows }
+
+// NumColumns returns the number of columns.
+func (t *Table) NumColumns() int { return len(t.cols) }
+
+// Column returns the column with the given name, or an error naming the
+// table and the available columns.
+func (t *Table) Column(name string) (column.Column, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("table %s: no column %q (have %v)", t.name, name, t.ColumnNames())
+	}
+	return t.cols[i], nil
+}
+
+// MustColumn is Column but panics on error.
+func (t *Table) MustColumn(name string) column.Column {
+	c, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+// Columns returns the columns in declaration order.
+func (t *Table) Columns() []column.Column { return t.cols }
+
+// Bytes returns the total footprint of the table.
+func (t *Table) Bytes() int64 {
+	var n int64
+	for _, c := range t.cols {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// Catalog is the registry of base tables. It is safe for concurrent readers;
+// registration happens at load time.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register adds a table; a second table with the same name is an error.
+func (c *Catalog) Register(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[t.Name()]; dup {
+		return fmt.Errorf("catalog: table %s already registered", t.Name())
+	}
+	c.tables[t.Name()] = t
+	return nil
+}
+
+// MustRegister is Register but panics on error.
+func (c *Catalog) MustRegister(t *Table) {
+	if err := c.Register(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table returns a registered table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table but panics on error.
+func (c *Catalog) MustTable(name string) *Table {
+	t, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Column resolves a global column identifier to its column.
+func (c *Catalog) Column(id ColumnID) (column.Column, error) {
+	tbl, col, err := splitID(id)
+	if err != nil {
+		return nil, err
+	}
+	t, err := c.Table(tbl)
+	if err != nil {
+		return nil, err
+	}
+	return t.Column(col)
+}
+
+// MustColumn is Column but panics on error.
+func (c *Catalog) MustColumn(id ColumnID) column.Column {
+	col, err := c.Column(id)
+	if err != nil {
+		panic(err)
+	}
+	return col
+}
+
+// ColumnBytes returns the footprint of the column named by id.
+func (c *Catalog) ColumnBytes(id ColumnID) (int64, error) {
+	col, err := c.Column(id)
+	if err != nil {
+		return 0, err
+	}
+	return col.Bytes(), nil
+}
+
+// TableNames lists registered tables in sorted order.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalBytes returns the footprint of the whole database.
+func (c *Catalog) TotalBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var n int64
+	for _, t := range c.tables {
+		n += t.Bytes()
+	}
+	return n
+}
+
+// Compressed returns a new catalog in which every integer and date column
+// is bit-packed (paper §6.3: compression shifts the capacity knees without
+// changing the effects). Tables and column names are preserved; string
+// columns are already dictionary-compressed and pass through.
+func (c *Catalog) Compressed() *Catalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := NewCatalog()
+	for _, t := range c.tables {
+		cols := make([]column.Column, len(t.cols))
+		for i, col := range t.cols {
+			cols[i] = column.Compress(col)
+		}
+		out.MustRegister(MustNew(t.name, cols...))
+	}
+	return out
+}
+
+func splitID(id ColumnID) (tbl, col string, err error) {
+	s := string(id)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[:i], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("catalog: malformed column id %q (want table.column)", id)
+}

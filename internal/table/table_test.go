@@ -1,0 +1,128 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"robustdb/internal/column"
+)
+
+func sample() *Table {
+	return MustNew("t",
+		column.NewInt64("a", []int64{1, 2, 3}),
+		column.NewFloat64("b", []float64{1.5, 2.5, 3.5}),
+	)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("empty"); err == nil {
+		t.Fatal("expected error for table without columns")
+	}
+	_, err := New("bad",
+		column.NewInt64("a", []int64{1, 2}),
+		column.NewInt64("b", []int64{1, 2, 3}),
+	)
+	if err == nil || !strings.Contains(err.Error(), "rows") {
+		t.Fatalf("expected row-count error, got %v", err)
+	}
+	_, err = New("dup",
+		column.NewInt64("a", []int64{1}),
+		column.NewInt64("a", []int64{2}),
+	)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate error, got %v", err)
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tb := sample()
+	if tb.Name() != "t" || tb.NumRows() != 3 || tb.NumColumns() != 2 {
+		t.Fatalf("metadata wrong")
+	}
+	if c, err := tb.Column("a"); err != nil || c.Name() != "a" {
+		t.Fatalf("Column(a): %v", err)
+	}
+	if _, err := tb.Column("zz"); err == nil {
+		t.Fatal("expected missing-column error")
+	}
+	names := tb.ColumnNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("ColumnNames = %v", names)
+	}
+	if tb.Bytes() != 3*8+3*8 {
+		t.Fatalf("Bytes = %d", tb.Bytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustColumn should panic on missing column")
+		}
+	}()
+	tb.MustColumn("zz")
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tb := sample()
+	if err := c.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(tb); err == nil {
+		t.Fatal("expected duplicate-register error")
+	}
+	got, err := c.Table("t")
+	if err != nil || got != tb {
+		t.Fatalf("Table lookup: %v", err)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Fatal("expected missing-table error")
+	}
+	col, err := c.Column(MakeColumnID("t", "a"))
+	if err != nil || col.Name() != "a" {
+		t.Fatalf("Column lookup: %v", err)
+	}
+	if _, err := c.Column("nodot"); err == nil {
+		t.Fatal("expected malformed-id error")
+	}
+	if _, err := c.Column("x.a"); err == nil {
+		t.Fatal("expected missing-table error through Column")
+	}
+	if _, err := c.Column("t.zz"); err == nil {
+		t.Fatal("expected missing-column error through Column")
+	}
+	b, err := c.ColumnBytes("t.a")
+	if err != nil || b != 24 {
+		t.Fatalf("ColumnBytes = %d, %v", b, err)
+	}
+	if _, err := c.ColumnBytes("t.zz"); err == nil {
+		t.Fatal("expected ColumnBytes error")
+	}
+	names := c.TableNames()
+	if len(names) != 1 || names[0] != "t" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if c.TotalBytes() != tb.Bytes() {
+		t.Fatalf("TotalBytes = %d", c.TotalBytes())
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	c := NewCatalog()
+	mustPanic(t, func() { c.MustTable("missing") })
+	mustPanic(t, func() { c.MustColumn("missing.a") })
+	mustPanic(t, func() { MustNew("none") })
+	c.MustRegister(sample())
+	mustPanic(t, func() { c.MustRegister(sample()) })
+	if c.MustTable("t") == nil || c.MustColumn("t.a") == nil {
+		t.Fatal("Must accessors should succeed")
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,288 @@
+// Package tpch implements the TPC-H subset the paper evaluates (§6.1,
+// Appendix C.2): a deterministic generator for the eight TPC-H tables and
+// the queries Q2–Q7 as physical plans.
+//
+// Like CoGaDB, the plans are *modified* TPC-H: correlated subqueries
+// (Q2's min-cost supplier), arbitrary join conditions (Q7's nation pair),
+// and string functions are out of scope, so the plans use the standard
+// simplifications (documented per query). Dates carry denormalized year
+// columns (o_orderyear, l_shipyear), the column-store equivalent of a date
+// dimension.
+//
+// The same row-budget scaling as package ssb applies: DefaultRowsPerSF
+// lineitem rows per scale factor instead of the official 6,000,000.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"robustdb/internal/column"
+	"robustdb/internal/table"
+)
+
+// DefaultRowsPerSF is the number of lineitem rows per scale factor unit.
+const DefaultRowsPerSF = 60000
+
+// Config controls data generation.
+type Config struct {
+	// SF is the scale factor, ≥ 1.
+	SF int
+	// RowsPerSF overrides DefaultRowsPerSF when positive.
+	RowsPerSF int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Regions and nations follow the official TPC-H seed data (region → its
+// nations).
+var Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// NationsByRegion maps regions to nations, per the TPC-H specification.
+var NationsByRegion = map[string][]string{
+	"AFRICA":      {"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+	"AMERICA":     {"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+	"ASIA":        {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"},
+	"EUROPE":      {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+	"MIDDLE EAST": {"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+var typeSyllable1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyllable2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyllable3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+var daysPerMonth = [12]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// randDate returns (datekey, year) uniformly over 1992-01-01..1998-12-31.
+func randDate(r *rand.Rand) (int32, int64) {
+	year := 1992 + r.Intn(7)
+	month := r.Intn(12)
+	day := r.Intn(daysPerMonth[month]) + 1
+	return int32(year*10000 + (month+1)*100 + day), int64(year)
+}
+
+// addDays advances a yyyymmdd datekey by up to a few weeks (enough for
+// commit/receipt offsets; month/year carry handled).
+func addDays(datekey int32, days int) int32 {
+	year := int(datekey) / 10000
+	month := int(datekey) / 100 % 100
+	day := int(datekey)%100 + days
+	for day > daysPerMonth[month-1] {
+		day -= daysPerMonth[month-1]
+		month++
+		if month > 12 {
+			month = 1
+			year++
+		}
+	}
+	return int32(year*10000 + month*100 + day)
+}
+
+// Generate builds the eight TPC-H tables and registers them in a catalog.
+func Generate(cfg Config) *table.Catalog {
+	if cfg.SF < 1 {
+		panic(fmt.Sprintf("tpch: scale factor must be >= 1, got %d", cfg.SF))
+	}
+	rowsPerSF := cfg.RowsPerSF
+	if rowsPerSF <= 0 {
+		rowsPerSF = DefaultRowsPerSF
+	}
+	r := rand.New(rand.NewSource(cfg.Seed + 13))
+	cat := table.NewCatalog()
+
+	// --- region and nation (fixed). ---
+	var rKey []int64
+	var rName []string
+	var nKey []int64
+	var nName []string
+	var nRegionkey []int64
+	nk := int64(0)
+	for i, region := range Regions {
+		rKey = append(rKey, int64(i))
+		rName = append(rName, region)
+		for _, nation := range NationsByRegion[region] {
+			nKey = append(nKey, nk)
+			nName = append(nName, nation)
+			nRegionkey = append(nRegionkey, int64(i))
+			nk++
+		}
+	}
+	cat.MustRegister(table.MustNew("region",
+		column.NewInt64("r_regionkey", rKey),
+		column.NewString("r_name", rName),
+	))
+	cat.MustRegister(table.MustNew("nation",
+		column.NewInt64("n_nationkey", nKey),
+		column.NewString("n_name", nName),
+		column.NewInt64("n_regionkey", nRegionkey),
+	))
+	numNations := len(nKey)
+
+	// --- supplier: official 10k/SF. ---
+	numSupp := cfg.SF * rowsPerSF / 600
+	if numSupp < 25 {
+		numSupp = 25
+	}
+	var (
+		sSuppkey   []int64
+		sNationkey []int64
+		sNation    []string // denormalized for Q7 (see package comment)
+		sAcctbal   []float64
+	)
+	for i := 0; i < numSupp; i++ {
+		n := r.Intn(numNations)
+		sSuppkey = append(sSuppkey, int64(i+1))
+		sNationkey = append(sNationkey, int64(n))
+		sNation = append(sNation, nName[n])
+		sAcctbal = append(sAcctbal, float64(r.Intn(1000000))/100-1000)
+	}
+	cat.MustRegister(table.MustNew("supplier",
+		column.NewInt64("s_suppkey", sSuppkey),
+		column.NewInt64("s_nationkey", sNationkey),
+		column.NewString("s_nation", sNation),
+		column.NewFloat64("s_acctbal", sAcctbal),
+	))
+
+	// --- part: official 200k/SF. ---
+	numPart := cfg.SF * rowsPerSF / 30
+	if numPart < 200 {
+		numPart = 200
+	}
+	var (
+		pPartkey []int64
+		pSize    []int64
+		pType    []string
+		pMfgr    []string
+	)
+	for i := 0; i < numPart; i++ {
+		pPartkey = append(pPartkey, int64(i+1))
+		pSize = append(pSize, int64(r.Intn(50)+1))
+		pType = append(pType, typeSyllable1[r.Intn(len(typeSyllable1))]+" "+
+			typeSyllable2[r.Intn(len(typeSyllable2))]+" "+
+			typeSyllable3[r.Intn(len(typeSyllable3))])
+		pMfgr = append(pMfgr, fmt.Sprintf("Manufacturer#%d", r.Intn(5)+1))
+	}
+	cat.MustRegister(table.MustNew("part",
+		column.NewInt64("p_partkey", pPartkey),
+		column.NewInt64("p_size", pSize),
+		column.NewString("p_type", pType),
+		column.NewString("p_mfgr", pMfgr),
+	))
+
+	// --- partsupp: 4 suppliers per part. ---
+	var (
+		psPartkey    []int64
+		psSuppkey    []int64
+		psSupplycost []float64
+	)
+	for i := 0; i < numPart; i++ {
+		for j := 0; j < 4; j++ {
+			psPartkey = append(psPartkey, int64(i+1))
+			psSuppkey = append(psSuppkey, int64(r.Intn(numSupp)+1))
+			psSupplycost = append(psSupplycost, float64(r.Intn(99900)+100)/100)
+		}
+	}
+	cat.MustRegister(table.MustNew("partsupp",
+		column.NewInt64("ps_partkey", psPartkey),
+		column.NewInt64("ps_suppkey", psSuppkey),
+		column.NewFloat64("ps_supplycost", psSupplycost),
+	))
+
+	// --- customer: official 150k/SF. ---
+	numCust := cfg.SF * rowsPerSF / 40
+	if numCust < 150 {
+		numCust = 150
+	}
+	var (
+		cCustkey    []int64
+		cNationkey  []int64
+		cNation     []string // denormalized for Q7
+		cMktsegment []string
+	)
+	for i := 0; i < numCust; i++ {
+		n := r.Intn(numNations)
+		cCustkey = append(cCustkey, int64(i+1))
+		cNationkey = append(cNationkey, int64(n))
+		cNation = append(cNation, nName[n])
+		cMktsegment = append(cMktsegment, segments[r.Intn(len(segments))])
+	}
+	cat.MustRegister(table.MustNew("customer",
+		column.NewInt64("c_custkey", cCustkey),
+		column.NewInt64("c_nationkey", cNationkey),
+		column.NewString("c_nation", cNation),
+		column.NewString("c_mktsegment", cMktsegment),
+	))
+
+	// --- orders: official 1.5M/SF. ---
+	numOrders := cfg.SF * rowsPerSF / 4
+	var (
+		oOrderkey      []int64
+		oCustkey       []int64
+		oOrderdate     []int32
+		oOrderyear     []int64
+		oShippriority  []int64
+		oOrderpriority []string
+	)
+	for i := 0; i < numOrders; i++ {
+		dk, yr := randDate(r)
+		oOrderkey = append(oOrderkey, int64(i+1))
+		oCustkey = append(oCustkey, int64(r.Intn(numCust)+1))
+		oOrderdate = append(oOrderdate, dk)
+		oOrderyear = append(oOrderyear, yr)
+		oShippriority = append(oShippriority, 0)
+		oOrderpriority = append(oOrderpriority, priorities[r.Intn(len(priorities))])
+	}
+	cat.MustRegister(table.MustNew("orders",
+		column.NewInt64("o_orderkey", oOrderkey),
+		column.NewInt64("o_custkey", oCustkey),
+		column.NewDate("o_orderdate", oOrderdate),
+		column.NewInt64("o_orderyear", oOrderyear),
+		column.NewInt64("o_shippriority", oShippriority),
+		column.NewString("o_orderpriority", oOrderpriority),
+	))
+
+	// --- lineitem: rowsPerSF per SF, ~4 lines per order. ---
+	n := cfg.SF * rowsPerSF
+	var (
+		lOrderkey      = make([]int64, n)
+		lPartkey       = make([]int64, n)
+		lSuppkey       = make([]int64, n)
+		lQuantity      = make([]int64, n)
+		lExtendedprice = make([]float64, n)
+		lDiscount      = make([]float64, n)
+		lShipdate      = make([]int32, n)
+		lShipyear      = make([]int64, n)
+		lCommitdate    = make([]int32, n)
+		lReceiptdate   = make([]int32, n)
+	)
+	for i := 0; i < n; i++ {
+		order := r.Intn(numOrders)
+		lOrderkey[i] = int64(order + 1)
+		lPartkey[i] = int64(r.Intn(numPart) + 1)
+		lSuppkey[i] = int64(r.Intn(numSupp) + 1)
+		lQuantity[i] = int64(r.Intn(50) + 1)
+		lExtendedprice[i] = float64(lQuantity[i]) * float64(r.Intn(10000)+900) / 100
+		lDiscount[i] = float64(r.Intn(11)) / 100
+		ship := addDays(oOrderdate[order], r.Intn(121)+1)
+		lShipdate[i] = ship
+		lShipyear[i] = int64(ship) / 10000
+		lCommitdate[i] = addDays(ship, r.Intn(30))
+		lReceiptdate[i] = addDays(ship, r.Intn(30))
+	}
+	cat.MustRegister(table.MustNew("lineitem",
+		column.NewInt64("l_orderkey", lOrderkey),
+		column.NewInt64("l_partkey", lPartkey),
+		column.NewInt64("l_suppkey", lSuppkey),
+		column.NewInt64("l_quantity", lQuantity),
+		column.NewFloat64("l_extendedprice", lExtendedprice),
+		column.NewFloat64("l_discount", lDiscount),
+		column.NewDate("l_shipdate", lShipdate),
+		column.NewInt64("l_shipyear", lShipyear),
+		column.NewDate("l_commitdate", lCommitdate),
+		column.NewDate("l_receiptdate", lReceiptdate),
+	))
+	return cat
+}

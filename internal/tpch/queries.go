@@ -1,0 +1,199 @@
+package tpch
+
+import (
+	"robustdb/internal/engine"
+	"robustdb/internal/expr"
+	"robustdb/internal/plan"
+)
+
+// Query pairs a benchmark query name with its physical plan.
+type Query struct {
+	Name string
+	Plan *plan.Plan
+}
+
+// Queries returns the paper's TPC-H subset Q2–Q7 as physical plans.
+func Queries() []Query {
+	return []Query{
+		{"Q2", Q2()}, {"Q3", Q3()}, {"Q4", Q4()},
+		{"Q5", Q5()}, {"Q6", Q6()}, {"Q7", Q7()},
+	}
+}
+
+// QueryByName returns the named query (e.g. "Q6"), or ok=false.
+func QueryByName(name string) (Query, bool) {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// Q2 is the minimum-cost-supplier query, simplified to its uncorrelated
+// core (CoGaDB does not support correlated subqueries): for European
+// suppliers of size-15 brass parts, report the minimum supply cost per part,
+// cheapest 100 parts first.
+func Q2() *plan.Plan {
+	r := plan.Scan("region", []string{"r_regionkey"},
+		expr.NewCmp("r_name", expr.EQ, "EUROPE"))
+	n := plan.Scan("nation", []string{"n_nationkey", "n_regionkey"}, nil)
+	jn := plan.Join(r, n, "r_regionkey", "n_regionkey", nil, []string{"n_nationkey"})
+	s := plan.Scan("supplier", []string{"s_suppkey", "s_nationkey"}, nil)
+	js := plan.Join(jn, s, "n_nationkey", "s_nationkey", nil, []string{"s_suppkey"})
+	ps := plan.Scan("partsupp", []string{"ps_partkey", "ps_suppkey", "ps_supplycost"}, nil)
+	jps := plan.Join(js, ps, "s_suppkey", "ps_suppkey", nil,
+		[]string{"ps_partkey", "ps_supplycost"})
+	p := plan.Scan("part", []string{"p_partkey"}, expr.NewAnd(
+		expr.NewCmp("p_size", expr.EQ, 15),
+		expr.NewCmp("p_type", expr.GE, "LARGE"),
+		expr.NewCmp("p_type", expr.LT, "LARGF"),
+	))
+	jp := plan.Join(p, jps, "p_partkey", "ps_partkey",
+		[]string{"p_partkey"}, []string{"ps_supplycost"})
+	a := plan.Aggregate(jp, []string{"p_partkey"},
+		[]engine.AggSpec{{Func: engine.Min, Col: "ps_supplycost", As: "min_cost"}})
+	top := plan.TopN(a, 100,
+		engine.SortKey{Col: "min_cost"},
+		engine.SortKey{Col: "p_partkey"})
+	return plan.New(top)
+}
+
+// Q3 is the shipping-priority query: unshipped orders of BUILDING customers
+// as of 1995-03-15, ten highest-revenue order groups.
+func Q3() *plan.Plan {
+	c := plan.Scan("customer", []string{"c_custkey"},
+		expr.NewCmp("c_mktsegment", expr.EQ, "BUILDING"))
+	o := plan.Scan("orders",
+		[]string{"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"},
+		expr.NewCmp("o_orderdate", expr.LT, 19950315))
+	jc := plan.Join(c, o, "c_custkey", "o_custkey",
+		nil, []string{"o_orderkey", "o_orderdate", "o_shippriority"})
+	l := plan.Scan("lineitem",
+		[]string{"l_orderkey", "l_extendedprice", "l_discount"},
+		expr.NewCmp("l_shipdate", expr.GT, 19950315))
+	jl := plan.Join(jc, l, "o_orderkey", "l_orderkey",
+		[]string{"o_orderkey", "o_orderdate", "o_shippriority"},
+		[]string{"l_extendedprice", "l_discount"})
+	disc := plan.ComputeConstLeft(jl, "one_minus_disc", 1, engine.Sub, "l_discount")
+	rev := plan.Compute(disc, "revenue", "l_extendedprice", engine.Mul, "one_minus_disc")
+	a := plan.Aggregate(rev, []string{"o_orderkey", "o_orderdate", "o_shippriority"},
+		[]engine.AggSpec{{Func: engine.Sum, Col: "revenue", As: "revenue"}})
+	top := plan.TopN(a, 10,
+		engine.SortKey{Col: "revenue", Desc: true},
+		engine.SortKey{Col: "o_orderdate"})
+	return plan.New(top)
+}
+
+// Q4 is the order-priority-checking query: orders of 1993Q3 with at least
+// one late lineitem (commit date before receipt date), counted per priority.
+func Q4() *plan.Plan {
+	l := plan.Scan("lineitem", []string{"l_orderkey"},
+		expr.NewCmpCols("l_commitdate", expr.LT, "l_receiptdate"))
+	o := plan.Scan("orders", []string{"o_orderkey", "o_orderpriority"},
+		expr.NewAnd(
+			expr.NewCmp("o_orderdate", expr.GE, 19930701),
+			expr.NewCmp("o_orderdate", expr.LT, 19931001),
+		))
+	semi := plan.SemiJoin(l, o, "l_orderkey", "o_orderkey")
+	a := plan.Aggregate(semi, []string{"o_orderpriority"},
+		[]engine.AggSpec{{Func: engine.Count, As: "order_count"}})
+	so := plan.Sort(a, engine.SortKey{Col: "o_orderpriority"})
+	return plan.New(so)
+}
+
+// Q5 is the local-supplier-volume query: revenue from ASIA customers served
+// by suppliers of the customer's own nation during 1994. The "local
+// supplier" condition (c_nationkey = s_nationkey) is an arbitrary join
+// condition CoGaDB does not support in joins; it is applied as a
+// column-vs-column filter after the supplier join.
+func Q5() *plan.Plan {
+	r := plan.Scan("region", []string{"r_regionkey"},
+		expr.NewCmp("r_name", expr.EQ, "ASIA"))
+	n := plan.Scan("nation", []string{"n_nationkey", "n_regionkey", "n_name"}, nil)
+	jn := plan.Join(r, n, "r_regionkey", "n_regionkey",
+		nil, []string{"n_nationkey", "n_name"})
+	c := plan.Scan("customer", []string{"c_custkey", "c_nationkey"}, nil)
+	jc := plan.Join(jn, c, "n_nationkey", "c_nationkey",
+		[]string{"n_name"}, []string{"c_custkey", "c_nationkey"})
+	o := plan.Scan("orders", []string{"o_orderkey", "o_custkey"},
+		expr.NewCmp("o_orderyear", expr.EQ, 1994))
+	jo := plan.Join(jc, o, "c_custkey", "o_custkey",
+		[]string{"n_name", "c_nationkey"}, []string{"o_orderkey"})
+	l := plan.Scan("lineitem",
+		[]string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}, nil)
+	jl := plan.Join(jo, l, "o_orderkey", "l_orderkey",
+		[]string{"n_name", "c_nationkey"},
+		[]string{"l_suppkey", "l_extendedprice", "l_discount"})
+	s := plan.Scan("supplier", []string{"s_suppkey", "s_nationkey"}, nil)
+	jsup := plan.Join(s, jl, "s_suppkey", "l_suppkey",
+		[]string{"s_nationkey"},
+		[]string{"n_name", "c_nationkey", "l_extendedprice", "l_discount"})
+	local := plan.Filter(jsup, expr.NewCmpCols("c_nationkey", expr.EQ, "s_nationkey"))
+	disc := plan.ComputeConstLeft(local, "one_minus_disc", 1, engine.Sub, "l_discount")
+	rev := plan.Compute(disc, "revenue", "l_extendedprice", engine.Mul, "one_minus_disc")
+	a := plan.Aggregate(rev, []string{"n_name"},
+		[]engine.AggSpec{{Func: engine.Sum, Col: "revenue", As: "revenue"}})
+	so := plan.Sort(a, engine.SortKey{Col: "revenue", Desc: true})
+	return plan.New(so)
+}
+
+// Q6 is the forecasting-revenue-change query: 1994 lineitems with discount
+// 0.05–0.07 and quantity < 24; revenue = sum(extendedprice · discount).
+func Q6() *plan.Plan {
+	l := plan.Scan("lineitem", []string{"l_extendedprice", "l_discount"},
+		expr.NewAnd(
+			expr.NewCmp("l_shipyear", expr.EQ, 1994),
+			expr.NewBetween("l_discount", 0.05, 0.07),
+			expr.NewCmp("l_quantity", expr.LT, 24),
+		))
+	rev := plan.Compute(l, "revenue", "l_extendedprice", engine.Mul, "l_discount")
+	a := plan.Aggregate(rev, nil,
+		[]engine.AggSpec{{Func: engine.Sum, Col: "revenue", As: "revenue"}})
+	return plan.New(a)
+}
+
+// Q7 is the volume-shipping query between FRANCE and GERMANY, by supplier
+// nation, customer nation, and ship year (1995–1996). TPC-H joins the
+// nation table twice with a disjunctive join condition — an arbitrary join
+// condition out of CoGaDB's scope — so the plan reads the denormalized
+// s_nation/c_nation attributes and applies the nation-pair disjunction as a
+// filter.
+func Q7() *plan.Plan {
+	s := plan.Scan("supplier", []string{"s_suppkey", "s_nation"},
+		expr.NewIn("s_nation", "FRANCE", "GERMANY"))
+	l := plan.Scan("lineitem",
+		[]string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipyear"},
+		expr.NewIn("l_shipyear", 1995, 1996))
+	jl := plan.Join(s, l, "s_suppkey", "l_suppkey",
+		[]string{"s_nation"},
+		[]string{"l_orderkey", "l_extendedprice", "l_discount", "l_shipyear"})
+	o := plan.Scan("orders", []string{"o_orderkey", "o_custkey"}, nil)
+	jo := plan.Join(o, jl, "o_orderkey", "l_orderkey",
+		[]string{"o_custkey"},
+		[]string{"s_nation", "l_extendedprice", "l_discount", "l_shipyear"})
+	c := plan.Scan("customer", []string{"c_custkey", "c_nation"},
+		expr.NewIn("c_nation", "FRANCE", "GERMANY"))
+	jc := plan.Join(c, jo, "c_custkey", "o_custkey",
+		[]string{"c_nation"},
+		[]string{"s_nation", "l_extendedprice", "l_discount", "l_shipyear"})
+	pair := plan.Filter(jc, expr.NewOr(
+		expr.NewAnd(
+			expr.NewCmp("s_nation", expr.EQ, "FRANCE"),
+			expr.NewCmp("c_nation", expr.EQ, "GERMANY"),
+		),
+		expr.NewAnd(
+			expr.NewCmp("s_nation", expr.EQ, "GERMANY"),
+			expr.NewCmp("c_nation", expr.EQ, "FRANCE"),
+		),
+	))
+	disc := plan.ComputeConstLeft(pair, "one_minus_disc", 1, engine.Sub, "l_discount")
+	rev := plan.Compute(disc, "volume", "l_extendedprice", engine.Mul, "one_minus_disc")
+	a := plan.Aggregate(rev, []string{"s_nation", "c_nation", "l_shipyear"},
+		[]engine.AggSpec{{Func: engine.Sum, Col: "volume", As: "revenue"}})
+	so := plan.Sort(a,
+		engine.SortKey{Col: "s_nation"},
+		engine.SortKey{Col: "c_nation"},
+		engine.SortKey{Col: "l_shipyear"})
+	return plan.New(so)
+}

@@ -1,0 +1,341 @@
+// Package vecengine is the vectorized (vector-at-a-time) comparator backend
+// standing in for MonetDB/Ocelot in the paper's Appendix A comparison.
+//
+// It executes the same physical plans as the bulk engine, but streams base
+// tables through unary operator chains in cache-sized vectors: a scan's
+// output chunk flows through filters, computes, and projections without
+// ever being materialized as a full intermediate. Only *pipeline breakers*
+// (joins, aggregations, sorts — and the plan root) materialize, exactly the
+// property §5.5 discusses. Results are produced by the same kernels as the
+// bulk engine and are bit-identical to it.
+//
+// The execution statistics (vectors dispatched, bytes materialized at
+// breakers, bytes that skipped materialization) feed the Figure 22/23 cost
+// comparison: vectorized execution saves the write+read of unary
+// intermediates and pays a small per-vector dispatch overhead instead.
+package vecengine
+
+import (
+	"fmt"
+	"time"
+
+	"robustdb/internal/column"
+	"robustdb/internal/cost"
+	"robustdb/internal/engine"
+	"robustdb/internal/plan"
+	"robustdb/internal/table"
+)
+
+// DefaultVectorSize is the number of rows per vector (MonetDB/X100-style
+// cache-resident chunks).
+const DefaultVectorSize = 1024
+
+// Stats describes one vectorized plan execution.
+type Stats struct {
+	// Vectors is the number of vector dispatches across all pipelines.
+	Vectors int64
+	// MaterializedBytes were written at pipeline breakers.
+	MaterializedBytes int64
+	// SavedBytes are intermediate bytes that flowed through unary chains
+	// without materialization (the bulk engine would write and re-read
+	// them).
+	SavedBytes int64
+	// Pipelines is the number of executed pipelines.
+	Pipelines int64
+}
+
+// Engine executes plans vector-at-a-time.
+type Engine struct {
+	cat        *table.Catalog
+	vectorSize int
+}
+
+// New creates a vectorized engine over the catalog. vectorSize ≤ 0 selects
+// DefaultVectorSize.
+func New(cat *table.Catalog, vectorSize int) *Engine {
+	if vectorSize <= 0 {
+		vectorSize = DefaultVectorSize
+	}
+	return &Engine{cat: cat, vectorSize: vectorSize}
+}
+
+// VectorSize returns the configured rows-per-vector.
+func (e *Engine) VectorSize() int { return e.vectorSize }
+
+// Execute runs the plan and returns its exact result plus the execution
+// statistics.
+func (e *Engine) Execute(p *plan.Plan) (*engine.Batch, Stats, error) {
+	var stats Stats
+	out, err := e.execNode(p.Root, &stats)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return out, stats, nil
+}
+
+// pipelineable reports whether the operator can process a vector stream
+// without seeing the full input.
+func pipelineable(op plan.Operator) bool {
+	switch op.Class() {
+	case cost.Selection, cost.Compute, cost.Materialize:
+		// Scans are selection-class sources; Filter/Compute/Project are
+		// streaming unary operators.
+		return true
+	default:
+		return false
+	}
+}
+
+// execNode materializes the output of node n: breakers run as bulk kernels
+// over materialized children; unary streaming chains run vector-at-a-time.
+func (e *Engine) execNode(n *plan.Node, stats *Stats) (*engine.Batch, error) {
+	if pipelineable(n.Op) {
+		return e.execPipeline(n, stats)
+	}
+	inputs := make([]*engine.Batch, len(n.Children))
+	for i, c := range n.Children {
+		in, err := e.execNode(c, stats)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = in
+	}
+	out, err := n.Op.Execute(e.cat, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("vecengine: %s: %w", n.Op.Name(), err)
+	}
+	stats.MaterializedBytes += out.Bytes()
+	return out, nil
+}
+
+// execPipeline walks down the chain of streaming unary operators below n,
+// materializes the chain's source, and streams it through the chain in
+// vectors, materializing only the final output (n is consumed by a breaker
+// or is the root).
+func (e *Engine) execPipeline(n *plan.Node, stats *Stats) (*engine.Batch, error) {
+	// Collect the unary streaming chain bottom-up: source first.
+	var chain []*plan.Node
+	cur := n
+	for {
+		chain = append([]*plan.Node{cur}, chain...)
+		if len(cur.Children) != 1 || !pipelineable(cur.Children[0].Op) {
+			break
+		}
+		cur = cur.Children[0]
+	}
+	source := chain[0]
+	// The source's input: a scan reads the catalog; a streaming operator
+	// over a breaker consumes the breaker's materialized output.
+	var input *engine.Batch
+	switch {
+	case len(source.Children) == 0:
+		// Leaf scan: materialize per-vector below.
+		input = nil
+	case len(source.Children) == 1:
+		breakerOut, err := e.execNode(source.Children[0], stats)
+		if err != nil {
+			return nil, err
+		}
+		input = breakerOut
+	default:
+		return nil, fmt.Errorf("vecengine: streaming operator %s with %d children", source.Op.Name(), len(source.Children))
+	}
+
+	stats.Pipelines++
+	var pieces []*engine.Batch
+	process := func(vec *engine.Batch) error {
+		curBatch := vec
+		for _, stage := range chain {
+			var err error
+			var out *engine.Batch
+			if len(stage.Children) == 0 {
+				// Source scan already produced cur; skip.
+				out = curBatch
+			} else {
+				out, err = stage.Op.Execute(e.cat, []*engine.Batch{curBatch})
+				if err != nil {
+					return fmt.Errorf("vecengine: %s: %w", stage.Op.Name(), err)
+				}
+				if stage != chain[len(chain)-1] {
+					stats.SavedBytes += out.Bytes()
+				}
+			}
+			curBatch = out
+		}
+		stats.Vectors++
+		if curBatch.NumRows() > 0 || len(pieces) == 0 {
+			pieces = append(pieces, curBatch)
+		}
+		return nil
+	}
+
+	if input == nil {
+		// Stream the scan: evaluate its predicate once, then emit the
+		// qualifying positions in vector-sized chunks.
+		scan, ok := source.Op.(*plan.ScanOp)
+		if !ok {
+			return nil, fmt.Errorf("vecengine: leaf %s is not a scan", source.Op.Name())
+		}
+		t, err := e.cat.Table(scan.Table)
+		if err != nil {
+			return nil, err
+		}
+		resolve := func(name string) (column.Column, error) {
+			c, err := t.Column(name)
+			if err != nil {
+				return nil, err
+			}
+			return column.Materialized(c), nil
+		}
+		var pos column.PosList
+		if scan.Pred != nil {
+			pos, err = scan.Pred.Eval(resolve)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			pos = column.All(t.NumRows())
+		}
+		for lo := 0; lo < len(pos) || lo == 0; lo += e.vectorSize {
+			hi := lo + e.vectorSize
+			if hi > len(pos) {
+				hi = len(pos)
+			}
+			vec, err := e.materializeScan(scan, t, pos[lo:hi])
+			if err != nil {
+				return nil, err
+			}
+			if scan != chain[len(chain)-1].Op {
+				stats.SavedBytes += vec.Bytes()
+			}
+			if err := process(vec); err != nil {
+				return nil, err
+			}
+			if len(pos) == 0 {
+				break
+			}
+		}
+	} else {
+		for lo := 0; lo < input.NumRows() || lo == 0; lo += e.vectorSize {
+			hi := lo + e.vectorSize
+			if hi > input.NumRows() {
+				hi = input.NumRows()
+			}
+			vec := sliceBatch(input, lo, hi)
+			if err := process(vec); err != nil {
+				return nil, err
+			}
+			if input.NumRows() == 0 {
+				break
+			}
+		}
+	}
+	out, err := concatBatches(pieces)
+	if err != nil {
+		return nil, err
+	}
+	stats.MaterializedBytes += out.Bytes()
+	return out, nil
+}
+
+// materializeScan gathers the scan's output columns for one chunk of
+// qualifying positions.
+func (e *Engine) materializeScan(scan *plan.ScanOp, t *table.Table, pos column.PosList) (*engine.Batch, error) {
+	if len(scan.Cols) == 0 {
+		ids := make([]int64, len(pos))
+		for i, p := range pos {
+			ids[i] = int64(p)
+		}
+		return engine.NewBatch(column.NewInt64(scan.Table+".rowid", ids))
+	}
+	cols := make([]column.Column, len(scan.Cols))
+	for i, name := range scan.Cols {
+		c, err := t.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c.Gather(pos)
+	}
+	return engine.NewBatch(cols...)
+}
+
+// sliceBatch materializes rows [lo, hi) of a batch.
+func sliceBatch(b *engine.Batch, lo, hi int) *engine.Batch {
+	pos := make(column.PosList, hi-lo)
+	for i := range pos {
+		pos[i] = int32(lo + i)
+	}
+	return b.Gather(pos)
+}
+
+// concatBatches appends the pieces of a pipeline into one batch.
+func concatBatches(pieces []*engine.Batch) (*engine.Batch, error) {
+	if len(pieces) == 0 {
+		return engine.NewBatch()
+	}
+	first := pieces[0]
+	cols := make([]column.Column, first.NumColumns())
+	for ci, proto := range first.Columns() {
+		switch proto.(type) {
+		case *column.Int64Column:
+			var vals []int64
+			for _, p := range pieces {
+				vals = append(vals, p.Columns()[ci].(*column.Int64Column).Values...)
+			}
+			cols[ci] = column.NewInt64(proto.Name(), vals)
+		case *column.Float64Column:
+			var vals []float64
+			for _, p := range pieces {
+				vals = append(vals, p.Columns()[ci].(*column.Float64Column).Values...)
+			}
+			cols[ci] = column.NewFloat64(proto.Name(), vals)
+		case *column.DateColumn:
+			var vals []int32
+			for _, p := range pieces {
+				vals = append(vals, p.Columns()[ci].(*column.DateColumn).Values...)
+			}
+			cols[ci] = column.NewDate(proto.Name(), vals)
+		case *column.StringColumn:
+			// Re-encode through strings: vector dictionaries may differ.
+			var vals []string
+			for _, p := range pieces {
+				sc := p.Columns()[ci].(*column.StringColumn)
+				for i := 0; i < sc.Len(); i++ {
+					vals = append(vals, sc.Value(i))
+				}
+			}
+			cols[ci] = column.NewString(proto.Name(), vals)
+		default:
+			return nil, fmt.Errorf("vecengine: cannot concatenate column type %T", proto)
+		}
+	}
+	return engine.NewBatch(cols...)
+}
+
+// EstimateTime predicts the virtual execution time of the vectorized run on
+// a processor: per-pipeline work counts pipeline inputs and breaker outputs
+// (the saved unary intermediates are not charged), plus a per-vector
+// dispatch cost. This is the quantity Figures 22/23 plot for the comparator.
+func EstimateTime(p *plan.Plan, stats Stats, params *cost.Params, kind cost.ProcKind, cat *table.Catalog) time.Duration {
+	var total time.Duration
+	for _, n := range p.Nodes() {
+		var in int64
+		for _, id := range n.Op.BaseColumns() {
+			if b, err := cat.ColumnBytes(id); err == nil {
+				in += b
+			}
+		}
+		if pipelineable(n.Op) {
+			// Streaming stage: charge reading its input only; the write of
+			// its output is charged by the consuming breaker (or root).
+			total += time.Duration(float64(in) / params.Throughput[kind][n.Op.Class()] * float64(time.Second))
+			continue
+		}
+		total += params.OpDuration(n.Op.Class(), kind, cost.Work(n.EstInBytes, n.EstOutBytes))
+	}
+	// Vector dispatch overhead: a fraction of a kernel launch per vector.
+	dispatch := params.Startup[kind] / 8
+	total += time.Duration(stats.Vectors) * dispatch
+	total += time.Duration(float64(stats.MaterializedBytes) / params.Throughput[kind][cost.Materialize] * float64(time.Second))
+	return total
+}

@@ -1,0 +1,172 @@
+package vecengine
+
+import (
+	"testing"
+
+	"robustdb/internal/column"
+	"robustdb/internal/cost"
+	"robustdb/internal/engine"
+	"robustdb/internal/expr"
+	"robustdb/internal/plan"
+	"robustdb/internal/ssb"
+	"robustdb/internal/table"
+)
+
+func testCatalog() *table.Catalog {
+	return ssb.Generate(ssb.Config{SF: 1, RowsPerSF: 5000, Seed: 9})
+}
+
+// evalBulk executes a plan with the bulk operators (the reference).
+func evalBulk(t *testing.T, cat *table.Catalog, p *plan.Plan) *engine.Batch {
+	t.Helper()
+	var eval func(n *plan.Node) *engine.Batch
+	eval = func(n *plan.Node) *engine.Batch {
+		var inputs []*engine.Batch
+		for _, c := range n.Children {
+			inputs = append(inputs, eval(c))
+		}
+		out, err := n.Op.Execute(cat, inputs)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Op.Name(), err)
+		}
+		return out
+	}
+	return eval(p.Root)
+}
+
+func assertSameResults(t *testing.T, name string, bulk, vec *engine.Batch) {
+	t.Helper()
+	if bulk.NumRows() != vec.NumRows() || bulk.NumColumns() != vec.NumColumns() {
+		t.Fatalf("%s: shape differs: bulk %dx%d vec %dx%d", name,
+			bulk.NumRows(), bulk.NumColumns(), vec.NumRows(), vec.NumColumns())
+	}
+	for ci, bc := range bulk.Columns() {
+		vc := vec.Columns()[ci]
+		for i := 0; i < bc.Len(); i++ {
+			var bv, vv interface{}
+			switch bc := bc.(type) {
+			case *column.Int64Column:
+				bv, vv = bc.Values[i], vc.(*column.Int64Column).Values[i]
+			case *column.Float64Column:
+				bv, vv = bc.Values[i], vc.(*column.Float64Column).Values[i]
+			case *column.DateColumn:
+				bv, vv = bc.Values[i], vc.(*column.DateColumn).Values[i]
+			case *column.StringColumn:
+				bv, vv = bc.Value(i), vc.(*column.StringColumn).Value(i)
+			}
+			if bv != vv {
+				t.Fatalf("%s: column %s row %d: bulk %v vec %v", name, bc.Name(), i, bv, vv)
+			}
+		}
+	}
+}
+
+// Every SSB query must produce bit-identical results under vectorized
+// execution, for several vector sizes including non-dividing ones.
+func TestVectorizedMatchesBulkOnSSB(t *testing.T) {
+	cat := testCatalog()
+	for _, vs := range []int{0, 7, 100, 1 << 20} {
+		e := New(cat, vs)
+		for _, q := range ssb.Queries() {
+			bulk := evalBulk(t, cat, q.Plan)
+			vec, stats, err := e.Execute(q.Plan)
+			if err != nil {
+				t.Fatalf("%s (vs=%d): %v", q.Name, vs, err)
+			}
+			assertSameResults(t, q.Name, bulk, vec)
+			if stats.Vectors <= 0 || stats.Pipelines <= 0 {
+				t.Fatalf("%s: no vectors/pipelines recorded: %+v", q.Name, stats)
+			}
+		}
+	}
+}
+
+func TestVectorSizeDefault(t *testing.T) {
+	e := New(testCatalog(), 0)
+	if e.VectorSize() != DefaultVectorSize {
+		t.Fatalf("VectorSize = %d", e.VectorSize())
+	}
+	if New(testCatalog(), 33).VectorSize() != 33 {
+		t.Fatal("explicit vector size ignored")
+	}
+}
+
+// A pipeline of streaming operators must save intermediate materialization.
+func TestPipelineSavesMaterialization(t *testing.T) {
+	cat := testCatalog()
+	scan := plan.Scan("lineorder", []string{"lo_quantity", "lo_extendedprice"},
+		expr.NewCmp("lo_quantity", expr.LT, 30))
+	comp := plan.Compute(scan, "x", "lo_quantity", engine.Mul, "lo_extendedprice")
+	proj := plan.Project(comp, "x")
+	agg := plan.Aggregate(proj, nil, []engine.AggSpec{{Func: engine.Sum, Col: "x", As: "s"}})
+	p := plan.New(agg)
+	e := New(cat, 512)
+	bulk := evalBulk(t, cat, p)
+	vec, stats, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "pipeline", bulk, vec)
+	if stats.SavedBytes == 0 {
+		t.Fatal("streaming chain should save intermediate bytes")
+	}
+	if stats.MaterializedBytes == 0 {
+		t.Fatal("breaker output must be materialized")
+	}
+}
+
+func TestEmptyResultPipeline(t *testing.T) {
+	cat := testCatalog()
+	scan := plan.Scan("lineorder", []string{"lo_quantity"},
+		expr.NewCmp("lo_quantity", expr.GT, 10_000_000))
+	p := plan.New(scan)
+	e := New(cat, 256)
+	out, _, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Fatalf("rows = %d, want 0", out.NumRows())
+	}
+}
+
+func TestVectorizedErrors(t *testing.T) {
+	cat := testCatalog()
+	e := New(cat, 128)
+	bad := plan.New(plan.Scan("missing", []string{"x"}, nil))
+	if _, _, err := e.Execute(bad); err == nil {
+		t.Fatal("expected unknown-table error")
+	}
+	badPred := plan.New(plan.Scan("lineorder", nil, expr.NewCmp("zz", expr.EQ, 1)))
+	if _, _, err := e.Execute(badPred); err == nil {
+		t.Fatal("expected predicate error")
+	}
+	badAgg := plan.New(plan.Aggregate(
+		plan.Scan("lineorder", []string{"lo_quantity"}, nil),
+		nil, []engine.AggSpec{{Func: engine.Sum, Col: "zz", As: "s"}}))
+	if _, _, err := e.Execute(badAgg); err == nil {
+		t.Fatal("expected aggregate error")
+	}
+}
+
+func TestEstimateTime(t *testing.T) {
+	cat := testCatalog()
+	params := cost.DefaultParams()
+	q, _ := ssb.QueryByName("Q1.1")
+	if err := q.Plan.EstimateSizes(cat); err != nil {
+		t.Fatal(err)
+	}
+	e := New(cat, 0)
+	_, stats, err := e.Execute(q.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := EstimateTime(q.Plan, stats, params, cost.CPU, cat)
+	gpu := EstimateTime(q.Plan, stats, params, cost.GPU, cat)
+	if cpu <= 0 || gpu <= 0 {
+		t.Fatal("estimates must be positive")
+	}
+	if gpu >= cpu {
+		t.Fatalf("vectorized GPU (%v) should beat CPU (%v) with resident data", gpu, cpu)
+	}
+}

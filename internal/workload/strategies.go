@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"robustdb/internal/chopping"
+	"robustdb/internal/placement"
+	"robustdb/internal/placer"
+)
+
+// The strategy catalogue of the paper's evaluation (§6.2 and DESIGN.md §6).
+
+// CPUOnly executes everything on the host.
+func CPUOnly() Strategy {
+	return Strategy{Label: "CPU Only", Placer: placer.CPUOnly{}}
+}
+
+// GPUOnly is the GPU-Preferred baseline: every operator on the co-processor,
+// per-operator CPU fallback on aborts, operator-driven data placement.
+func GPUOnly() Strategy {
+	return Strategy{Label: "GPU Only", Placer: placer.GPUPreferred{}, Preload: true}
+}
+
+// CriticalPath is CoGaDB's default compile-time optimizer (Appendix D).
+func CriticalPath() Strategy {
+	return Strategy{Label: "Critical Path", Placer: placer.CriticalPath{}, Preload: true}
+}
+
+// DataDriven is compile-time data-driven placement (§3).
+func DataDriven() Strategy {
+	return Strategy{Label: "Data-Driven", Placer: placer.DataDriven{}, DataDriven: true}
+}
+
+// RunTime is run-time placement without concurrency control (Figure 9).
+func RunTime() Strategy {
+	return Strategy{Label: "Run-Time", Placer: chopping.LoadBalanced{}, Preload: true}
+}
+
+// Chopping is query chopping: run-time placement plus bounded thread pools
+// (§5.2).
+func Chopping() Strategy {
+	return Strategy{
+		Label:      "Chopping",
+		Placer:     chopping.LoadBalanced{},
+		GPUWorkers: chopping.DefaultGPUWorkers,
+		CPUWorkers: chopping.DefaultCPUWorkers,
+		Preload:    true,
+	}
+}
+
+// DataDrivenChopping is the paper's combined contribution (§5.4).
+func DataDrivenChopping() Strategy {
+	return Strategy{
+		Label:      "Data-Driven Chopping",
+		Placer:     chopping.DataDriven{},
+		GPUWorkers: chopping.DefaultGPUWorkers,
+		CPUWorkers: chopping.DefaultCPUWorkers,
+		DataDriven: true,
+	}
+}
+
+// DataDrivenLRU is DataDriven with LRU ranking in Algorithm 1 (Appendix E).
+func DataDrivenLRU() Strategy {
+	s := DataDriven()
+	s.Label = "Data-Driven (LRU)"
+	s.PlacementPolicy = placement.LRU
+	return s
+}
+
+// AllStrategies returns the six strategies of Figures 14–21 in plot order.
+func AllStrategies() []Strategy {
+	return []Strategy{
+		CPUOnly(), GPUOnly(), CriticalPath(),
+		DataDriven(), Chopping(), DataDrivenChopping(),
+	}
+}

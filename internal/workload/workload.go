@@ -1,0 +1,211 @@
+// Package workload runs benchmark workloads through the execution engine
+// exactly the way the paper's evaluation does (§6.1): a fixed total number
+// of queries is distributed over a configurable number of parallel user
+// sessions (closed loop — every session issues its next query when the
+// previous one finishes), the cache is pre-loaded before the measured run,
+// and the run reports the workload execution time together with the
+// transfer, abort, and wasted-time metrics the figures plot.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"robustdb/internal/bus"
+	"robustdb/internal/exec"
+	"robustdb/internal/placement"
+	"robustdb/internal/plan"
+	"robustdb/internal/sim"
+	"robustdb/internal/table"
+)
+
+// Query is one named query of a workload.
+type Query struct {
+	Name string
+	Plan *plan.Plan
+}
+
+// Spec describes one workload run.
+type Spec struct {
+	// Queries is the query mix, issued round-robin.
+	Queries []Query
+	// Users is the number of parallel sessions (≥ 1).
+	Users int
+	// TotalQueries is the fixed amount of work, distributed over the users
+	// ("the total number of queries in the workload is fixed, only the
+	// number of parallel running queries changes", §6.2.2). Zero means one
+	// pass over Queries per user.
+	TotalQueries int
+	// AdmissionControl admits only one query at a time into the engine
+	// (the Figure 21 baseline).
+	AdmissionControl bool
+	// Monitor, when set, is invoked every MonitorEvery of virtual time
+	// while the workload runs (diagnostics: sampling concurrency, heap
+	// utilization). It must not block.
+	Monitor func(e *exec.Engine)
+	// MonitorEvery is the sampling period; zero means 100µs.
+	MonitorEvery time.Duration
+}
+
+// Result aggregates the metrics of one run.
+type Result struct {
+	// Strategy is the label of the executed strategy.
+	Strategy string
+	// WorkloadTime is the makespan of the run.
+	WorkloadTime time.Duration
+	// H2DTime / D2HTime are the accumulated bus service times per direction.
+	H2DTime, D2HTime time.Duration
+	// H2DBytes / D2HBytes are the moved volumes per direction.
+	H2DBytes, D2HBytes int64
+	// Aborts is the number of aborted GPU operators.
+	Aborts int64
+	// WastedTime is the total begin-to-abort time of aborted GPU operators.
+	WastedTime time.Duration
+	// GPUOperators / CPUOperators count completed operator executions.
+	GPUOperators, CPUOperators int64
+	// QueriesRun is the number of completed queries.
+	QueriesRun int64
+	// Latencies holds per-query-name response times in completion order.
+	Latencies map[string][]time.Duration
+}
+
+// MeanLatency returns the average response time of the named query (0 when
+// it never ran).
+func (r *Result) MeanLatency(name string) time.Duration {
+	ls := r.Latencies[name]
+	if len(ls) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range ls {
+		sum += l
+	}
+	return sum / time.Duration(len(ls))
+}
+
+// Strategy bundles everything that distinguishes the paper's execution
+// strategies: the placement heuristic, the per-processor thread-pool bounds
+// (chopping), whether the data placement manager drives the cache, and the
+// cache-preload behaviour.
+type Strategy struct {
+	// Label is the name used in experiment output ("Data-Driven Chopping").
+	Label string
+	// Placer decides operator placement.
+	Placer exec.Placer
+	// GPUWorkers / CPUWorkers bound operator concurrency; 0 = unbounded.
+	GPUWorkers, CPUWorkers int
+	// DataDriven runs Algorithm 1 before the measured run and pins the
+	// chosen columns (the data-driven data placement of §3).
+	DataDriven bool
+	// PlacementPolicy selects LFU or LRU ranking for Algorithm 1.
+	PlacementPolicy placement.Policy
+	// Preload fills the cache before the run even for operator-driven
+	// strategies (the paper pre-loads access structures "until the GPU
+	// buffer size is reached", §6.1). Ignored when DataDriven is set.
+	Preload bool
+}
+
+// Run executes the workload under the strategy on a fresh engine over cat
+// and returns the engine (for inspection) plus the aggregated result.
+func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.Engine, Result, error) {
+	if spec.Users < 1 {
+		return nil, Result{}, fmt.Errorf("workload: need at least one user, got %d", spec.Users)
+	}
+	if len(spec.Queries) == 0 {
+		return nil, Result{}, fmt.Errorf("workload: no queries")
+	}
+	if strat.GPUWorkers > 0 {
+		cfg.GPUWorkers = strat.GPUWorkers
+	}
+	if strat.CPUWorkers > 0 {
+		cfg.CPUWorkers = strat.CPUWorkers
+	}
+	e := exec.New(cat, cfg)
+
+	// Pre-load the cache. The access statistics come from the workload's
+	// own query mix — the paper warms the system with two unmeasured passes.
+	mgr := placement.NewManager(strat.PlacementPolicy)
+	for _, q := range spec.Queries {
+		mgr.Tracker.Record(q.Plan.BaseColumns()...)
+	}
+	if strat.DataDriven || strat.Preload {
+		desired := mgr.Desired(cat, e.Cache.Capacity())
+		if err := mgr.ApplyInstant(e, desired, strat.DataDriven); err != nil {
+			return nil, Result{}, fmt.Errorf("workload: preload: %w", err)
+		}
+	}
+
+	total := spec.TotalQueries
+	if total == 0 {
+		total = spec.Users * len(spec.Queries)
+	}
+	// Distribute the fixed total of queries over the sessions; the mix is
+	// assigned round-robin over the global sequence so every strategy and
+	// user count executes the identical multiset of queries.
+	perUser := make([][]Query, spec.Users)
+	for i := 0; i < total; i++ {
+		perUser[i%spec.Users] = append(perUser[i%spec.Users], spec.Queries[i%len(spec.Queries)])
+	}
+
+	var admission *sim.Pool
+	if spec.AdmissionControl {
+		admission = sim.NewPool(e.Sim, "admission", 1)
+	}
+
+	result := Result{Strategy: strat.Label, Latencies: make(map[string][]time.Duration)}
+	var runErr error
+	if spec.Monitor != nil {
+		period := spec.MonitorEvery
+		if period <= 0 {
+			period = 100 * time.Microsecond
+		}
+		e.Sim.Spawn("monitor", func(p *sim.Proc) {
+			for e.Metrics.QueriesCompleted < int64(total) && runErr == nil {
+				spec.Monitor(e)
+				p.Hold(period)
+			}
+		})
+	}
+	for u := 0; u < spec.Users; u++ {
+		queries := perUser[u]
+		e.Sim.Spawn(fmt.Sprintf("user%02d", u), func(p *sim.Proc) {
+			for _, q := range queries {
+				if runErr != nil {
+					return
+				}
+				// Latency is measured from submission: under admission
+				// control it includes the queueing delay — the latency
+				// increase the paper attributes to query-level admission
+				// (Figure 21).
+				submitted := p.Now()
+				if admission != nil {
+					admission.Acquire(p)
+				}
+				_, _, err := e.RunQuery(p, q.Plan, strat.Placer)
+				if admission != nil {
+					admission.Release()
+				}
+				if err != nil {
+					runErr = fmt.Errorf("workload: %s: %w", q.Name, err)
+					return
+				}
+				result.Latencies[q.Name] = append(result.Latencies[q.Name], p.Now()-submitted)
+			}
+		})
+	}
+	makespan := e.Sim.Run()
+	if runErr != nil {
+		return e, Result{}, runErr
+	}
+	result.WorkloadTime = makespan
+	result.H2DTime = e.Bus.Link(bus.HostToDevice).BusyTime()
+	result.D2HTime = e.Bus.Link(bus.DeviceToHost).BusyTime()
+	result.H2DBytes = e.Bus.Link(bus.HostToDevice).Bytes()
+	result.D2HBytes = e.Bus.Link(bus.DeviceToHost).Bytes()
+	result.Aborts = e.Metrics.Aborts
+	result.WastedTime = e.Metrics.WastedTime
+	result.GPUOperators = e.Metrics.GPUOperators
+	result.CPUOperators = e.Metrics.CPUOperators
+	result.QueriesRun = e.Metrics.QueriesCompleted
+	return e, result, nil
+}
