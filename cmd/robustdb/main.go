@@ -20,9 +20,23 @@
 //	-heap-frac F        device heap as a fraction of the database (default 1.0)
 //	-admission          admit only one query at a time (baseline)
 //
+// Fault injection (chaos runs — all off by default):
+//
+//	-fault-seed N       injector seed (schedule is reproducible per seed)
+//	-fault-alloc F      transient device-allocation failure probability
+//	-fault-transfer F   transient bus-transfer failure probability
+//	-fault-resets N     number of full device resets over the run
+//	-fault-stuck F      probability a GPU operator hangs before progress
+//	-deadline D         per-query deadline (e.g. 50ms; 0 = none)
+//
 // Example — the paper's headline comparison at 20 users:
 //
 //	robustdb -bench ssb -sf 10 -users 20 -total 100 -strategy all
+//
+// Example — the same run under 5% transient faults and two device resets:
+//
+//	robustdb -users 20 -total 100 -strategy all \
+//	    -fault-seed 7 -fault-alloc 0.05 -fault-transfer 0.05 -fault-resets 2
 package main
 
 import (
@@ -46,6 +60,12 @@ func main() {
 	heapFrac := flag.Float64("heap-frac", 1.0, "device heap / database bytes")
 	admission := flag.Bool("admission", false, "admission control: one query at a time")
 	seed := flag.Int64("seed", 0, "generator seed")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
+	faultAlloc := flag.Float64("fault-alloc", 0, "transient device-allocation failure probability")
+	faultTransfer := flag.Float64("fault-transfer", 0, "transient bus-transfer failure probability")
+	faultResets := flag.Int("fault-resets", 0, "full device resets over the run")
+	faultStuck := flag.Float64("fault-stuck", 0, "probability a GPU operator hangs before progress")
+	deadline := flag.Duration("deadline", 0, "per-query deadline (0 = none)")
 	flag.Parse()
 
 	var db *robustdb.DB
@@ -95,16 +115,36 @@ func main() {
 		strategies = []robustdb.Strategy{s}
 	}
 
+	chaos := *faultAlloc > 0 || *faultTransfer > 0 || *faultResets > 0 || *faultStuck > 0
+	if chaos {
+		fmt.Printf("fault injection: seed=%d alloc=%.2g transfer=%.2g resets=%d stuck=%.2g\n",
+			*faultSeed, *faultAlloc, *faultTransfer, *faultResets, *faultStuck)
+	}
+
 	fmt.Printf("%-22s %12s %10s %10s %8s %12s\n",
 		"strategy", "time", "H2D", "D2H", "aborts", "wasted")
 	for _, strat := range strategies {
+		run := dev
+		run.QueryDeadline = *deadline
+		if chaos {
+			// Fresh injector per strategy: every strategy faces the identical
+			// reproducible fault schedule for its own draws.
+			run.Faults = robustdb.NewFaultInjector(robustdb.FaultConfig{
+				Seed:             *faultSeed,
+				AllocFailRate:    *faultAlloc,
+				TransferFailRate: *faultTransfer,
+				ResetCount:       *faultResets,
+				StuckRate:        *faultStuck,
+			})
+		}
 		spec := robustdb.Workload{
 			Queries:          queries,
 			Users:            *users,
 			TotalQueries:     *total,
 			AdmissionControl: *admission,
+			ContinueOnError:  chaos || *deadline > 0,
 		}
-		_, res, err := db.RunWorkload(dev, strat, spec)
+		_, res, err := db.RunWorkload(run, strat, spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "robustdb: %s: %v\n", strat.Label, err)
 			os.Exit(1)
@@ -116,6 +156,12 @@ func main() {
 			res.D2HTime.Round(10*time.Microsecond),
 			res.Aborts,
 			res.WastedTime.Round(10*time.Microsecond))
+		if chaos || *deadline > 0 {
+			fmt.Printf("%-22s failures=%d resets=%d allocFaults=%d transferFaults=%d retries=%d trips=%d degraded=%d deadline=%d catalogErrs=%d\n",
+				"", res.Failures, res.DeviceResets, res.AllocFaults,
+				res.TransferFaults, res.Retries, res.BreakerTrips,
+				res.DegradedPlacements, res.DeadlineFailures, res.CatalogErrors)
+		}
 	}
 }
 

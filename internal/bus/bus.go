@@ -46,13 +46,21 @@ type Link struct {
 	bytes     int64
 	busy      time.Duration
 	transfers int64
+	faults    int64
 }
+
+// TransferHook is consulted before a fallible transfer moves data. Returning
+// a non-nil error fails the transfer with that error after charging only the
+// setup latency (the DMA was programmed but the payload never arrived).
+// Fault injectors install hooks to produce PCIe transfer errors.
+type TransferHook func(d Direction, n int64) error
 
 // Bus is the full-duplex interconnect: independent links per direction, the
 // standard model for PCIe with separate DMA engines per direction (and the
 // reason CoGaDB uses CUDA streams, §2.5.3).
 type Bus struct {
 	links [2]*Link
+	hook  TransferHook
 }
 
 // Config holds the physical parameters of the bus.
@@ -83,24 +91,50 @@ func New(s *sim.Sim, cfg Config) *Bus {
 // Link returns the link of the given direction.
 func (b *Bus) Link(d Direction) *Link { return b.links[d] }
 
+// SetTransferHook installs (or, with nil, removes) the transfer fault hook.
+// Only fallible transfers (TryTransfer) consult it; Transfer always succeeds.
+func (b *Bus) SetTransferHook(h TransferHook) { b.hook = h }
+
 // Transfer moves n bytes in direction d on behalf of process p, blocking in
 // virtual time for queueing + latency + n/bandwidth. Zero-byte transfers are
-// free and do not touch the link.
+// free and do not touch the link. Transfer never fails; operator-path
+// transfers that must react to injected faults use TryTransfer instead.
 func (b *Bus) Transfer(p *sim.Proc, d Direction, n int64) {
+	b.transfer(p, d, n, false)
+}
+
+// TryTransfer is Transfer for the fault-tolerant operator path: an installed
+// TransferHook may fail the transfer. A failed transfer still occupies the
+// link for its setup latency and counts on the link's fault counter; no
+// payload bytes are accounted.
+func (b *Bus) TryTransfer(p *sim.Proc, d Direction, n int64) error {
+	return b.transfer(p, d, n, true)
+}
+
+func (b *Bus) transfer(p *sim.Proc, d Direction, n int64, fallible bool) error {
 	if n < 0 {
 		panic(fmt.Sprintf("bus: negative transfer %d", n))
 	}
 	if n == 0 {
-		return
+		return nil
 	}
 	l := b.links[d]
 	l.slot.Acquire(p)
 	defer l.slot.Release()
+	if fallible && b.hook != nil {
+		if err := b.hook(d, n); err != nil {
+			p.Hold(l.latency)
+			l.busy += l.latency
+			l.faults++
+			return err
+		}
+	}
 	dur := l.latency + time.Duration(float64(n)/l.bandwidth*float64(time.Second))
 	p.Hold(dur)
 	l.bytes += n
 	l.busy += dur
 	l.transfers++
+	return nil
 }
 
 // Duration returns the service time (excluding queueing) of an n-byte
@@ -121,6 +155,9 @@ func (l *Link) BusyTime() time.Duration { return l.busy }
 
 // Transfers returns the number of transfers served.
 func (l *Link) Transfers() int64 { return l.transfers }
+
+// Faults returns the number of transfers failed by the fault hook.
+func (l *Link) Faults() int64 { return l.faults }
 
 // Direction returns the link's direction.
 func (l *Link) Direction() Direction { return l.dir }

@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -119,4 +120,76 @@ func TestBadConfigPanics(t *testing.T) {
 		}
 	}()
 	New(sim.New(), Config{Bandwidth: 0})
+}
+
+// TryTransfer without a hook behaves exactly like Transfer (the fault-free
+// baseline must be untouched by the fault-tolerance plumbing).
+func TestTryTransferWithoutHook(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{Bandwidth: 1000, Latency: 10 * time.Millisecond})
+	var done time.Duration
+	s.Spawn("t", func(p *sim.Proc) {
+		if err := b.TryTransfer(p, HostToDevice, 500); err != nil {
+			t.Errorf("hookless TryTransfer failed: %v", err)
+		}
+		done = p.Now()
+	})
+	s.Run()
+	want := 10*time.Millisecond + 500*time.Millisecond
+	if done != want {
+		t.Fatalf("done = %v, want %v (same as Transfer)", done, want)
+	}
+	l := b.Link(HostToDevice)
+	if l.Bytes() != 500 || l.Transfers() != 1 || l.Faults() != 0 {
+		t.Fatalf("accounting: bytes=%d n=%d faults=%d", l.Bytes(), l.Transfers(), l.Faults())
+	}
+}
+
+// A hook failure charges only the setup latency, counts a fault, and moves
+// no payload bytes; the infallible Transfer path never consults the hook.
+func TestTransferHookFault(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{Bandwidth: 1000, Latency: 10 * time.Millisecond})
+	fail := true
+	var hookCalls int
+	b.SetTransferHook(func(d Direction, n int64) error {
+		hookCalls++
+		if d != HostToDevice || n != 500 {
+			t.Errorf("hook saw d=%v n=%d", d, n)
+		}
+		if fail {
+			return fmt.Errorf("injected")
+		}
+		return nil
+	})
+	var failAt, okAt time.Duration
+	s.Spawn("t", func(p *sim.Proc) {
+		if err := b.TryTransfer(p, HostToDevice, 500); err == nil {
+			t.Error("hook failure not surfaced")
+		}
+		failAt = p.Now()
+		fail = false
+		if err := b.TryTransfer(p, HostToDevice, 500); err != nil {
+			t.Errorf("passing hook failed transfer: %v", err)
+		}
+		okAt = p.Now()
+		b.Transfer(p, HostToDevice, 500) // infallible path skips the hook
+	})
+	s.Run()
+	if failAt != 10*time.Millisecond {
+		t.Fatalf("failed transfer took %v, want latency only", failAt)
+	}
+	if okAt != failAt+10*time.Millisecond+500*time.Millisecond {
+		t.Fatalf("retry finished at %v", okAt)
+	}
+	if hookCalls != 2 {
+		t.Fatalf("hook consulted %d times, want 2 (Transfer must skip it)", hookCalls)
+	}
+	l := b.Link(HostToDevice)
+	if l.Faults() != 1 || l.Transfers() != 2 || l.Bytes() != 1000 {
+		t.Fatalf("accounting: faults=%d n=%d bytes=%d", l.Faults(), l.Transfers(), l.Bytes())
+	}
+	if l.BusyTime() != 10*time.Millisecond+2*(10*time.Millisecond+500*time.Millisecond) {
+		t.Fatalf("busy time %v", l.BusyTime())
+	}
 }

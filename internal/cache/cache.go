@@ -128,10 +128,18 @@ func (c *Cache) Insert(id table.ColumnID, bytes int64) (evicted []table.ColumnID
 		panic(fmt.Sprintf("cache: negative size for %s", id))
 	}
 	c.clock++
-	if e, exists := c.entries[id]; exists && !e.condemned {
-		e.lastUsed = c.clock
-		e.freq++
-		return nil, true
+	if e, exists := c.entries[id]; exists {
+		if !e.condemned {
+			e.lastUsed = c.clock
+			e.freq++
+			return nil, true
+		}
+		// A condemned copy is still referenced by a running operator and
+		// occupies its bytes until the last unreference; inserting a second
+		// copy under the same id would corrupt the accounting. The caller
+		// streams the column through heap memory instead.
+		c.failedInserts++
+		return nil, false
 	}
 	if bytes > c.capacity {
 		c.failedInserts++
@@ -203,6 +211,22 @@ func (c *Cache) Evict(id table.ColumnID) bool {
 	}
 	c.remove(e)
 	return true
+}
+
+// Flush empties the cache — the column-cache half of a device reset. Pins do
+// not survive (the device memory backing them is gone); entries referenced by
+// running operators are condemned and leave at their last unreference, all
+// others leave immediately. It returns the number of entries dropped or
+// condemned.
+func (c *Cache) Flush() int {
+	ids := c.Contents() // sorted: deterministic flush order
+	for _, id := range ids {
+		if e, ok := c.entries[id]; ok {
+			e.pinned = false
+			c.Evict(id)
+		}
+	}
+	return len(ids)
 }
 
 // Pin protects id from replacement; used by the data-placement manager for

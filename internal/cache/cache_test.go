@@ -280,3 +280,64 @@ func TestLRUNeverEvictsMostRecent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Flush empties the cache like a device reset: pins are dropped, referenced
+// entries are condemned and leave at their last unreference.
+func TestFlush(t *testing.T) {
+	c := New(100, LRU)
+	c.Insert("a", 30)
+	c.Insert("b", 30)
+	c.Insert("c", 30)
+	if err := c.Pin("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ref("b"); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Flush(); n != 3 {
+		t.Fatalf("flush dropped %d entries, want 3", n)
+	}
+	// a (pinned) and c left immediately; b survives condemned until unref.
+	if c.Contains("a") || c.Contains("b") || c.Contains("c") {
+		t.Fatal("flushed entries still visible")
+	}
+	if c.Used() != 30 {
+		t.Fatalf("used = %d, want 30 (condemned b still occupies bytes)", c.Used())
+	}
+	c.Unref("b")
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Fatalf("after unref: used=%d len=%d, want empty", c.Used(), c.Len())
+	}
+	if c.Flush() != 0 {
+		t.Fatal("flushing an empty cache must drop nothing")
+	}
+}
+
+// Re-inserting a column whose condemned copy is still referenced must fail:
+// a second copy under the same id would corrupt the byte accounting.
+func TestInsertOverCondemnedFails(t *testing.T) {
+	c := New(100, LRU)
+	c.Insert("a", 40)
+	if err := c.Ref("a"); err != nil {
+		t.Fatal(err)
+	}
+	c.Evict("a") // condemned, still referenced
+	failedBefore := c.FailedInserts()
+	if _, ok := c.Insert("a", 40); ok {
+		t.Fatal("insert over a condemned referenced entry must fail")
+	}
+	if c.FailedInserts() != failedBefore+1 {
+		t.Fatal("failed insert not counted")
+	}
+	if c.Used() != 40 {
+		t.Fatalf("used = %d, want 40", c.Used())
+	}
+	c.Unref("a")
+	if c.Used() != 0 {
+		t.Fatal("condemned entry not cleaned up")
+	}
+	// With the old copy gone the column is insertable again.
+	if _, ok := c.Insert("a", 40); !ok {
+		t.Fatal("insert after cleanup failed")
+	}
+}

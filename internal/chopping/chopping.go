@@ -51,8 +51,13 @@ func (LoadBalanced) CompileTime(*exec.Engine, *plan.Plan) map[int]cost.ProcKind 
 // is precisely why plain chopping still runs into cache thrashing and only
 // Data-Driven Chopping avoids it (paper §6.2.1, Figure 15b).
 func (LoadBalanced) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) cost.ProcKind {
+	if !e.Health.AllowGPU(e.Sim.Now()) {
+		return cost.CPU // device circuit breaker open: degrade gracefully
+	}
 	inBytes, err := e.InputBytes(n, inputs)
 	if err != nil {
+		// CPU is the safe fallback, but the lookup failure must be visible.
+		e.NoteCatalogError(err)
 		return cost.CPU
 	}
 	// Run-time placement knows exact input sizes; the output is estimated
@@ -90,6 +95,9 @@ func (DataDriven) CompileTime(*exec.Engine, *plan.Plan) map[int]cost.ProcKind { 
 // current heap pressure — an operator whose footprint cannot fit right now
 // would only abort, so it runs on the CPU directly.
 func (DataDriven) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) cost.ProcKind {
+	if !e.Health.AllowGPU(e.Sim.Now()) {
+		return cost.CPU // device circuit breaker open: degrade gracefully
+	}
 	for _, id := range n.Op.BaseColumns() {
 		if !e.Cache.Contains(id) {
 			return cost.CPU
@@ -102,6 +110,8 @@ func (DataDriven) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) co
 	}
 	inBytes, err := e.InputBytes(n, inputs)
 	if err != nil {
+		// CPU is the safe fallback, but the lookup failure must be visible.
+		e.NoteCatalogError(err)
 		return cost.CPU
 	}
 	if e.Params.HeapFootprint(n.Op.Class(), inBytes, inBytes) > e.Heap.Available() {

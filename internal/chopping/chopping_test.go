@@ -145,3 +145,52 @@ func TestChoppingEndToEnd(t *testing.T) {
 		t.Fatal("heap leak")
 	}
 }
+
+// Satellite: a failing catalog lookup inside run-time placement falls back
+// to the CPU but surfaces the error through the engine's error counter
+// instead of swallowing it.
+func TestCatalogErrorsSurfaced(t *testing.T) {
+	e := exec.New(testCatalog(), exec.Config{CacheBytes: 1 << 30, HeapBytes: 1 << 30})
+	bad := plan.New(plan.Scan("missing", []string{"x"}, nil))
+	node := bad.Leaves()[0]
+	if (LoadBalanced{}).RunTime(e, node, nil) != cost.CPU {
+		t.Fatal("failed lookup must fall back to CPU")
+	}
+	if e.Metrics.CatalogErrors != 1 {
+		t.Fatalf("catalog errors = %d, want 1", e.Metrics.CatalogErrors)
+	}
+	// The data-driven rule only consults the catalog once the cache check
+	// passes; the missing column misses the cache, so CPU without an error.
+	if (DataDriven{}).RunTime(e, node, nil) != cost.CPU {
+		t.Fatal("data-driven must fall back to CPU")
+	}
+}
+
+// A tripped device breaker overrides run-time placement to CPU even when the
+// data is device-resident — the degradation ladder's last rung.
+func TestRunTimePlacersConsultBreaker(t *testing.T) {
+	e := exec.New(testCatalog(), exec.Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		Health: exec.HealthConfig{Window: 4, MinSamples: 2, TripRate: 0.5},
+	})
+	pl := testPlan()
+	scan := pl.Leaves()[0]
+	for _, id := range scan.Op.BaseColumns() {
+		b, _ := e.Cat.ColumnBytes(id)
+		e.Cache.Insert(id, b)
+	}
+	if (LoadBalanced{}).RunTime(e, scan, nil) != cost.GPU ||
+		(DataDriven{}).RunTime(e, scan, nil) != cost.GPU {
+		t.Fatal("healthy device should win with warm cache")
+	}
+	for i := 0; i < 2; i++ {
+		e.Health.BeginAttempt()
+		e.Health.RecordFault(e.Sim.Now())
+	}
+	if (LoadBalanced{}).RunTime(e, scan, nil) != cost.CPU {
+		t.Fatal("load-balanced ignored the open breaker")
+	}
+	if (DataDriven{}).RunTime(e, scan, nil) != cost.CPU {
+		t.Fatal("data-driven ignored the open breaker")
+	}
+}

@@ -19,6 +19,18 @@ import (
 // it on the CPU (paper §2.5.1).
 var ErrOutOfMemory = errors.New("device: out of memory")
 
+// ErrReset is returned when a reservation created before a device reset is
+// grown afterwards: the reset wiped the device heap, so everything the
+// reservation held is gone and the operator must abort.
+var ErrReset = errors.New("device: reservation invalidated by device reset")
+
+// AllocHook is consulted before every allocation attempt. Returning a
+// non-nil error fails the allocation with that error without touching the
+// accounting state. Fault injectors install hooks to produce transient
+// allocator failures (cudaMalloc returning spurious errors under driver
+// stress).
+type AllocHook func(n int64) error
+
 // Memory is an accounting allocator over a fixed capacity.
 type Memory struct {
 	name         string
@@ -26,6 +38,9 @@ type Memory struct {
 	used         int64
 	highWater    int64
 	failedAllocs int64
+	generation   int64
+	resets       int64
+	hook         AllocHook
 }
 
 // NewMemory creates an allocator of the given capacity in bytes.
@@ -54,11 +69,37 @@ func (m *Memory) HighWater() int64 { return m.highWater }
 // FailedAllocs returns how many allocations were rejected.
 func (m *Memory) FailedAllocs() int64 { return m.failedAllocs }
 
+// SetAllocHook installs (or, with nil, removes) the allocation fault hook.
+func (m *Memory) SetAllocHook(h AllocHook) { m.hook = h }
+
+// Generation returns the reset generation; it increments on every Reset.
+func (m *Memory) Generation() int64 { return m.generation }
+
+// Resets returns how many times the device was reset.
+func (m *Memory) Resets() int64 { return m.resets }
+
+// Reset models a full device reset: every allocation is wiped instantly and
+// all outstanding reservations become invalid (their holders observe ErrReset
+// on the next Grow, and their releases turn into no-ops). Capacity and the
+// high-water mark survive the reset.
+func (m *Memory) Reset() {
+	m.used = 0
+	m.generation++
+	m.resets++
+}
+
 // Alloc reserves n bytes or returns ErrOutOfMemory (leaving state unchanged).
 // Zero-byte allocations always succeed; negative sizes are a caller bug.
+// An installed AllocHook may fail the allocation with its own error first.
 func (m *Memory) Alloc(n int64) error {
 	if n < 0 {
 		panic(fmt.Sprintf("device: negative allocation %d on %s", n, m.name))
+	}
+	if m.hook != nil {
+		if err := m.hook(n); err != nil {
+			m.failedAllocs++
+			return err
+		}
 	}
 	if m.used+n > m.capacity {
 		m.failedAllocs++
@@ -90,16 +131,27 @@ func (m *Memory) Release(n int64) {
 type Reservation struct {
 	mem  *Memory
 	held int64
+	gen  int64 // reset generation the reservation belongs to
 }
 
 // Reserve starts an empty reservation on m.
 func (m *Memory) Reserve() *Reservation {
-	return &Reservation{mem: m}
+	return &Reservation{mem: m, gen: m.generation}
 }
+
+// Valid reports whether the reservation survived every device reset since it
+// was created. An invalid reservation holds nothing: its device memory was
+// wiped by the reset.
+func (r *Reservation) Valid() bool { return r.gen == r.mem.generation }
 
 // Grow adds n bytes to the reservation or returns ErrOutOfMemory. On error
 // previously held bytes remain held (the caller decides whether to abort).
+// Growing a reservation invalidated by a device reset returns ErrReset.
 func (r *Reservation) Grow(n int64) error {
+	if !r.Valid() {
+		r.held = 0
+		return fmt.Errorf("%w: %s reset while %s held memory", ErrReset, r.mem.name, r.mem.name)
+	}
 	if err := r.mem.Alloc(n); err != nil {
 		return err
 	}
@@ -107,11 +159,23 @@ func (r *Reservation) Grow(n int64) error {
 	return nil
 }
 
-// Held returns the bytes currently held by the reservation.
-func (r *Reservation) Held() int64 { return r.held }
+// Held returns the bytes currently held by the reservation (0 after a device
+// reset invalidated it).
+func (r *Reservation) Held() int64 {
+	if !r.Valid() {
+		return 0
+	}
+	return r.held
+}
 
-// Release frees everything the reservation holds. It is idempotent.
+// Release frees everything the reservation holds. It is idempotent, and a
+// no-op on a reservation invalidated by a device reset (the reset already
+// freed the memory).
 func (r *Reservation) Release() {
+	if !r.Valid() {
+		r.held = 0
+		return
+	}
 	if r.held > 0 {
 		r.mem.Release(r.held)
 		r.held = 0
@@ -119,8 +183,13 @@ func (r *Reservation) Release() {
 }
 
 // ReleasePartial frees n of the reservation's bytes (an operator freeing its
-// inputs while keeping its result, for example).
+// inputs while keeping its result, for example). On a reset-invalidated
+// reservation it is a no-op.
 func (r *Reservation) ReleasePartial(n int64) {
+	if !r.Valid() {
+		r.held = 0
+		return
+	}
 	if n < 0 || n > r.held {
 		panic(fmt.Sprintf("device: invalid partial release %d of %d held", n, r.held))
 	}

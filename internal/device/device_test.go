@@ -132,3 +132,116 @@ func mustPanic(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+// Satellite: Reservation error paths — Grow after a partial failure must
+// keep the held bytes usable and releasable.
+func TestReservationGrowAfterPartialFailure(t *testing.T) {
+	m := NewMemory("gpu", 100)
+	r := m.Reserve()
+	if err := r.Grow(80); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Grow(30); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	// The reservation is still usable after the failed grow.
+	if err := r.Grow(20); err != nil {
+		t.Fatalf("grow within capacity after failure: %v", err)
+	}
+	if r.Held() != 100 || m.Used() != 100 {
+		t.Fatalf("held=%d used=%d, want 100/100", r.Held(), m.Used())
+	}
+	r.Release()
+	if m.Used() != 0 {
+		t.Fatal("release after failed grow leaked")
+	}
+}
+
+// Satellite: ReleasePartial must reject out-of-bounds sizes without
+// corrupting the allocator, and full Release must stay idempotent afterwards.
+func TestReservationReleasePartialBounds(t *testing.T) {
+	m := NewMemory("gpu", 100)
+	r := m.Reserve()
+	if err := r.Grow(50); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, func() { r.ReleasePartial(51) })
+	mustPanic(t, func() { r.ReleasePartial(-1) })
+	if r.Held() != 50 || m.Used() != 50 {
+		t.Fatal("failed partial release changed state")
+	}
+	r.ReleasePartial(50) // releasing exactly everything is legal
+	if r.Held() != 0 || m.Used() != 0 {
+		t.Fatal("full partial release wrong")
+	}
+	r.Release()
+	r.Release() // double release stays a no-op
+	if m.Used() != 0 {
+		t.Fatal("double release corrupted accounting")
+	}
+}
+
+// A device reset invalidates outstanding reservations: stale releases are
+// no-ops, stale grows return ErrReset, and new reservations work normally.
+func TestResetInvalidatesReservations(t *testing.T) {
+	m := NewMemory("gpu", 100)
+	stale := m.Reserve()
+	if err := stale.Grow(60); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.Used() != 0 || m.Generation() != 1 || m.Resets() != 1 {
+		t.Fatalf("reset state: used=%d gen=%d resets=%d", m.Used(), m.Generation(), m.Resets())
+	}
+	if stale.Valid() {
+		t.Fatal("reservation survived the reset")
+	}
+	if stale.Held() != 0 {
+		t.Fatal("stale reservation reports held bytes")
+	}
+	if err := stale.Grow(10); !errors.Is(err, ErrReset) {
+		t.Fatalf("stale grow: %v, want ErrReset", err)
+	}
+	stale.Release()         // must not underflow the fresh accounting
+	stale.ReleasePartial(1) // no-op on a stale reservation, not a panic
+	fresh := m.Reserve()
+	if err := fresh.Grow(100); err != nil {
+		t.Fatalf("post-reset reservation: %v", err)
+	}
+	if m.Used() != 100 {
+		t.Fatal("post-reset accounting wrong")
+	}
+	// High-water survives resets (diagnostics keep the pre-reset peak).
+	if m.HighWater() != 100 {
+		t.Fatalf("high water = %d", m.HighWater())
+	}
+}
+
+// The alloc hook fails allocations without touching accounting, and both
+// Alloc and Reservation.Grow observe it.
+func TestAllocHook(t *testing.T) {
+	m := NewMemory("gpu", 100)
+	boom := errors.New("boom")
+	calls := 0
+	m.SetAllocHook(func(n int64) error {
+		calls++
+		if calls == 1 {
+			return boom
+		}
+		return nil
+	})
+	if err := m.Alloc(10); !errors.Is(err, boom) {
+		t.Fatalf("hook error not surfaced: %v", err)
+	}
+	if m.Used() != 0 || m.FailedAllocs() != 1 {
+		t.Fatal("hook failure must not allocate")
+	}
+	r := m.Reserve()
+	if err := r.Grow(10); err != nil {
+		t.Fatalf("hook pass-through: %v", err)
+	}
+	m.SetAllocHook(nil)
+	if err := m.Alloc(10); err != nil {
+		t.Fatalf("removed hook still failing: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"robustdb/internal/cost"
 	"robustdb/internal/device"
 	"robustdb/internal/engine"
+	"robustdb/internal/faults"
 	"robustdb/internal/plan"
 	"robustdb/internal/sim"
 	"robustdb/internal/table"
@@ -53,6 +54,51 @@ type Config struct {
 	// manual data placement" (§2.5.3). Used for cold-cache baselines
 	// (Figure 1).
 	ForceCopyBack bool
+	// Faults, when non-nil, injects the configured fault schedule into the
+	// run: the injector's hooks wrap the device heap and the bus, and the
+	// engine polls it for device resets and operator slowdowns.
+	Faults *faults.Injector
+	// Health tunes the device circuit breaker; the zero value uses defaults.
+	// The breaker only reacts to infrastructure faults, so it never trips in
+	// fault-free runs.
+	Health HealthConfig
+	// Retry bounds the per-operator retry of transient device faults; the
+	// zero value uses defaults. Capacity (OOM) aborts are never retried —
+	// they fall back to the CPU immediately, as in the paper.
+	Retry RetryConfig
+	// QueryDeadline fails any query still running after this much virtual
+	// time, releasing its device reservations (0 = no deadline).
+	QueryDeadline time.Duration
+}
+
+// RetryConfig bounds the engine's retry of transient device faults.
+type RetryConfig struct {
+	// MaxAttempts is the total number of device attempts per operator
+	// (default 3). 1 disables retry.
+	MaxAttempts int
+	// BackoffBase is the virtual-time backoff before the first retry; each
+	// further retry doubles it (default 100µs).
+	BackoffBase time.Duration
+}
+
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BackoffBase <= 0 {
+		r.BackoffBase = 100 * time.Microsecond
+	}
+	return r
+}
+
+// backoff returns the hold before retry number attempt+1 (attempt counts
+// from 0): base, 2×base, 4×base, …
+func (r RetryConfig) backoff(attempt int) time.Duration {
+	d := r.BackoffBase
+	for ; attempt > 0 && d < time.Second; attempt-- {
+		d *= 2
+	}
+	return d
 }
 
 // Processor is one simulated processor: a processor-sharing compute server
@@ -75,12 +121,25 @@ type Engine struct {
 	CPU     *Processor
 	GPU     *Processor
 	Metrics *Metrics
+	// Health is the device circuit breaker; every placement decision
+	// consults it (degradation ladder, DESIGN.md).
+	Health *Health
+	// OnReset, when set, runs after every device reset — the data placement
+	// manager uses it to re-establish pinned cache contents once the device
+	// comes back.
+	OnReset func()
 
 	// outstanding tracks the estimated seconds of queued + running work per
 	// processor; run-time placement balances load with it (§5.2).
 	outstanding   map[cost.ProcKind]float64
 	queryCount    int
 	forceCopyBack bool
+	injector      *faults.Injector
+	retry         RetryConfig
+	deadline      time.Duration
+	// deviceValues registers every device-resident Value so a device reset
+	// can invalidate all of them.
+	deviceValues map[*Value]struct{}
 }
 
 // New builds an engine over the catalog with the given configuration.
@@ -117,10 +176,79 @@ func New(cat *table.Catalog, cfg Config) *Engine {
 			Workers: sim.NewPool(s, "gpu-workers", gpuWorkers),
 		},
 		Metrics:       &Metrics{},
+		Health:        NewHealth(cfg.Health),
 		outstanding:   make(map[cost.ProcKind]float64),
 		forceCopyBack: cfg.ForceCopyBack,
+		injector:      cfg.Faults,
+		retry:         cfg.Retry.withDefaults(),
+		deadline:      cfg.QueryDeadline,
+		deviceValues:  make(map[*Value]struct{}),
+	}
+	if cfg.Faults != nil {
+		cfg.Faults.WrapMemory(s, e.Heap)
+		cfg.Faults.WrapBus(s, e.Bus)
 	}
 	return e
+}
+
+// DeviceReset performs a full device reset: the heap is wiped (invalidating
+// every outstanding reservation), the column cache is flushed, and every
+// device-resident intermediate loses its device copy — its data survives on
+// the host, where the batch is authoritative. The health tracker records the
+// reset as an infrastructure fault.
+func (e *Engine) DeviceReset() {
+	for v := range e.deviceValues {
+		v.OnDevice = false
+		v.res = nil
+		delete(e.deviceValues, v)
+	}
+	e.Cache.Flush()
+	e.Heap.Reset()
+	e.Metrics.DeviceResets++
+	e.Health.NoteFault(e.Sim.Now())
+	if e.OnReset != nil {
+		e.OnReset()
+	}
+}
+
+// pollReset fires any device reset the fault schedule has made due.
+func (e *Engine) pollReset(now time.Duration) bool {
+	if e.injector != nil && e.injector.TakeReset(now) {
+		e.DeviceReset()
+		return true
+	}
+	return false
+}
+
+// newDeviceValue registers a freshly produced device-resident result.
+func (e *Engine) newDeviceValue(batch *engine.Batch, res *device.Reservation) *Value {
+	v := &Value{Batch: batch, OnDevice: true, res: res}
+	e.deviceValues[v] = struct{}{}
+	return v
+}
+
+// dropDevice releases a value's device copy (if any) and marks it
+// host-resident. Safe to call on host-resident values and after resets.
+func (e *Engine) dropDevice(v *Value) {
+	if !v.OnDevice {
+		return
+	}
+	if v.res != nil {
+		v.res.Release()
+	}
+	v.OnDevice = false
+	v.res = nil
+	delete(e.deviceValues, v)
+}
+
+// NoteCatalogError surfaces a swallowed catalog lookup failure: placement
+// heuristics must still fall back to a safe decision, but the error is
+// counted instead of silently hidden (the engine error counter of the
+// robustness work).
+func (e *Engine) NoteCatalogError(err error) {
+	if err != nil {
+		e.Metrics.CatalogErrors++
+	}
 }
 
 // Processor returns the processor of the given kind.
@@ -195,6 +323,10 @@ func (e *Engine) TransferInEstimate(kind cost.ProcKind, n *plan.Node, inputs []*
 			if !e.Cache.Contains(id) {
 				if b, err := e.Cat.ColumnBytes(id); err == nil {
 					bytes += b
+				} else {
+					// Estimating zero bytes keeps the decision safe; the
+					// lookup failure itself must not vanish.
+					e.NoteCatalogError(err)
 				}
 			}
 		}

@@ -1,0 +1,344 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"robustdb/internal/column"
+	"robustdb/internal/cost"
+	"robustdb/internal/faults"
+	"robustdb/internal/sim"
+)
+
+// faultFreeLatency measures the GPU latency of testPlan without faults, for
+// sizing injection windows and deadlines.
+func faultFreeLatency(t *testing.T, rows int) time.Duration {
+	t.Helper()
+	e := New(testCatalog(rows), Config{CacheBytes: 1 << 30, HeapBytes: 1 << 30})
+	_, st := runQueryOnce(t, e, testPlan(), fixedPlacer{cost.GPU})
+	return st.Latency
+}
+
+// An injector with zero rates must leave the engine's behavior bit-for-bit
+// identical to no injector at all: installing the fault plumbing is free.
+func TestZeroRateInjectorIsTransparent(t *testing.T) {
+	cat := testCatalog(10000)
+	base := New(cat, Config{CacheBytes: 1 << 30, HeapBytes: 1 << 30})
+	_, stBase := runQueryOnce(t, base, testPlan(), fixedPlacer{cost.GPU})
+	wired := New(cat, Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		Faults: faults.New(faults.Config{Seed: 1}),
+	})
+	_, stWired := runQueryOnce(t, wired, testPlan(), fixedPlacer{cost.GPU})
+	if stBase.Latency != stWired.Latency {
+		t.Fatalf("zero-rate injector changed latency: %v vs %v", stBase.Latency, stWired.Latency)
+	}
+	if wired.Metrics.Retries != 0 || wired.Health.Trips() != 0 {
+		t.Fatal("zero-rate injector produced fault-tolerance activity")
+	}
+}
+
+// A transient transfer fault inside a short injection window is absorbed by
+// retry: the operator succeeds on the device on its second attempt.
+func TestTransientFaultRetrySucceeds(t *testing.T) {
+	cat := testCatalog(10000)
+	e := New(cat, Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		// Every transfer in the first microsecond faults; the retry backoff
+		// carries the second attempt past the window.
+		Faults: faults.New(faults.Config{Seed: 1, TransferFailRate: 1, Stop: time.Microsecond}),
+	})
+	v, _ := runQueryOnce(t, e, testPlan(), fixedPlacer{cost.GPU})
+	got := v.Batch.MustColumn("s").(*column.Float64Column).Values[0]
+	if want := expectSum(10000); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if e.Metrics.Retries == 0 || e.Metrics.TransferFaults == 0 {
+		t.Fatalf("retries=%d transferFaults=%d, want both > 0",
+			e.Metrics.Retries, e.Metrics.TransferFaults)
+	}
+	if e.Metrics.GPUOperators != 3 {
+		t.Fatalf("gpu ops = %d, want 3 (retry must keep the device)", e.Metrics.GPUOperators)
+	}
+	if e.Heap.Used() != 0 {
+		t.Fatalf("heap leak: %d", e.Heap.Used())
+	}
+}
+
+// Permanent transfer faults exhaust the retry budget: the query degrades to
+// the CPU, completes correctly, trips the breaker, and leaks nothing.
+func TestRetryExhaustionDegradesToCPU(t *testing.T) {
+	cat := testCatalog(10000)
+	e := New(cat, Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		Faults: faults.New(faults.Config{Seed: 1, TransferFailRate: 1}),
+		Health: HealthConfig{Window: 8, MinSamples: 4, TripRate: 0.5},
+	})
+	v, _ := runQueryOnce(t, e, testPlan(), fixedPlacer{cost.GPU})
+	got := v.Batch.MustColumn("s").(*column.Float64Column).Values[0]
+	if want := expectSum(10000); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if e.Metrics.CPUOperators != 3 || e.Metrics.GPUOperators != 0 {
+		t.Fatalf("ops: cpu=%d gpu=%d, want all on CPU", e.Metrics.CPUOperators, e.Metrics.GPUOperators)
+	}
+	if e.Health.Trips() == 0 {
+		t.Fatal("permanent faults must trip the breaker")
+	}
+	if e.Heap.Used() != 0 {
+		t.Fatalf("heap leak: %d", e.Heap.Used())
+	}
+}
+
+// Injected allocator faults follow the same ladder as transfer faults.
+func TestAllocFaultRetry(t *testing.T) {
+	cat := testCatalog(10000)
+	// Tiny cache forces every column through Reservation.Grow, which the
+	// alloc hook can fault.
+	e := New(cat, Config{
+		CacheBytes: 8, HeapBytes: 1 << 30,
+		Faults: faults.New(faults.Config{Seed: 1, AllocFailRate: 1, Stop: time.Microsecond}),
+	})
+	v, _ := runQueryOnce(t, e, testPlan(), fixedPlacer{cost.GPU})
+	got := v.Batch.MustColumn("s").(*column.Float64Column).Values[0]
+	if want := expectSum(10000); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if e.Metrics.AllocFaults == 0 || e.Metrics.Retries == 0 {
+		t.Fatalf("allocFaults=%d retries=%d", e.Metrics.AllocFaults, e.Metrics.Retries)
+	}
+	if e.Heap.Used() != 0 {
+		t.Fatalf("heap leak: %d", e.Heap.Used())
+	}
+}
+
+// The deterministic trip-and-recover integration: a fault burst demotes all
+// placement to the CPU; once the burst clears and the cooldown elapses, probe
+// operators bring the device back.
+func TestBreakerDegradesAndRecovers(t *testing.T) {
+	L := faultFreeLatency(t, 10000)
+	cooldown := 500 * time.Microsecond
+	cat := testCatalog(10000)
+	e := New(cat, Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		// The fault condition lasts 10 fault-free query latencies — far
+		// beyond the first query — then clears.
+		Faults: faults.New(faults.Config{Seed: 1, TransferFailRate: 1, Stop: 10 * L}),
+		Health: HealthConfig{
+			Window: 4, MinSamples: 2, TripRate: 0.5,
+			Cooldown: cooldown, ProbeSuccesses: 1,
+		},
+	})
+	pl := testPlan()
+	want := expectSum(10000)
+	check := func(v *Value) {
+		t.Helper()
+		if got := v.Batch.MustColumn("s").(*column.Float64Column).Values[0]; got != want {
+			t.Fatalf("sum = %v, want %v", got, want)
+		}
+	}
+	var gpuAfterRecovery int64
+	e.Sim.Spawn("session", func(p *sim.Proc) {
+		v, _, err := e.RunQuery(p, pl, fixedPlacer{cost.GPU})
+		if err != nil {
+			t.Errorf("query 1: %v", err)
+			return
+		}
+		check(v)
+		if e.Health.State() != BreakerOpen {
+			t.Errorf("state after fault burst = %v, want open", e.Health.State())
+		}
+		if e.Metrics.CPUOperators != 3 || e.Metrics.GPUOperators != 0 {
+			t.Errorf("query 1 ops: cpu=%d gpu=%d, want CPU-only degradation",
+				e.Metrics.CPUOperators, e.Metrics.GPUOperators)
+		}
+		if e.Metrics.DegradedPlacements == 0 {
+			t.Error("no degraded placements recorded")
+		}
+		// Wait out the fault condition and the breaker cooldown.
+		p.Hold(10*L + cooldown)
+		v, _, err = e.RunQuery(p, pl, fixedPlacer{cost.GPU})
+		if err != nil {
+			t.Errorf("query 2: %v", err)
+			return
+		}
+		check(v)
+		gpuAfterRecovery = e.Metrics.GPUOperators
+	})
+	e.Sim.Run()
+	if e.Health.Trips() == 0 {
+		t.Fatal("breaker never tripped")
+	}
+	if gpuAfterRecovery != 3 {
+		t.Fatalf("gpu ops after recovery = %d, want 3 (device back in service)", gpuAfterRecovery)
+	}
+	if e.Health.State() != BreakerClosed {
+		t.Fatalf("final state = %v, want closed", e.Health.State())
+	}
+	if e.Heap.Used() != 0 {
+		t.Fatalf("heap leak: %d", e.Heap.Used())
+	}
+}
+
+// A device reset mid-query wipes heap, cache, and device-resident values; the
+// query recovers (host data is authoritative) and nothing leaks.
+func TestDeviceResetMidQuery(t *testing.T) {
+	L := faultFreeLatency(t, 10000)
+	cat := testCatalog(10000)
+	e := New(cat, Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		Faults: faults.New(faults.Config{Seed: 1, ResetAt: []time.Duration{L / 2}}),
+	})
+	v, _ := runQueryOnce(t, e, testPlan(), fixedPlacer{cost.GPU})
+	got := v.Batch.MustColumn("s").(*column.Float64Column).Values[0]
+	if want := expectSum(10000); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if e.Metrics.DeviceResets != 1 {
+		t.Fatalf("resets = %d, want 1", e.Metrics.DeviceResets)
+	}
+	if e.Heap.Used() != 0 {
+		t.Fatalf("heap leak after reset: %d", e.Heap.Used())
+	}
+}
+
+// DeviceReset invalidates every registered device value, flushes the cache,
+// wipes the heap, counts the fault, and runs the OnReset callback.
+func TestDeviceResetUnit(t *testing.T) {
+	cat := testCatalog(100)
+	e := New(cat, Config{CacheBytes: 1 << 20, HeapBytes: 1 << 20})
+	res := e.Heap.Reserve()
+	if err := res.Grow(512); err != nil {
+		t.Fatal(err)
+	}
+	v := e.newDeviceValue(nil, res)
+	e.Cache.Insert("fact.v", 64)
+	called := false
+	e.OnReset = func() { called = true }
+	e.DeviceReset()
+	if v.OnDevice || v.res != nil {
+		t.Fatal("device value survived the reset")
+	}
+	if e.Heap.Used() != 0 || e.Cache.Len() != 0 {
+		t.Fatalf("reset incomplete: heap=%d cacheLen=%d", e.Heap.Used(), e.Cache.Len())
+	}
+	if e.Metrics.DeviceResets != 1 || !called {
+		t.Fatal("reset not recorded or OnReset not called")
+	}
+	res.Release() // stale: must be a no-op
+	if e.Heap.Used() != 0 {
+		t.Fatal("stale release corrupted the heap")
+	}
+}
+
+// Satellite regression: a query failed by its deadline releases every device
+// reservation, including results of operators that finish after the failure.
+func TestDeadlineFailsCleanly(t *testing.T) {
+	L := faultFreeLatency(t, 10000)
+	cat := testCatalog(10000)
+	e := New(cat, Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		QueryDeadline: L / 4,
+	})
+	var err error
+	e.Sim.Spawn("session", func(p *sim.Proc) {
+		_, _, err = e.RunQuery(p, testPlan(), fixedPlacer{cost.GPU})
+	})
+	e.Sim.Run()
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if e.Metrics.QueriesFailed != 1 || e.Metrics.DeadlineFailures != 1 {
+		t.Fatalf("failed=%d deadline=%d", e.Metrics.QueriesFailed, e.Metrics.DeadlineFailures)
+	}
+	// The leak this guards against: an operator in flight at failure time
+	// finishes afterwards and must drop its device-resident result.
+	if e.Heap.Used() != 0 {
+		t.Fatalf("heap leak after deadline failure: %d bytes", e.Heap.Used())
+	}
+}
+
+// A deadline longer than the query leaves the run untouched — and does not
+// stretch the makespan (the watchdog is canceled, not waited out).
+func TestUnusedDeadlineIsFree(t *testing.T) {
+	cat := testCatalog(10000)
+	base := New(cat, Config{CacheBytes: 1 << 30, HeapBytes: 1 << 30})
+	runQueryOnce(t, base, testPlan(), fixedPlacer{cost.GPU})
+	baseEnd := base.Sim.Now()
+
+	guarded := New(cat, Config{CacheBytes: 1 << 30, HeapBytes: 1 << 30, QueryDeadline: time.Hour})
+	v, _ := runQueryOnce(t, guarded, testPlan(), fixedPlacer{cost.GPU})
+	if v == nil {
+		t.Fatal("query failed under unused deadline")
+	}
+	if guarded.Sim.Now() != baseEnd {
+		t.Fatalf("unused deadline stretched makespan: %v vs %v", guarded.Sim.Now(), baseEnd)
+	}
+	if guarded.Metrics.DeadlineFailures != 0 {
+		t.Fatal("unused deadline recorded a failure")
+	}
+}
+
+// A stuck kernel stalls far longer than the deadline: the query fails
+// cleanly instead of hanging, and the stall is visible in the metrics.
+func TestStuckOperatorHitsDeadline(t *testing.T) {
+	cat := testCatalog(10000)
+	e := New(cat, Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		Faults:        faults.New(faults.Config{Seed: 1, StuckRate: 1, StuckDelay: time.Second}),
+		QueryDeadline: 50 * time.Millisecond,
+	})
+	var err error
+	e.Sim.Spawn("session", func(p *sim.Proc) {
+		_, _, err = e.RunQuery(p, testPlan(), fixedPlacer{cost.GPU})
+	})
+	e.Sim.Run()
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	if e.Metrics.StuckOps == 0 {
+		t.Fatal("stuck operator not counted")
+	}
+	if e.Heap.Used() != 0 {
+		t.Fatalf("heap leak: %d", e.Heap.Used())
+	}
+}
+
+// Slow (but not stuck) kernels only cost time: results stay exact.
+func TestSlowOperatorsStayCorrect(t *testing.T) {
+	L := faultFreeLatency(t, 10000)
+	cat := testCatalog(10000)
+	e := New(cat, Config{
+		CacheBytes: 1 << 30, HeapBytes: 1 << 30,
+		Faults: faults.New(faults.Config{Seed: 1, SlowRate: 1, SlowFactor: 4}),
+	})
+	v, st := runQueryOnce(t, e, testPlan(), fixedPlacer{cost.GPU})
+	got := v.Batch.MustColumn("s").(*column.Float64Column).Values[0]
+	if want := expectSum(10000); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if st.Latency <= L {
+		t.Fatalf("slowed query latency %v not above fault-free %v", st.Latency, L)
+	}
+	if e.Heap.Used() != 0 {
+		t.Fatalf("heap leak: %d", e.Heap.Used())
+	}
+}
+
+// Capacity OOM aborts stay breaker-neutral: heavy contention alone must
+// never demote the device (fault-free baseline preservation).
+func TestOOMDoesNotTripBreaker(t *testing.T) {
+	cat := testCatalog(10000)
+	e := New(cat, Config{CacheBytes: 1 << 30, HeapBytes: 64})
+	runQueryOnce(t, e, testPlan(), fixedPlacer{cost.GPU})
+	if e.Metrics.Aborts == 0 {
+		t.Fatal("expected OOM aborts")
+	}
+	if e.Health.Trips() != 0 || e.Health.State() != BreakerClosed {
+		t.Fatalf("OOM aborts tripped the breaker (trips=%d)", e.Health.Trips())
+	}
+	if e.Metrics.Retries != 0 {
+		t.Fatal("OOM aborts must not be retried")
+	}
+}

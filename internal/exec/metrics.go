@@ -19,7 +19,34 @@ type Metrics struct {
 	CPUOperators int64
 	// QueriesCompleted counts finished queries.
 	QueriesCompleted int64
+	// QueriesFailed counts queries that ended with an error (including
+	// deadline failures). Failed queries release all device memory.
+	QueriesFailed int64
 	// PlacementTransfers counts the H2D transfers issued by the data
 	// placement manager's background job (not charged to queries).
 	PlacementTransfers int64
+
+	// Fault-tolerance counters (the chaos/robustness work).
+
+	// AllocFaults counts injected transient device-allocation failures the
+	// engine observed.
+	AllocFaults int64
+	// TransferFaults counts bus transfers that failed with an injected
+	// fault.
+	TransferFaults int64
+	// DeviceResets counts full device resets (heap wiped, cache flushed,
+	// device-resident intermediates invalidated).
+	DeviceResets int64
+	// StuckOps counts GPU operators that hung before making progress.
+	StuckOps int64
+	// Retries counts device retry attempts after transient faults.
+	Retries int64
+	// DegradedPlacements counts operators the device circuit breaker forced
+	// from GPU to CPU placement.
+	DegradedPlacements int64
+	// DeadlineFailures counts queries failed by the per-query deadline.
+	DeadlineFailures int64
+	// CatalogErrors counts catalog lookups that failed inside placement
+	// heuristics and cost estimates — previously swallowed, now surfaced.
+	CatalogErrors int64
 }

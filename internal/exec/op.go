@@ -3,11 +3,13 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"robustdb/internal/bus"
 	"robustdb/internal/cost"
 	"robustdb/internal/device"
 	"robustdb/internal/engine"
+	"robustdb/internal/faults"
 	"robustdb/internal/plan"
 	"robustdb/internal/sim"
 	"robustdb/internal/table"
@@ -27,31 +29,72 @@ var heapPhases = []struct {
 	{0.15, 0.40},
 }
 
-// execOp runs one operator on the chosen processor. A GPU operator that
-// fails a device allocation is aborted and transparently restarted on the
-// CPU — CoGaDB's per-operator fault tolerance (§2.5.1). Whether the
-// *successors* stay on the GPU is not decided here: compile-time strategies
-// keep their fixed placement (Figure 8, left), run-time strategies see the
-// host-resident intermediate at the next placement decision (Figure 8,
-// right).
+// abortKind classifies why a device operator attempt gave up. The engine's
+// degradation ladder reacts differently per class: capacity aborts fall back
+// to the CPU immediately (the paper's §2.5.1 fault tolerance), transient
+// faults are retried with backoff before falling back, and both fault kinds
+// — unlike capacity aborts — count against device health.
+type abortKind uint8
+
+const (
+	abortNone abortKind = iota
+	// abortOOM: the device heap is full. Normal under contention; placement
+	// handles it, the health tracker ignores it.
+	abortOOM
+	// abortFault: an injected transient fault (allocator or transfer).
+	// Retryable; counts against device health.
+	abortFault
+	// abortReset: a device reset wiped the operator's state mid-run.
+	// Retryable once the device is back; counts against device health.
+	abortReset
+)
+
+// execOp runs one operator on the chosen processor. A GPU attempt that
+// aborts on a capacity failure is restarted on the CPU immediately
+// (CoGaDB's per-operator fault tolerance, §2.5.1); an attempt that aborts on
+// a transient infrastructure fault is retried with exponential virtual-time
+// backoff up to the retry budget, then restarted on the CPU. Every attempt
+// outcome feeds the device health tracker. Whether the *successors* stay on
+// the GPU is not decided here: compile-time strategies keep their fixed
+// placement (Figure 8, left), run-time strategies see the host-resident
+// intermediate at the next placement decision (Figure 8, right).
 func (e *Engine) execOp(p *sim.Proc, q *query, n *plan.Node, kind cost.ProcKind, inputs []*Value) (*Value, error) {
+	e.pollReset(p.Now())
 	if kind == cost.GPU {
-		v, aborted, err := e.runOnGPU(p, n, inputs)
-		if err != nil {
-			return nil, err
+		for attempt := 0; ; attempt++ {
+			if !e.Health.AllowGPU(p.Now()) {
+				e.Metrics.DegradedPlacements++
+				break
+			}
+			e.Health.BeginAttempt()
+			v, abort, err := e.runOnGPU(p, n, inputs)
+			if err != nil {
+				e.Health.RecordNeutral() // a query-logic error, not the device
+				return nil, err
+			}
+			switch abort {
+			case abortNone:
+				e.Health.RecordSuccess(p.Now())
+				return v, nil
+			case abortOOM:
+				e.Health.RecordNeutral()
+			default: // abortFault, abortReset
+				e.Health.RecordFault(p.Now())
+			}
+			if abort == abortOOM || attempt+1 >= e.retry.MaxAttempts {
+				break // out of patience: degrade to the CPU
+			}
+			e.Metrics.Retries++
+			p.Hold(e.retry.backoff(attempt))
 		}
-		if !aborted {
-			return v, nil
-		}
-		// Restart on the CPU with the inputs wherever they are now.
 	}
 	return e.runOnCPU(p, n, inputs)
 }
 
-// runOnGPU executes n on the co-processor. It reports aborted=true when a
-// device allocation failed; the operator's partial state has then been
-// rolled back and the caller restarts it on the CPU.
-func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value, aborted bool, err error) {
+// runOnGPU executes n on the co-processor. A non-abortNone return means the
+// attempt was rolled back (partial state released, abort stall charged) and
+// the caller decides between retry and CPU fallback.
+func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value, aborted abortKind, err error) {
 	e.GPU.Workers.Acquire(p)
 	defer e.GPU.Workers.Release()
 
@@ -73,6 +116,25 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		res.Release()
 		e.Metrics.WastedTime += p.Now() - start
 	}
+	// classify maps an allocation or transfer error to its abort kind;
+	// abortNone means the error is not an abort (a hard query error).
+	classify := func(aerr error) abortKind {
+		switch {
+		case errors.Is(aerr, device.ErrOutOfMemory):
+			return abortOOM
+		case errors.Is(aerr, device.ErrReset):
+			return abortReset
+		case faults.IsTransient(aerr):
+			if errors.Is(aerr, faults.ErrInjectedAlloc) {
+				e.Metrics.AllocFaults++
+			} else {
+				e.Metrics.TransferFaults++
+			}
+			return abortFault
+		default:
+			return abortNone
+		}
+	}
 
 	// Input phase: base columns through the cache, intermediates onto the
 	// heap. Operators start by allocating input memory (§4.1), so failures
@@ -82,13 +144,13 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		colBytes, berr := e.Cat.ColumnBytes(id)
 		if berr != nil {
 			abort()
-			return nil, false, berr
+			return nil, abortNone, berr
 		}
 		inBytes += colBytes
 		if e.Cache.Lookup(id) {
 			if rerr := e.Cache.Ref(id); rerr != nil {
 				abort()
-				return nil, false, rerr
+				return nil, abortNone, rerr
 			}
 			refs = append(refs, id)
 			continue // cache hit: data is already resident
@@ -97,22 +159,31 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		if _, ok := e.Cache.Insert(id, colBytes); ok {
 			if rerr := e.Cache.Ref(id); rerr != nil {
 				abort()
-				return nil, false, rerr
+				return nil, abortNone, rerr
 			}
 			refs = append(refs, id)
-			e.Bus.Transfer(p, bus.HostToDevice, colBytes)
+			if terr := e.Bus.TryTransfer(p, bus.HostToDevice, colBytes); terr != nil {
+				// The column never arrived: undo the placement.
+				e.Cache.Unref(id)
+				refs = refs[:len(refs)-1]
+				e.Cache.Evict(id)
+				abort()
+				return nil, classify(terr), nil
+			}
 			continue
 		}
 		// The cache cannot hold the column: stream it through the heap.
 		if aerr := res.Grow(colBytes); aerr != nil {
-			if errors.Is(aerr, device.ErrOutOfMemory) {
-				abort()
-				return nil, true, nil
-			}
 			abort()
-			return nil, false, aerr
+			if k := classify(aerr); k != abortNone {
+				return nil, k, nil
+			}
+			return nil, abortNone, aerr
 		}
-		e.Bus.Transfer(p, bus.HostToDevice, colBytes)
+		if terr := e.Bus.TryTransfer(p, bus.HostToDevice, colBytes); terr != nil {
+			abort()
+			return nil, classify(terr), nil
+		}
 	}
 	for _, in := range inputs {
 		inBytes += in.Bytes()
@@ -120,14 +191,22 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 			continue // produced by a GPU child, already resident
 		}
 		if aerr := res.Grow(in.Bytes()); aerr != nil {
-			if errors.Is(aerr, device.ErrOutOfMemory) {
-				abort()
-				return nil, true, nil
-			}
 			abort()
-			return nil, false, aerr
+			if k := classify(aerr); k != abortNone {
+				return nil, k, nil
+			}
+			return nil, abortNone, aerr
 		}
-		e.Bus.Transfer(p, bus.HostToDevice, in.Bytes())
+		if terr := e.Bus.TryTransfer(p, bus.HostToDevice, in.Bytes()); terr != nil {
+			abort()
+			return nil, classify(terr), nil
+		}
+	}
+	if e.pollReset(p.Now()) || !res.Valid() {
+		// The device reset while (or right after) inputs were staged: all
+		// staged state is gone.
+		abort()
+		return nil, abortReset, nil
 	}
 
 	// The kernel's real result; the simulator charges its cost below.
@@ -135,7 +214,7 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 	result, kerr := n.Op.Execute(e.Cat, batches)
 	if kerr != nil {
 		abort()
-		return nil, false, fmt.Errorf("%s on gpu: %w", n.Op.Name(), kerr)
+		return nil, abortNone, fmt.Errorf("%s on gpu: %w", n.Op.Name(), kerr)
 	}
 	outBytes := result.Bytes()
 
@@ -147,19 +226,40 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 	// behind heap contention (Figures 3 and 20).
 	footprint := e.Params.HeapFootprint(n.Op.Class(), inBytes, outBytes)
 	dur := e.Params.OpDuration(n.Op.Class(), cost.GPU, cost.Work(inBytes, outBytes))
+	var slowFactor float64 = 1
+	if e.injector != nil {
+		var stall time.Duration
+		slowFactor, stall = e.injector.OpDelay(p.Now())
+		if stall > 0 {
+			// A stuck kernel: the device makes no progress for the stall.
+			e.Metrics.StuckOps++
+			p.Hold(stall)
+		}
+		if slowFactor != 1 {
+			dur = time.Duration(float64(dur) * slowFactor)
+		}
+	}
 	t0 := p.Now()
 	for _, phase := range heapPhases {
 		if aerr := res.Grow(int64(float64(footprint) * phase.allocFraction)); aerr != nil {
-			if errors.Is(aerr, device.ErrOutOfMemory) {
-				abort() // mid-kernel failure: the partial compute is wasted
-				return nil, true, nil
+			abort() // mid-kernel failure: the partial compute is wasted
+			if k := classify(aerr); k != abortNone {
+				return nil, k, nil
 			}
-			abort()
-			return nil, false, aerr
+			return nil, abortNone, aerr
 		}
 		e.GPU.Server.Execute(p, dur.Seconds()*phase.computeFraction)
+		if e.pollReset(p.Now()) || !res.Valid() {
+			abort() // the reset wiped the kernel's state mid-run
+			return nil, abortReset, nil
+		}
 	}
-	e.observe(n.Op.Class(), cost.GPU, cost.Work(inBytes, outBytes), p.Now()-t0)
+	if slowFactor == 1 {
+		// Degraded runs would poison the learner's calibration.
+		e.observe(n.Op.Class(), cost.GPU, cost.Work(inBytes, outBytes), p.Now()-t0)
+	} else {
+		e.Metrics.OperatorRuns++
+	}
 	e.Metrics.GPUOperators++
 
 	// Cleanup: cached inputs are no longer referenced, consumed device
@@ -168,35 +268,38 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		e.Cache.Unref(id)
 	}
 	for _, in := range inputs {
-		if in.OnDevice {
-			in.res.Release()
-			in.OnDevice = false
-			in.res = nil
-		}
+		e.dropDevice(in)
 	}
 	if held := res.Held(); held >= outBytes {
 		res.ReleasePartial(held - outBytes)
 	} else if aerr := res.Grow(outBytes - held); aerr != nil {
-		// The result itself does not fit: late abort, restart on CPU.
+		// The result itself does not fit (or faulted): late abort.
 		e.Metrics.Aborts++
 		e.GPU.Server.Stall(e.Params.AbortSync)
 		p.Hold(e.Params.AbortSync)
 		res.Release()
 		e.Metrics.WastedTime += p.Now() - start
-		return nil, true, nil
+		if k := classify(aerr); k != abortNone {
+			return nil, k, nil
+		}
+		return nil, abortNone, aerr
 	}
 	if e.forceCopyBack {
 		// UVA-style processing: results travel back after every operator.
-		e.Bus.Transfer(p, bus.DeviceToHost, outBytes)
+		if terr := e.Bus.TryTransfer(p, bus.DeviceToHost, outBytes); terr != nil {
+			abort()
+			return nil, classify(terr), nil
+		}
 		res.Release()
-		return &Value{Batch: result, OnDevice: false}, false, nil
+		return &Value{Batch: result, OnDevice: false}, abortNone, nil
 	}
-	return &Value{Batch: result, OnDevice: true, res: res}, false, nil
+	return e.newDeviceValue(result, res), abortNone, nil
 }
 
 // runOnCPU executes n on the host. Device-resident inputs are copied back
 // first (the extra transfers the paper attributes to aborted operators and
-// to compile-time placement after faults).
+// to compile-time placement after faults); a copy-back that keeps faulting
+// after retries fails the query cleanly.
 func (e *Engine) runOnCPU(p *sim.Proc, n *plan.Node, inputs []*Value) (*Value, error) {
 	e.CPU.Workers.Acquire(p)
 	defer e.CPU.Workers.Release()
@@ -211,11 +314,8 @@ func (e *Engine) runOnCPU(p *sim.Proc, n *plan.Node, inputs []*Value) (*Value, e
 	}
 	for _, in := range inputs {
 		inBytes += in.Bytes()
-		if in.OnDevice {
-			e.Bus.Transfer(p, bus.DeviceToHost, in.Bytes())
-			in.res.Release()
-			in.OnDevice = false
-			in.res = nil
+		if err := e.pullToHost(p, in); err != nil {
+			return nil, err
 		}
 	}
 	result, err := n.Op.Execute(e.Cat, batchesOf(inputs))
@@ -229,6 +329,34 @@ func (e *Engine) runOnCPU(p *sim.Proc, n *plan.Node, inputs []*Value) (*Value, e
 	e.observe(n.Op.Class(), cost.CPU, cost.Work(inBytes, outBytes), p.Now()-t0)
 	e.Metrics.CPUOperators++
 	return &Value{Batch: result, OnDevice: false}, nil
+}
+
+// pullToHost copies a device-resident value back to the host, retrying
+// transient transfer faults with backoff. After the retry budget the value
+// stays device-resident and the error is returned — the caller fails the
+// query, whose cleanup releases the device copy.
+func (e *Engine) pullToHost(p *sim.Proc, v *Value) error {
+	if !v.OnDevice {
+		return nil
+	}
+	var err error
+	for attempt := 0; attempt < e.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			e.Metrics.Retries++
+			p.Hold(e.retry.backoff(attempt - 1))
+		}
+		if !v.OnDevice {
+			return nil // a device reset invalidated the copy; host batch is authoritative
+		}
+		err = e.Bus.TryTransfer(p, bus.DeviceToHost, v.Bytes())
+		if err == nil {
+			e.dropDevice(v)
+			return nil
+		}
+		e.Metrics.TransferFaults++
+		e.Health.NoteFault(p.Now())
+	}
+	return fmt.Errorf("device copy-back of %d bytes failed: %w", v.Bytes(), err)
 }
 
 func batchesOf(inputs []*Value) []*engine.Batch {

@@ -1,14 +1,18 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
-	"robustdb/internal/bus"
 	"robustdb/internal/cost"
 	"robustdb/internal/plan"
 	"robustdb/internal/sim"
 )
+
+// ErrDeadlineExceeded marks a query failed by its per-query deadline. The
+// failure is clean: every device reservation the query held is released.
+var ErrDeadlineExceeded = errors.New("exec: query deadline exceeded")
 
 // query is the run-time state of one executing plan.
 type query struct {
@@ -35,7 +39,8 @@ type QueryStats struct {
 
 // RunQuery executes the plan under the given placement strategy on behalf of
 // the calling session process, blocking in virtual time until the root
-// finishes, and returns the exact query result.
+// finishes, and returns the exact query result. A configured QueryDeadline
+// fails the query cleanly if it is still running when the deadline expires.
 func (e *Engine) RunQuery(p *sim.Proc, pl *plan.Plan, placer Placer) (*Value, QueryStats, error) {
 	q := &query{
 		engine:  e,
@@ -55,13 +60,25 @@ func (e *Engine) RunQuery(p *sim.Proc, pl *plan.Plan, placer Placer) (*Value, Qu
 			q.parents[c.ID()] = n
 		}
 	}
+	var watchdog *sim.Timer
+	if e.deadline > 0 {
+		deadline := e.deadline
+		watchdog = e.Sim.After(deadline, func() {
+			e.Metrics.DeadlineFailures++
+			q.fail(fmt.Errorf("%s: %w (%v)", q.name, ErrDeadlineExceeded, deadline))
+		})
+	}
 	// Chop off the leaves: they have no dependencies and start immediately
 	// (Figure 10).
 	for _, leaf := range pl.Leaves() {
 		q.scheduleNode(leaf)
 	}
 	q.done.Wait(p)
+	if watchdog != nil {
+		watchdog.Cancel()
+	}
 	if q.err != nil {
+		e.Metrics.QueriesFailed++
 		return nil, QueryStats{}, q.err
 	}
 	e.Metrics.QueriesCompleted++
@@ -78,6 +95,9 @@ func (q *query) inputs(n *plan.Node) []*Value {
 }
 
 // scheduleNode places a ready operator and spawns its execution process.
+// Whatever the strategy decided, a tripped device circuit breaker overrides
+// the decision to CPU — graceful degradation applies to compile-time and
+// run-time placements alike.
 func (q *query) scheduleNode(n *plan.Node) {
 	e := q.engine
 	inputs := q.inputs(n)
@@ -86,6 +106,10 @@ func (q *query) scheduleNode(n *plan.Node) {
 		kind = q.placement[n.ID()]
 	} else {
 		kind = q.placer.RunTime(e, n, inputs)
+	}
+	if kind == cost.GPU && !e.Health.AllowGPU(e.Sim.Now()) {
+		kind = cost.CPU
+		e.Metrics.DegradedPlacements++
 	}
 	// Register the estimated demand with the processor's queue estimate so
 	// later placement decisions see the load.
@@ -116,14 +140,20 @@ func (q *query) runNode(p *sim.Proc, n *plan.Node, kind cost.ProcKind, est float
 		q.fail(err)
 		return
 	}
+	if q.err != nil {
+		// The query failed (deadline, sibling error) while this operator was
+		// already executing: fail() released the reservations it knew about,
+		// so storing this result now would leak its device memory. Release
+		// it immediately instead.
+		q.engine.dropDevice(v)
+		return
+	}
 	q.values[n.ID()] = v
 	if n == q.plan.Root {
 		// Results are returned to the user: copy back if device-resident.
-		if v.OnDevice {
-			q.engine.Bus.Transfer(p, bus.DeviceToHost, v.Bytes())
-			v.res.Release()
-			v.OnDevice = false
-			v.res = nil
+		if err := q.engine.pullToHost(p, v); err != nil {
+			q.fail(err)
+			return
 		}
 		q.result = v
 		q.finished = p.Now()
@@ -138,16 +168,15 @@ func (q *query) runNode(p *sim.Proc, n *plan.Node, kind cost.ProcKind, est float
 }
 
 // fail terminates the query with an error. Device-resident intermediates are
-// released so a failed query cannot leak device memory.
+// released so a failed query cannot leak device memory; operators still in
+// flight release their own results on completion (runNode).
 func (q *query) fail(err error) {
 	if q.err == nil {
 		q.err = err
 	}
 	for _, v := range q.values {
-		if v != nil && v.OnDevice {
-			v.res.Release()
-			v.OnDevice = false
-			v.res = nil
+		if v != nil {
+			q.engine.dropDevice(v)
 		}
 	}
 	q.done.Fire()

@@ -1,0 +1,25 @@
+package faults
+
+import (
+	"robustdb/internal/bus"
+	"robustdb/internal/device"
+	"robustdb/internal/sim"
+)
+
+// WrapMemory installs the injector's transient-allocation fault hook on a
+// device allocator. The hook consults the simulation clock so the injection
+// window applies.
+func (i *Injector) WrapMemory(s *sim.Sim, m *device.Memory) {
+	m.SetAllocHook(func(n int64) error {
+		return i.AllocFault(s.Now())
+	})
+}
+
+// WrapBus installs the injector's transfer fault hook on a bus. Only
+// fallible (operator-path) transfers consult it; background placement
+// transfers are not injected.
+func (i *Injector) WrapBus(s *sim.Sim, b *bus.Bus) {
+	b.SetTransferHook(func(d bus.Direction, n int64) error {
+		return i.TransferFault(s.Now(), n)
+	})
+}

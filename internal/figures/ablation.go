@@ -6,6 +6,7 @@ import (
 
 	"robustdb/internal/cost"
 	"robustdb/internal/exec"
+	"robustdb/internal/faults"
 	"robustdb/internal/ssb"
 	"robustdb/internal/workload"
 )
@@ -89,6 +90,63 @@ func AblatePoolSize(o Options) *Figure {
 		YLabel: "workload time [ms] / aborts",
 		X:      xs,
 		Series: []Series{times, aborts},
+	}
+}
+
+// AblateFaultRate sweeps the injected infrastructure-fault rate (transient
+// device allocation and bus transfer failures, same rate for both) over the
+// SSB mix and compares how the strategies degrade. CPU Only is the flat
+// reference — faults only hit the device path. The robustness claim mirrors
+// the paper's: data-driven chopping degrades gracefully towards the CPU-only
+// line (retry absorbs isolated faults, the circuit breaker caps the damage
+// of bursts) instead of collapsing.
+func AblateFaultRate(o Options) *Figure {
+	rows := o.rowsPerSF(ssb.DefaultRowsPerSF)
+	cat := ssbCatalog(microSF, rows, o.Seed)
+	queries := ssbWorkload()
+	footprint := WorkloadFootprint(cat, queries)
+	rates := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	strategies := []workload.Strategy{
+		workload.CPUOnly(), workload.GPUOnly(), workload.DataDrivenChopping(),
+	}
+	var xs []string
+	series := make([]Series, len(strategies))
+	for i, strat := range strategies {
+		series[i].Label = strat.Label
+	}
+	for _, rate := range rates {
+		xs = append(xs, fmt.Sprintf("%.0f%%", rate*100))
+		for i, strat := range strategies {
+			cfg := exec.Config{
+				CacheBytes: footprint * 2,
+				HeapBytes:  int64(8.5 * float64(footprint)),
+			}
+			if rate > 0 {
+				// A fresh injector per run: every (strategy, rate) cell sees
+				// the same reproducible fault schedule for its draws.
+				cfg.Faults = faults.New(faults.Config{
+					Seed:             o.Seed + 1,
+					AllocFailRate:    rate,
+					TransferFailRate: rate,
+				})
+			}
+			spec := workload.Spec{
+				Queries:         queries,
+				Users:           4,
+				TotalQueries:    13 * o.reps(2),
+				ContinueOnError: true,
+			}
+			res := mustRun(cat, cfg, strat, spec)
+			series[i].Y = append(series[i].Y, ms(res.WorkloadTime))
+		}
+	}
+	return &Figure{
+		ID:     "ablate-faultrate",
+		Title:  "Graceful degradation under injected device faults (SSB mix, 4 users)",
+		XLabel: "injected fault rate",
+		YLabel: "workload execution time [ms]",
+		X:      xs,
+		Series: series,
 	}
 }
 

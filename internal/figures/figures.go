@@ -230,6 +230,7 @@ func All() map[string]func(Options) []*Figure {
 		"fig24":              func(o Options) []*Figure { return []*Figure{Fig24(o)} },
 		"fig25":              func(o Options) []*Figure { return []*Figure{Fig25(o)} },
 		"ablate-compression": func(o Options) []*Figure { return []*Figure{AblateCompression(o)} },
+		"ablate-faultrate":   func(o Options) []*Figure { return []*Figure{AblateFaultRate(o)} },
 		"ablate-poolsize":    func(o Options) []*Figure { return []*Figure{AblatePoolSize(o)} },
 		"ablate-abortsync":   func(o Options) []*Figure { return []*Figure{AblateAbortSync(o)} },
 	}

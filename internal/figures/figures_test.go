@@ -47,7 +47,7 @@ func TestIDsAndAll(t *testing.T) {
 	if len(ids) != len(All()) {
 		t.Fatal("IDs and All disagree")
 	}
-	if ids[0] != "fig1" || ids[len(ids)-4] != "fig25" {
+	if ids[0] != "fig1" || ids[len(ids)-5] != "fig25" {
 		t.Fatalf("IDs order wrong: %v", ids)
 	}
 	if ids[len(ids)-1] != "ablate-poolsize" {

@@ -109,6 +109,7 @@ func (CriticalPath) RunTime(*exec.Engine, *plan.Node, []*exec.Value) cost.ProcKi
 // CompileTime runs the iterative refinement.
 func (c CriticalPath) CompileTime(e *exec.Engine, p *plan.Plan) map[int]cost.ProcKind {
 	if err := p.EstimateSizes(e.Cat); err != nil {
+		e.NoteCatalogError(err)
 		return uniform(p, cost.CPU)
 	}
 	leaves := p.Leaves()
@@ -202,6 +203,8 @@ func estimateResponse(e *exec.Engine, p *plan.Plan, placement map[int]cost.ProcK
 				if !e.Cache.Contains(id) {
 					if b, err := e.Cat.ColumnBytes(id); err == nil {
 						moved += b
+					} else {
+						e.NoteCatalogError(err)
 					}
 				}
 			}

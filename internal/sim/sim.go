@@ -36,11 +36,15 @@ func New() *Sim {
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
 
-// event is a scheduled callback.
+// event is a scheduled callback. A non-nil canceled flag marks a timer
+// event; when it is set by Cancel before the event fires, the event is
+// skipped entirely and — crucially — does not advance the virtual clock, so
+// canceled deadlines never stretch a run's makespan.
 type event struct {
-	at  time.Duration
-	seq int64
-	fn  func()
+	at       time.Duration
+	seq      int64
+	fn       func()
+	canceled *bool
 }
 
 type eventHeap []event
@@ -69,6 +73,44 @@ func (s *Sim) schedule(at time.Duration, fn func()) {
 	}
 	s.seq++
 	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// Timer is a cancellable scheduled callback created by After. It is used for
+// query deadlines: the common case is a deadline that never fires, and a
+// canceled timer must not extend the simulated makespan.
+type Timer struct {
+	canceled bool
+	fired    bool
+}
+
+// Cancel prevents the timer's callback from running. Canceling after the
+// callback fired is a no-op. It reports whether the cancellation was in time.
+func (t *Timer) Cancel() bool {
+	if t.fired {
+		return false
+	}
+	t.canceled = true
+	return true
+}
+
+// Fired reports whether the callback ran.
+func (t *Timer) Fired() bool { return t.fired }
+
+// After schedules fn to run in scheduler context d from now unless the
+// returned timer is canceled first. fn must not park (it runs as a pure event
+// callback, like a Pool release); it may schedule, fire signals, and mutate
+// state.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		panic("sim: negative timer delay")
+	}
+	t := &Timer{}
+	s.seq++
+	heap.Push(&s.events, event{at: s.now + d, seq: s.seq, canceled: &t.canceled, fn: func() {
+		t.fired = true
+		fn()
+	}})
+	return t
 }
 
 // Proc is the handle a simulated process uses to interact with virtual time.
@@ -162,6 +204,9 @@ func (s *Sim) Run() time.Duration {
 	defer func() { s.running = false }()
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(event)
+		if e.canceled != nil && *e.canceled {
+			continue // canceled timer: skip without advancing the clock
+		}
 		s.now = e.at
 		// Protocol invariant: an event either runs as a pure callback in
 		// scheduler context, or transfers control (via wake / goroutine

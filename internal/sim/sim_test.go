@@ -269,3 +269,63 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestTimerFires(t *testing.T) {
+	s := New()
+	var firedAt time.Duration = -1
+	tm := s.After(5*time.Millisecond, func() { firedAt = s.Now() })
+	s.Spawn("p", func(p *Proc) { p.Hold(time.Millisecond) })
+	s.Run()
+	if firedAt != 5*time.Millisecond || !tm.Fired() {
+		t.Fatalf("firedAt=%v fired=%v", firedAt, tm.Fired())
+	}
+	if tm.Cancel() {
+		t.Fatal("canceling a fired timer must report too-late")
+	}
+}
+
+// A canceled timer neither runs its callback nor advances the clock: the
+// makespan is exactly the real work, not the unused deadline.
+func TestCanceledTimerDoesNotStretchMakespan(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.After(time.Hour, func() { fired = true })
+	s.Spawn("p", func(p *Proc) {
+		p.Hold(2 * time.Millisecond)
+		if !tm.Cancel() {
+			t.Error("cancel before firing must succeed")
+		}
+	})
+	makespan := s.Run()
+	if fired || tm.Fired() {
+		t.Fatal("canceled timer fired")
+	}
+	if makespan != 2*time.Millisecond {
+		t.Fatalf("makespan = %v, want 2ms (deadline must not stretch it)", makespan)
+	}
+}
+
+func TestTimerOrderingWithProcesses(t *testing.T) {
+	s := New()
+	var order []string
+	s.After(2*time.Millisecond, func() { order = append(order, "timer") })
+	s.Spawn("p", func(p *Proc) {
+		p.Hold(time.Millisecond)
+		order = append(order, "hold1")
+		p.Hold(2 * time.Millisecond)
+		order = append(order, "hold3")
+	})
+	s.Run()
+	if len(order) != 3 || order[0] != "hold1" || order[1] != "timer" || order[2] != "hold3" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestNegativeTimerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().After(-1, func() {})
+}

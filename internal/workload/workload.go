@@ -39,6 +39,11 @@ type Spec struct {
 	// AdmissionControl admits only one query at a time into the engine
 	// (the Figure 21 baseline).
 	AdmissionControl bool
+	// ContinueOnError keeps the workload running when individual queries
+	// fail (chaos runs under fault injection): failures are counted in
+	// Result.Failures instead of aborting the run. Without it the first
+	// failed query ends the run with its error.
+	ContinueOnError bool
 	// Monitor, when set, is invoked every MonitorEvery of virtual time
 	// while the workload runs (diagnostics: sampling concurrency, heap
 	// utilization). It must not block.
@@ -65,8 +70,29 @@ type Result struct {
 	GPUOperators, CPUOperators int64
 	// QueriesRun is the number of completed queries.
 	QueriesRun int64
+	// Failures is the number of queries that failed cleanly (only non-zero
+	// with Spec.ContinueOnError).
+	Failures int64
 	// Latencies holds per-query-name response times in completion order.
 	Latencies map[string][]time.Duration
+
+	// Fault-tolerance counters (zero in fault-free runs).
+
+	// DeviceResets / AllocFaults / TransferFaults count injected
+	// infrastructure faults the engine observed.
+	DeviceResets, AllocFaults, TransferFaults int64
+	// Retries counts device retry attempts after transient faults.
+	Retries int64
+	// BreakerTrips counts how often the device circuit breaker opened.
+	BreakerTrips int64
+	// DegradedPlacements counts operators forced from GPU to CPU by the
+	// breaker.
+	DegradedPlacements int64
+	// DeadlineFailures counts queries failed by the per-query deadline.
+	DeadlineFailures int64
+	// CatalogErrors counts swallowed-then-surfaced catalog lookup failures
+	// inside placement heuristics.
+	CatalogErrors int64
 }
 
 // MeanLatency returns the average response time of the named query (0 when
@@ -133,6 +159,12 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 		if err := mgr.ApplyInstant(e, desired, strat.DataDriven); err != nil {
 			return nil, Result{}, fmt.Errorf("workload: preload: %w", err)
 		}
+		// A device reset wipes the cache; re-establish the data placement so
+		// data-driven strategies recover their cached working set instead of
+		// degrading to CPU-only for the rest of the run.
+		e.OnReset = func() {
+			_ = mgr.ApplyInstant(e, desired, strat.DataDriven)
+		}
 	}
 
 	total := spec.TotalQueries
@@ -154,13 +186,16 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 
 	result := Result{Strategy: strat.Label, Latencies: make(map[string][]time.Duration)}
 	var runErr error
+	// finished counts queries that ended either way (completed or failed);
+	// the monitor terminates on it so chaos runs with failures still drain.
+	var finished int
 	if spec.Monitor != nil {
 		period := spec.MonitorEvery
 		if period <= 0 {
 			period = 100 * time.Microsecond
 		}
 		e.Sim.Spawn("monitor", func(p *sim.Proc) {
-			for e.Metrics.QueriesCompleted < int64(total) && runErr == nil {
+			for finished < total && runErr == nil {
 				spec.Monitor(e)
 				p.Hold(period)
 			}
@@ -185,9 +220,16 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 				if admission != nil {
 					admission.Release()
 				}
+				finished++
 				if err != nil {
-					runErr = fmt.Errorf("workload: %s: %w", q.Name, err)
-					return
+					if !spec.ContinueOnError {
+						runErr = fmt.Errorf("workload: %s: %w", q.Name, err)
+						return
+					}
+					// Chaos run: the query failed cleanly (its device memory
+					// is released); count it and keep the session going.
+					result.Failures++
+					continue
 				}
 				result.Latencies[q.Name] = append(result.Latencies[q.Name], p.Now()-submitted)
 			}
@@ -207,5 +249,13 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 	result.GPUOperators = e.Metrics.GPUOperators
 	result.CPUOperators = e.Metrics.CPUOperators
 	result.QueriesRun = e.Metrics.QueriesCompleted
+	result.DeviceResets = e.Metrics.DeviceResets
+	result.AllocFaults = e.Metrics.AllocFaults
+	result.TransferFaults = e.Metrics.TransferFaults
+	result.Retries = e.Metrics.Retries
+	result.BreakerTrips = e.Health.Trips()
+	result.DegradedPlacements = e.Metrics.DegradedPlacements
+	result.DeadlineFailures = e.Metrics.DeadlineFailures
+	result.CatalogErrors = e.Metrics.CatalogErrors
 	return e, result, nil
 }

@@ -190,3 +190,53 @@ func TestStrategyCatalog(t *testing.T) {
 		t.Fatal("run-time placement must not bound worker pools")
 	}
 }
+
+// ContinueOnError: deadline failures are counted, the run drains, the
+// monitor loop terminates even though some queries never complete, and the
+// fault counters reach the result.
+func TestContinueOnErrorDrains(t *testing.T) {
+	cat := tinySSB()
+	cfg := tinyCfg(cat)
+	// A deadline short enough that some queries fail, long enough that the
+	// cheap ones finish.
+	cfg.QueryDeadline = 50 * time.Microsecond
+	samples := 0
+	_, res, err := Run(cat, cfg, CPUOnly(), Spec{
+		Queries:         ssbQueries(),
+		Users:           2,
+		TotalQueries:    13,
+		ContinueOnError: true,
+		Monitor:         func(e *exec.Engine) { samples++ },
+		MonitorEvery:    10 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("run aborted despite ContinueOnError: %v", err)
+	}
+	if res.QueriesRun+res.Failures != 13 {
+		t.Fatalf("completed=%d failed=%d, want 13 total", res.QueriesRun, res.Failures)
+	}
+	if res.Failures == 0 {
+		t.Fatal("a 50µs deadline should fail some SSB queries")
+	}
+	if res.DeadlineFailures != res.Failures {
+		t.Fatalf("deadline failures %d != failures %d", res.DeadlineFailures, res.Failures)
+	}
+	if samples == 0 {
+		t.Fatal("monitor never sampled")
+	}
+	if res.WorkloadTime <= 0 {
+		t.Fatal("makespan missing")
+	}
+}
+
+// Without ContinueOnError the first failed query aborts the run — the
+// pre-chaos contract stays intact.
+func TestFailureAbortsWithoutContinueOnError(t *testing.T) {
+	cat := tinySSB()
+	cfg := tinyCfg(cat)
+	cfg.QueryDeadline = time.Nanosecond // everything fails
+	_, _, err := Run(cat, cfg, CPUOnly(), Spec{Queries: ssbQueries(), Users: 1, TotalQueries: 2})
+	if err == nil {
+		t.Fatal("expected the run to abort on the failed query")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"robustdb/internal/engine"
 	"robustdb/internal/exec"
+	"robustdb/internal/faults"
 	"robustdb/internal/figures"
 	"robustdb/internal/plan"
 	"robustdb/internal/sql"
@@ -62,7 +63,16 @@ type (
 	FigureOptions = figures.Options
 	// Figure holds one regenerated figure of the paper.
 	Figure = figures.Figure
+	// FaultConfig configures the fault injector (seed + rates + schedule).
+	FaultConfig = faults.Config
+	// FaultInjector is a seeded, deterministic device-fault schedule; set it
+	// on Device.Faults to run a chaos workload.
+	FaultInjector = faults.Injector
 )
+
+// NewFaultInjector builds a deterministic fault injector from a config; the
+// same config always produces the identical fault schedule.
+var NewFaultInjector = faults.New
 
 // Strategy catalogue (the six strategies of the paper's evaluation).
 var (
