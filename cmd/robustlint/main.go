@@ -1,0 +1,128 @@
+// Command robustlint runs robustdb's static-analysis pass: repo-specific
+// analyzers that enforce the engine invariants behind the paper's robustness
+// claims — heap balance, virtual-time determinism, surfaced errors, lock
+// discipline, and health-guarded GPU placement. It uses only the standard
+// library (go/parser, go/ast, go/types) and is wired into CI.
+//
+// Usage:
+//
+//	go run ./cmd/robustlint [flags] [packages]
+//
+// Packages default to ./... (all module packages, testdata excluded). Flags:
+//
+//	-json            emit diagnostics as a JSON array
+//	-list            list registered analyzers and exit
+//	-enable  a,b,c   run only the named analyzers
+//	-disable a,b,c   run all but the named analyzers
+//
+// A diagnostic can be suppressed with a justified directive on its line or
+// the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// Exit status is 0 with no diagnostics, 1 with diagnostics, 2 on usage or
+// load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"robustdb/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: robustlint [flags] [packages]\nanalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "robustlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "robustlint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "robustlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "robustlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "robustlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		lint.WriteText(os.Stdout, diags)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers applies -enable / -disable to the registry.
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	selected := lint.Analyzers
+	if enable != "" {
+		selected = nil
+		for _, name := range strings.Split(enable, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	if disable == "" {
+		return selected, nil
+	}
+	skip := map[string]bool{}
+	for _, name := range strings.Split(disable, ",") {
+		name = strings.TrimSpace(name)
+		if lint.ByName(name) == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		skip[name] = true
+	}
+	var kept []*lint.Analyzer
+	for _, a := range selected {
+		if !skip[a.Name] {
+			kept = append(kept, a)
+		}
+	}
+	return kept, nil
+}

@@ -100,7 +100,11 @@ func (b *Bus) SetTransferHook(h TransferHook) { b.hook = h }
 // free and do not touch the link. Transfer never fails; operator-path
 // transfers that must react to injected faults use TryTransfer instead.
 func (b *Bus) Transfer(p *sim.Proc, d Direction, n int64) {
-	b.transfer(p, d, n, false)
+	if err := b.transfer(p, d, n, false); err != nil {
+		// Infallible transfers bypass the fault hook; an error here is a
+		// bus-accounting bug, not an injected fault.
+		panic("bus: infallible transfer failed: " + err.Error())
+	}
 }
 
 // TryTransfer is Transfer for the fault-tolerant operator path: an installed

@@ -251,6 +251,15 @@ func (e *Engine) NoteCatalogError(err error) {
 	}
 }
 
+// NotePreloadError surfaces a failed cache preload or post-reset placement
+// re-establishment: the engine degrades to operator-driven caching instead
+// of failing the run, but the error is counted instead of silently hidden.
+func (e *Engine) NotePreloadError(err error) {
+	if err != nil {
+		e.Metrics.PreloadErrors++
+	}
+}
+
 // Processor returns the processor of the given kind.
 func (e *Engine) Processor(kind cost.ProcKind) *Processor {
 	if kind == cost.GPU {

@@ -342,3 +342,20 @@ func TestOOMDoesNotTripBreaker(t *testing.T) {
 		t.Fatal("OOM aborts must not be retried")
 	}
 }
+
+// NotePreloadError mirrors NoteCatalogError: a real error is counted, nil
+// is not — the surfaced-error pattern robustlint's errdrop analyzer expects
+// for survivable post-reset preload failures.
+func TestNotePreloadError(t *testing.T) {
+	cat := testCatalog(100)
+	e := New(cat, Config{CacheBytes: 1 << 20, HeapBytes: 1 << 20})
+	e.NotePreloadError(nil)
+	if e.Metrics.PreloadErrors != 0 {
+		t.Fatalf("nil error counted: PreloadErrors = %d", e.Metrics.PreloadErrors)
+	}
+	e.NotePreloadError(errors.New("preload failed"))
+	e.NotePreloadError(errors.New("preload failed again"))
+	if e.Metrics.PreloadErrors != 2 {
+		t.Fatalf("PreloadErrors = %d, want 2", e.Metrics.PreloadErrors)
+	}
+}

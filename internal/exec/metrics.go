@@ -49,4 +49,8 @@ type Metrics struct {
 	// CatalogErrors counts catalog lookups that failed inside placement
 	// heuristics and cost estimates — previously swallowed, now surfaced.
 	CatalogErrors int64
+	// PreloadErrors counts failed data-placement re-establishments after a
+	// device reset. The run continues (operator-driven caching still works,
+	// merely slower), but the failure must not vanish.
+	PreloadErrors int64
 }

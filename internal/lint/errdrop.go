@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop enforces the surfaced-error invariant of the robustness work: in
+// the engine and execution paths an error return is a signal the degradation
+// ladder reacts to, so discarding one with `_ =` or a bare call hides a
+// failure the way the pre-PR-1 Metrics.CatalogErrors bug did. Errors must be
+// handled, propagated, or counted (NoteCatalogError / NotePreloadError); a
+// deliberate drop needs a //lint:ignore errdrop with its justification.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarded error returns (`_ =` and bare calls) in engine paths",
+	Run:  runErrDrop,
+}
+
+// errDropExemptPkg reports whether the package is a presentation layer the
+// invariant does not cover: commands and figure/diagnostic renderers print
+// for humans, and the engine never consumes their output. Engine and
+// execution paths (everything else, including golden-test fixture packages)
+// are enforced.
+func errDropExemptPkg(path string) bool {
+	return strings.Contains(path, "/cmd/") ||
+		strings.HasSuffix(path, "/figures") ||
+		strings.HasSuffix(path, "/lint")
+}
+
+func runErrDrop(p *Pass) {
+	if errDropExemptPkg(p.Pkg.Path) {
+		return
+	}
+	info := p.Pkg.Info
+	p.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+				if !ok || !resultsError(info, call) || errDropExempt(info, call) {
+					return true
+				}
+				p.Reportf(s.Pos(), "error return of %s is silently discarded; handle, propagate, or count it", calleeName(info, call))
+			case *ast.AssignStmt:
+				if !allBlank(s.Lhs) {
+					return true
+				}
+				for _, rhs := range s.Rhs {
+					if discardsError(info, rhs) {
+						p.Reportf(s.Pos(), "error assigned to _; handle, propagate, or count it")
+						break
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// errDropExempt lists callees whose error results are conventionally
+// ignorable: terminal output via fmt.Print*, and the never-failing Write
+// methods of strings.Builder and bytes.Buffer.
+func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if isPkgFunc(fn, "fmt", "Print") || isPkgFunc(fn, "fmt", "Printf") || isPkgFunc(fn, "fmt", "Println") {
+		return true
+	}
+	for _, recv := range [][2]string{{"strings", "Builder"}, {"bytes", "Buffer"}} {
+		if pkg, typ, ok := receiverOf(fn); ok && pkg == recv[0] && typ == recv[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "call"
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// discardsError reports whether assigning e to blanks loses an error: either
+// e itself is an error value, or it is a call whose result tuple ends in one.
+func discardsError(info *types.Info, e ast.Expr) bool {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		return resultsError(info, call) && !errDropExempt(info, call)
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}

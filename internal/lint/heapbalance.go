@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// devicePkg is the package whose allocator the heap-balance invariant
+// protects. The package itself is exempt: its accounting internals implement
+// the abstraction the rule enforces on everyone else.
+const devicePkg = "robustdb/internal/device"
+
+// HeapBalance enforces the device-heap balance invariant behind the paper's
+// "exact results or clean failure" guarantee: every heap reservation must be
+// released on every control-flow path — including error returns, the path PR
+// 1's leak hid on. Two rules:
+//
+//  1. A local variable holding a device.Memory Reserve() result must reach
+//     Release() on every path out of the function (a flow-sensitive walk
+//     over if/for/switch/select, honoring `defer res.Release()`). Passing
+//     the reservation onward — as an argument, a return value, into a
+//     closure — transfers ownership and ends local tracking.
+//  2. Raw Memory.Alloc calls must be balanced by a Memory.Release in the
+//     same function, and a Reserve() result must not be discarded.
+var HeapBalance = &Analyzer{
+	Name: "heapbalance",
+	Doc:  "require every device-heap Alloc/Reserve to reach a Release on all paths",
+	Run:  runHeapBalance,
+}
+
+func runHeapBalance(p *Pass) {
+	if p.Pkg.Path == devicePkg {
+		return
+	}
+	info := p.Pkg.Info
+	p.walkFiles(func(f *ast.File) {
+		funcBodies(f, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+			checkAllocBalance(p, body)
+			parents := parentMap(body)
+			for _, def := range reservationDefs(info, body, parents) {
+				if escapes(info, body, parents, def.obj) {
+					continue // ownership moved; the receiver releases it
+				}
+				t := &hbTracker{pass: p, info: info, obj: def.obj, fn: name}
+				t.deferred = hasDeferredRelease(info, body, def.obj)
+				final := t.stmts(body.List, hbState{})
+				if final.defined && !final.released && !final.terminated && !t.deferred {
+					p.Reportf(def.pos, "device reservation %q leaks: control can leave %s without releasing it", def.obj.Name(), name)
+				}
+			}
+		})
+	})
+}
+
+// checkAllocBalance applies rule 2: a function performing raw Memory.Alloc
+// calls must contain a Memory.Release, and Reserve() results must be bound.
+func checkAllocBalance(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	var allocs []*ast.CallExpr
+	released := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, s)
+			if isMethod(fn, devicePkg, "Memory", "Alloc") {
+				allocs = append(allocs, s)
+			}
+			if isMethod(fn, devicePkg, "Memory", "Release") {
+				released = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if isMethod(calleeFunc(info, call), devicePkg, "Memory", "Reserve") {
+					p.Reportf(s.Pos(), "Reserve() result discarded: the reservation can never be released")
+				}
+			}
+		}
+		return true
+	})
+	if !released {
+		for _, call := range allocs {
+			p.Reportf(call.Pos(), "Memory.Alloc without a matching Memory.Release in this function; device bytes leak on early return")
+		}
+	}
+}
+
+// resDef is one `res := mem.Reserve()` definition.
+type resDef struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// reservationDefs finds short-variable definitions bound to a Reserve()
+// call, skipping definitions inside nested function literals (those are
+// visited as their own bodies).
+func reservationDefs(info *types.Info, body *ast.BlockStmt, parents map[ast.Node]ast.Node) []resDef {
+	var defs []resDef
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isMethod(calleeFunc(info, call), devicePkg, "Memory", "Reserve") {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if obj := info.Defs[id]; obj != nil && !insideFuncLit(parents, assign, body) {
+			defs = append(defs, resDef{obj: obj, pos: assign.Pos()})
+		}
+		return true
+	})
+	return defs
+}
+
+// escapes reports whether the reservation is used as anything other than a
+// direct method-call receiver: passed to a call, returned, assigned,
+// captured by a function literal. Any such use transfers ownership to code
+// this function-local analysis cannot see, so tracking stops.
+func escapes(info *types.Info, body *ast.BlockStmt, parents map[ast.Node]ast.Node, obj types.Object) bool {
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj || escaped {
+			return true
+		}
+		if insideFuncLit(parents, id, body) {
+			escaped = true // captured by a closure with its own lifetime
+			return true
+		}
+		sel, ok := parents[id].(*ast.SelectorExpr)
+		if !ok || sel.X != id {
+			escaped = true
+			return true
+		}
+		call, ok := parents[sel].(*ast.CallExpr)
+		if !ok || call.Fun != sel {
+			escaped = true // method value or field-like use
+		}
+		return true
+	})
+	return escaped
+}
+
+// insideFuncLit reports whether n sits inside a function literal nested in
+// body.
+func insideFuncLit(parents map[ast.Node]ast.Node, n ast.Node, body *ast.BlockStmt) bool {
+	for cur := parents[n]; cur != nil && cur != body; cur = parents[cur] {
+		if _, ok := cur.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDeferredRelease reports whether the body contains `defer res.Release()`
+// for the tracked reservation, which covers every exit path at once.
+func hasDeferredRelease(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if ok && isReleaseOn(info, d.Call, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isReleaseOn reports whether call is `obj.Release()`.
+func isReleaseOn(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || info.Uses[id] != obj {
+		return false
+	}
+	return isMethod(calleeFunc(info, call), devicePkg, "Reservation", "Release")
+}
+
+// hbState is the abstract state of one reservation at one program point.
+type hbState struct {
+	defined    bool // the reservation variable exists
+	released   bool // Release() was reached on this path
+	terminated bool // the path cannot fall through (return/panic/branch)
+}
+
+// hbTracker walks a function body for one reservation variable, reporting
+// every exit path that can leave the reservation held. The walk is
+// structural and deliberately conservative: loops are assumed to run zero
+// times and branch merges require release on *all* fall-through arms, so a
+// false "leak" is possible in convoluted shapes (suppress with
+// //lint:ignore heapbalance and a reason) but a silent leak on a straight
+// error path is not.
+type hbTracker struct {
+	pass     *Pass
+	info     *types.Info
+	obj      types.Object
+	fn       string
+	deferred bool
+}
+
+func (t *hbTracker) stmts(list []ast.Stmt, st hbState) hbState {
+	for _, s := range list {
+		if st.terminated {
+			break // unreachable tail
+		}
+		st = t.stmt(s, st)
+	}
+	return st
+}
+
+func (t *hbTracker) stmt(s ast.Stmt, st hbState) hbState {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && t.info.Defs[id] == t.obj {
+					return hbState{defined: true}
+				}
+			}
+		}
+		return st
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if st.defined && isReleaseOn(t.info, call, t.obj) {
+				st.released = true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := t.info.Uses[id].(*types.Builtin); isBuiltin {
+					st.terminated = true // builtin panic unwinds the path
+				}
+			}
+		}
+		return st
+	case *ast.ReturnStmt:
+		if st.defined && !st.released && !t.deferred {
+			t.pass.Reportf(s.Pos(), "device reservation %q leaks: this return path in %s does not release it", t.obj.Name(), t.fn)
+		}
+		st.terminated = true
+		return st
+	case *ast.BranchStmt:
+		st.terminated = true // leaves this statement list; merges stay conservative
+		return st
+	case *ast.BlockStmt:
+		return t.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return t.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		thenSt := t.stmts(s.Body.List, st)
+		elseSt := st
+		if s.Else != nil {
+			elseSt = t.stmt(s.Else, st)
+		}
+		return mergeStates(thenSt, elseSt)
+	case *ast.ForStmt:
+		t.stmts(s.Body.List, st) // report exits inside; assume zero iterations after
+		return st
+	case *ast.RangeStmt:
+		t.stmts(s.Body.List, st)
+		return st
+	case *ast.SwitchStmt:
+		return t.clauses(s.Body, st, true)
+	case *ast.TypeSwitchStmt:
+		return t.clauses(s.Body, st, true)
+	case *ast.SelectStmt:
+		return t.clauses(s.Body, st, false)
+	default:
+		return st
+	}
+}
+
+// clauses merges the case bodies of a switch or select. Without a default
+// clause a switch can fall through unchanged, so the entry state joins the
+// merge; a select always executes some clause.
+func (t *hbTracker) clauses(body *ast.BlockStmt, st hbState, implicitDefault bool) hbState {
+	var outs []hbState
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			hasDefault = hasDefault || c.List == nil
+		case *ast.CommClause:
+			stmts = c.Body
+			hasDefault = hasDefault || c.Comm == nil
+		}
+		outs = append(outs, t.stmts(stmts, st))
+	}
+	if implicitDefault && !hasDefault {
+		outs = append(outs, st)
+	}
+	if len(outs) == 0 {
+		return st
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = mergeStates(merged, o)
+	}
+	return merged
+}
+
+// mergeStates joins two branch outcomes: the merged path is released only if
+// every arm that can fall through released, and terminated only if no arm
+// falls through.
+func mergeStates(a, b hbState) hbState {
+	switch {
+	case a.terminated && b.terminated:
+		return hbState{defined: a.defined || b.defined, terminated: true}
+	case a.terminated:
+		return b
+	case b.terminated:
+		return a
+	default:
+		return hbState{
+			defined:  a.defined || b.defined,
+			released: a.released && b.released,
+		}
+	}
+}
+
+// parentMap records the parent of every node under root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	m := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return m
+}

@@ -1,0 +1,211 @@
+// Package lint is robustdb's static-analysis framework: a small,
+// standard-library-only analogue of golang.org/x/tools/go/analysis that
+// enforces the engine invariants the compiler cannot see — device-heap
+// balance, virtual-time determinism, surfaced errors, lock discipline, and
+// health-guarded GPU placement. The paper's robustness claims (never slower
+// than CPU-only, clean recovery from aborts) rest on exactly these
+// invariants; catching a violation at analysis time is cheaper than finding
+// it in a chaos run.
+//
+// Analyzers are table-registered in Analyzers; adding one is ~50 lines: a
+// declaration with a Run func over a type-checked Pass, plus a golden test
+// fixture under testdata/src. The framework supplies package loading and
+// type checking (load.go), `file:line:col` diagnostics, per-line
+// `//lint:ignore <analyzer> <reason>` suppression, and JSON output for
+// tooling.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run inspects a single type-checked
+// package and reports violations through the Pass.
+type Analyzer struct {
+	// Name is the identifier used on the command line and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the guarded invariant.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Analyzers is the registry of all shipped analyzers, in reporting order.
+// Future analyzers register here.
+var Analyzers = []*Analyzer{
+	HeapBalance,
+	VirtualTime,
+	ErrDrop,
+	LockCopy,
+	LockHold,
+	PlacementGuard,
+}
+
+// ByName returns the registered analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics sorted by position. Diagnostics on a line carrying (or
+// directly below) a matching //lint:ignore directive are suppressed;
+// malformed directives are themselves reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(pkg)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+				if !ignores.matches(d) {
+					diags = append(diags, d)
+				}
+			}}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// WriteText prints diagnostics one per line in file:line:col form.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+}
+
+// WriteJSON prints diagnostics as a JSON array.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// ignoreSet maps file → line → analyzer names suppressed on that line.
+type ignoreSet map[string]map[int][]string
+
+// matches reports whether d is suppressed by a directive on its own line or
+// the line directly above (the two placements gofmt preserves).
+func (s ignoreSet) matches(d Diagnostic) bool {
+	lines := s[d.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Line, d.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectIgnores scans a package's comments for //lint:ignore directives.
+// A directive names one analyzer (or a comma list, or "all") and must give a
+// reason; directives without a reason are reported as diagnostics so a
+// suppression can never silently lose its justification.
+func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
+	set := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //lint:ignore directive: want `//lint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return set, bad
+}
+
+// walkFiles applies fn to every file of the package.
+func (p *Pass) walkFiles(fn func(*ast.File)) {
+	for _, f := range p.Pkg.Files {
+		fn(f)
+	}
+}

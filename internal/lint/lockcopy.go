@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy forbids copying mutex-bearing values. A copied sync.Mutex forks
+// the lock state: both copies believe they hold (or don't hold) the lock,
+// which in the chopping thread pool turns into two workers inside one
+// critical section. Flagged: value receivers on mutex-bearing types, value
+// parameters, and assignments that duplicate an existing mutex-bearing
+// value. Constructing a fresh value (composite literal, function call) is
+// legal — there is no lock state to fork yet.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "forbid copying values that contain a sync.Mutex or sync.RWMutex",
+	Run:  runLockCopy,
+}
+
+// syncNoCopyTypes are the sync types whose values must never be duplicated
+// after first use.
+var syncNoCopyTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+}
+
+// containsLock reports whether t holds one of the sync no-copy types by
+// value (directly, through struct fields, or through arrays). Pointers,
+// slices, maps, and channels share state instead of copying it and stop the
+// recursion.
+func containsLock(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncNoCopyTypes[obj.Name()] {
+			return true
+		}
+		return containsLock(t.Underlying())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem())
+	}
+	return false
+}
+
+func runLockCopy(p *Pass) {
+	info := p.Pkg.Info
+	p.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkLockField(p, info, n.Recv.List, "receiver")
+				}
+				checkLockField(p, info, n.Type.Params.List, "parameter")
+			case *ast.FuncLit:
+				checkLockField(p, info, n.Type.Params.List, "parameter")
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					if !copiesExistingValue(rhs) {
+						continue
+					}
+					if tv, ok := info.Types[rhs]; ok && tv.Type != nil && containsLock(tv.Type) {
+						p.Reportf(n.Pos(), "assignment copies a mutex-bearing value of type %s; share it through a pointer", tv.Type)
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkLockField reports receivers or parameters that take a mutex-bearing
+// type by value.
+func checkLockField(p *Pass, info *types.Info, fields []*ast.Field, kind string) {
+	for _, field := range fields {
+		tv, ok := info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(tv.Type) {
+			p.Reportf(field.Pos(), "%s passes mutex-bearing type %s by value; every call copies the lock state — use a pointer", kind, tv.Type)
+		}
+	}
+}
+
+// copiesExistingValue reports whether evaluating e duplicates an existing
+// value (as opposed to constructing a new one).
+func copiesExistingValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHold forbids blocking channel operations while a mutex is held. In the
+// chopping thread pool a worker that parks on a channel send inside a
+// critical section stalls every other worker on the same lock — under heap
+// contention that converts one slow operator into a pool-wide stall, exactly
+// the cascading slowdown the robustness work bounds. Unlock before
+// communicating, or communicate first and lock afterwards.
+//
+// The check is lexical within one function body: a send or receive between a
+// Lock and its Unlock (or after a `defer Unlock`, which holds to the end of
+// the function) is reported. Nested function literals are separate bodies —
+// they run at another time, under another goroutine's lock set.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "forbid channel send/receive while holding a mutex",
+	Run:  runLockHold,
+}
+
+func runLockHold(p *Pass) {
+	info := p.Pkg.Info
+	p.walkFiles(func(f *ast.File) {
+		funcBodies(f, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+			held := map[string]bool{} // receiver expr → currently locked
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					if n.Body != body {
+						return false // its own body gets its own visit
+					}
+				case *ast.DeferStmt:
+					// A deferred Unlock runs at function exit: the lock stays
+					// held for the rest of the body, so don't process it as a
+					// release (and a deferred Lock is not a lock here yet).
+					return false
+				case *ast.CallExpr:
+					if key, locks, ok := mutexOp(info, n); ok {
+						if locks {
+							held[key] = true
+						} else {
+							delete(held, key)
+						}
+					}
+				case *ast.SendStmt:
+					reportHeld(p, held, n.Pos(), "send")
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						reportHeld(p, held, n.Pos(), "receive")
+					}
+				}
+				return true
+			})
+		})
+	})
+}
+
+// mutexOp classifies a call as a lock or unlock on a sync.Mutex/RWMutex
+// receiver, keyed by the receiver expression's source form.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key string, locks, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false, false
+	}
+	pkg, typ, isMeth := receiverOf(fn)
+	if !isMeth || pkg != "sync" || (typ != "Mutex" && typ != "RWMutex") {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	key = types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, true, true
+	case "Unlock", "RUnlock":
+		return key, false, true
+	}
+	return "", false, false
+}
+
+func reportHeld(p *Pass, held map[string]bool, pos token.Pos, op string) {
+	for key := range held {
+		p.Reportf(pos, "channel %s while holding %s: a blocked worker stalls everyone contending for the lock — unlock first", op, key)
+		return // one report per operation is enough
+	}
+}

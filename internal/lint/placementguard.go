@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const (
+	costPkg = "robustdb/internal/cost"
+	execPkg = "robustdb/internal/exec"
+)
+
+// PlacementGuard enforces the degradation ladder's last rung on run-time
+// placement: a placer that costs the GPU — passes cost.GPU to an estimator,
+// queue probe, or footprint model while deciding a cost.ProcKind — must
+// first consult the device health breaker (Health.AllowGPU). A placer that
+// skips the check keeps steering operators onto a faulting device, exactly
+// the never-slower-than-CPU violation the breaker exists to prevent.
+// Placers that merely *return* a fixed cost.GPU are exempt: the engine
+// re-checks the breaker centrally before executing any GPU decision.
+var PlacementGuard = &Analyzer{
+	Name: "placementguard",
+	Doc:  "require a Health.AllowGPU check before costing GPU placement",
+	Run:  runPlacementGuard,
+}
+
+func runPlacementGuard(p *Pass) {
+	info := p.Pkg.Info
+	p.walkFiles(func(f *ast.File) {
+		funcBodies(f, func(name string, ftype *ast.FuncType, body *ast.BlockStmt) {
+			if !returnsProcKind(info, ftype) {
+				return
+			}
+			guard := firstAllowGPUCall(info, body)
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					if !isGPUConst(info, arg) {
+						continue
+					}
+					if guard == token.NoPos || guard > call.Pos() {
+						p.Reportf(call.Pos(),
+							"%s costs GPU placement without consulting the health breaker; call Health.AllowGPU first so a faulting device degrades to CPU", name)
+					}
+					break
+				}
+				return true
+			})
+		})
+	})
+}
+
+// returnsProcKind reports whether the function signature has a direct
+// cost.ProcKind result — the shape of every run-time placement decision.
+func returnsProcKind(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype.Results == nil {
+		return false
+	}
+	for _, field := range ftype.Results.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if named, isNamed := tv.Type.(*types.Named); isNamed {
+			obj := named.Obj()
+			if obj.Name() == "ProcKind" && obj.Pkg() != nil && obj.Pkg().Path() == costPkg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// firstAllowGPUCall returns the position of the lexically first
+// Health.AllowGPU call in the body, or NoPos.
+func firstAllowGPUCall(info *types.Info, body *ast.BlockStmt) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isMethod(calleeFunc(info, call), execPkg, "Health", "AllowGPU") {
+			if first == token.NoPos || call.Pos() < first {
+				first = call.Pos()
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// isGPUConst reports whether e denotes the cost.GPU constant.
+func isGPUConst(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Const)
+	return ok && obj.Name() == "GPU" && obj.Pkg() != nil && obj.Pkg().Path() == costPkg
+}

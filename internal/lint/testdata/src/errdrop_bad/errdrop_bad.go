@@ -1,0 +1,32 @@
+// Package errdrop_bad holds golden-test violations of the errdrop analyzer:
+// error returns discarded the way the pre-PR-1 catalog bug hid failures.
+package errdrop_bad
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func fallible() error { return errBoom }
+
+func falliblePair() (int, error) { return 0, errBoom }
+
+// DropWithBlank discards the error with a blank assignment.
+func DropWithBlank() {
+	_ = fallible() // want `error assigned to _`
+}
+
+// DropBareCall discards the error by ignoring the call result entirely.
+func DropBareCall() {
+	fallible() // want `error return of fallible is silently discarded`
+}
+
+// DropPair discards a (value, error) pair wholesale.
+func DropPair() {
+	_, _ = falliblePair() // want `error assigned to _`
+}
+
+// DropVariable launders an already-bound error into the blank identifier.
+func DropVariable() {
+	err := fallible()
+	_ = err // want `error assigned to _`
+}

@@ -1,0 +1,37 @@
+// Package errdrop_ok holds clean golden-test counterparts for the errdrop
+// analyzer: errors are propagated, counted, or conventionally ignorable.
+package errdrop_ok
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func fallible() error { return errBoom }
+
+// Propagate handles the error by wrapping and returning it.
+func Propagate() error {
+	if err := fallible(); err != nil {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	return nil
+}
+
+// Count surfaces the error in a counter — the Metrics.CatalogErrors pattern.
+func Count(counter *int64) {
+	if err := fallible(); err != nil {
+		*counter++
+	}
+}
+
+// ExemptWriters uses the conventionally ignorable callees: fmt.Print* and
+// the never-failing strings.Builder.
+func ExemptWriters() string {
+	var b strings.Builder
+	b.WriteString("hello")
+	fmt.Println("done")
+	return b.String()
+}

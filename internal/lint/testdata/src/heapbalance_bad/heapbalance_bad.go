@@ -1,0 +1,41 @@
+// Package heapbalance_bad holds golden-test violations of the heapbalance
+// analyzer: device-heap reservations that leak on at least one control-flow
+// path.
+package heapbalance_bad
+
+import "robustdb/internal/device"
+
+// LeakOnError grows a reservation in two steps and returns on the second
+// failure without releasing the bytes already held — the PR 1 leak class.
+func LeakOnError(m *device.Memory) error {
+	res := m.Reserve()
+	if err := res.Grow(64); err != nil {
+		return err // want `device reservation "res" leaks: this return path`
+	}
+	if err := res.Grow(32); err != nil {
+		return err // want `device reservation "res" leaks: this return path`
+	}
+	res.Release()
+	return nil
+}
+
+// LeakOnFallOff never releases at all; the diagnostic anchors on the
+// definition.
+func LeakOnFallOff(m *device.Memory) {
+	res := m.Reserve() // want `device reservation "res" leaks: control can leave`
+	if err := res.Grow(8); err != nil {
+		panic(err)
+	}
+}
+
+// DropReservation discards the Reserve result outright: nothing can ever
+// release it.
+func DropReservation(m *device.Memory) {
+	m.Reserve() // want `Reserve\(\) result discarded`
+}
+
+// AllocNoRelease performs a raw allocation with no balancing release
+// anywhere in the function.
+func AllocNoRelease(m *device.Memory) error {
+	return m.Alloc(128) // want `Memory\.Alloc without a matching Memory\.Release`
+}

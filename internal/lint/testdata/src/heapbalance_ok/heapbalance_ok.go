@@ -1,0 +1,48 @@
+// Package heapbalance_ok holds clean golden-test counterparts for the
+// heapbalance analyzer: every reservation reaches a release (or transfers
+// ownership) on every control-flow path.
+package heapbalance_ok
+
+import "robustdb/internal/device"
+
+// DeferRelease covers every exit path with one deferred release.
+func DeferRelease(m *device.Memory) error {
+	res := m.Reserve()
+	defer res.Release()
+	if err := res.Grow(64); err != nil {
+		return err
+	}
+	return res.Grow(32)
+}
+
+// ReleaseEveryPath releases explicitly on the error and the success path.
+func ReleaseEveryPath(m *device.Memory) (int64, error) {
+	res := m.Reserve()
+	if err := res.Grow(64); err != nil {
+		res.Release()
+		return 0, err
+	}
+	held := res.Held()
+	res.Release()
+	return held, nil
+}
+
+// TransferOwnership hands the reservation to the caller, who releases it;
+// local tracking ends at the ownership transfer.
+func TransferOwnership(m *device.Memory) (*device.Reservation, error) {
+	res := m.Reserve()
+	if err := res.Grow(16); err != nil {
+		res.Release()
+		return nil, err
+	}
+	return res, nil
+}
+
+// AllocBalanced pairs the raw allocation with its release.
+func AllocBalanced(m *device.Memory) error {
+	if err := m.Alloc(128); err != nil {
+		return err
+	}
+	m.Release(128)
+	return nil
+}

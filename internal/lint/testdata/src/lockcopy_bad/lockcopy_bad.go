@@ -1,0 +1,27 @@
+// Package lockcopy_bad holds golden-test violations of the lockcopy
+// analyzer: mutex-bearing values duplicated after first use.
+package lockcopy_bad
+
+import "sync"
+
+// Guarded pairs a mutex with the state it protects.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ValueReceiver copies the lock state on every method call.
+func (g Guarded) ValueReceiver() int { // want `receiver passes mutex-bearing type`
+	return g.n
+}
+
+// ByValueParam copies the caller's lock state into the parameter.
+func ByValueParam(g Guarded) int { // want `parameter passes mutex-bearing type`
+	return g.n
+}
+
+// CopyAssign forks the lock state into a second value.
+func CopyAssign(g *Guarded) int {
+	dup := *g // want `assignment copies a mutex-bearing value`
+	return dup.n
+}

@@ -1,0 +1,31 @@
+// Package lockcopy_ok holds clean golden-test counterparts for the lockcopy
+// analyzer: locks are shared through pointers and fresh values are
+// constructed, never duplicated.
+package lockcopy_ok
+
+import "sync"
+
+// Guarded pairs a mutex with the state it protects.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// PointerReceiver shares the one lock.
+func (g *Guarded) PointerReceiver() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Construct builds a fresh value: there is no lock state to fork yet.
+func Construct() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}
+
+// SharePointer hands around a pointer, never a copy.
+func SharePointer(g *Guarded) *Guarded {
+	other := g
+	return other
+}

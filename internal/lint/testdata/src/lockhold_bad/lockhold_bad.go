@@ -1,0 +1,30 @@
+// Package lockhold_bad holds golden-test violations of the lockhold
+// analyzer: channel operations inside critical sections, the pattern that
+// turns one slow chopping worker into a pool-wide stall.
+package lockhold_bad
+
+import "sync"
+
+// Pool is a toy chopping thread pool: a queue guarded by a mutex.
+type Pool struct {
+	mu      sync.Mutex
+	pending int
+	queue   chan int
+}
+
+// EnqueueLocked sends on the queue while holding the mutex: a full queue
+// blocks every worker contending for mu.
+func (p *Pool) EnqueueLocked(v int) {
+	p.mu.Lock()
+	p.pending++
+	p.queue <- v // want `channel send while holding p\.mu`
+	p.mu.Unlock()
+}
+
+// DrainDeferred holds the lock to function end via defer, so the receive
+// happens inside the critical section.
+func (p *Pool) DrainDeferred() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.queue // want `channel receive while holding p\.mu`
+}

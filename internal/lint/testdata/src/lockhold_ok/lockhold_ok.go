@@ -1,0 +1,30 @@
+// Package lockhold_ok holds clean golden-test counterparts for the lockhold
+// analyzer: critical sections end before any channel communication.
+package lockhold_ok
+
+import "sync"
+
+// Pool is a toy chopping thread pool: a queue guarded by a mutex.
+type Pool struct {
+	mu      sync.Mutex
+	pending int
+	queue   chan int
+}
+
+// Enqueue updates guarded state under the lock and communicates after
+// releasing it.
+func (p *Pool) Enqueue(v int) {
+	p.mu.Lock()
+	p.pending++
+	p.mu.Unlock()
+	p.queue <- v
+}
+
+// Drain receives first and locks afterwards.
+func (p *Pool) Drain() int {
+	v := <-p.queue
+	p.mu.Lock()
+	p.pending--
+	p.mu.Unlock()
+	return v
+}

@@ -1,0 +1,33 @@
+// Package placementguard_bad holds golden-test violations of the
+// placementguard analyzer: run-time placement decisions that cost the GPU
+// without consulting the device health breaker.
+package placementguard_bad
+
+import (
+	"robustdb/internal/cost"
+	"robustdb/internal/exec"
+)
+
+// Greedy is a run-time placement strategy missing its breaker check.
+type Greedy struct{}
+
+// RunTime costs the GPU queue without asking whether the device is healthy,
+// so a faulting device keeps receiving operators.
+func (Greedy) RunTime(e *exec.Engine) cost.ProcKind {
+	gpuT := e.Outstanding(cost.GPU) // want `costs GPU placement without consulting the health breaker`
+	cpuT := e.Outstanding(cost.CPU)
+	if gpuT <= cpuT {
+		return cost.GPU
+	}
+	return cost.CPU
+}
+
+// GuardTooLate consults the breaker only after the costing call already
+// happened.
+func GuardTooLate(e *exec.Engine) cost.ProcKind {
+	gpuT := e.Outstanding(cost.GPU) // want `costs GPU placement without consulting the health breaker`
+	if !e.Health.AllowGPU(e.Sim.Now()) || gpuT > 0 {
+		return cost.CPU
+	}
+	return cost.GPU
+}

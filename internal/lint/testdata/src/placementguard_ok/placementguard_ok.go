@@ -1,0 +1,29 @@
+// Package placementguard_ok holds clean golden-test counterparts for the
+// placementguard analyzer: the breaker is consulted before any GPU costing,
+// and fixed placements that never cost locally are exempt.
+package placementguard_ok
+
+import (
+	"robustdb/internal/cost"
+	"robustdb/internal/exec"
+)
+
+// Balanced consults the breaker first — a faulting device degrades to CPU
+// before any costing happens.
+type Balanced struct{}
+
+// RunTime checks AllowGPU before touching the GPU queue estimate.
+func (Balanced) RunTime(e *exec.Engine) cost.ProcKind {
+	if !e.Health.AllowGPU(e.Sim.Now()) {
+		return cost.CPU
+	}
+	if e.Outstanding(cost.GPU) <= e.Outstanding(cost.CPU) {
+		return cost.GPU
+	}
+	return cost.CPU
+}
+
+// Fixed returns a constant placement without costing anything: the engine
+// re-checks the breaker centrally before executing any GPU decision, so no
+// local guard is required.
+func Fixed() cost.ProcKind { return cost.GPU }

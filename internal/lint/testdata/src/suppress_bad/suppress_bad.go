@@ -1,0 +1,19 @@
+// Package suppress_bad exercises directive failure modes: a reason-less
+// //lint:ignore is itself an error and suppresses nothing, and a directive
+// naming one analyzer does not silence another.
+package suppress_bad
+
+import "time"
+
+// MissingReason carries a directive without a justification; the directive
+// is reported and the wall-clock read stays visible.
+func MissingReason() time.Time {
+	//lint:ignore virtualtime
+	return time.Now()
+}
+
+// WrongAnalyzer suppresses errdrop, which does not cover wall-clock reads.
+func WrongAnalyzer() time.Time {
+	//lint:ignore errdrop this names the wrong analyzer on purpose
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+// Package suppress_ok exercises the //lint:ignore mechanism: a justified
+// directive on the offending line (or the line above) silences exactly the
+// named analyzer.
+package suppress_ok
+
+import "time"
+
+// AnnotatedAbove suppresses via a directive on the preceding line.
+func AnnotatedAbove() time.Time {
+	//lint:ignore virtualtime golden-test fixture for the suppression mechanism
+	return time.Now()
+}
+
+// AnnotatedInline suppresses via a trailing directive on the same line.
+func AnnotatedInline() time.Time {
+	return time.Now() //lint:ignore virtualtime golden-test fixture for the suppression mechanism
+}

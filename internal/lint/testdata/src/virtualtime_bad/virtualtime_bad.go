@@ -1,0 +1,26 @@
+// Package virtualtime_bad holds golden-test violations of the virtualtime
+// analyzer: wall-clock reads and unseeded randomness that would break
+// bit-for-bit chaos replay.
+package virtualtime_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClockLatency measures with the real clock instead of virtual sim time.
+func WallClockLatency() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+// WaitForRetry parks on a real timer.
+func WaitForRetry() {
+	<-time.After(time.Millisecond) // want `time\.After reads the wall clock`
+}
+
+// UnseededJitter draws retry jitter from the global, unseeded source.
+func UnseededJitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Microsecond // want `rand\.Intn draws from an unseeded global source`
+}

@@ -1,0 +1,22 @@
+// Package virtualtime_ok holds clean golden-test counterparts for the
+// virtualtime analyzer: durations are plain values and every random draw
+// comes from a seeded generator.
+package virtualtime_ok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes a virtual-time delay: time.Duration is a value type, not
+// a clock read.
+func Backoff(attempt int) time.Duration {
+	return time.Duration(attempt+1) * 100 * time.Microsecond
+}
+
+// SeededJitter draws jitter reproducibly from a seeded generator, the
+// pattern the fault injector and data generators use.
+func SeededJitter(seed int64) time.Duration {
+	r := rand.New(rand.NewSource(seed))
+	return time.Duration(r.Intn(100)) * time.Microsecond
+}

@@ -93,6 +93,9 @@ type Result struct {
 	// CatalogErrors counts swallowed-then-surfaced catalog lookup failures
 	// inside placement heuristics.
 	CatalogErrors int64
+	// PreloadErrors counts failed data-placement re-establishments after a
+	// device reset.
+	PreloadErrors int64
 }
 
 // MeanLatency returns the average response time of the named query (0 when
@@ -161,9 +164,13 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 		}
 		// A device reset wipes the cache; re-establish the data placement so
 		// data-driven strategies recover their cached working set instead of
-		// degrading to CPU-only for the rest of the run.
+		// degrading to CPU-only for the rest of the run. A failed re-preload
+		// is survivable (operator-driven caching takes over) but is counted,
+		// never swallowed.
 		e.OnReset = func() {
-			_ = mgr.ApplyInstant(e, desired, strat.DataDriven)
+			if err := mgr.ApplyInstant(e, desired, strat.DataDriven); err != nil {
+				e.NotePreloadError(err)
+			}
 		}
 	}
 
@@ -257,5 +264,6 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 	result.DegradedPlacements = e.Metrics.DegradedPlacements
 	result.DeadlineFailures = e.Metrics.DeadlineFailures
 	result.CatalogErrors = e.Metrics.CatalogErrors
+	result.PreloadErrors = e.Metrics.PreloadErrors
 	return e, result, nil
 }
