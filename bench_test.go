@@ -10,7 +10,10 @@ package robustdb
 // RowsPerSF/Reps (see cmd/benchfig) for sharper steady-state numbers.
 
 import (
+	"io"
+	"sync"
 	"testing"
+	"time"
 
 	"robustdb/internal/figures"
 )
@@ -124,6 +127,93 @@ func BenchmarkQueryChopping(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := db.Query(dev, DataDrivenChopping(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The BenchmarkMicro* set below is the pinned suite the CI perf-regression
+// gate runs (`go test -run=NONE -bench=Micro -benchtime=200x -count=5 .`,
+// compared against BENCH_BASELINE.json by cmd/benchdiff). Keep each
+// iteration in the low-millisecond range and fully deterministic: fixed
+// seeds, fixed scales, no wall-clock dependence in the measured work.
+
+var (
+	microOnce sync.Once
+	microDB   *DB
+)
+
+// microDatabase builds the small fixed SSB instance the micro set shares.
+func microDatabase() *DB {
+	microOnce.Do(func() {
+		microDB = OpenSSB(SSBConfig{SF: 1, RowsPerSF: 3000, Seed: 0})
+	})
+	return microDB
+}
+
+// microWorkload runs one small workload configuration to completion.
+func microWorkload(b *testing.B, strat Strategy, users int, tracer *Tracer) {
+	b.Helper()
+	db := microDatabase()
+	queries := SSBQueries()[:4] // Q1.1–Q2.1: scans, joins, aggregates
+	dev := db.DeviceForWorkingSet(0.5)
+	dev.Tracer = tracer
+	spec := Workload{Queries: queries, Users: users}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tracer != nil {
+			tracer.Reset()
+		}
+		if _, _, err := db.RunWorkload(dev, strat, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroChopping is the engine hot path: a single-user pass of four
+// SSB queries under Data-Driven Chopping.
+func BenchmarkMicroChopping(b *testing.B) {
+	microWorkload(b, DataDrivenChopping(), 1, nil)
+}
+
+// BenchmarkMicroRuntime covers the run-time placement path (per-operator
+// completion-time estimates and queue accounting).
+func BenchmarkMicroRuntime(b *testing.B) {
+	microWorkload(b, RunTime(), 1, nil)
+}
+
+// BenchmarkMicroMultiUser covers contention: four sessions sharing the
+// device under chopping's bounded pools.
+func BenchmarkMicroMultiUser(b *testing.B) {
+	microWorkload(b, DataDrivenChopping(), 4, nil)
+}
+
+// BenchmarkMicroTraced is BenchmarkMicroChopping with a live tracer: the
+// delta against it is the tracing overhead the zero-cost-off claim is about.
+func BenchmarkMicroTraced(b *testing.B) {
+	microWorkload(b, DataDrivenChopping(), 1, NewTracer(0))
+}
+
+// BenchmarkMicroChromeExport measures trace serialization: one WriteChrome
+// of a fixed 512-span, 256-event trace per iteration.
+func BenchmarkMicroChromeExport(b *testing.B) {
+	tr := NewTracer(0)
+	for i := 0; i < 512; i++ {
+		tr.Span(TraceSpan{
+			Query: "q0001", Name: "q0001/op000", Op: "scan(t)", Class: "selection",
+			Proc:  "gpu",
+			Start: time.Duration(i) * time.Microsecond,
+			End:   time.Duration(i+1) * time.Microsecond,
+		})
+	}
+	for i := 0; i < 256; i++ {
+		tr.Event(TraceEvent{At: time.Duration(i) * time.Microsecond,
+			Kind: "admit", Subject: "t.x", Reason: "operator-demand"})
+	}
+	spans, events := tr.Spans(), tr.Events()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteChromeTrace(io.Discard, spans, events); err != nil {
 			b.Fatal(err)
 		}
 	}

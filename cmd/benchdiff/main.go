@@ -1,0 +1,192 @@
+// Command benchdiff is the CI perf-regression gate: it parses `go test
+// -bench` output, reduces the repeated samples of each benchmark (-count=N)
+// to their median ns/op, and compares the medians against a committed
+// baseline file.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=Micro -benchtime=200x -count=5 . > bench.txt
+//	benchdiff -baseline BENCH_BASELINE.json bench.txt          # gate
+//	benchdiff -baseline BENCH_BASELINE.json -update bench.txt  # re-pin
+//
+// The gate fails (exit 1) when the geometric mean of the per-benchmark
+// ratios (new/old) exceeds 1+threshold: single-benchmark jitter is tolerated,
+// a regression across the suite is not. Benchmarks missing from either side
+// are reported but do not gate — they change the suite, not its speed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline is the pinned suite: median ns/op per benchmark name.
+type baseline struct {
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (and -update)")
+	update := flag.Bool("update", false, "write the parsed medians as the new baseline instead of gating")
+	threshold := flag.Float64("threshold", 0.20, "allowed geomean regression (0.20 = +20%)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline FILE] [-update] [-threshold F] [bench.txt]")
+		os.Exit(2)
+	}
+
+	medians, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(medians) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+
+	if *update {
+		if err := writeBaseline(*basePath, medians); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %s (%d benchmarks)\n", *basePath, len(medians))
+		return
+	}
+
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	os.Exit(compare(os.Stdout, base.Benchmarks, medians, *threshold))
+}
+
+// parseBench extracts ns/op samples from `go test -bench` output and reduces
+// each benchmark (name with its -GOMAXPROCS suffix stripped) to the median.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		// "BenchmarkName-8   200   846718 ns/op [...]"
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i := 2; i < len(f); i++ {
+			if f[i] == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		samples[name] = append(samples[name], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	medians := make(map[string]float64, len(samples))
+	for name, s := range samples {
+		sort.Float64s(s)
+		medians[name] = s[len(s)/2]
+	}
+	return medians, nil
+}
+
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func writeBaseline(path string, medians map[string]float64) error {
+	b := baseline{
+		Note:       "median ns/op of `go test -run=NONE -bench=Micro -benchtime=200x -count=5 .`; re-pin with cmd/benchdiff -update",
+		Benchmarks: medians,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compare prints the per-benchmark table and returns the exit code: 1 when
+// the geometric mean of the ratios regresses past the threshold.
+func compare(w io.Writer, old, cur map[string]float64, threshold float64) int {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var logSum float64
+	var n int
+	fmt.Fprintf(w, "%-32s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		nw, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %14.0f %14s %8s\n", name, old[name], "MISSING", "-")
+			continue
+		}
+		ratio := nw / old[name]
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %7.3fx\n", name, old[name], nw, ratio)
+		logSum += math.Log(ratio)
+		n++
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			fmt.Fprintf(w, "%-32s %14s %14.0f %8s\n", name, "NEW", cur[name], "-")
+		}
+	}
+	if n == 0 {
+		fmt.Fprintln(w, "benchdiff: no overlapping benchmarks; re-pin the baseline with -update")
+		return 1
+	}
+	geomean := math.Exp(logSum / float64(n))
+	limit := 1 + threshold
+	fmt.Fprintf(w, "geomean %.3fx over %d benchmarks (limit %.3fx)\n", geomean, n, limit)
+	if geomean > limit {
+		fmt.Fprintf(w, "benchdiff: FAIL — geomean regression %.1f%% exceeds %.0f%%\n",
+			(geomean-1)*100, threshold*100)
+		return 1
+	}
+	fmt.Fprintln(w, "benchdiff: OK")
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

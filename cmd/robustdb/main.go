@@ -19,6 +19,11 @@
 //	-cache-frac F       device cache as a fraction of the database (default 0.5)
 //	-heap-frac F        device heap as a fraction of the database (default 1.0)
 //	-admission          admit only one query at a time (baseline)
+//	-trace FILE         write an operator-level execution trace as Chrome
+//	                    trace_event JSON (open in chrome://tracing or
+//	                    ui.perfetto.dev; summarize with cmd/tracereport).
+//	                    With -strategy all, one file per strategy is written
+//	                    (FILE with "-<strategy>" before the extension).
 //
 // Fault injection (chaos runs — all off by default):
 //
@@ -43,6 +48,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"robustdb"
@@ -66,6 +73,7 @@ func main() {
 	faultResets := flag.Int("fault-resets", 0, "full device resets over the run")
 	faultStuck := flag.Float64("fault-stuck", 0, "probability a GPU operator hangs before progress")
 	deadline := flag.Duration("deadline", 0, "per-query deadline (0 = none)")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	var db *robustdb.DB
@@ -121,11 +129,20 @@ func main() {
 			*faultSeed, *faultAlloc, *faultTransfer, *faultResets, *faultStuck)
 	}
 
+	var tracer *robustdb.Tracer
+	if *tracePath != "" {
+		tracer = robustdb.NewTracer(0)
+	}
+
 	fmt.Printf("%-22s %12s %10s %10s %8s %12s\n",
 		"strategy", "time", "H2D", "D2H", "aborts", "wasted")
 	for _, strat := range strategies {
 		run := dev
 		run.QueryDeadline = *deadline
+		if tracer != nil {
+			tracer.Reset()
+			run.Tracer = tracer
+		}
 		if chaos {
 			// Fresh injector per strategy: every strategy faces the identical
 			// reproducible fault schedule for its own draws.
@@ -162,7 +179,43 @@ func main() {
 				res.TransferFaults, res.Retries, res.BreakerTrips,
 				res.DegradedPlacements, res.DeadlineFailures, res.CatalogErrors)
 		}
+		if tracer != nil {
+			path := *tracePath
+			if len(strategies) > 1 {
+				path = traceFileName(path, strat.Label)
+			}
+			if err := writeTrace(path, tracer); err != nil {
+				fmt.Fprintf(os.Stderr, "robustdb: %v\n", err)
+				os.Exit(1)
+			}
+			if ds, de := tracer.Dropped(); ds > 0 || de > 0 {
+				fmt.Fprintf(os.Stderr, "robustdb: trace ring overflowed, %d spans and %d events dropped\n", ds, de)
+			}
+			fmt.Printf("%-22s trace: %s (%d spans, %d events)\n",
+				"", path, len(tracer.Spans()), len(tracer.Events()))
+		}
 	}
+}
+
+// traceFileName derives a per-strategy trace path: "out.json" + "Data-Driven
+// Chopping" → "out-data-driven-chopping.json".
+func traceFileName(path, label string) string {
+	slug := strings.ReplaceAll(strings.ToLower(label), " ", "-")
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "-" + slug + ext
+}
+
+// writeTrace exports the tracer's contents as Chrome trace_event JSON.
+func writeTrace(path string, tr *robustdb.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := robustdb.WriteChromeTrace(f, tr.Spans(), tr.Events()); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func mib(b int64) float64 { return float64(b) / (1 << 20) }

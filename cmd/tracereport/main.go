@@ -1,0 +1,56 @@
+// Command tracereport summarizes a Chrome trace_event JSON file written by
+// `robustdb -trace` (or the library's WriteChromeTrace): a per-query
+// aggregate table followed by a plain-text waterfall of every query — the
+// terminal rendering of what chrome://tracing and ui.perfetto.dev show
+// graphically.
+//
+// Usage:
+//
+//	tracereport [-summary|-waterfall] trace.json
+//
+// With no mode flag both reports are printed, summary first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robustdb"
+)
+
+func main() {
+	summaryOnly := flag.Bool("summary", false, "print only the per-query aggregate table")
+	waterfallOnly := flag.Bool("waterfall", false, "print only the per-query waterfall")
+	flag.Parse()
+	if flag.NArg() != 1 || (*summaryOnly && *waterfallOnly) {
+		fmt.Fprintln(os.Stderr, "usage: tracereport [-summary|-waterfall] trace.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereport:", err)
+		os.Exit(1)
+	}
+	spans, events, err := robustdb.ReadChromeTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracereport: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	if !*waterfallOnly {
+		if err := robustdb.TraceSummary(os.Stdout, spans); err != nil {
+			fmt.Fprintln(os.Stderr, "tracereport:", err)
+			os.Exit(1)
+		}
+	}
+	if !*summaryOnly {
+		if !*waterfallOnly {
+			fmt.Println()
+		}
+		if err := robustdb.TraceWaterfall(os.Stdout, spans, events); err != nil {
+			fmt.Fprintln(os.Stderr, "tracereport:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"robustdb/internal/cost"
 	"robustdb/internal/exec"
 	"robustdb/internal/plan"
+	"robustdb/internal/trace"
 )
 
 // DefaultGPUWorkers is the chopping thread-pool bound for the co-processor.
@@ -52,13 +53,14 @@ func (LoadBalanced) CompileTime(*exec.Engine, *plan.Plan) map[int]cost.ProcKind 
 // Data-Driven Chopping avoids it (paper §6.2.1, Figure 15b).
 func (LoadBalanced) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) cost.ProcKind {
 	if !e.Health.AllowGPU(e.Sim.Now()) {
-		return cost.CPU // device circuit breaker open: degrade gracefully
+		// Device circuit breaker open: degrade gracefully.
+		return tracePlace(e, n, cost.CPU, "breaker-open")
 	}
 	inBytes, err := e.InputBytes(n, inputs)
 	if err != nil {
 		// CPU is the safe fallback, but the lookup failure must be visible.
 		e.NoteCatalogError(err)
-		return cost.CPU
+		return tracePlace(e, n, cost.CPU, "catalog-error")
 	}
 	// Run-time placement knows exact input sizes; the output is estimated
 	// at input volume (conservative for selections, about right for joins).
@@ -69,12 +71,28 @@ func (LoadBalanced) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) 
 		e.Learner.Estimate(n.Op.Class(), cost.GPU, work).Seconds()
 	footprint := e.Params.HeapFootprint(n.Op.Class(), inBytes, inBytes)
 	if footprint > e.Heap.Available() {
-		return cost.CPU // would abort immediately; don't even try
+		// Would abort immediately; don't even try.
+		return tracePlace(e, n, cost.CPU, "heap-full")
 	}
 	if gpuT <= cpuT {
-		return cost.GPU
+		return tracePlace(e, n, cost.GPU, "load-balance")
 	}
-	return cost.CPU
+	return tracePlace(e, n, cost.CPU, "load-balance")
+}
+
+// tracePlace emits one operator-placement decision event and returns the
+// chosen processor; no-op with tracing off.
+func tracePlace(e *exec.Engine, n *plan.Node, kind cost.ProcKind, reason string) cost.ProcKind {
+	if e.Tracer == nil {
+		return kind
+	}
+	e.Tracer.Event(trace.Event{
+		At:      e.Sim.Now(),
+		Kind:    "place",
+		Subject: kind.String() + ":" + n.Op.Class().String(),
+		Reason:  reason,
+	})
+	return kind
 }
 
 // DataDriven is the run-time data-driven placement rule (§5.4): an operator
@@ -96,26 +114,27 @@ func (DataDriven) CompileTime(*exec.Engine, *plan.Plan) map[int]cost.ProcKind { 
 // would only abort, so it runs on the CPU directly.
 func (DataDriven) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) cost.ProcKind {
 	if !e.Health.AllowGPU(e.Sim.Now()) {
-		return cost.CPU // device circuit breaker open: degrade gracefully
+		// Device circuit breaker open: degrade gracefully.
+		return tracePlace(e, n, cost.CPU, "breaker-open")
 	}
 	for _, id := range n.Op.BaseColumns() {
 		if !e.Cache.Contains(id) {
-			return cost.CPU
+			return tracePlace(e, n, cost.CPU, "column-not-cached")
 		}
 	}
 	for _, v := range inputs {
 		if !v.OnDevice {
-			return cost.CPU
+			return tracePlace(e, n, cost.CPU, "input-on-host")
 		}
 	}
 	inBytes, err := e.InputBytes(n, inputs)
 	if err != nil {
 		// CPU is the safe fallback, but the lookup failure must be visible.
 		e.NoteCatalogError(err)
-		return cost.CPU
+		return tracePlace(e, n, cost.CPU, "catalog-error")
 	}
 	if e.Params.HeapFootprint(n.Op.Class(), inBytes, inBytes) > e.Heap.Available() {
-		return cost.CPU
+		return tracePlace(e, n, cost.CPU, "heap-full")
 	}
-	return cost.GPU
+	return tracePlace(e, n, cost.GPU, "data-resident")
 }

@@ -156,8 +156,8 @@ func TestCatalogErrorsSurfaced(t *testing.T) {
 	if (LoadBalanced{}).RunTime(e, node, nil) != cost.CPU {
 		t.Fatal("failed lookup must fall back to CPU")
 	}
-	if e.Metrics.CatalogErrors != 1 {
-		t.Fatalf("catalog errors = %d, want 1", e.Metrics.CatalogErrors)
+	if e.Metrics.CatalogErrors.Load() != 1 {
+		t.Fatalf("catalog errors = %d, want 1", e.Metrics.CatalogErrors.Load())
 	}
 	// The data-driven rule only consults the catalog once the cache check
 	// passes; the missing column misses the cache, so CPU without an error.

@@ -129,9 +129,10 @@ func (m *Memory) Release(n int64) {
 // onto already allocated memory (the reason the paper's engine cannot use
 // wait-and-admit without deadlocks, §2.5.1); a Reservation mirrors that.
 type Reservation struct {
-	mem  *Memory
-	held int64
-	gen  int64 // reset generation the reservation belongs to
+	mem     *Memory
+	held    int64
+	maxHeld int64 // peak held bytes, kept across Release for diagnostics
+	gen     int64 // reset generation the reservation belongs to
 }
 
 // Reserve starts an empty reservation on m.
@@ -156,8 +157,16 @@ func (r *Reservation) Grow(n int64) error {
 		return err
 	}
 	r.held += n
+	if r.held > r.maxHeld {
+		r.maxHeld = r.held
+	}
 	return nil
 }
+
+// MaxHeld returns the peak bytes the reservation ever held — the operator's
+// heap high-water mark. Unlike Held it survives Release and device resets,
+// so tracing can report the footprint of aborted attempts.
+func (r *Reservation) MaxHeld() int64 { return r.maxHeld }
 
 // Held returns the bytes currently held by the reservation (0 after a device
 // reset invalidated it).

@@ -27,6 +27,7 @@ import (
 	"robustdb/internal/plan"
 	"robustdb/internal/sim"
 	"robustdb/internal/table"
+	"robustdb/internal/trace"
 )
 
 // UnboundedWorkers is the worker-pool capacity used when a strategy does not
@@ -69,6 +70,10 @@ type Config struct {
 	// QueryDeadline fails any query still running after this much virtual
 	// time, releasing its device reservations (0 = no deadline).
 	QueryDeadline time.Duration
+	// Tracer, when non-nil, records one span per operator execution attempt
+	// and one event per cache/placement decision, all in virtual time. Nil
+	// disables tracing at zero per-operator cost.
+	Tracer *trace.Tracer
 }
 
 // RetryConfig bounds the engine's retry of transient device faults.
@@ -121,6 +126,10 @@ type Engine struct {
 	CPU     *Processor
 	GPU     *Processor
 	Metrics *Metrics
+	// Tracer records operator spans and decision events; nil when tracing is
+	// off. Placement strategies and the data-placement manager emit their
+	// decisions through it.
+	Tracer *trace.Tracer
 	// Health is the device circuit breaker; every placement decision
 	// consults it (degradation ladder, DESIGN.md).
 	Health *Health
@@ -175,7 +184,8 @@ func New(cat *table.Catalog, cfg Config) *Engine {
 			Server:  sim.NewSharedServer(s, "gpu", 1.0),
 			Workers: sim.NewPool(s, "gpu-workers", gpuWorkers),
 		},
-		Metrics:       &Metrics{},
+		Metrics:       NewMetrics(),
+		Tracer:        cfg.Tracer,
 		Health:        NewHealth(cfg.Health),
 		outstanding:   make(map[cost.ProcKind]float64),
 		forceCopyBack: cfg.ForceCopyBack,
@@ -204,7 +214,11 @@ func (e *Engine) DeviceReset() {
 	}
 	e.Cache.Flush()
 	e.Heap.Reset()
-	e.Metrics.DeviceResets++
+	e.Metrics.DeviceResets.Inc()
+	if e.Tracer != nil {
+		e.Tracer.Event(trace.Event{At: e.Sim.Now(), Kind: "reset",
+			Subject: e.Heap.Name(), Reason: "device-reset"})
+	}
 	e.Health.NoteFault(e.Sim.Now())
 	if e.OnReset != nil {
 		e.OnReset()
@@ -247,7 +261,7 @@ func (e *Engine) dropDevice(v *Value) {
 // robustness work).
 func (e *Engine) NoteCatalogError(err error) {
 	if err != nil {
-		e.Metrics.CatalogErrors++
+		e.Metrics.CatalogErrors.Inc()
 	}
 }
 
@@ -256,7 +270,7 @@ func (e *Engine) NoteCatalogError(err error) {
 // of failing the run, but the error is counted instead of silently hidden.
 func (e *Engine) NotePreloadError(err error) {
 	if err != nil {
-		e.Metrics.PreloadErrors++
+		e.Metrics.PreloadErrors.Inc()
 	}
 }
 
@@ -371,5 +385,23 @@ func procName(query string, n *plan.Node) string {
 // observe feeds a measured operator execution into the learner and metrics.
 func (e *Engine) observe(class cost.OpClass, kind cost.ProcKind, bytes int64, d time.Duration) {
 	e.Learner.Observe(class, kind, bytes, d)
-	e.Metrics.OperatorRuns++
+	e.Metrics.OperatorRuns.Inc()
+	if kind == cost.GPU {
+		e.Metrics.GPURunTime.Observe(d)
+	} else {
+		e.Metrics.CPURunTime.Observe(d)
+	}
+}
+
+// traceCacheAdmit emits the cache events of one operator-driven admission:
+// the admitted column plus every victim the insertion displaced. No-op when
+// tracing is off.
+func (e *Engine) traceCacheAdmit(at time.Duration, id table.ColumnID, evicted []table.ColumnID, reason string) {
+	if e.Tracer == nil {
+		return
+	}
+	for _, v := range evicted {
+		e.Tracer.Event(trace.Event{At: at, Kind: "evict", Subject: string(v), Reason: "replacement"})
+	}
+	e.Tracer.Event(trace.Event{At: at, Kind: "admit", Subject: string(id), Reason: reason})
 }

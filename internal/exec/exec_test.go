@@ -104,13 +104,13 @@ func TestCPUOnlyProducesExactResult(t *testing.T) {
 	if st.Latency <= 0 {
 		t.Fatal("latency must be positive")
 	}
-	if e.Metrics.CPUOperators != 3 || e.Metrics.GPUOperators != 0 {
-		t.Fatalf("op counts: cpu=%d gpu=%d", e.Metrics.CPUOperators, e.Metrics.GPUOperators)
+	if e.Metrics.CPUOperators.Load() != 3 || e.Metrics.GPUOperators.Load() != 0 {
+		t.Fatalf("op counts: cpu=%d gpu=%d", e.Metrics.CPUOperators.Load(), e.Metrics.GPUOperators.Load())
 	}
 	if e.Bus.Link(bus.HostToDevice).Bytes() != 0 {
 		t.Fatal("CPU-only run must not touch the bus")
 	}
-	if e.Metrics.QueriesCompleted != 1 {
+	if e.Metrics.QueriesCompleted.Load() != 1 {
 		t.Fatal("query not counted")
 	}
 }
@@ -126,8 +126,8 @@ func TestGPURunMatchesCPUResult(t *testing.T) {
 	if c != g {
 		t.Fatalf("results differ: cpu=%v gpu=%v", c, g)
 	}
-	if eGPU.Metrics.GPUOperators != 3 || eGPU.Metrics.Aborts != 0 {
-		t.Fatalf("gpu ops=%d aborts=%d", eGPU.Metrics.GPUOperators, eGPU.Metrics.Aborts)
+	if eGPU.Metrics.GPUOperators.Load() != 3 || eGPU.Metrics.Aborts.Load() != 0 {
+		t.Fatalf("gpu ops=%d aborts=%d", eGPU.Metrics.GPUOperators.Load(), eGPU.Metrics.Aborts.Load())
 	}
 	// The root result must have been copied back.
 	if vGPU.OnDevice {
@@ -172,11 +172,11 @@ func TestHeapExhaustionAbortsAndFallsBack(t *testing.T) {
 	if want := expectSum(10000); got != want {
 		t.Fatalf("sum = %v, want %v", got, want)
 	}
-	if e.Metrics.Aborts == 0 {
+	if e.Metrics.Aborts.Load() == 0 {
 		t.Fatal("expected aborts")
 	}
-	if e.Metrics.CPUOperators != 3 {
-		t.Fatalf("all ops should have completed on CPU, got %d", e.Metrics.CPUOperators)
+	if e.Metrics.CPUOperators.Load() != 3 {
+		t.Fatalf("all ops should have completed on CPU, got %d", e.Metrics.CPUOperators.Load())
 	}
 	if e.Heap.Used() != 0 {
 		t.Fatalf("heap leak after aborts: %d", e.Heap.Used())
@@ -192,8 +192,8 @@ func TestTinyCacheStreamsThroughHeap(t *testing.T) {
 	if want := expectSum(10000); got != want {
 		t.Fatalf("sum = %v", got)
 	}
-	if e.Metrics.GPUOperators != 3 {
-		t.Fatalf("ops should run on GPU by streaming, got %d", e.Metrics.GPUOperators)
+	if e.Metrics.GPUOperators.Load() != 3 {
+		t.Fatalf("ops should run on GPU by streaming, got %d", e.Metrics.GPUOperators.Load())
 	}
 	if e.Cache.FailedInserts() == 0 {
 		t.Fatal("expected failed cache inserts")
@@ -242,10 +242,10 @@ func TestWastedTimeAccounting(t *testing.T) {
 	// Cache useless and heap tiny: the scan streams its input (grow fails
 	// immediately) — wasted time small but abort counted.
 	runQueryOnce(t, e, pl, fixedPlacer{cost.GPU})
-	if e.Metrics.Aborts == 0 {
+	if e.Metrics.Aborts.Load() == 0 {
 		t.Fatal("expected aborts")
 	}
-	if e.Metrics.WastedTime < 0 {
+	if e.Metrics.WastedTime.Load() < 0 {
 		t.Fatal("wasted time must be non-negative")
 	}
 }
@@ -330,7 +330,7 @@ func TestWorkerPoolBoundsGPUConcurrency(t *testing.T) {
 			if a := e.GPU.Server.Active(); a > maxActive {
 				maxActive = a
 			}
-			if e.Metrics.QueriesCompleted == 4 {
+			if e.Metrics.QueriesCompleted.Load() == 4 {
 				done = true
 				return
 			}

@@ -34,7 +34,7 @@ func TestZeroRateInjectorIsTransparent(t *testing.T) {
 	if stBase.Latency != stWired.Latency {
 		t.Fatalf("zero-rate injector changed latency: %v vs %v", stBase.Latency, stWired.Latency)
 	}
-	if wired.Metrics.Retries != 0 || wired.Health.Trips() != 0 {
+	if wired.Metrics.Retries.Load() != 0 || wired.Health.Trips() != 0 {
 		t.Fatal("zero-rate injector produced fault-tolerance activity")
 	}
 }
@@ -54,12 +54,12 @@ func TestTransientFaultRetrySucceeds(t *testing.T) {
 	if want := expectSum(10000); got != want {
 		t.Fatalf("sum = %v, want %v", got, want)
 	}
-	if e.Metrics.Retries == 0 || e.Metrics.TransferFaults == 0 {
+	if e.Metrics.Retries.Load() == 0 || e.Metrics.TransferFaults.Load() == 0 {
 		t.Fatalf("retries=%d transferFaults=%d, want both > 0",
-			e.Metrics.Retries, e.Metrics.TransferFaults)
+			e.Metrics.Retries.Load(), e.Metrics.TransferFaults.Load())
 	}
-	if e.Metrics.GPUOperators != 3 {
-		t.Fatalf("gpu ops = %d, want 3 (retry must keep the device)", e.Metrics.GPUOperators)
+	if e.Metrics.GPUOperators.Load() != 3 {
+		t.Fatalf("gpu ops = %d, want 3 (retry must keep the device)", e.Metrics.GPUOperators.Load())
 	}
 	if e.Heap.Used() != 0 {
 		t.Fatalf("heap leak: %d", e.Heap.Used())
@@ -80,8 +80,8 @@ func TestRetryExhaustionDegradesToCPU(t *testing.T) {
 	if want := expectSum(10000); got != want {
 		t.Fatalf("sum = %v, want %v", got, want)
 	}
-	if e.Metrics.CPUOperators != 3 || e.Metrics.GPUOperators != 0 {
-		t.Fatalf("ops: cpu=%d gpu=%d, want all on CPU", e.Metrics.CPUOperators, e.Metrics.GPUOperators)
+	if e.Metrics.CPUOperators.Load() != 3 || e.Metrics.GPUOperators.Load() != 0 {
+		t.Fatalf("ops: cpu=%d gpu=%d, want all on CPU", e.Metrics.CPUOperators.Load(), e.Metrics.GPUOperators.Load())
 	}
 	if e.Health.Trips() == 0 {
 		t.Fatal("permanent faults must trip the breaker")
@@ -105,8 +105,8 @@ func TestAllocFaultRetry(t *testing.T) {
 	if want := expectSum(10000); got != want {
 		t.Fatalf("sum = %v, want %v", got, want)
 	}
-	if e.Metrics.AllocFaults == 0 || e.Metrics.Retries == 0 {
-		t.Fatalf("allocFaults=%d retries=%d", e.Metrics.AllocFaults, e.Metrics.Retries)
+	if e.Metrics.AllocFaults.Load() == 0 || e.Metrics.Retries.Load() == 0 {
+		t.Fatalf("allocFaults=%d retries=%d", e.Metrics.AllocFaults.Load(), e.Metrics.Retries.Load())
 	}
 	if e.Heap.Used() != 0 {
 		t.Fatalf("heap leak: %d", e.Heap.Used())
@@ -149,11 +149,11 @@ func TestBreakerDegradesAndRecovers(t *testing.T) {
 		if e.Health.State() != BreakerOpen {
 			t.Errorf("state after fault burst = %v, want open", e.Health.State())
 		}
-		if e.Metrics.CPUOperators != 3 || e.Metrics.GPUOperators != 0 {
+		if e.Metrics.CPUOperators.Load() != 3 || e.Metrics.GPUOperators.Load() != 0 {
 			t.Errorf("query 1 ops: cpu=%d gpu=%d, want CPU-only degradation",
-				e.Metrics.CPUOperators, e.Metrics.GPUOperators)
+				e.Metrics.CPUOperators.Load(), e.Metrics.GPUOperators.Load())
 		}
-		if e.Metrics.DegradedPlacements == 0 {
+		if e.Metrics.DegradedPlacements.Load() == 0 {
 			t.Error("no degraded placements recorded")
 		}
 		// Wait out the fault condition and the breaker cooldown.
@@ -164,7 +164,7 @@ func TestBreakerDegradesAndRecovers(t *testing.T) {
 			return
 		}
 		check(v)
-		gpuAfterRecovery = e.Metrics.GPUOperators
+		gpuAfterRecovery = e.Metrics.GPUOperators.Load()
 	})
 	e.Sim.Run()
 	if e.Health.Trips() == 0 {
@@ -195,8 +195,8 @@ func TestDeviceResetMidQuery(t *testing.T) {
 	if want := expectSum(10000); got != want {
 		t.Fatalf("sum = %v, want %v", got, want)
 	}
-	if e.Metrics.DeviceResets != 1 {
-		t.Fatalf("resets = %d, want 1", e.Metrics.DeviceResets)
+	if e.Metrics.DeviceResets.Load() != 1 {
+		t.Fatalf("resets = %d, want 1", e.Metrics.DeviceResets.Load())
 	}
 	if e.Heap.Used() != 0 {
 		t.Fatalf("heap leak after reset: %d", e.Heap.Used())
@@ -223,7 +223,7 @@ func TestDeviceResetUnit(t *testing.T) {
 	if e.Heap.Used() != 0 || e.Cache.Len() != 0 {
 		t.Fatalf("reset incomplete: heap=%d cacheLen=%d", e.Heap.Used(), e.Cache.Len())
 	}
-	if e.Metrics.DeviceResets != 1 || !called {
+	if e.Metrics.DeviceResets.Load() != 1 || !called {
 		t.Fatal("reset not recorded or OnReset not called")
 	}
 	res.Release() // stale: must be a no-op
@@ -249,8 +249,8 @@ func TestDeadlineFailsCleanly(t *testing.T) {
 	if !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
 	}
-	if e.Metrics.QueriesFailed != 1 || e.Metrics.DeadlineFailures != 1 {
-		t.Fatalf("failed=%d deadline=%d", e.Metrics.QueriesFailed, e.Metrics.DeadlineFailures)
+	if e.Metrics.QueriesFailed.Load() != 1 || e.Metrics.DeadlineFailures.Load() != 1 {
+		t.Fatalf("failed=%d deadline=%d", e.Metrics.QueriesFailed.Load(), e.Metrics.DeadlineFailures.Load())
 	}
 	// The leak this guards against: an operator in flight at failure time
 	// finishes afterwards and must drop its device-resident result.
@@ -275,7 +275,7 @@ func TestUnusedDeadlineIsFree(t *testing.T) {
 	if guarded.Sim.Now() != baseEnd {
 		t.Fatalf("unused deadline stretched makespan: %v vs %v", guarded.Sim.Now(), baseEnd)
 	}
-	if guarded.Metrics.DeadlineFailures != 0 {
+	if guarded.Metrics.DeadlineFailures.Load() != 0 {
 		t.Fatal("unused deadline recorded a failure")
 	}
 }
@@ -297,7 +297,7 @@ func TestStuckOperatorHitsDeadline(t *testing.T) {
 	if !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline", err)
 	}
-	if e.Metrics.StuckOps == 0 {
+	if e.Metrics.StuckOps.Load() == 0 {
 		t.Fatal("stuck operator not counted")
 	}
 	if e.Heap.Used() != 0 {
@@ -332,13 +332,13 @@ func TestOOMDoesNotTripBreaker(t *testing.T) {
 	cat := testCatalog(10000)
 	e := New(cat, Config{CacheBytes: 1 << 30, HeapBytes: 64})
 	runQueryOnce(t, e, testPlan(), fixedPlacer{cost.GPU})
-	if e.Metrics.Aborts == 0 {
+	if e.Metrics.Aborts.Load() == 0 {
 		t.Fatal("expected OOM aborts")
 	}
 	if e.Health.Trips() != 0 || e.Health.State() != BreakerClosed {
 		t.Fatalf("OOM aborts tripped the breaker (trips=%d)", e.Health.Trips())
 	}
-	if e.Metrics.Retries != 0 {
+	if e.Metrics.Retries.Load() != 0 {
 		t.Fatal("OOM aborts must not be retried")
 	}
 }
@@ -350,12 +350,12 @@ func TestNotePreloadError(t *testing.T) {
 	cat := testCatalog(100)
 	e := New(cat, Config{CacheBytes: 1 << 20, HeapBytes: 1 << 20})
 	e.NotePreloadError(nil)
-	if e.Metrics.PreloadErrors != 0 {
-		t.Fatalf("nil error counted: PreloadErrors = %d", e.Metrics.PreloadErrors)
+	if e.Metrics.PreloadErrors.Load() != 0 {
+		t.Fatalf("nil error counted: PreloadErrors = %d", e.Metrics.PreloadErrors.Load())
 	}
 	e.NotePreloadError(errors.New("preload failed"))
 	e.NotePreloadError(errors.New("preload failed again"))
-	if e.Metrics.PreloadErrors != 2 {
-		t.Fatalf("PreloadErrors = %d, want 2", e.Metrics.PreloadErrors)
+	if e.Metrics.PreloadErrors.Load() != 2 {
+		t.Fatalf("PreloadErrors = %d, want 2", e.Metrics.PreloadErrors.Load())
 	}
 }

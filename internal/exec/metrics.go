@@ -1,56 +1,108 @@
 package exec
 
-import "time"
+import (
+	"robustdb/internal/trace"
+)
 
-// Metrics accumulates the run-wide counters the paper's figures report.
-// The simulator is single-threaded, so plain fields suffice.
+// Metrics exposes the run-wide counters the paper's figures report, backed
+// by a trace.Registry so the same series are available by name (snapshots,
+// deltas, exports). The field names double as the registered metric names.
+//
+// Counters are atomic: the simulator itself is single-threaded, but the
+// chaos suite runs engines from multiple test goroutines under -race, and
+// metrics may be read (aggregation, monitoring) while another engine still
+// runs — plain fields would be a data race.
 type Metrics struct {
+	reg *trace.Registry
+
 	// Aborts counts GPU operators that failed a device allocation and were
 	// restarted on the CPU (Figure 13).
-	Aborts int64
+	Aborts *trace.Counter
 	// WastedTime sums, over all aborted GPU operators, the virtual time from
 	// operator begin to abort (Figure 20).
-	WastedTime time.Duration
+	WastedTime *trace.DurationCounter
 	// OperatorRuns counts successfully completed operator executions.
-	OperatorRuns int64
+	OperatorRuns *trace.Counter
 	// GPUOperators counts operators that completed on the GPU.
-	GPUOperators int64
+	GPUOperators *trace.Counter
 	// CPUOperators counts operators that completed on the CPU.
-	CPUOperators int64
+	CPUOperators *trace.Counter
 	// QueriesCompleted counts finished queries.
-	QueriesCompleted int64
+	QueriesCompleted *trace.Counter
 	// QueriesFailed counts queries that ended with an error (including
 	// deadline failures). Failed queries release all device memory.
-	QueriesFailed int64
+	QueriesFailed *trace.Counter
 	// PlacementTransfers counts the H2D transfers issued by the data
 	// placement manager's background job (not charged to queries).
-	PlacementTransfers int64
+	PlacementTransfers *trace.Counter
 
 	// Fault-tolerance counters (the chaos/robustness work).
 
 	// AllocFaults counts injected transient device-allocation failures the
 	// engine observed.
-	AllocFaults int64
+	AllocFaults *trace.Counter
 	// TransferFaults counts bus transfers that failed with an injected
 	// fault.
-	TransferFaults int64
+	TransferFaults *trace.Counter
 	// DeviceResets counts full device resets (heap wiped, cache flushed,
 	// device-resident intermediates invalidated).
-	DeviceResets int64
+	DeviceResets *trace.Counter
 	// StuckOps counts GPU operators that hung before making progress.
-	StuckOps int64
+	StuckOps *trace.Counter
 	// Retries counts device retry attempts after transient faults.
-	Retries int64
+	Retries *trace.Counter
 	// DegradedPlacements counts operators the device circuit breaker forced
 	// from GPU to CPU placement.
-	DegradedPlacements int64
+	DegradedPlacements *trace.Counter
 	// DeadlineFailures counts queries failed by the per-query deadline.
-	DeadlineFailures int64
+	DeadlineFailures *trace.Counter
 	// CatalogErrors counts catalog lookups that failed inside placement
 	// heuristics and cost estimates — previously swallowed, now surfaced.
-	CatalogErrors int64
+	CatalogErrors *trace.Counter
 	// PreloadErrors counts failed data-placement re-establishments after a
 	// device reset. The run continues (operator-driven caching still works,
 	// merely slower), but the failure must not vanish.
-	PreloadErrors int64
+	PreloadErrors *trace.Counter
+
+	// GPURunTime and CPURunTime are per-processor histograms of completed
+	// operator run times (virtual time, excluding queue wait).
+	GPURunTime *trace.Histogram
+	CPURunTime *trace.Histogram
+	// HeapHighWater mirrors the device heap's high-water mark as a gauge so
+	// snapshots capture it alongside the counters.
+	HeapHighWater *trace.Gauge
 }
+
+// NewMetrics builds a metrics set over a fresh registry.
+func NewMetrics() *Metrics {
+	reg := trace.NewRegistry()
+	return &Metrics{
+		reg:                reg,
+		Aborts:             reg.Counter("Aborts"),
+		WastedTime:         reg.Duration("WastedTime"),
+		OperatorRuns:       reg.Counter("OperatorRuns"),
+		GPUOperators:       reg.Counter("GPUOperators"),
+		CPUOperators:       reg.Counter("CPUOperators"),
+		QueriesCompleted:   reg.Counter("QueriesCompleted"),
+		QueriesFailed:      reg.Counter("QueriesFailed"),
+		PlacementTransfers: reg.Counter("PlacementTransfers"),
+		AllocFaults:        reg.Counter("AllocFaults"),
+		TransferFaults:     reg.Counter("TransferFaults"),
+		DeviceResets:       reg.Counter("DeviceResets"),
+		StuckOps:           reg.Counter("StuckOps"),
+		Retries:            reg.Counter("Retries"),
+		DegradedPlacements: reg.Counter("DegradedPlacements"),
+		DeadlineFailures:   reg.Counter("DeadlineFailures"),
+		CatalogErrors:      reg.Counter("CatalogErrors"),
+		PreloadErrors:      reg.Counter("PreloadErrors"),
+		GPURunTime:         reg.Histogram("GPURunTime"),
+		CPURunTime:         reg.Histogram("CPURunTime"),
+		HeapHighWater:      reg.Gauge("HeapHighWater"),
+	}
+}
+
+// Registry returns the backing registry (for snapshots and custom series).
+func (m *Metrics) Registry() *trace.Registry { return m.reg }
+
+// Snapshot freezes every registered series.
+func (m *Metrics) Snapshot() trace.Snapshot { return m.reg.Snapshot() }

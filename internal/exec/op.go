@@ -13,6 +13,7 @@ import (
 	"robustdb/internal/plan"
 	"robustdb/internal/sim"
 	"robustdb/internal/table"
+	"robustdb/internal/trace"
 )
 
 // heapPhases describes the step-wise allocation of a device operator's
@@ -49,25 +50,56 @@ const (
 	abortReset
 )
 
+// abortLabel is the trace-span cause string per abort kind.
+func abortLabel(k abortKind, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case k == abortOOM:
+		return "oom"
+	case k == abortFault:
+		return "fault"
+	case k == abortReset:
+		return "reset"
+	default:
+		return ""
+	}
+}
+
+// opStats carries the per-attempt observability measurements (queue wait,
+// bus transfer time, heap high-water mark) out of the execution paths. It is
+// passed and returned by value, so measuring costs no allocations and the
+// tracing-disabled path stays free.
+type opStats struct {
+	queueWait time.Duration
+	transfer  time.Duration
+	heapHW    int64
+}
+
 // execOp runs one operator on the chosen processor. A GPU attempt that
 // aborts on a capacity failure is restarted on the CPU immediately
 // (CoGaDB's per-operator fault tolerance, §2.5.1); an attempt that aborts on
 // a transient infrastructure fault is retried with exponential virtual-time
 // backoff up to the retry budget, then restarted on the CPU. Every attempt
-// outcome feeds the device health tracker. Whether the *successors* stay on
-// the GPU is not decided here: compile-time strategies keep their fixed
-// placement (Figure 8, left), run-time strategies see the host-resident
-// intermediate at the next placement decision (Figure 8, right).
+// outcome feeds the device health tracker, and — with tracing on — every
+// attempt emits one span recording where it ran, what it waited for, and why
+// it gave up. Whether the *successors* stay on the GPU is not decided here:
+// compile-time strategies keep their fixed placement (Figure 8, left),
+// run-time strategies see the host-resident intermediate at the next
+// placement decision (Figure 8, right).
 func (e *Engine) execOp(p *sim.Proc, q *query, n *plan.Node, kind cost.ProcKind, inputs []*Value) (*Value, error) {
 	e.pollReset(p.Now())
+	attempt := 0
 	if kind == cost.GPU {
-		for attempt := 0; ; attempt++ {
+		for ; ; attempt++ {
 			if !e.Health.AllowGPU(p.Now()) {
-				e.Metrics.DegradedPlacements++
+				e.Metrics.DegradedPlacements.Inc()
 				break
 			}
 			e.Health.BeginAttempt()
-			v, abort, err := e.runOnGPU(p, n, inputs)
+			start := p.Now()
+			v, st, abort, err := e.runOnGPU(p, n, inputs)
+			e.traceOp(q, n, cost.GPU, attempt, start, st, abort, err)
 			if err != nil {
 				e.Health.RecordNeutral() // a query-logic error, not the device
 				return nil, err
@@ -82,27 +114,67 @@ func (e *Engine) execOp(p *sim.Proc, q *query, n *plan.Node, kind cost.ProcKind,
 				e.Health.RecordFault(p.Now())
 			}
 			if abort == abortOOM || attempt+1 >= e.retry.MaxAttempts {
+				attempt++
 				break // out of patience: degrade to the CPU
 			}
-			e.Metrics.Retries++
+			e.Metrics.Retries.Inc()
 			p.Hold(e.retry.backoff(attempt))
 		}
 	}
-	return e.runOnCPU(p, n, inputs)
+	start := p.Now()
+	v, st, err := e.runOnCPU(p, n, inputs)
+	e.traceOp(q, n, cost.CPU, attempt, start, st, abortNone, err)
+	return v, err
+}
+
+// traceOp emits one operator-attempt span. With tracing off it is a
+// single nil check — the per-operator cost of the disabled path.
+func (e *Engine) traceOp(q *query, n *plan.Node, kind cost.ProcKind, attempt int,
+	start time.Duration, st opStats, abort abortKind, err error) {
+	if e.Tracer == nil {
+		return
+	}
+	e.Tracer.Span(trace.Span{
+		Query:         q.name,
+		Name:          procName(q.name, n),
+		Op:            n.Op.Name(),
+		Class:         n.Op.Class().String(),
+		Proc:          kind.String(),
+		Node:          n.ID(),
+		Start:         start,
+		End:           e.Sim.Now(),
+		QueueWait:     st.queueWait,
+		Transfer:      st.transfer,
+		Abort:         abortLabel(abort, err),
+		Attempt:       attempt,
+		HeapHighWater: st.heapHW,
+	})
+}
+
+// transferTimed runs one bus transfer and accumulates its virtual duration
+// (successful or faulted) into acc.
+func (e *Engine) transferTimed(p *sim.Proc, d bus.Direction, n int64, acc *time.Duration) error {
+	t0 := p.Now()
+	err := e.Bus.TryTransfer(p, d, n)
+	*acc += p.Now() - t0
+	return err
 }
 
 // runOnGPU executes n on the co-processor. A non-abortNone return means the
 // attempt was rolled back (partial state released, abort stall charged) and
 // the caller decides between retry and CPU fallback.
-func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value, aborted abortKind, err error) {
+func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value, st opStats, aborted abortKind, err error) {
+	tq := p.Now()
 	e.GPU.Workers.Acquire(p)
+	st.queueWait = p.Now() - tq
 	defer e.GPU.Workers.Release()
 
 	start := p.Now()
 	res := e.Heap.Reserve()
+	defer func() { st.heapHW = res.MaxHeld() }()
 	var refs []table.ColumnID
 	abort := func() {
-		e.Metrics.Aborts++
+		e.Metrics.Aborts.Inc()
 		// Failed allocation + cleanup synchronize the device: every
 		// in-flight kernel stalls, and the aborting operator's memory is
 		// not reusable until the drain completes (cudaFree semantics).
@@ -114,7 +186,7 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 			e.Cache.Unref(id)
 		}
 		res.Release()
-		e.Metrics.WastedTime += p.Now() - start
+		e.Metrics.WastedTime.Add(p.Now() - start)
 	}
 	// classify maps an allocation or transfer error to its abort kind;
 	// abortNone means the error is not an abort (a hard query error).
@@ -126,9 +198,9 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 			return abortReset
 		case faults.IsTransient(aerr):
 			if errors.Is(aerr, faults.ErrInjectedAlloc) {
-				e.Metrics.AllocFaults++
+				e.Metrics.AllocFaults.Inc()
 			} else {
-				e.Metrics.TransferFaults++
+				e.Metrics.TransferFaults.Inc()
 			}
 			return abortFault
 		default:
@@ -144,31 +216,36 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		colBytes, berr := e.Cat.ColumnBytes(id)
 		if berr != nil {
 			abort()
-			return nil, abortNone, berr
+			return nil, st, abortNone, berr
 		}
 		inBytes += colBytes
 		if e.Cache.Lookup(id) {
 			if rerr := e.Cache.Ref(id); rerr != nil {
 				abort()
-				return nil, abortNone, rerr
+				return nil, st, abortNone, rerr
 			}
 			refs = append(refs, id)
 			continue // cache hit: data is already resident
 		}
 		// Operator-driven data placement: cache the column on demand.
-		if _, ok := e.Cache.Insert(id, colBytes); ok {
+		if evicted, ok := e.Cache.Insert(id, colBytes); ok {
+			e.traceCacheAdmit(p.Now(), id, evicted, "operator-demand")
 			if rerr := e.Cache.Ref(id); rerr != nil {
 				abort()
-				return nil, abortNone, rerr
+				return nil, st, abortNone, rerr
 			}
 			refs = append(refs, id)
-			if terr := e.Bus.TryTransfer(p, bus.HostToDevice, colBytes); terr != nil {
+			if terr := e.transferTimed(p, bus.HostToDevice, colBytes, &st.transfer); terr != nil {
 				// The column never arrived: undo the placement.
 				e.Cache.Unref(id)
 				refs = refs[:len(refs)-1]
 				e.Cache.Evict(id)
+				if e.Tracer != nil {
+					e.Tracer.Event(trace.Event{At: p.Now(), Kind: "evict",
+						Subject: string(id), Reason: "transfer-failed"})
+				}
 				abort()
-				return nil, classify(terr), nil
+				return nil, st, classify(terr), nil
 			}
 			continue
 		}
@@ -176,13 +253,13 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		if aerr := res.Grow(colBytes); aerr != nil {
 			abort()
 			if k := classify(aerr); k != abortNone {
-				return nil, k, nil
+				return nil, st, k, nil
 			}
-			return nil, abortNone, aerr
+			return nil, st, abortNone, aerr
 		}
-		if terr := e.Bus.TryTransfer(p, bus.HostToDevice, colBytes); terr != nil {
+		if terr := e.transferTimed(p, bus.HostToDevice, colBytes, &st.transfer); terr != nil {
 			abort()
-			return nil, classify(terr), nil
+			return nil, st, classify(terr), nil
 		}
 	}
 	for _, in := range inputs {
@@ -193,20 +270,20 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		if aerr := res.Grow(in.Bytes()); aerr != nil {
 			abort()
 			if k := classify(aerr); k != abortNone {
-				return nil, k, nil
+				return nil, st, k, nil
 			}
-			return nil, abortNone, aerr
+			return nil, st, abortNone, aerr
 		}
-		if terr := e.Bus.TryTransfer(p, bus.HostToDevice, in.Bytes()); terr != nil {
+		if terr := e.transferTimed(p, bus.HostToDevice, in.Bytes(), &st.transfer); terr != nil {
 			abort()
-			return nil, classify(terr), nil
+			return nil, st, classify(terr), nil
 		}
 	}
 	if e.pollReset(p.Now()) || !res.Valid() {
 		// The device reset while (or right after) inputs were staged: all
 		// staged state is gone.
 		abort()
-		return nil, abortReset, nil
+		return nil, st, abortReset, nil
 	}
 
 	// The kernel's real result; the simulator charges its cost below.
@@ -214,7 +291,7 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 	result, kerr := n.Op.Execute(e.Cat, batches)
 	if kerr != nil {
 		abort()
-		return nil, abortNone, fmt.Errorf("%s on gpu: %w", n.Op.Name(), kerr)
+		return nil, st, abortNone, fmt.Errorf("%s on gpu: %w", n.Op.Name(), kerr)
 	}
 	outBytes := result.Bytes()
 
@@ -232,7 +309,7 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		slowFactor, stall = e.injector.OpDelay(p.Now())
 		if stall > 0 {
 			// A stuck kernel: the device makes no progress for the stall.
-			e.Metrics.StuckOps++
+			e.Metrics.StuckOps.Inc()
 			p.Hold(stall)
 		}
 		if slowFactor != 1 {
@@ -244,23 +321,24 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		if aerr := res.Grow(int64(float64(footprint) * phase.allocFraction)); aerr != nil {
 			abort() // mid-kernel failure: the partial compute is wasted
 			if k := classify(aerr); k != abortNone {
-				return nil, k, nil
+				return nil, st, k, nil
 			}
-			return nil, abortNone, aerr
+			return nil, st, abortNone, aerr
 		}
 		e.GPU.Server.Execute(p, dur.Seconds()*phase.computeFraction)
 		if e.pollReset(p.Now()) || !res.Valid() {
 			abort() // the reset wiped the kernel's state mid-run
-			return nil, abortReset, nil
+			return nil, st, abortReset, nil
 		}
 	}
 	if slowFactor == 1 {
 		// Degraded runs would poison the learner's calibration.
 		e.observe(n.Op.Class(), cost.GPU, cost.Work(inBytes, outBytes), p.Now()-t0)
 	} else {
-		e.Metrics.OperatorRuns++
+		e.Metrics.OperatorRuns.Inc()
 	}
-	e.Metrics.GPUOperators++
+	e.Metrics.GPUOperators.Inc()
+	e.Metrics.HeapHighWater.Max(e.Heap.HighWater())
 
 	// Cleanup: cached inputs are no longer referenced, consumed device
 	// intermediates are freed, and the reservation shrinks to the result.
@@ -274,89 +352,96 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 		res.ReleasePartial(held - outBytes)
 	} else if aerr := res.Grow(outBytes - held); aerr != nil {
 		// The result itself does not fit (or faulted): late abort.
-		e.Metrics.Aborts++
+		e.Metrics.Aborts.Inc()
 		e.GPU.Server.Stall(e.Params.AbortSync)
 		p.Hold(e.Params.AbortSync)
 		res.Release()
-		e.Metrics.WastedTime += p.Now() - start
+		e.Metrics.WastedTime.Add(p.Now() - start)
 		if k := classify(aerr); k != abortNone {
-			return nil, k, nil
+			return nil, st, k, nil
 		}
-		return nil, abortNone, aerr
+		return nil, st, abortNone, aerr
 	}
 	if e.forceCopyBack {
 		// UVA-style processing: results travel back after every operator.
-		if terr := e.Bus.TryTransfer(p, bus.DeviceToHost, outBytes); terr != nil {
+		if terr := e.transferTimed(p, bus.DeviceToHost, outBytes, &st.transfer); terr != nil {
 			abort()
-			return nil, classify(terr), nil
+			return nil, st, classify(terr), nil
 		}
 		res.Release()
-		return &Value{Batch: result, OnDevice: false}, abortNone, nil
+		return &Value{Batch: result, OnDevice: false}, st, abortNone, nil
 	}
-	return e.newDeviceValue(result, res), abortNone, nil
+	return e.newDeviceValue(result, res), st, abortNone, nil
 }
 
 // runOnCPU executes n on the host. Device-resident inputs are copied back
 // first (the extra transfers the paper attributes to aborted operators and
 // to compile-time placement after faults); a copy-back that keeps faulting
 // after retries fails the query cleanly.
-func (e *Engine) runOnCPU(p *sim.Proc, n *plan.Node, inputs []*Value) (*Value, error) {
+func (e *Engine) runOnCPU(p *sim.Proc, n *plan.Node, inputs []*Value) (*Value, opStats, error) {
+	var st opStats
+	tq := p.Now()
 	e.CPU.Workers.Acquire(p)
+	st.queueWait = p.Now() - tq
 	defer e.CPU.Workers.Release()
 
 	var inBytes int64
 	for _, id := range n.Op.BaseColumns() {
 		colBytes, err := e.Cat.ColumnBytes(id)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		inBytes += colBytes
 	}
 	for _, in := range inputs {
 		inBytes += in.Bytes()
-		if err := e.pullToHost(p, in); err != nil {
-			return nil, err
+		d, err := e.pullToHost(p, in)
+		st.transfer += d
+		if err != nil {
+			return nil, st, err
 		}
 	}
 	result, err := n.Op.Execute(e.Cat, batchesOf(inputs))
 	if err != nil {
-		return nil, fmt.Errorf("%s on cpu: %w", n.Op.Name(), err)
+		return nil, st, fmt.Errorf("%s on cpu: %w", n.Op.Name(), err)
 	}
 	outBytes := result.Bytes()
 	dur := e.Params.OpDuration(n.Op.Class(), cost.CPU, cost.Work(inBytes, outBytes))
 	t0 := p.Now()
 	e.CPU.Server.Execute(p, dur.Seconds())
 	e.observe(n.Op.Class(), cost.CPU, cost.Work(inBytes, outBytes), p.Now()-t0)
-	e.Metrics.CPUOperators++
-	return &Value{Batch: result, OnDevice: false}, nil
+	e.Metrics.CPUOperators.Inc()
+	return &Value{Batch: result, OnDevice: false}, st, nil
 }
 
 // pullToHost copies a device-resident value back to the host, retrying
-// transient transfer faults with backoff. After the retry budget the value
-// stays device-resident and the error is returned — the caller fails the
-// query, whose cleanup releases the device copy.
-func (e *Engine) pullToHost(p *sim.Proc, v *Value) error {
+// transient transfer faults with backoff, and returns the virtual bus time
+// the copy-back consumed. After the retry budget the value stays
+// device-resident and the error is returned — the caller fails the query,
+// whose cleanup releases the device copy.
+func (e *Engine) pullToHost(p *sim.Proc, v *Value) (time.Duration, error) {
 	if !v.OnDevice {
-		return nil
+		return 0, nil
 	}
+	var busTime time.Duration
 	var err error
 	for attempt := 0; attempt < e.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			e.Metrics.Retries++
+			e.Metrics.Retries.Inc()
 			p.Hold(e.retry.backoff(attempt - 1))
 		}
 		if !v.OnDevice {
-			return nil // a device reset invalidated the copy; host batch is authoritative
+			return busTime, nil // a device reset invalidated the copy; host batch is authoritative
 		}
-		err = e.Bus.TryTransfer(p, bus.DeviceToHost, v.Bytes())
+		err = e.transferTimed(p, bus.DeviceToHost, v.Bytes(), &busTime)
 		if err == nil {
 			e.dropDevice(v)
-			return nil
+			return busTime, nil
 		}
-		e.Metrics.TransferFaults++
+		e.Metrics.TransferFaults.Inc()
 		e.Health.NoteFault(p.Now())
 	}
-	return fmt.Errorf("device copy-back of %d bytes failed: %w", v.Bytes(), err)
+	return busTime, fmt.Errorf("device copy-back of %d bytes failed: %w", v.Bytes(), err)
 }
 
 func batchesOf(inputs []*Value) []*engine.Batch {

@@ -8,6 +8,7 @@ import (
 	"robustdb/internal/cost"
 	"robustdb/internal/plan"
 	"robustdb/internal/sim"
+	"robustdb/internal/trace"
 )
 
 // ErrDeadlineExceeded marks a query failed by its per-query deadline. The
@@ -64,7 +65,7 @@ func (e *Engine) RunQuery(p *sim.Proc, pl *plan.Plan, placer Placer) (*Value, Qu
 	if e.deadline > 0 {
 		deadline := e.deadline
 		watchdog = e.Sim.After(deadline, func() {
-			e.Metrics.DeadlineFailures++
+			e.Metrics.DeadlineFailures.Inc()
 			q.fail(fmt.Errorf("%s: %w (%v)", q.name, ErrDeadlineExceeded, deadline))
 		})
 	}
@@ -78,11 +79,30 @@ func (e *Engine) RunQuery(p *sim.Proc, pl *plan.Plan, placer Placer) (*Value, Qu
 		watchdog.Cancel()
 	}
 	if q.err != nil {
-		e.Metrics.QueriesFailed++
+		e.Metrics.QueriesFailed.Inc()
+		q.traceQuery(e.Sim.Now(), "failed")
 		return nil, QueryStats{}, q.err
 	}
-	e.Metrics.QueriesCompleted++
+	e.Metrics.QueriesCompleted.Inc()
+	q.traceQuery(q.finished, "")
 	return q.result, QueryStats{Latency: q.finished - q.started}, nil
+}
+
+// traceQuery emits the query-level span every operator span of the query
+// nests inside. No-op with tracing off.
+func (q *query) traceQuery(end time.Duration, abort string) {
+	if q.engine.Tracer == nil {
+		return
+	}
+	q.engine.Tracer.Span(trace.Span{
+		Query: q.name,
+		Name:  q.name,
+		Class: "query",
+		Node:  -1,
+		Start: q.started,
+		End:   end,
+		Abort: abort,
+	})
 }
 
 // inputs collects the child results of n in child order.
@@ -109,7 +129,7 @@ func (q *query) scheduleNode(n *plan.Node) {
 	}
 	if kind == cost.GPU && !e.Health.AllowGPU(e.Sim.Now()) {
 		kind = cost.CPU
-		e.Metrics.DegradedPlacements++
+		e.Metrics.DegradedPlacements.Inc()
 	}
 	// Register the estimated demand with the processor's queue estimate so
 	// later placement decisions see the load.
@@ -151,7 +171,7 @@ func (q *query) runNode(p *sim.Proc, n *plan.Node, kind cost.ProcKind, est float
 	q.values[n.ID()] = v
 	if n == q.plan.Root {
 		// Results are returned to the user: copy back if device-resident.
-		if err := q.engine.pullToHost(p, v); err != nil {
+		if _, err := q.engine.pullToHost(p, v); err != nil {
 			q.fail(err)
 			return
 		}

@@ -16,6 +16,7 @@ import (
 	"robustdb/internal/exec"
 	"robustdb/internal/sim"
 	"robustdb/internal/table"
+	"robustdb/internal/trace"
 )
 
 // Policy selects how Algorithm 1 ranks columns.
@@ -138,6 +139,7 @@ func (m *Manager) ApplyInstant(e *exec.Engine, desired []table.ColumnID, pin boo
 				}
 			}
 			e.Cache.Evict(id)
+			traceDecision(e, "evict", id, "algorithm1-drop")
 		}
 	}
 	for _, id := range desired {
@@ -146,18 +148,33 @@ func (m *Manager) ApplyInstant(e *exec.Engine, desired []table.ColumnID, pin boo
 			if err != nil {
 				return err
 			}
-			if _, ok := e.Cache.Insert(id, b); !ok {
+			evicted, ok := e.Cache.Insert(id, b)
+			for _, v := range evicted {
+				traceDecision(e, "evict", v, "replacement")
+			}
+			if !ok {
 				continue // cannot fit (pinned remainder); skip like line 5
 			}
-			e.Metrics.PlacementTransfers++
+			traceDecision(e, "admit", id, "algorithm1")
+			e.Metrics.PlacementTransfers.Inc()
 		}
 		if pin {
 			if err := e.Cache.Pin(id); err != nil {
 				return err
 			}
+			traceDecision(e, "pin", id, "algorithm1")
 		}
 	}
 	return nil
+}
+
+// traceDecision emits one data-placement decision event; no-op with tracing
+// off.
+func traceDecision(e *exec.Engine, kind string, id table.ColumnID, reason string) {
+	if e.Tracer == nil {
+		return
+	}
+	e.Tracer.Event(trace.Event{At: e.Sim.Now(), Kind: kind, Subject: string(id), Reason: reason})
 }
 
 // ApplyCharged is ApplyInstant for the *periodic background job*: the
@@ -177,6 +194,7 @@ func (m *Manager) ApplyCharged(e *exec.Engine, proc *sim.Proc, desired []table.C
 				}
 			}
 			e.Cache.Evict(id)
+			traceDecision(e, "evict", id, "algorithm1-drop")
 		}
 	}
 	for _, id := range desired {
@@ -185,16 +203,22 @@ func (m *Manager) ApplyCharged(e *exec.Engine, proc *sim.Proc, desired []table.C
 			if err != nil {
 				return err
 			}
-			if _, ok := e.Cache.Insert(id, b); !ok {
+			evicted, ok := e.Cache.Insert(id, b)
+			for _, v := range evicted {
+				traceDecision(e, "evict", v, "replacement")
+			}
+			if !ok {
 				continue
 			}
 			e.Bus.Transfer(proc, bus.HostToDevice, b)
-			e.Metrics.PlacementTransfers++
+			traceDecision(e, "admit", id, "algorithm1")
+			e.Metrics.PlacementTransfers.Inc()
 		}
 		if pin {
 			if err := e.Cache.Pin(id); err != nil {
 				return err
 			}
+			traceDecision(e, "pin", id, "algorithm1")
 		}
 	}
 	return nil

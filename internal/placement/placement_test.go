@@ -123,8 +123,8 @@ func TestApplyInstant(t *testing.T) {
 	if !e.Cache.Pinned("a.x") || !e.Cache.Pinned("b.x") {
 		t.Fatal("placed columns not pinned")
 	}
-	if e.Metrics.PlacementTransfers != 2 {
-		t.Fatalf("placement transfers = %d", e.Metrics.PlacementTransfers)
+	if e.Metrics.PlacementTransfers.Load() != 2 {
+		t.Fatalf("placement transfers = %d", e.Metrics.PlacementTransfers.Load())
 	}
 	// Re-apply with a changed desired set: unpin + evict the dropped one.
 	m2 := NewManager(LFU)

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndDuration(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("Aborts")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	if r.Counter("Aborts") != c {
+		t.Fatal("re-registering must return the same counter")
+	}
+	d := r.Duration("WastedTime")
+	d.Add(3 * time.Millisecond)
+	d.Add(2 * time.Millisecond)
+	if d.Load() != 5*time.Millisecond {
+		t.Fatalf("duration = %v, want 5ms", d.Load())
+	}
+	if c.Name() != "Aborts" || d.Name() != "WastedTime" {
+		t.Fatalf("names: %q %q", c.Name(), d.Name())
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	g := NewRegistry().Gauge("HeapHighWater")
+	g.Set(10)
+	g.Max(5)
+	if g.Load() != 10 {
+		t.Fatalf("Max lowered the gauge to %d", g.Load())
+	}
+	g.Max(20)
+	if g.Load() != 20 {
+		t.Fatalf("gauge = %d, want 20", g.Load())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewRegistry().Histogram("OpRuntimeGPU")
+	for _, d := range []time.Duration{500 * time.Nanosecond, time.Microsecond,
+		3 * time.Microsecond, 100 * time.Microsecond, 2 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantSum := 500*time.Nanosecond + time.Microsecond + 3*time.Microsecond +
+		100*time.Microsecond + 2*time.Millisecond
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Mean() != wantSum/5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if q := h.Quantile(0.5); q > 8*time.Microsecond {
+		t.Fatalf("p50 = %v, want a small bucket edge", q)
+	}
+	if q := h.Quantile(1.0); q < 2*time.Millisecond {
+		t.Fatalf("p100 = %v, must cover the largest observation", q)
+	}
+	h.Observe(-time.Second) // clamps to zero, never a negative bucket
+	if h.Count() != 6 {
+		t.Fatalf("negative observation dropped")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	d := r.Duration("busy")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat")
+
+	c.Add(3)
+	d.Add(time.Millisecond)
+	g.Set(7)
+	h.Observe(time.Microsecond)
+	before := r.Snapshot()
+
+	c.Add(2)
+	d.Add(time.Millisecond)
+	g.Set(9)
+	h.Observe(2 * time.Microsecond)
+	after := r.Snapshot()
+
+	delta := after.Delta(before)
+	if delta.Counters["ops"] != 2 {
+		t.Fatalf("counter delta = %d, want 2", delta.Counters["ops"])
+	}
+	if delta.Durations["busy"] != time.Millisecond {
+		t.Fatalf("duration delta = %v", delta.Durations["busy"])
+	}
+	if delta.Gauges["depth"] != 9 {
+		t.Fatalf("gauge delta must be instantaneous, got %d", delta.Gauges["depth"])
+	}
+	hd := delta.Histograms["lat"]
+	if hd.Count != 1 || hd.Sum != 2*time.Microsecond {
+		t.Fatalf("hist delta count=%d sum=%v", hd.Count, hd.Sum)
+	}
+	var buckets int64
+	for _, b := range hd.Buckets {
+		buckets += b
+	}
+	if buckets != 1 {
+		t.Fatalf("hist delta buckets sum to %d, want 1", buckets)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c")
+	r.Duration("d")
+	names := r.Names()
+	want := []string{"a", "b", "c", "d"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistryKindClash(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+// TestRegistryConcurrent exercises every metric kind from parallel
+// goroutines; under -race this pins the atomicity the chaos suite relies on
+// when it runs engines from test goroutines.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("ops")
+			d := r.Duration("busy")
+			g := r.Gauge("hw")
+			h := r.Histogram("lat")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				d.Add(time.Microsecond)
+				g.Max(int64(i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops").Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Duration("busy").Load(); got != workers*perWorker*time.Microsecond {
+		t.Fatalf("duration = %v", got)
+	}
+	if got := r.Gauge("hw").Load(); got != perWorker-1 {
+		t.Fatalf("gauge max = %d, want %d", got, perWorker-1)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*perWorker {
+		t.Fatalf("hist count = %d", got)
+	}
+}

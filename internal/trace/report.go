@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// errWriter latches the first write error so the renderers can report it
+// once at the end instead of checking every Fprintf.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+// Waterfall prints a per-query waterfall of the trace: one block per query,
+// one bar per operator attempt, offset and scaled inside the query's time
+// window — the textual rendering of what chrome://tracing shows graphically.
+// Output is deterministic for a deterministic trace. The returned error is
+// the first write error, if any.
+func Waterfall(w io.Writer, spans []Span, events []Event) error {
+	ew := &errWriter{w: w}
+	queries, ops := splitSpans(spans)
+	if len(queries) == 0 && len(ops) == 0 {
+		ew.printf("trace: no spans\n")
+		return ew.err
+	}
+
+	// Queries in start order; operator spans attach to their query id.
+	sort.SliceStable(queries, func(i, j int) bool {
+		if queries[i].Start != queries[j].Start {
+			return queries[i].Start < queries[j].Start
+		}
+		return queries[i].Query < queries[j].Query
+	})
+	byQuery := make(map[string][]Span)
+	for _, s := range ops {
+		byQuery[s.Query] = append(byQuery[s.Query], s)
+	}
+	// Operator spans whose query span fell out of the ring still get a
+	// synthetic block so nothing silently disappears.
+	for q, list := range byQuery {
+		if !hasQuery(queries, q) {
+			syn := Span{Query: q, Name: q, Class: "query", Start: list[0].Start}
+			for _, s := range list {
+				if s.End > syn.End {
+					syn.End = s.End
+				}
+			}
+			queries = append(queries, syn)
+		}
+	}
+
+	const barWidth = 32
+	for _, q := range queries {
+		list := byQuery[q.Query]
+		sort.SliceStable(list, func(i, j int) bool {
+			if list[i].Start != list[j].Start {
+				return list[i].Start < list[j].Start
+			}
+			return list[i].Name < list[j].Name
+		})
+		var gpu, cpu, aborts int
+		for _, s := range list {
+			if s.Abort != "" {
+				aborts++
+			} else if s.Proc == "gpu" {
+				gpu++
+			} else {
+				cpu++
+			}
+		}
+		status := ""
+		if q.Abort != "" {
+			status = "  FAILED(" + q.Abort + ")"
+		}
+		ew.printf("%s  start=%s  latency=%s  ops=%d (gpu=%d cpu=%d aborted=%d)%s\n",
+			q.Query, fmtDur(q.Start), fmtDur(q.Duration()), len(list), gpu, cpu, aborts, status)
+		window := q.Duration()
+		for _, s := range list {
+			bar := renderBar(s.Start-q.Start, s.Duration(), window, barWidth)
+			mark := s.Proc
+			if s.Abort != "" {
+				mark = s.Proc + "!" + s.Abort
+			}
+			ew.printf("  %-7s |%s| %-9s +%-9s %-9s wait=%-9s xfer=%-9s %s\n",
+				trimQuery(s.Name, s.Query), bar, mark, fmtDur(s.Start-q.Start),
+				fmtDur(s.Duration()), fmtDur(s.QueueWait), fmtDur(s.Transfer), s.Op)
+		}
+	}
+
+	if len(events) > 0 {
+		counts := make(map[string]int)
+		for _, ev := range events {
+			counts[ev.Kind]++
+		}
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		ew.printf("events:")
+		for _, k := range kinds {
+			ew.printf(" %s=%d", k, counts[k])
+		}
+		ew.printf("\n")
+	}
+	return ew.err
+}
+
+// splitSpans separates query-level spans from operator spans.
+func splitSpans(spans []Span) (queries, ops []Span) {
+	for _, s := range spans {
+		if s.Class == "query" {
+			queries = append(queries, s)
+		} else {
+			ops = append(ops, s)
+		}
+	}
+	return queries, ops
+}
+
+func hasQuery(queries []Span, id string) bool {
+	for _, q := range queries {
+		if q.Query == id {
+			return true
+		}
+	}
+	return false
+}
+
+// trimQuery shortens "q0001/op003" to "op003" inside its query block.
+func trimQuery(name, query string) string {
+	if len(name) > len(query)+1 && name[:len(query)] == query && name[len(query)] == '/' {
+		return name[len(query)+1:]
+	}
+	return name
+}
+
+// renderBar draws an offset duration bar of the given width.
+func renderBar(offset, dur, window time.Duration, width int) string {
+	if window <= 0 {
+		window = 1
+	}
+	lo := int(float64(offset) / float64(window) * float64(width))
+	hi := int(float64(offset+dur) / float64(window) * float64(width))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > width {
+		hi = width
+	}
+	if hi <= lo {
+		hi = lo + 1 // every span is visible, however short
+	}
+	if lo >= width {
+		lo, hi = width-1, width
+	}
+	bar := make([]byte, width)
+	for i := range bar {
+		switch {
+		case i >= lo && i < hi:
+			bar[i] = '='
+		default:
+			bar[i] = ' '
+		}
+	}
+	return string(bar)
+}
+
+// fmtDur renders a virtual duration compactly and deterministically.
+func fmtDur(d time.Duration) string {
+	return d.Round(100 * time.Nanosecond).String()
+}
+
+// Summary prints per-query aggregates of the trace (count, mean latency) —
+// the quick textual overview tracereport leads with. The returned error is
+// the first write error, if any.
+func Summary(w io.Writer, spans []Span) error {
+	ew := &errWriter{w: w}
+	queries, ops := splitSpans(spans)
+	type agg struct {
+		name    string
+		total   time.Duration
+		ops     int
+		aborted int
+	}
+	opsByQuery := make(map[string][]Span)
+	for _, s := range ops {
+		opsByQuery[s.Query] = append(opsByQuery[s.Query], s)
+	}
+	ew.printf("queries=%d operator-spans=%d\n", len(queries), len(ops))
+	var rows []agg
+	for _, q := range queries {
+		a := agg{name: q.Query, total: q.Duration()}
+		for _, s := range opsByQuery[q.Query] {
+			a.ops++
+			if s.Abort != "" {
+				a.aborted++
+			}
+		}
+		rows = append(rows, a)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, a := range rows {
+		ew.printf("  %-8s latency=%-12s ops=%-4d aborted=%d\n",
+			a.name, fmtDur(a.total), a.ops, a.aborted)
+	}
+	return ew.err
+}

@@ -251,19 +251,19 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 	result.D2HTime = e.Bus.Link(bus.DeviceToHost).BusyTime()
 	result.H2DBytes = e.Bus.Link(bus.HostToDevice).Bytes()
 	result.D2HBytes = e.Bus.Link(bus.DeviceToHost).Bytes()
-	result.Aborts = e.Metrics.Aborts
-	result.WastedTime = e.Metrics.WastedTime
-	result.GPUOperators = e.Metrics.GPUOperators
-	result.CPUOperators = e.Metrics.CPUOperators
-	result.QueriesRun = e.Metrics.QueriesCompleted
-	result.DeviceResets = e.Metrics.DeviceResets
-	result.AllocFaults = e.Metrics.AllocFaults
-	result.TransferFaults = e.Metrics.TransferFaults
-	result.Retries = e.Metrics.Retries
+	result.Aborts = e.Metrics.Aborts.Load()
+	result.WastedTime = e.Metrics.WastedTime.Load()
+	result.GPUOperators = e.Metrics.GPUOperators.Load()
+	result.CPUOperators = e.Metrics.CPUOperators.Load()
+	result.QueriesRun = e.Metrics.QueriesCompleted.Load()
+	result.DeviceResets = e.Metrics.DeviceResets.Load()
+	result.AllocFaults = e.Metrics.AllocFaults.Load()
+	result.TransferFaults = e.Metrics.TransferFaults.Load()
+	result.Retries = e.Metrics.Retries.Load()
 	result.BreakerTrips = e.Health.Trips()
-	result.DegradedPlacements = e.Metrics.DegradedPlacements
-	result.DeadlineFailures = e.Metrics.DeadlineFailures
-	result.CatalogErrors = e.Metrics.CatalogErrors
-	result.PreloadErrors = e.Metrics.PreloadErrors
+	result.DegradedPlacements = e.Metrics.DegradedPlacements.Load()
+	result.DeadlineFailures = e.Metrics.DeadlineFailures.Load()
+	result.CatalogErrors = e.Metrics.CatalogErrors.Load()
+	result.PreloadErrors = e.Metrics.PreloadErrors.Load()
 	return e, result, nil
 }

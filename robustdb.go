@@ -33,6 +33,7 @@ import (
 	"robustdb/internal/ssb"
 	"robustdb/internal/table"
 	"robustdb/internal/tpch"
+	"robustdb/internal/trace"
 	"robustdb/internal/workload"
 )
 
@@ -68,6 +69,31 @@ type (
 	// FaultInjector is a seeded, deterministic device-fault schedule; set it
 	// on Device.Faults to run a chaos workload.
 	FaultInjector = faults.Injector
+	// Tracer records operator spans and placement-decision events during a
+	// run; set it on Device.Tracer and export with WriteChromeTrace.
+	Tracer = trace.Tracer
+	// TraceSpan is one recorded operator or query execution.
+	TraceSpan = trace.Span
+	// TraceEvent is one recorded cache/placement decision.
+	TraceEvent = trace.Event
+)
+
+// Tracing helpers: construct a tracer, export its contents as Chrome
+// trace_event JSON (load in chrome://tracing or ui.perfetto.dev), read such a
+// file back, and render plain-text reports.
+var (
+	// NewTracer creates a tracer with ring capacity n (n <= 0 for the
+	// default of 65536 spans and events each).
+	NewTracer = trace.New
+	// WriteChromeTrace writes spans and events as Chrome trace_event JSON.
+	WriteChromeTrace = trace.WriteChrome
+	// ReadChromeTrace parses a Chrome trace_event JSON file written by
+	// WriteChromeTrace back into spans and events.
+	ReadChromeTrace = trace.ReadChrome
+	// TraceWaterfall renders a plain-text per-query waterfall of a trace.
+	TraceWaterfall = trace.Waterfall
+	// TraceSummary renders per-query aggregates of a trace.
+	TraceSummary = trace.Summary
 )
 
 // NewFaultInjector builds a deterministic fault injector from a config; the
