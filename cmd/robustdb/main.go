@@ -24,6 +24,18 @@
 //	                    ui.perfetto.dev; summarize with cmd/tracereport).
 //	                    With -strategy all, one file per strategy is written
 //	                    (FILE with "-<strategy>" before the extension).
+//	-log-level LEVEL    structured log level: debug, info, warn, error
+//	                    (default info; logs go to stderr as slog text)
+//
+// Serve mode (live monitoring):
+//
+//	-serve ADDR         run the workload continuously on one persistent
+//	                    engine and expose /metrics (Prometheus), /healthz,
+//	                    /debug/snapshot, /debug/spans, and /debug/pprof on
+//	                    ADDR until SIGINT/SIGTERM. Needs a single -strategy.
+//	-serve-window D     detector sampling window (default 500ms)
+//	-serve-cooldown D   idle gap between workload passes (default 2s); the
+//	                    idle windows let the detectors observe recovery
 //
 // Fault injection (chaos runs — all off by default):
 //
@@ -53,6 +65,7 @@ import (
 	"time"
 
 	"robustdb"
+	"robustdb/internal/obs"
 )
 
 func main() {
@@ -74,7 +87,35 @@ func main() {
 	faultStuck := flag.Float64("fault-stuck", 0, "probability a GPU operator hangs before progress")
 	deadline := flag.Duration("deadline", 0, "per-query deadline (0 = none)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	serve := flag.String("serve", "", "serve mode: listen address for the live observability surface (e.g. :8080)")
+	serveWindow := flag.Duration("serve-window", 500*time.Millisecond, "detector sampling window in serve mode")
+	serveCooldown := flag.Duration("serve-cooldown", 2*time.Second, "idle gap between workload passes in serve mode")
 	flag.Parse()
+
+	opts := options{
+		bench:         *bench,
+		sf:            *sf,
+		rows:          *rows,
+		strategy:      *stratName,
+		users:         *users,
+		total:         *total,
+		query:         *queryName,
+		cacheFrac:     *cacheFrac,
+		heapFrac:      *heapFrac,
+		logLevel:      *logLevel,
+		serve:         *serve,
+		serveWindow:   *serveWindow,
+		serveCooldown: *serveCooldown,
+	}
+	// Validate every flag before the dataset build: a typo'd flag must fail
+	// in milliseconds with exit 2, not after data generation.
+	if err := validateOptions(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "robustdb: %v\n", err)
+		os.Exit(2)
+	}
+	level, _ := parseLogLevel(*logLevel) // validated above
+	logger := obs.NewLogger(os.Stderr, level)
 
 	var db *robustdb.DB
 	var queries []robustdb.WorkloadQuery
@@ -85,48 +126,79 @@ func main() {
 	case "tpch":
 		db = robustdb.OpenTPCH(robustdb.TPCHConfig{SF: *sf, RowsPerSF: *rows, Seed: *seed})
 		queries = robustdb.TPCHQueries()
-	default:
-		fmt.Fprintf(os.Stderr, "robustdb: unknown benchmark %q\n", *bench)
-		os.Exit(2)
 	}
 	if *queryName != "" {
-		found := false
 		for _, q := range queries {
 			if q.Name == *queryName {
 				queries = []robustdb.WorkloadQuery{q}
-				found = true
 				break
 			}
-		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "robustdb: no query %q in %s\n", *queryName, *bench)
-			os.Exit(2)
 		}
 	}
 
 	dev := robustdb.Device{
 		CacheBytes: int64(*cacheFrac * float64(db.TotalBytes())),
 		HeapBytes:  int64(*heapFrac * float64(db.TotalBytes())),
+		Log:        logger,
 	}
-	fmt.Printf("database: %s sf=%d (%.1f MiB) — device cache %.1f MiB, heap %.1f MiB\n",
-		*bench, *sf, mib(db.TotalBytes()), mib(dev.CacheBytes), mib(dev.HeapBytes))
+	logger.Info("database ready",
+		"component", "cli", "bench", *bench, "sf", *sf,
+		"database_mib", fmt.Sprintf("%.1f", mib(db.TotalBytes())),
+		"cache_mib", fmt.Sprintf("%.1f", mib(dev.CacheBytes)),
+		"heap_mib", fmt.Sprintf("%.1f", mib(dev.HeapBytes)))
 
 	var strategies []robustdb.Strategy
 	if *stratName == "all" {
 		strategies = robustdb.AllStrategies()
 	} else {
-		s, err := strategyByName(*stratName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "robustdb:", err)
-			os.Exit(2)
-		}
+		s, _ := strategyByName(*stratName) // validated above
 		strategies = []robustdb.Strategy{s}
 	}
 
 	chaos := *faultAlloc > 0 || *faultTransfer > 0 || *faultResets > 0 || *faultStuck > 0
 	if chaos {
-		fmt.Printf("fault injection: seed=%d alloc=%.2g transfer=%.2g resets=%d stuck=%.2g\n",
-			*faultSeed, *faultAlloc, *faultTransfer, *faultResets, *faultStuck)
+		logger.Info("fault injection enabled",
+			"component", "cli", "seed", *faultSeed, "alloc", *faultAlloc,
+			"transfer", *faultTransfer, "resets", *faultResets, "stuck", *faultStuck)
+	}
+	faultCfg := func() *robustdb.FaultInjector {
+		return robustdb.NewFaultInjector(robustdb.FaultConfig{
+			Seed:             *faultSeed,
+			AllocFailRate:    *faultAlloc,
+			TransferFailRate: *faultTransfer,
+			ResetCount:       *faultResets,
+			StuckRate:        *faultStuck,
+			Log:              logger,
+		})
+	}
+
+	if *serve != "" {
+		run := dev
+		run.QueryDeadline = *deadline
+		if chaos {
+			run.Faults = faultCfg()
+		}
+		err := runServe(serveConfig{
+			addr:     *serve,
+			window:   *serveWindow,
+			cooldown: *serveCooldown,
+			db:       db,
+			dev:      run,
+			strat:    strategies[0],
+			spec: robustdb.Workload{
+				Queries:          queries,
+				Users:            *users,
+				TotalQueries:     *total,
+				AdmissionControl: *admission,
+				ContinueOnError:  chaos || *deadline > 0,
+			},
+			log: logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustdb: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var tracer *robustdb.Tracer
@@ -146,13 +218,7 @@ func main() {
 		if chaos {
 			// Fresh injector per strategy: every strategy faces the identical
 			// reproducible fault schedule for its own draws.
-			run.Faults = robustdb.NewFaultInjector(robustdb.FaultConfig{
-				Seed:             *faultSeed,
-				AllocFailRate:    *faultAlloc,
-				TransferFailRate: *faultTransfer,
-				ResetCount:       *faultResets,
-				StuckRate:        *faultStuck,
-			})
+			run.Faults = faultCfg()
 		}
 		spec := robustdb.Workload{
 			Queries:          queries,

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"robustdb"
+	"robustdb/internal/obs"
+	"robustdb/internal/workload"
+)
+
+// serveConfig wires one continuous workload to the live observability
+// surface.
+type serveConfig struct {
+	addr     string
+	window   time.Duration // detector sampling window (wall clock)
+	cooldown time.Duration // idle gap between workload passes (wall clock)
+	db       *robustdb.DB
+	dev      robustdb.Device
+	strat    robustdb.Strategy
+	spec     robustdb.Workload
+	log      *slog.Logger
+}
+
+// runServe drives the configured workload in a loop on one persistent
+// engine while exposing /metrics, /healthz, /debug/snapshot, /debug/spans,
+// and pprof on addr. The engine itself stays deterministic — it runs on
+// virtual time as always; only the sampling ticker and the cooldown between
+// passes touch the wall clock, which is why those two lines carry lint
+// suppressions. SIGINT/SIGTERM shut the server down cleanly.
+func runServe(cfg serveConfig) error {
+	tracer := robustdb.NewTracer(0)
+	cfg.dev.Tracer = tracer
+	runner, err := workload.NewRunner(cfg.db.Catalog(), cfg.dev, cfg.strat, cfg.spec)
+	if err != nil {
+		return err
+	}
+	reg := runner.Engine.Metrics.Registry()
+	detectors := []*obs.Detector{
+		obs.NewThrashingDetector(obs.ThrashingConfig{}),
+		obs.NewContentionDetector(obs.ContentionConfig{}),
+	}
+	sampler := obs.NewSampler(reg, detectors, cfg.log)
+	mux := obs.NewMux(obs.ServerConfig{
+		Registry:  reg,
+		Tracer:    tracer,
+		Detectors: detectors,
+		Log:       cfg.log,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.Serve(ln) }()
+	cfg.log.LogAttrs(context.Background(), slog.LevelInfo, "serving",
+		slog.String("component", "serve"),
+		slog.String("addr", ln.Addr().String()),
+		slog.String("strategy", cfg.strat.Label),
+		slog.Duration("window", cfg.window),
+		slog.Duration("cooldown", cfg.cooldown))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	//lint:ignore virtualtime detector sampling windows are wall-clock by design, outside any deterministic run
+	ticker := time.NewTicker(cfg.window)
+	defer ticker.Stop()
+
+	// The workload loop: one virtual-time pass, then a wall-clock cooldown.
+	// The idle windows during the cooldown are what lets the detectors
+	// observe recovery (hysteresis exit) between passes.
+	workErr := make(chan error, 1)
+	go func() {
+		for ctx.Err() == nil {
+			if _, err := runner.RunOnce(); err != nil {
+				workErr <- err
+				return
+			}
+			select {
+			case <-ctx.Done():
+			//lint:ignore virtualtime the cooldown between passes is wall-clock idle time, outside any deterministic run
+			case <-time.After(cfg.cooldown):
+			}
+		}
+		workErr <- nil
+	}()
+
+	var runErr error
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case runErr = <-workErr:
+			break loop
+		case err := <-httpErr:
+			return fmt.Errorf("robustdb: http server: %w", err)
+		case <-ticker.C:
+			sampler.Tick()
+		}
+	}
+	stop()
+	cfg.log.LogAttrs(context.Background(), slog.LevelInfo, "shutting down",
+		slog.String("component", "serve"))
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+
+	"robustdb"
+)
+
+// options collects every parsed flag that needs validation. Validation runs
+// before the dataset build, so a typo'd flag fails in milliseconds with
+// exit 2 instead of generating gigabytes first.
+type options struct {
+	bench         string
+	sf            int
+	rows          int
+	strategy      string
+	users         int
+	total         int
+	query         string
+	cacheFrac     float64
+	heapFrac      float64
+	logLevel      string
+	serve         string
+	serveWindow   time.Duration
+	serveCooldown time.Duration
+}
+
+// validateOptions checks every flag value and returns an error naming the
+// offending flag. It must stay cheap: query-name validation builds plans,
+// never table data.
+func validateOptions(o options) error {
+	switch o.bench {
+	case "ssb", "tpch":
+	default:
+		return fmt.Errorf("-bench: unknown benchmark %q (want ssb or tpch)", o.bench)
+	}
+	if o.sf < 0 {
+		return fmt.Errorf("-sf: scale factor must not be negative, got %d", o.sf)
+	}
+	if o.rows < 0 {
+		return fmt.Errorf("-rows: rows per scale factor must not be negative, got %d", o.rows)
+	}
+	if o.users < 1 {
+		return fmt.Errorf("-users: need at least one user session, got %d", o.users)
+	}
+	if o.total < 0 {
+		return fmt.Errorf("-total: total queries must not be negative, got %d", o.total)
+	}
+	if o.cacheFrac < 0 {
+		return fmt.Errorf("-cache-frac: fraction must not be negative, got %g", o.cacheFrac)
+	}
+	if o.heapFrac < 0 {
+		return fmt.Errorf("-heap-frac: fraction must not be negative, got %g", o.heapFrac)
+	}
+	if o.strategy != "all" {
+		if _, err := strategyByName(o.strategy); err != nil {
+			return fmt.Errorf("-strategy: %w", err)
+		}
+	}
+	if o.query != "" {
+		if !queryExists(o.bench, o.query) {
+			return fmt.Errorf("-query: no query %q in %s", o.query, o.bench)
+		}
+	}
+	if _, err := parseLogLevel(o.logLevel); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	if o.serve != "" {
+		if o.strategy == "all" {
+			return fmt.Errorf("-serve: needs a single -strategy, not %q", o.strategy)
+		}
+		if o.serveWindow <= 0 {
+			return fmt.Errorf("-serve-window: window must be positive, got %v", o.serveWindow)
+		}
+		if o.serveCooldown < 0 {
+			return fmt.Errorf("-serve-cooldown: cooldown must not be negative, got %v", o.serveCooldown)
+		}
+	}
+	return nil
+}
+
+// queryExists reports whether the benchmark defines the named query. Query
+// definitions are plans over the schema — building them does not generate
+// data.
+func queryExists(bench, name string) bool {
+	var qs []robustdb.WorkloadQuery
+	if bench == "tpch" {
+		qs = robustdb.TPCHQueries()
+	} else {
+		qs = robustdb.SSBQueries()
+	}
+	for _, q := range qs {
+		if q.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown level %q (want debug, info, warn, or error)", s)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// validOptions is a baseline that passes validation; cases mutate one flag.
+func validOptions() options {
+	return options{
+		bench:         "ssb",
+		sf:            1,
+		users:         1,
+		strategy:      "data-driven-chopping",
+		cacheFrac:     0.5,
+		heapFrac:      1.0,
+		logLevel:      "info",
+		serveWindow:   500 * time.Millisecond,
+		serveCooldown: time.Second,
+	}
+}
+
+func TestValidateOptions(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*options)
+		wantFlag string // "" = must validate cleanly
+	}{
+		{"defaults", func(o *options) {}, ""},
+		{"tpch", func(o *options) { o.bench = "tpch" }, ""},
+		{"all-strategies", func(o *options) { o.strategy = "all" }, ""},
+		{"named-query", func(o *options) { o.query = "Q3.3" }, ""},
+		{"tpch-query", func(o *options) { o.bench = "tpch"; o.query = "Q5" }, ""},
+		{"serve", func(o *options) { o.serve = ":0" }, ""},
+		{"zero-sf", func(o *options) { o.sf = 0 }, ""},
+
+		{"unknown-bench", func(o *options) { o.bench = "tpcds" }, "-bench"},
+		{"negative-sf", func(o *options) { o.sf = -1 }, "-sf"},
+		{"negative-rows", func(o *options) { o.rows = -5 }, "-rows"},
+		{"zero-users", func(o *options) { o.users = 0 }, "-users"},
+		{"negative-users", func(o *options) { o.users = -3 }, "-users"},
+		{"negative-total", func(o *options) { o.total = -1 }, "-total"},
+		{"negative-cache-frac", func(o *options) { o.cacheFrac = -0.1 }, "-cache-frac"},
+		{"negative-heap-frac", func(o *options) { o.heapFrac = -1 }, "-heap-frac"},
+		{"unknown-strategy", func(o *options) { o.strategy = "quantum" }, "-strategy"},
+		{"unknown-query", func(o *options) { o.query = "Q9.9" }, "-query"},
+		{"query-wrong-bench", func(o *options) { o.bench = "tpch"; o.query = "Q3.3" }, "-query"},
+		{"bad-log-level", func(o *options) { o.logLevel = "verbose" }, "-log-level"},
+		{"serve-all", func(o *options) { o.serve = ":0"; o.strategy = "all" }, "-serve"},
+		{"serve-zero-window", func(o *options) { o.serve = ":0"; o.serveWindow = 0 }, "-serve-window"},
+		{"serve-negative-cooldown", func(o *options) { o.serve = ":0"; o.serveCooldown = -time.Second }, "-serve-cooldown"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := validOptions()
+			c.mutate(&o)
+			err := validateOptions(o)
+			if c.wantFlag == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error naming %s", c.wantFlag)
+			}
+			if !strings.HasPrefix(err.Error(), c.wantFlag+":") {
+				t.Fatalf("error %q does not lead with the offending flag %s", err, c.wantFlag)
+			}
+		})
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for _, lvl := range []string{"debug", "info", "warn", "error"} {
+		if _, err := parseLogLevel(lvl); err != nil {
+			t.Fatalf("%s: %v", lvl, err)
+		}
+	}
+	if _, err := parseLogLevel("trace"); err == nil {
+		t.Fatal("unknown level must error")
+	}
+}

@@ -6,14 +6,17 @@
 //
 // Usage:
 //
-//	tracereport [-summary|-waterfall] trace.json
+//	tracereport [-summary|-waterfall|-json] trace.json
 //
-// With no mode flag both reports are printed, summary first.
+// With no mode flag both text reports are printed, summary first. -json
+// emits the per-query summary as JSON Lines (one object per query) for
+// scripting — jq, spreadsheet import, CI assertions.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"robustdb"
@@ -22,35 +25,50 @@ import (
 func main() {
 	summaryOnly := flag.Bool("summary", false, "print only the per-query aggregate table")
 	waterfallOnly := flag.Bool("waterfall", false, "print only the per-query waterfall")
+	jsonOut := flag.Bool("json", false, "emit the per-query summary as JSON Lines (one object per query)")
 	flag.Parse()
-	if flag.NArg() != 1 || (*summaryOnly && *waterfallOnly) {
-		fmt.Fprintln(os.Stderr, "usage: tracereport [-summary|-waterfall] trace.json")
+	modes := 0
+	for _, m := range []bool{*summaryOnly, *waterfallOnly, *jsonOut} {
+		if m {
+			modes++
+		}
+	}
+	if flag.NArg() != 1 || modes > 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracereport [-summary|-waterfall|-json] trace.json")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
+	if err := report(os.Stdout, flag.Arg(0), *summaryOnly, *waterfallOnly, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "tracereport:", err)
 		os.Exit(1)
+	}
+}
+
+// report loads the trace file and renders the selected report(s) to w.
+func report(w io.Writer, path string, summaryOnly, waterfallOnly, jsonOut bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
 	}
 	spans, events, err := robustdb.ReadChromeTrace(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracereport: %s: %v\n", flag.Arg(0), err)
-		os.Exit(1)
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	if !*waterfallOnly {
-		if err := robustdb.TraceSummary(os.Stdout, spans); err != nil {
-			fmt.Fprintln(os.Stderr, "tracereport:", err)
-			os.Exit(1)
+	if jsonOut {
+		return robustdb.TraceSummaryJSON(w, spans)
+	}
+	if !waterfallOnly {
+		if err := robustdb.TraceSummary(w, spans); err != nil {
+			return err
 		}
 	}
-	if !*summaryOnly {
-		if !*waterfallOnly {
-			fmt.Println()
+	if !summaryOnly {
+		if !waterfallOnly {
+			fmt.Fprintln(w)
 		}
-		if err := robustdb.TraceWaterfall(os.Stdout, spans, events); err != nil {
-			fmt.Fprintln(os.Stderr, "tracereport:", err)
-			os.Exit(1)
+		if err := robustdb.TraceWaterfall(w, spans, events); err != nil {
+			return err
 		}
 	}
+	return nil
 }

@@ -40,6 +40,39 @@ func (p Policy) String() string {
 	}
 }
 
+// StatCounter is the minimal sink for mirrored cache statistics. It is
+// satisfied by *trace.Counter without making this package depend on the
+// metrics layer; implementations must be safe for concurrent reads (the
+// observability surface scrapes them while the simulator mutates the cache).
+type StatCounter interface {
+	Inc()
+}
+
+// Stats mirrors every cache statistic increment into external counters the
+// moment it happens. Nil fields are skipped, so partial mirroring is fine.
+// The cache's own plain counters stay authoritative for single-threaded
+// inspection; the mirror exists so live monitoring can read the same numbers
+// atomically from another goroutine.
+type Stats struct {
+	// Hits / Misses mirror Lookup outcomes.
+	Hits, Misses StatCounter
+	// Evictions mirrors every entry leaving the cache by replacement,
+	// explicit eviction, or flush.
+	Evictions StatCounter
+	// Readmits mirrors insertions of a column that was evicted earlier in
+	// the cache's lifetime — the evict-then-readmit churn that defines cache
+	// thrashing (paper §2.3, Figure 2).
+	Readmits StatCounter
+	// FailedInserts mirrors rejected insertions.
+	FailedInserts StatCounter
+}
+
+func statInc(c StatCounter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
 type entry struct {
 	id        table.ColumnID
 	bytes     int64
@@ -61,7 +94,12 @@ type Cache struct {
 	clock    int64
 	seq      int64
 
-	hits, misses, evictions, failedInserts int64
+	hits, misses, evictions, failedInserts, readmits int64
+	// evictedOnce remembers every column that was ever evicted, so a later
+	// insertion of the same column counts as a readmission. Bounded by the
+	// number of distinct columns in the catalog.
+	evictedOnce map[table.ColumnID]struct{}
+	stats       Stats
 }
 
 // New creates a cache of the given byte capacity and policy.
@@ -69,8 +107,16 @@ func New(capacity int64, policy Policy) *Cache {
 	if capacity < 0 {
 		panic(fmt.Sprintf("cache: negative capacity %d", capacity))
 	}
-	return &Cache{capacity: capacity, policy: policy, entries: make(map[table.ColumnID]*entry)}
+	return &Cache{
+		capacity:    capacity,
+		policy:      policy,
+		entries:     make(map[table.ColumnID]*entry),
+		evictedOnce: make(map[table.ColumnID]struct{}),
+	}
 }
+
+// SetStats installs the statistics mirror. Pass the zero Stats to remove it.
+func (c *Cache) SetStats(s Stats) { c.stats = s }
 
 // Capacity returns the cache capacity in bytes.
 func (c *Cache) Capacity() int64 { return c.capacity }
@@ -96,6 +142,10 @@ func (c *Cache) Evictions() int64 { return c.evictions }
 // FailedInserts returns the number of rejected insertions.
 func (c *Cache) FailedInserts() int64 { return c.failedInserts }
 
+// Readmits returns the number of insertions of previously evicted columns
+// (the evict-then-readmit churn of cache thrashing).
+func (c *Cache) Readmits() int64 { return c.readmits }
+
 // Contains reports whether id is cached, without touching statistics.
 func (c *Cache) Contains(id table.ColumnID) bool {
 	e, ok := c.entries[id]
@@ -109,11 +159,13 @@ func (c *Cache) Lookup(id table.ColumnID) bool {
 	e, ok := c.entries[id]
 	if !ok || e.condemned {
 		c.misses++
+		statInc(c.stats.Misses)
 		return false
 	}
 	e.lastUsed = c.clock
 	e.freq++
 	c.hits++
+	statInc(c.stats.Hits)
 	return true
 }
 
@@ -139,16 +191,19 @@ func (c *Cache) Insert(id table.ColumnID, bytes int64) (evicted []table.ColumnID
 		// copy under the same id would corrupt the accounting. The caller
 		// streams the column through heap memory instead.
 		c.failedInserts++
+		statInc(c.stats.FailedInserts)
 		return nil, false
 	}
 	if bytes > c.capacity {
 		c.failedInserts++
+		statInc(c.stats.FailedInserts)
 		return nil, false
 	}
 	for c.used+bytes > c.capacity {
 		v := c.victim()
 		if v == nil {
 			c.failedInserts++
+			statInc(c.stats.FailedInserts)
 			return evicted, false
 		}
 		c.remove(v)
@@ -157,6 +212,11 @@ func (c *Cache) Insert(id table.ColumnID, bytes int64) (evicted []table.ColumnID
 	c.seq++
 	c.entries[id] = &entry{id: id, bytes: bytes, lastUsed: c.clock, freq: 1, seq: c.seq}
 	c.used += bytes
+	if _, was := c.evictedOnce[id]; was {
+		delete(c.evictedOnce, id)
+		c.readmits++
+		statInc(c.stats.Readmits)
+	}
 	return evicted, true
 }
 
@@ -195,6 +255,8 @@ func (c *Cache) remove(e *entry) {
 	delete(c.entries, e.id)
 	c.used -= e.bytes
 	c.evictions++
+	c.evictedOnce[e.id] = struct{}{}
+	statInc(c.stats.Evictions)
 }
 
 // Evict removes id immediately if it is unreferenced; a referenced entry is

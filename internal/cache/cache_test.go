@@ -341,3 +341,74 @@ func TestInsertOverCondemnedFails(t *testing.T) {
 		t.Fatal("insert after cleanup failed")
 	}
 }
+
+// countingStat is a StatCounter recording increments for the mirror tests.
+type countingStat struct{ n int64 }
+
+func (c *countingStat) Inc() { c.n++ }
+
+func TestReadmitTracking(t *testing.T) {
+	c := New(100, LRU)
+	if _, ok := c.Insert(id("a"), 60); !ok {
+		t.Fatal("insert a")
+	}
+	if _, ok := c.Insert(id("b"), 60); !ok {
+		t.Fatal("insert b (evicts a)")
+	}
+	if c.Evictions() != 1 || c.Readmits() != 0 {
+		t.Fatalf("evictions=%d readmits=%d, want 1/0", c.Evictions(), c.Readmits())
+	}
+	// Re-inserting the evicted column is the thrashing signature.
+	if _, ok := c.Insert(id("a"), 60); !ok {
+		t.Fatal("readmit a")
+	}
+	if c.Readmits() != 1 {
+		t.Fatalf("readmits=%d, want 1", c.Readmits())
+	}
+	// Re-inserting evicted b, then evicted a again: both count — every
+	// round trip through eviction and back is churn.
+	if _, ok := c.Insert(id("b"), 60); !ok {
+		t.Fatal("insert b again")
+	}
+	if _, ok := c.Insert(id("a"), 60); !ok {
+		t.Fatal("readmit a again")
+	}
+	if c.Readmits() != 3 {
+		t.Fatalf("readmits=%d, want 3", c.Readmits())
+	}
+	// A brand-new column is not a readmission.
+	if _, ok := c.Insert(id("c"), 10); !ok {
+		t.Fatal("insert c")
+	}
+	if c.Readmits() != 3 {
+		t.Fatalf("fresh insert counted as readmit: %d", c.Readmits())
+	}
+}
+
+func TestStatsMirror(t *testing.T) {
+	var hits, misses, evs, readmits, failed countingStat
+	c := New(100, LRU)
+	c.SetStats(Stats{Hits: &hits, Misses: &misses, Evictions: &evs,
+		Readmits: &readmits, FailedInserts: &failed})
+	c.Insert(id("a"), 60)
+	c.Lookup(id("a"))      // hit
+	c.Lookup(id("x"))      // miss
+	c.Insert(id("b"), 60)  // evicts a
+	c.Insert(id("a"), 60)  // readmits a, evicts b
+	c.Insert(id("z"), 200) // too large: failed insert
+	if hits.n != c.Hits() || misses.n != c.Misses() || evs.n != c.Evictions() ||
+		readmits.n != c.Readmits() || failed.n != c.FailedInserts() {
+		t.Fatalf("mirror diverged: hits %d/%d misses %d/%d evictions %d/%d readmits %d/%d failed %d/%d",
+			hits.n, c.Hits(), misses.n, c.Misses(), evs.n, c.Evictions(),
+			readmits.n, c.Readmits(), failed.n, c.FailedInserts())
+	}
+	if hits.n != 1 || misses.n != 1 || evs.n != 2 || readmits.n != 1 || failed.n != 1 {
+		t.Fatalf("unexpected mirror values: %d %d %d %d %d", hits.n, misses.n, evs.n, readmits.n, failed.n)
+	}
+	// The zero Stats removes the mirror without disturbing the cache.
+	c.SetStats(Stats{})
+	c.Lookup(id("a"))
+	if hits.n != 1 {
+		t.Fatal("mirror still active after removal")
+	}
+}

@@ -80,9 +80,11 @@ func (LoadBalanced) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) 
 	return tracePlace(e, n, cost.CPU, "load-balance")
 }
 
-// tracePlace emits one operator-placement decision event and returns the
-// chosen processor; no-op with tracing off.
+// tracePlace emits one operator-placement decision event (and, with a
+// debug-enabled engine logger, one structured log record) and returns the
+// chosen processor; with tracing and logging off it costs two nil checks.
 func tracePlace(e *exec.Engine, n *plan.Node, kind cost.ProcKind, reason string) cost.ProcKind {
+	e.LogPlacement(n, kind.String(), reason)
 	if e.Tracer == nil {
 		return kind
 	}

@@ -15,7 +15,9 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"robustdb/internal/bus"
@@ -74,6 +76,12 @@ type Config struct {
 	// and one event per cache/placement decision, all in virtual time. Nil
 	// disables tracing at zero per-operator cost.
 	Tracer *trace.Tracer
+	// Log, when non-nil, receives structured slog records for engine events
+	// (query completions/failures, operator aborts, device resets, breaker
+	// trips, placement decisions at debug level). Nil disables logging
+	// entirely — the equivalent of an io.Discard handler, but with a single
+	// nil check on the hot path so the zero-alloc guarantees hold.
+	Log *slog.Logger
 }
 
 // RetryConfig bounds the engine's retry of transient device faults.
@@ -130,6 +138,10 @@ type Engine struct {
 	// off. Placement strategies and the data-placement manager emit their
 	// decisions through it.
 	Tracer *trace.Tracer
+	// Log receives structured engine events; nil disables logging at a
+	// single nil-check per hook (see Config.Log). The chopping placers and
+	// the data-placement manager share it.
+	Log *slog.Logger
 	// Health is the device circuit breaker; every placement decision
 	// consults it (degradation ladder, DESIGN.md).
 	Health *Health
@@ -186,6 +198,7 @@ func New(cat *table.Catalog, cfg Config) *Engine {
 		},
 		Metrics:       NewMetrics(),
 		Tracer:        cfg.Tracer,
+		Log:           cfg.Log,
 		Health:        NewHealth(cfg.Health),
 		outstanding:   make(map[cost.ProcKind]float64),
 		forceCopyBack: cfg.ForceCopyBack,
@@ -198,6 +211,16 @@ func New(cat *table.Catalog, cfg Config) *Engine {
 		cfg.Faults.WrapMemory(s, e.Heap)
 		cfg.Faults.WrapBus(s, e.Bus)
 	}
+	// Mirror cache statistics into the atomic registry at mutation time so
+	// live monitoring (and the thrashing detector's windows) can read them
+	// from other goroutines while the simulator runs.
+	e.Cache.SetStats(cache.Stats{
+		Hits:          e.Metrics.CacheHits,
+		Misses:        e.Metrics.CacheMisses,
+		Evictions:     e.Metrics.CacheEvictions,
+		Readmits:      e.Metrics.CacheReadmits,
+		FailedInserts: e.Metrics.CacheFailedInserts,
+	})
 	return e
 }
 
@@ -220,6 +243,10 @@ func (e *Engine) DeviceReset() {
 			Subject: e.Heap.Name(), Reason: "device-reset"})
 	}
 	e.Health.NoteFault(e.Sim.Now())
+	e.logEvent(slog.LevelWarn, "device reset",
+		slog.String("component", "exec"),
+		slog.Duration("vt", e.Sim.Now()),
+		slog.String("processor", "gpu"))
 	if e.OnReset != nil {
 		e.OnReset()
 	}
@@ -391,6 +418,40 @@ func (e *Engine) observe(class cost.OpClass, kind cost.ProcKind, bytes int64, d 
 	} else {
 		e.Metrics.CPURunTime.Observe(d)
 	}
+}
+
+// logEnabled reports whether a log record at the given level would be
+// emitted. The nil check comes first so the no-logger configuration costs
+// one comparison and zero allocations on every hook.
+func (e *Engine) logEnabled(level slog.Level) bool {
+	return e.Log != nil && e.Log.Enabled(context.Background(), level)
+}
+
+// logEvent emits one structured engine event. Callers on hot paths must
+// guard with logEnabled before building attributes; logEvent re-checks so a
+// bare call with pre-built attrs is still safe.
+func (e *Engine) logEvent(level slog.Level, msg string, attrs ...slog.Attr) {
+	if !e.logEnabled(level) {
+		return
+	}
+	e.Log.LogAttrs(context.Background(), level, msg, attrs...)
+}
+
+// LogPlacement emits one placement decision at debug level on behalf of a
+// run-time placer (the chopping package calls it alongside its trace event).
+// With no logger, or debug disabled, it is a nil-check no-op; the operator
+// name is only formatted past the gate, keeping the decision path
+// allocation-free when logging is off.
+func (e *Engine) LogPlacement(n *plan.Node, kind, reason string) {
+	if !e.logEnabled(slog.LevelDebug) {
+		return
+	}
+	e.Log.LogAttrs(context.Background(), slog.LevelDebug, "place operator",
+		slog.String("component", "chopping"),
+		slog.Duration("vt", e.Sim.Now()),
+		slog.String("operator", n.Op.Name()),
+		slog.String("processor", kind),
+		slog.String("reason", reason))
 }
 
 // traceCacheAdmit emits the cache events of one operator-driven admission:

@@ -64,6 +64,27 @@ type Metrics struct {
 	// merely slower), but the failure must not vanish.
 	PreloadErrors *trace.Counter
 
+	// Cache statistics, mirrored from the column cache at mutation time so
+	// the live observability surface reads them atomically while the
+	// simulator runs (the cache itself is single-threaded).
+
+	// CacheHits / CacheMisses count column-cache lookups by outcome.
+	CacheHits, CacheMisses *trace.Counter
+	// CacheEvictions counts columns leaving the cache.
+	CacheEvictions *trace.Counter
+	// CacheReadmits counts insertions of previously evicted columns — the
+	// evict-then-readmit churn that defines cache thrashing (§2.3, Fig. 2);
+	// the online thrashing detector keys on its per-window rate.
+	CacheReadmits *trace.Counter
+	// CacheFailedInserts counts rejected cache insertions.
+	CacheFailedInserts *trace.Counter
+
+	// H2DBytes / D2HBytes count payload bytes moved by operator-path bus
+	// transfers per direction (successful transfers only). Unlike the bus
+	// link's own accounting they are atomic, so per-window transfer volume
+	// is available to the online detectors.
+	H2DBytes, D2HBytes *trace.Counter
+
 	// GPURunTime and CPURunTime are per-processor histograms of completed
 	// operator run times (virtual time, excluding queue wait).
 	GPURunTime *trace.Histogram
@@ -95,6 +116,13 @@ func NewMetrics() *Metrics {
 		DeadlineFailures:   reg.Counter("DeadlineFailures"),
 		CatalogErrors:      reg.Counter("CatalogErrors"),
 		PreloadErrors:      reg.Counter("PreloadErrors"),
+		CacheHits:          reg.Counter("CacheHits"),
+		CacheMisses:        reg.Counter("CacheMisses"),
+		CacheEvictions:     reg.Counter("CacheEvictions"),
+		CacheReadmits:      reg.Counter("CacheReadmits"),
+		CacheFailedInserts: reg.Counter("CacheFailedInserts"),
+		H2DBytes:           reg.Counter("H2DBytes"),
+		D2HBytes:           reg.Counter("D2HBytes"),
 		GPURunTime:         reg.Histogram("GPURunTime"),
 		CPURunTime:         reg.Histogram("CPURunTime"),
 		HeapHighWater:      reg.Gauge("HeapHighWater"),

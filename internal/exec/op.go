@@ -3,6 +3,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"robustdb/internal/bus"
@@ -100,6 +101,16 @@ func (e *Engine) execOp(p *sim.Proc, q *query, n *plan.Node, kind cost.ProcKind,
 			start := p.Now()
 			v, st, abort, err := e.runOnGPU(p, n, inputs)
 			e.traceOp(q, n, cost.GPU, attempt, start, st, abort, err)
+			if abort != abortNone && e.logEnabled(slog.LevelDebug) {
+				e.logEvent(slog.LevelDebug, "operator aborted",
+					slog.String("component", "exec"),
+					slog.Duration("vt", p.Now()),
+					slog.String("query", q.name),
+					slog.String("operator", n.Op.Name()),
+					slog.String("processor", "gpu"),
+					slog.String("cause", abortLabel(abort, err)),
+					slog.Int("attempt", attempt))
+			}
 			if err != nil {
 				e.Health.RecordNeutral() // a query-logic error, not the device
 				return nil, err
@@ -152,11 +163,20 @@ func (e *Engine) traceOp(q *query, n *plan.Node, kind cost.ProcKind, attempt int
 }
 
 // transferTimed runs one bus transfer and accumulates its virtual duration
-// (successful or faulted) into acc.
+// (successful or faulted) into acc. Successful payload bytes are counted on
+// the per-direction registry counters so the observability windows see
+// transfer volume as it happens.
 func (e *Engine) transferTimed(p *sim.Proc, d bus.Direction, n int64, acc *time.Duration) error {
 	t0 := p.Now()
 	err := e.Bus.TryTransfer(p, d, n)
 	*acc += p.Now() - t0
+	if err == nil {
+		if d == bus.HostToDevice {
+			e.Metrics.H2DBytes.Add(n)
+		} else {
+			e.Metrics.D2HBytes.Add(n)
+		}
+	}
 	return err
 }
 

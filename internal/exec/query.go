@@ -3,6 +3,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"robustdb/internal/cost"
@@ -81,10 +82,24 @@ func (e *Engine) RunQuery(p *sim.Proc, pl *plan.Plan, placer Placer) (*Value, Qu
 	if q.err != nil {
 		e.Metrics.QueriesFailed.Inc()
 		q.traceQuery(e.Sim.Now(), "failed")
+		if e.logEnabled(slog.LevelWarn) {
+			e.logEvent(slog.LevelWarn, "query failed",
+				slog.String("component", "exec"),
+				slog.Duration("vt", e.Sim.Now()),
+				slog.String("query", q.name),
+				slog.String("error", q.err.Error()))
+		}
 		return nil, QueryStats{}, q.err
 	}
 	e.Metrics.QueriesCompleted.Inc()
 	q.traceQuery(q.finished, "")
+	if e.logEnabled(slog.LevelDebug) {
+		e.logEvent(slog.LevelDebug, "query completed",
+			slog.String("component", "exec"),
+			slog.Duration("vt", q.finished),
+			slog.String("query", q.name),
+			slog.Duration("latency", q.finished-q.started))
+	}
 	return q.result, QueryStats{Latency: q.finished - q.started}, nil
 }
 

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"log/slog"
 	"sync"
 	"testing"
 	"time"
@@ -10,12 +11,16 @@ import (
 )
 
 // TestDisabledTracingZeroAlloc guards the zero-cost-off claim: with no
-// tracer configured, the per-operator tracing hooks must not allocate.
+// tracer and no logger configured, the per-operator tracing and logging
+// hooks must not allocate.
 func TestDisabledTracingZeroAlloc(t *testing.T) {
 	cat := testCatalog(100)
 	e := New(cat, Config{CacheBytes: 1 << 20, HeapBytes: 1 << 20})
 	if e.Tracer != nil {
 		t.Fatal("tracer must default to nil")
+	}
+	if e.Log != nil {
+		t.Fatal("logger must default to nil")
 	}
 	q := &query{engine: e, name: "q0001"}
 	n := testPlan().Root
@@ -24,6 +29,10 @@ func TestDisabledTracingZeroAlloc(t *testing.T) {
 		e.traceOp(q, n, cost.GPU, 1, 0, st, abortNone, nil)
 		e.traceCacheAdmit(0, "fact.v", nil, "operator-demand")
 		q.traceQuery(time.Millisecond, "")
+		e.LogPlacement(n, "gpu", "data-resident")
+		if e.logEnabled(slog.LevelDebug) {
+			t.Fatal("nil logger must gate out")
+		}
 	}); allocs != 0 {
 		t.Fatalf("disabled tracing allocates %.1f per operator, want 0", allocs)
 	}

@@ -19,8 +19,10 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"time"
@@ -75,6 +77,11 @@ type Config struct {
 	// upper bound.
 	Start time.Duration
 	Stop  time.Duration
+
+	// Log, when non-nil, receives one debug-level record per injected fault
+	// (kind + virtual time). Logging never influences the fault schedule —
+	// the PRNG draws are identical with and without it.
+	Log *slog.Logger
 }
 
 // Injector draws fault decisions from one seeded PRNG.
@@ -124,6 +131,18 @@ func sortDurations(ds []time.Duration) {
 // Config returns the schedule the injector was built from.
 func (i *Injector) Config() Config { return i.cfg }
 
+// logInject emits one debug record for an injected fault; a nil or
+// level-gated logger makes it a cheap no-op.
+func (i *Injector) logInject(kind string, t time.Duration) {
+	if i.cfg.Log == nil || !i.cfg.Log.Enabled(context.Background(), slog.LevelDebug) {
+		return
+	}
+	i.cfg.Log.LogAttrs(context.Background(), slog.LevelDebug, "fault injected",
+		slog.String("component", "faults"),
+		slog.Duration("vt", t),
+		slog.String("kind", kind))
+}
+
 // active reports whether the injection window covers virtual time t.
 func (i *Injector) active(t time.Duration) bool {
 	if t < i.cfg.Start {
@@ -140,6 +159,7 @@ func (i *Injector) AllocFault(t time.Duration) error {
 	}
 	if i.rng.Float64() < i.cfg.AllocFailRate {
 		i.allocFaults++
+		i.logInject("alloc", t)
 		return fmt.Errorf("%w (t=%v)", ErrInjectedAlloc, t)
 	}
 	return nil
@@ -153,6 +173,7 @@ func (i *Injector) TransferFault(t time.Duration, n int64) error {
 	}
 	if i.rng.Float64() < i.cfg.TransferFailRate {
 		i.transferFaults++
+		i.logInject("transfer", t)
 		return fmt.Errorf("%w (%d bytes, t=%v)", ErrInjectedTransfer, n, t)
 	}
 	return nil
@@ -170,6 +191,9 @@ func (i *Injector) TakeReset(t time.Duration) bool {
 		i.resetsFired++
 		fired = true
 	}
+	if fired {
+		i.logInject("reset", t)
+	}
 	return fired
 }
 
@@ -183,10 +207,12 @@ func (i *Injector) OpDelay(t time.Duration) (factor float64, stall time.Duration
 	}
 	if i.cfg.StuckRate > 0 && i.rng.Float64() < i.cfg.StuckRate {
 		i.stuckOps++
+		i.logInject("stuck", t)
 		return factor, i.cfg.StuckDelay
 	}
 	if i.cfg.SlowRate > 0 && i.rng.Float64() < i.cfg.SlowRate {
 		i.slowOps++
+		i.logInject("slow", t)
 		factor = i.cfg.SlowFactor
 	}
 	return factor, 0

@@ -1,0 +1,24 @@
+// Package obs is the live observability surface of the engine: a Prometheus
+// text-format exporter over the trace.Registry, an HTTP server surface
+// (/metrics, /healthz, /debug/snapshot, /debug/spans, pprof), and online
+// detectors that watch per-window metric deltas for the two failure modes
+// the paper centers on — cache thrashing (§2.3, Figure 2) and device
+// contention/fault pressure — with hysteresis so monitoring never flaps.
+//
+// The package deliberately sits *outside* the simulator: the engine stays
+// deterministic and wall-clock-free, while obs reads atomic registry state
+// from ordinary goroutines (HTTP handlers, sampling tickers). Everything
+// here is stdlib-only.
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a text-format structured logger writing to w, gated at
+// level. Pass the result into exec.Config.Log / faults.Config.Log; a nil
+// logger there keeps the zero-cost-disabled path.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}

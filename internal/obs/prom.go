@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"robustdb/internal/trace"
+)
+
+// namePrefix namespaces every exported series.
+const namePrefix = "robustdb_"
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). The mapping from registry series to
+// exposition series is fixed:
+//
+//   - Counter N            → robustdb_<n>_total           (TYPE counter)
+//   - DurationCounter N    → robustdb_<n>_seconds_total   (TYPE counter)
+//   - Gauge N              → robustdb_<n>                 (TYPE gauge)
+//   - Histogram N          → robustdb_<n>_seconds         (TYPE histogram)
+//
+// where <n> is SanitizeMetricName(N). Histograms render their power-of-two
+// microsecond buckets as cumulative `_bucket` series with `le` edges in
+// seconds; the top bucket absorbs overflow and is exported as +Inf. Output
+// is sorted by metric name, so equal snapshots render byte-identical text.
+// The returned error is the first write error, if any.
+func WritePrometheus(w io.Writer, s trace.Snapshot) error {
+	type series struct {
+		name string
+		body func(io.Writer, string) error
+	}
+	var all []series
+
+	for name, v := range s.Counters {
+		v := v
+		all = append(all, series{
+			name: SanitizeMetricName(name) + "_total",
+			body: counterBody(name, "counter", v),
+		})
+	}
+	for name, d := range s.Durations {
+		secs := d.Seconds()
+		orig := name
+		all = append(all, series{
+			name: SanitizeMetricName(name) + "_seconds_total",
+			body: func(w io.Writer, full string) error {
+				return writeSimple(w, full, orig, "counter", formatFloat(secs))
+			},
+		})
+	}
+	for name, v := range s.Gauges {
+		v := v
+		all = append(all, series{
+			name: SanitizeMetricName(name),
+			body: counterBody(name, "gauge", v),
+		})
+	}
+	for name, h := range s.Histograms {
+		h := h
+		orig := name
+		all = append(all, series{
+			name: SanitizeMetricName(name) + "_seconds",
+			body: func(w io.Writer, full string) error {
+				return writeHistogram(w, full, orig, h)
+			},
+		})
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	for _, sr := range all {
+		if err := sr.body(w, namePrefix+sr.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// counterBody renders a plain integer-valued counter or gauge.
+func counterBody(orig, typ string, v int64) func(io.Writer, string) error {
+	return func(w io.Writer, full string) error {
+		return writeSimple(w, full, orig, typ, strconv.FormatInt(v, 10))
+	}
+}
+
+// writeSimple emits the HELP/TYPE header and one sample line.
+func writeSimple(w io.Writer, full, orig, typ, value string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s Registry series %s.\n# TYPE %s %s\n%s %s\n",
+		full, orig, full, typ, full, value)
+	return err
+}
+
+// writeHistogram emits cumulative buckets, sum, and count for one duration
+// histogram. Bucket edges are the registry's power-of-two microsecond edges
+// converted to seconds; the top bucket is +Inf.
+func writeHistogram(w io.Writer, full, orig string, h trace.HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s Registry series %s.\n# TYPE %s histogram\n",
+		full, orig, full); err != nil {
+		return err
+	}
+	var cum int64
+	for i, b := range h.Buckets {
+		cum += b
+		le := "+Inf"
+		if i < len(h.Buckets)-1 {
+			le = formatFloat(trace.BucketUpperEdge(i).Seconds())
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", full, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		full, formatFloat(h.Sum.Seconds()), full, h.Count)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// representation that round-trips.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// SanitizeMetricName converts a registry series name (Go-style CamelCase)
+// into a Prometheus snake_case name. A word boundary falls before an upper
+// case letter that follows a lower case letter (GpuRun → gpu_run) or that
+// ends an acronym — an upper case letter followed by a lower case one
+// (GPURunTime → gpu_run_time, H2DBytes → h2d_bytes). Characters outside
+// [a-zA-Z0-9_] map to '_'.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	rs := []rune(name)
+	for i, r := range rs {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			if i > 0 {
+				prev := rs[i-1]
+				nextLower := i+1 < len(rs) && rs[i+1] >= 'a' && rs[i+1] <= 'z'
+				if (prev >= 'a' && prev <= 'z') || (prev >= 'A' && prev <= 'Z' && nextLower) {
+					b.WriteByte('_')
+				}
+			}
+			b.WriteRune(r - 'A' + 'a')
+		case (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

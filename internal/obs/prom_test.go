@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"robustdb/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the exposition golden file")
+
+// goldenRegistry builds a deterministic registry exercising every metric
+// kind and every name-sanitization case (acronyms, digits, plain camel).
+func goldenRegistry() *trace.Registry {
+	reg := trace.NewRegistry()
+	reg.Counter("Aborts").Add(7)
+	reg.Counter("GPUOperators").Add(42)
+	reg.Counter("H2DBytes").Add(1 << 20)
+	reg.Counter("QueriesCompleted").Add(100)
+	reg.Duration("WastedTime").Add(1500 * time.Millisecond)
+	reg.Gauge("HeapHighWater").Set(65536)
+	reg.Gauge("DetectorThrashing").Set(1)
+	h := reg.Histogram("GPURunTime")
+	h.Observe(500 * time.Nanosecond)  // bucket 0
+	h.Observe(3 * time.Microsecond)   // bucket 2
+	h.Observe(100 * time.Microsecond) // bucket 7
+	h.Observe(time.Hour)              // clamps into the top bucket
+	return reg
+}
+
+// TestWritePrometheusGolden pins the full exposition output byte for byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusWellFormed checks the format invariants a scraper
+// relies on: no duplicate series, every sample preceded by its TYPE line,
+// histogram buckets cumulative and ending at +Inf with the count.
+func TestWritePrometheusWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	typed := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		full := line[:strings.LastIndex(line, " ")] // name incl. labels
+		if seen[full] {
+			t.Fatalf("duplicate series %q", full)
+		}
+		seen[full] = true
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[base] {
+			t.Fatalf("sample %q has no TYPE line", name)
+		}
+		if !strings.HasPrefix(name, "robustdb_") {
+			t.Fatalf("series %q lacks the robustdb_ prefix", name)
+		}
+	}
+	// Histogram invariants on the rendered GPURunTime series.
+	out := buf.String()
+	if !strings.Contains(out, `robustdb_gpu_run_time_seconds_bucket{le="+Inf"} 4`) {
+		t.Fatalf("+Inf bucket must equal the observation count:\n%s", out)
+	}
+	if !strings.Contains(out, "robustdb_gpu_run_time_seconds_count 4") {
+		t.Fatalf("histogram count missing:\n%s", out)
+	}
+}
+
+// TestSanitizeMetricName pins the CamelCase → snake_case mapping.
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"Aborts":             "aborts",
+		"GPURunTime":         "gpu_run_time",
+		"CPUOperators":       "cpu_operators",
+		"H2DBytes":           "h2d_bytes",
+		"D2HBytes":           "d2h_bytes",
+		"QueriesCompleted":   "queries_completed",
+		"HeapHighWater":      "heap_high_water",
+		"DetectorThrashing":  "detector_thrashing",
+		"CacheFailedInserts": "cache_failed_inserts",
+		"already_snake":      "already_snake",
+		"with-dash":          "with_dash",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

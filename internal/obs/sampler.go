@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+
+	"robustdb/internal/trace"
+)
+
+// Sampler drives the detectors: each Tick snapshots the registry, forms the
+// delta window since the previous tick, and feeds it to every detector.
+// State transitions are logged (Warn on entering degraded, Info on
+// recovery) and mirrored into the registry via each detector's bound gauge.
+//
+// Tick must be called from a single goroutine (the serve loop's ticker);
+// everything it touches is safe to read concurrently from HTTP handlers.
+type Sampler struct {
+	reg       *trace.Registry
+	detectors []*Detector
+	log       *slog.Logger
+	prev      trace.Snapshot
+}
+
+// NewSampler builds a sampler over reg, binds every detector's registry
+// series, and primes the first window at the current registry state. log
+// may be nil to disable transition logging.
+func NewSampler(reg *trace.Registry, detectors []*Detector, log *slog.Logger) *Sampler {
+	for _, d := range detectors {
+		d.Bind(reg)
+	}
+	return &Sampler{reg: reg, detectors: detectors, log: log, prev: reg.Snapshot()}
+}
+
+// Detectors returns the sampled detectors (for the health handler).
+func (s *Sampler) Detectors() []*Detector { return s.detectors }
+
+// Tick closes the current window and opens the next one.
+func (s *Sampler) Tick() {
+	snap := s.reg.Snapshot()
+	delta := snap.Delta(s.prev)
+	s.prev = snap
+	for _, d := range s.detectors {
+		changed := d.Observe(delta)
+		if !changed {
+			continue
+		}
+		st := d.State()
+		level := slog.LevelInfo
+		msg := "detector recovered"
+		if st.Degraded {
+			level = slog.LevelWarn
+			msg = "detector degraded"
+		}
+		if s.log != nil && s.log.Enabled(context.Background(), level) {
+			s.log.LogAttrs(context.Background(), level, msg,
+				slog.String("component", "obs"),
+				slog.String("detector", st.Name),
+				slog.String("detail", st.Detail),
+				slog.Int64("windows", st.Windows),
+				slog.Int64("transitions", st.Transitions))
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"robustdb/internal/trace"
+)
+
+// ServerConfig wires the HTTP surface to the engine's observability state.
+type ServerConfig struct {
+	// Registry backs /metrics and /debug/snapshot. Required.
+	Registry *trace.Registry
+	// Tracer backs /debug/spans; nil serves an empty span list.
+	Tracer *trace.Tracer
+	// Detectors feed /healthz; empty means /healthz always reports ok.
+	Detectors []*Detector
+	// SpanLimit bounds /debug/spans to the most recent N spans; <= 0 means
+	// DefaultSpanLimit.
+	SpanLimit int
+	// Log, when non-nil, receives one debug record per handled request.
+	Log *slog.Logger
+}
+
+// DefaultSpanLimit is the /debug/spans tail length when none is configured.
+const DefaultSpanLimit = 256
+
+// contentTypeProm is the exposition-format content type Prometheus expects.
+const contentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewMux builds the observability mux:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/healthz        JSON detector summary; 200 ok / 503 degraded
+//	/debug/snapshot JSON dump of the raw registry snapshot
+//	/debug/spans    JSON tail of the tracer's span ring
+//	/debug/pprof/   the standard Go profiling handlers
+//
+// The mux is returned (not installed on http.DefaultServeMux) so callers
+// control the listener and shutdown.
+func NewMux(cfg ServerConfig) *http.ServeMux {
+	if cfg.SpanLimit <= 0 {
+		cfg.SpanLimit = DefaultSpanLimit
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", cfg.logged(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", contentTypeProm)
+		if err := WritePrometheus(w, cfg.Registry.Snapshot()); err != nil {
+			// The scraper hung up mid-response; the next scrape starts fresh.
+			return
+		}
+	}))
+	mux.HandleFunc("/healthz", cfg.logged(cfg.handleHealth))
+	mux.HandleFunc("/debug/snapshot", cfg.logged(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, snapshotView(cfg.Registry.Snapshot()))
+	}))
+	mux.HandleFunc("/debug/spans", cfg.logged(func(w http.ResponseWriter, r *http.Request) {
+		spans := cfg.Tracer.Spans() // nil tracer returns nil
+		if len(spans) > cfg.SpanLimit {
+			spans = spans[len(spans)-cfg.SpanLimit:]
+		}
+		if spans == nil {
+			spans = []trace.Span{}
+		}
+		writeJSON(w, http.StatusOK, spans)
+	}))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Health is the /healthz response shape.
+type Health struct {
+	Status    string          `json:"status"` // "ok" or "degraded"
+	Detectors []DetectorState `json:"detectors"`
+}
+
+func (cfg ServerConfig) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok", Detectors: make([]DetectorState, 0, len(cfg.Detectors))}
+	for _, d := range cfg.Detectors {
+		st := d.State()
+		if st.Degraded {
+			h.Status = "degraded"
+		}
+		h.Detectors = append(h.Detectors, st)
+	}
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// logged wraps a handler with one debug log record per request.
+func (cfg ServerConfig) logged(h http.HandlerFunc) http.HandlerFunc {
+	if cfg.Log == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Log.Enabled(context.Background(), slog.LevelDebug) {
+			cfg.Log.LogAttrs(context.Background(), slog.LevelDebug, "http request",
+				slog.String("component", "obs"),
+				slog.String("path", r.URL.Path))
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The client hung up mid-response; nothing to recover server-side.
+		return
+	}
+}
+
+// SnapshotView is the JSON shape of /debug/snapshot: the raw registry
+// snapshot with durations in explicit nanoseconds.
+type SnapshotView struct {
+	Counters    map[string]int64         `json:"counters"`
+	DurationsNS map[string]int64         `json:"durations_ns"`
+	Gauges      map[string]int64         `json:"gauges"`
+	Histograms  map[string]HistogramView `json:"histograms"`
+}
+
+// HistogramView is one histogram in SnapshotView.
+type HistogramView struct {
+	Count   int64   `json:"count"`
+	SumNS   int64   `json:"sum_ns"`
+	Buckets []int64 `json:"buckets"` // power-of-two µs buckets, index order
+}
+
+func snapshotView(s trace.Snapshot) SnapshotView {
+	v := SnapshotView{
+		Counters:    s.Counters,
+		DurationsNS: make(map[string]int64, len(s.Durations)),
+		Gauges:      s.Gauges,
+		Histograms:  make(map[string]HistogramView, len(s.Histograms)),
+	}
+	for name, d := range s.Durations {
+		v.DurationsNS[name] = int64(d / time.Nanosecond)
+	}
+	for name, h := range s.Histograms {
+		v.Histograms[name] = HistogramView{Count: h.Count, SumNS: int64(h.Sum), Buckets: h.Buckets}
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"robustdb/internal/trace"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Detector) {
+	t.Helper()
+	reg := goldenRegistry()
+	tr := trace.New(8)
+	for i := 0; i < 12; i++ { // overflow the ring: the tail must survive
+		tr.Span(trace.Span{Query: "q0001", Name: "q0001/op", Class: "selection",
+			Start: time.Duration(i) * time.Millisecond, End: time.Duration(i+1) * time.Millisecond})
+	}
+	det := NewDetector("Thrashing", 1, 1, verdictSeq(true))
+	det.Bind(reg)
+	srv := httptest.NewServer(NewMux(ServerConfig{
+		Registry:  reg,
+		Tracer:    tr,
+		Detectors: []*Detector{det},
+		SpanLimit: 4,
+	}))
+	t.Cleanup(srv.Close)
+	return srv, det
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body, hdr := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"robustdb_aborts_total 7",
+		"robustdb_heap_high_water 65536",
+		"robustdb_wasted_time_seconds_total 1.5",
+		"robustdb_gpu_run_time_seconds_count 4",
+		"robustdb_detector_thrashing 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthzTransitions(t *testing.T) {
+	srv, det := testServer(t)
+	code, body, _ := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthy status = %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Detectors) != 1 || h.Detectors[0].Name != "Thrashing" {
+		t.Fatalf("health = %+v", h)
+	}
+
+	det.Observe(trace.Snapshot{}) // scripted classifier flips it degraded
+	code, body, _ = get(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded status = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || !h.Detectors[0].Degraded || h.Detectors[0].Detail == "" {
+		t.Fatalf("degraded health = %+v", h)
+	}
+}
+
+func TestDebugSnapshotEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body, hdr := get(t, srv.URL+"/debug/snapshot")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Fatalf("status = %d, ct = %q", code, hdr.Get("Content-Type"))
+	}
+	var v SnapshotView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Counters["Aborts"] != 7 || v.DurationsNS["WastedTime"] != int64(1500*time.Millisecond) {
+		t.Fatalf("snapshot = %+v", v)
+	}
+	if h := v.Histograms["GPURunTime"]; h.Count != 4 || len(h.Buckets) == 0 {
+		t.Fatalf("histogram view = %+v", h)
+	}
+}
+
+func TestDebugSpansEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body, _ := get(t, srv.URL+"/debug/spans")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var spans []trace.Span
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 4 { // SpanLimit trims the ring tail
+		t.Fatalf("spans = %d, want 4 (the configured tail)", len(spans))
+	}
+	if spans[3].Start != 11*time.Millisecond {
+		t.Fatalf("tail must be the most recent spans, got last start %v", spans[3].Start)
+	}
+}
+
+func TestDebugSpansNilTracer(t *testing.T) {
+	srv := httptest.NewServer(NewMux(ServerConfig{Registry: trace.NewRegistry()}))
+	defer srv.Close()
+	code, body, _ := get(t, srv.URL+"/debug/spans")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("nil tracer: status=%d body=%q", code, body)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body, _ := get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status=%d", code)
+	}
+}

@@ -10,6 +10,8 @@
 package placement
 
 import (
+	"context"
+	"log/slog"
 	"sort"
 
 	"robustdb/internal/bus"
@@ -165,6 +167,7 @@ func (m *Manager) ApplyInstant(e *exec.Engine, desired []table.ColumnID, pin boo
 			traceDecision(e, "pin", id, "algorithm1")
 		}
 	}
+	logApply(e, "instant", desired, pin)
 	return nil
 }
 
@@ -175,6 +178,22 @@ func traceDecision(e *exec.Engine, kind string, id table.ColumnID, reason string
 		return
 	}
 	e.Tracer.Event(trace.Event{At: e.Sim.Now(), Kind: kind, Subject: string(id), Reason: reason})
+}
+
+// logApply emits one structured summary of an Algorithm 1 application. The
+// per-column decisions are already in the trace event stream; the log keeps
+// to the operator-facing summary (how much was placed, whether it is pinned).
+func logApply(e *exec.Engine, mode string, desired []table.ColumnID, pin bool) {
+	if e.Log == nil || !e.Log.Enabled(context.Background(), slog.LevelInfo) {
+		return
+	}
+	e.Log.LogAttrs(context.Background(), slog.LevelInfo, "data placement applied",
+		slog.String("component", "placement"),
+		slog.Duration("vt", e.Sim.Now()),
+		slog.String("mode", mode),
+		slog.Int("columns", len(desired)),
+		slog.Bool("pinned", pin),
+		slog.Int64("cache_used_bytes", e.Cache.Used()))
 }
 
 // ApplyCharged is ApplyInstant for the *periodic background job*: the
@@ -221,5 +240,6 @@ func (m *Manager) ApplyCharged(e *exec.Engine, proc *sim.Proc, desired []table.C
 			traceDecision(e, "pin", id, "algorithm1")
 		}
 	}
+	logApply(e, "charged", desired, pin)
 	return nil
 }

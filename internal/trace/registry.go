@@ -138,6 +138,20 @@ func (h *Histogram) Mean() time.Duration {
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from the
 // bucket boundaries: the smallest bucket upper edge covering q of the
 // observations.
+//
+// Edge semantics, pinned by TestHistogramQuantileEdges:
+//
+//   - No observations: 0, for any q.
+//   - q = 0 (or q < 1/n): the rank target clamps to the first observation,
+//     so the result is the upper edge of the lowest non-empty bucket — a
+//     bound on the minimum, not a degenerate 0.
+//   - q = 1: the upper edge of the highest non-empty bucket — a bound on
+//     the maximum.
+//   - Single observation: every q returns the same edge.
+//   - Saturated top bucket: observations ≥ 2^(histBuckets-2) µs (≈ 18 min
+//     of virtual time) clamp into the last bucket, and any quantile that
+//     lands there reports the top edge, 2^(histBuckets-1) µs. The true
+//     value may be larger; the exporter renders this bucket as +Inf.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	n := h.count.Load()
 	if n == 0 {
@@ -158,6 +172,20 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(1<<uint(histBuckets-1)) * time.Microsecond
+}
+
+// BucketUpperEdge returns the exclusive upper edge of histogram bucket i:
+// 1µs for bucket 0, 2^i µs for bucket i ≥ 1. The top bucket
+// (i = len(Buckets)-1) also absorbs every larger observation, so exporters
+// must render its edge as +Inf rather than the value returned here.
+func BucketUpperEdge(i int) time.Duration {
+	if i <= 0 {
+		return time.Microsecond
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return time.Duration(1<<uint(i)) * time.Microsecond
 }
 
 // HistogramSnapshot is the frozen state of one histogram.

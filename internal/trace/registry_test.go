@@ -70,6 +70,86 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the edge semantics documented on Quantile:
+// q=0 bounds the minimum, q=1 bounds the maximum, a single observation
+// answers every q identically, and the saturated top bucket clamps.
+func TestHistogramQuantileEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := NewRegistry().Histogram("h")
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Fatalf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+			}
+		}
+	})
+	t.Run("q0-bounds-minimum", func(t *testing.T) {
+		h := NewRegistry().Histogram("h")
+		h.Observe(3 * time.Microsecond) // bucket 2: [2µs, 4µs)
+		h.Observe(time.Second)
+		if got := h.Quantile(0); got != 4*time.Microsecond {
+			t.Fatalf("Quantile(0) = %v, want the minimum's bucket edge 4µs", got)
+		}
+	})
+	t.Run("q1-bounds-maximum", func(t *testing.T) {
+		h := NewRegistry().Histogram("h")
+		h.Observe(time.Microsecond)
+		h.Observe(100 * time.Microsecond) // bucket 7: [64µs, 128µs)
+		if got := h.Quantile(1); got != 128*time.Microsecond {
+			t.Fatalf("Quantile(1) = %v, want the maximum's bucket edge 128µs", got)
+		}
+	})
+	t.Run("single-observation", func(t *testing.T) {
+		h := NewRegistry().Histogram("h")
+		h.Observe(10 * time.Microsecond) // bucket 4: [8µs, 16µs)
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 16*time.Microsecond {
+				t.Fatalf("Quantile(%v) = %v, want 16µs for every q", q, got)
+			}
+		}
+	})
+	t.Run("saturated-top-bucket", func(t *testing.T) {
+		h := NewRegistry().Histogram("h")
+		h.Observe(1 << 62) // far beyond the largest edge: clamps into top bucket
+		top := BucketUpperEdge(histBuckets - 1)
+		if got := h.Quantile(1); got != top {
+			t.Fatalf("Quantile(1) = %v, want the clamped top edge %v", got, top)
+		}
+		if got := h.Quantile(0.5); got != top {
+			t.Fatalf("Quantile(0.5) = %v, want the clamped top edge %v", got, top)
+		}
+	})
+}
+
+func TestBucketUpperEdge(t *testing.T) {
+	cases := []struct {
+		i    int
+		want time.Duration
+	}{
+		{-1, time.Microsecond},
+		{0, time.Microsecond},
+		{1, 2 * time.Microsecond},
+		{7, 128 * time.Microsecond},
+		{histBuckets - 1, time.Duration(1<<uint(histBuckets-1)) * time.Microsecond},
+		{histBuckets + 5, time.Duration(1<<uint(histBuckets-1)) * time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := BucketUpperEdge(c.i); got != c.want {
+			t.Fatalf("BucketUpperEdge(%d) = %v, want %v", c.i, got, c.want)
+		}
+	}
+	// Edges must agree with bucketOf: an observation just below the edge
+	// lands in the bucket, one at the edge lands in the next.
+	for i := 0; i < histBuckets-1; i++ {
+		edge := BucketUpperEdge(i)
+		if got := bucketOf(edge - time.Microsecond); got > i {
+			t.Fatalf("bucketOf(edge-1µs) = %d for bucket %d", got, i)
+		}
+		if got := bucketOf(edge); got != i+1 {
+			t.Fatalf("bucketOf(edge) = %d, want %d", got, i+1)
+		}
+	}
+}
+
 func TestSnapshotDelta(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("ops")

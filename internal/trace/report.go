@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -215,4 +216,55 @@ func Summary(w io.Writer, spans []Span) error {
 			a.name, fmtDur(a.total), a.ops, a.aborted)
 	}
 	return ew.err
+}
+
+// QuerySummary is the machine-readable per-query aggregate emitted by
+// SummaryJSON (tracereport -json). Virtual times are reported in
+// microseconds: integral, lossless for the simulator's resolutions, and
+// directly comparable with the histogram bucket edges.
+type QuerySummary struct {
+	Query      string `json:"query"`
+	StartUS    int64  `json:"start_us"`
+	LatencyUS  int64  `json:"latency_us"`
+	Ops        int    `json:"ops"`
+	GPUOps     int    `json:"gpu_ops"`
+	CPUOps     int    `json:"cpu_ops"`
+	AbortedOps int    `json:"aborted_ops"`
+	Failed     string `json:"failed,omitempty"`
+}
+
+// SummaryJSON writes the per-query aggregates as JSON Lines: one object per
+// query, sorted by query id, deterministic for a deterministic trace. The
+// returned error is the first write or encode error, if any.
+func SummaryJSON(w io.Writer, spans []Span) error {
+	queries, ops := splitSpans(spans)
+	opsByQuery := make(map[string][]Span)
+	for _, s := range ops {
+		opsByQuery[s.Query] = append(opsByQuery[s.Query], s)
+	}
+	sort.SliceStable(queries, func(i, j int) bool { return queries[i].Query < queries[j].Query })
+	enc := json.NewEncoder(w)
+	for _, q := range queries {
+		row := QuerySummary{
+			Query:     q.Query,
+			StartUS:   int64(q.Start / time.Microsecond),
+			LatencyUS: int64(q.Duration() / time.Microsecond),
+			Failed:    q.Abort,
+		}
+		for _, s := range opsByQuery[q.Query] {
+			row.Ops++
+			switch {
+			case s.Abort != "":
+				row.AbortedOps++
+			case s.Proc == "gpu":
+				row.GPUOps++
+			default:
+				row.CPUOps++
+			}
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -134,14 +134,31 @@ type Strategy struct {
 	Preload bool
 }
 
-// Run executes the workload under the strategy on a fresh engine over cat
-// and returns the engine (for inspection) plus the aggregated result.
-func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.Engine, Result, error) {
+// Runner is a workload bound to one persistent engine. One-shot benchmark
+// runs use the Run convenience wrapper; the serve mode builds a Runner once
+// and calls RunOnce in a loop, so the engine — and with it the metrics
+// registry, cache state, and learned cost models — persists across passes
+// and the live observability surface sees one continuous series.
+type Runner struct {
+	// Engine is the engine the runner executes on (exposed for inspection
+	// and for wiring the observability surface to its registry).
+	Engine *exec.Engine
+
+	strat     Strategy
+	spec      Spec
+	perUser   [][]Query
+	total     int
+	admission *sim.Pool
+}
+
+// NewRunner builds a fresh engine over cat, pre-loads the cache per the
+// strategy, and distributes the workload over the user sessions.
+func NewRunner(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*Runner, error) {
 	if spec.Users < 1 {
-		return nil, Result{}, fmt.Errorf("workload: need at least one user, got %d", spec.Users)
+		return nil, fmt.Errorf("workload: need at least one user, got %d", spec.Users)
 	}
 	if len(spec.Queries) == 0 {
-		return nil, Result{}, fmt.Errorf("workload: no queries")
+		return nil, fmt.Errorf("workload: no queries")
 	}
 	if strat.GPUWorkers > 0 {
 		cfg.GPUWorkers = strat.GPUWorkers
@@ -160,7 +177,7 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 	if strat.DataDriven || strat.Preload {
 		desired := mgr.Desired(cat, e.Cache.Capacity())
 		if err := mgr.ApplyInstant(e, desired, strat.DataDriven); err != nil {
-			return nil, Result{}, fmt.Errorf("workload: preload: %w", err)
+			return nil, fmt.Errorf("workload: preload: %w", err)
 		}
 		// A device reset wipes the cache; re-establish the data placement so
 		// data-driven strategies recover their cached working set instead of
@@ -190,8 +207,18 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 	if spec.AdmissionControl {
 		admission = sim.NewPool(e.Sim, "admission", 1)
 	}
+	return &Runner{Engine: e, strat: strat, spec: spec, perUser: perUser, total: total, admission: admission}, nil
+}
 
-	result := Result{Strategy: strat.Label, Latencies: make(map[string][]time.Duration)}
+// RunOnce executes one full pass of the workload in virtual time and
+// aggregates the result. WorkloadTime and Latencies cover this pass only;
+// the counter-derived fields (bytes, aborts, faults, …) read the engine's
+// cumulative metrics, so on a repeatedly driven Runner they accumulate
+// across passes — per-pass rates come from registry snapshot deltas, which
+// is exactly what the obs samplers consume.
+func (r *Runner) RunOnce() (Result, error) {
+	e, spec := r.Engine, r.spec
+	result := Result{Strategy: r.strat.Label, Latencies: make(map[string][]time.Duration)}
 	var runErr error
 	// finished counts queries that ended either way (completed or failed);
 	// the monitor terminates on it so chaos runs with failures still drain.
@@ -202,14 +229,14 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 			period = 100 * time.Microsecond
 		}
 		e.Sim.Spawn("monitor", func(p *sim.Proc) {
-			for finished < total && runErr == nil {
+			for finished < r.total && runErr == nil {
 				spec.Monitor(e)
 				p.Hold(period)
 			}
 		})
 	}
 	for u := 0; u < spec.Users; u++ {
-		queries := perUser[u]
+		queries := r.perUser[u]
 		e.Sim.Spawn(fmt.Sprintf("user%02d", u), func(p *sim.Proc) {
 			for _, q := range queries {
 				if runErr != nil {
@@ -220,12 +247,12 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 				// increase the paper attributes to query-level admission
 				// (Figure 21).
 				submitted := p.Now()
-				if admission != nil {
-					admission.Acquire(p)
+				if r.admission != nil {
+					r.admission.Acquire(p)
 				}
-				_, _, err := e.RunQuery(p, q.Plan, strat.Placer)
-				if admission != nil {
-					admission.Release()
+				_, _, err := e.RunQuery(p, q.Plan, r.strat.Placer)
+				if r.admission != nil {
+					r.admission.Release()
 				}
 				finished++
 				if err != nil {
@@ -242,9 +269,12 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 			}
 		})
 	}
-	makespan := e.Sim.Run()
+	// The virtual clock persists across passes; the makespan of this pass is
+	// the clock advance, not the absolute end time.
+	start := e.Sim.Now()
+	makespan := e.Sim.Run() - start
 	if runErr != nil {
-		return e, Result{}, runErr
+		return Result{}, runErr
 	}
 	result.WorkloadTime = makespan
 	result.H2DTime = e.Bus.Link(bus.HostToDevice).BusyTime()
@@ -265,5 +295,16 @@ func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.
 	result.DeadlineFailures = e.Metrics.DeadlineFailures.Load()
 	result.CatalogErrors = e.Metrics.CatalogErrors.Load()
 	result.PreloadErrors = e.Metrics.PreloadErrors.Load()
-	return e, result, nil
+	return result, nil
+}
+
+// Run executes the workload under the strategy on a fresh engine over cat
+// and returns the engine (for inspection) plus the aggregated result.
+func Run(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*exec.Engine, Result, error) {
+	r, err := NewRunner(cat, cfg, strat, spec)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	result, err := r.RunOnce()
+	return r.Engine, result, err
 }

@@ -94,6 +94,9 @@ var (
 	TraceWaterfall = trace.Waterfall
 	// TraceSummary renders per-query aggregates of a trace.
 	TraceSummary = trace.Summary
+	// TraceSummaryJSON renders per-query aggregates as JSON Lines (one
+	// object per query).
+	TraceSummaryJSON = trace.SummaryJSON
 )
 
 // NewFaultInjector builds a deterministic fault injector from a config; the
