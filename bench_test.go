@@ -11,11 +11,17 @@ package robustdb
 
 import (
 	"io"
+	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"robustdb/internal/column"
+	"robustdb/internal/engine"
+	"robustdb/internal/expr"
 	"robustdb/internal/figures"
+	"robustdb/internal/par"
 )
 
 // benchOpts is a reduced-scale configuration for the benchmark suite.
@@ -158,6 +164,7 @@ func microWorkload(b *testing.B, strat Strategy, users int, tracer *Tracer) {
 	queries := SSBQueries()[:4] // Q1.1–Q2.1: scans, joins, aggregates
 	dev := db.DeviceForWorkingSet(0.5)
 	dev.Tracer = tracer
+	dev.KernelWorkers = runtime.GOMAXPROCS(0)
 	spec := Workload{Queries: queries, Users: users}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -192,6 +199,106 @@ func BenchmarkMicroMultiUser(b *testing.B) {
 // delta against it is the tracing overhead the zero-cost-off claim is about.
 func BenchmarkMicroTraced(b *testing.B) {
 	microWorkload(b, DataDrivenChopping(), 1, NewTracer(0))
+}
+
+// microKernelRows sizes the synthetic kernel benchmarks: large enough that
+// the morsel scheduler splits the input (16 morsels of 8192 rows).
+const microKernelRows = 1 << 17
+
+var (
+	microKernelOnce  sync.Once
+	microKernelBatch *engine.Batch
+	microKernelDim   *engine.Batch
+)
+
+// microKernelData builds the fixed seeded batches the kernel micro set
+// shares: a 128Ki-row fact batch and a 4Ki-row dimension batch.
+func microKernelData() (fact, dim *engine.Batch) {
+	microKernelOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		keys := make([]int64, microKernelRows)
+		grps := make([]int64, microKernelRows)
+		vals := make([]float64, microKernelRows)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(4096))
+			grps[i] = keys[i] % 32
+			vals[i] = rng.Float64() * 1000
+		}
+		microKernelBatch = engine.MustNewBatch(
+			column.NewInt64("fk", keys), column.NewInt64("grp", grps),
+			column.NewFloat64("val", vals))
+		dkeys := make([]int64, 4096)
+		dgroup := make([]int64, 4096)
+		for i := range dkeys {
+			dkeys[i] = int64(i)
+			dgroup[i] = int64(i % 32)
+		}
+		microKernelDim = engine.MustNewBatch(
+			column.NewInt64("dk", dkeys), column.NewInt64("grp", dgroup))
+	})
+	return microKernelBatch, microKernelDim
+}
+
+// microKernelCtx is the pooled kernel context the micro kernels run under —
+// the same GOMAXPROCS-wide pool the engine default uses.
+func microKernelCtx() *engine.Ctx {
+	return engine.NewCtx(par.New(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkMicroJoin measures the partitioned hash join kernel alone: build
+// over 4Ki dimension rows, probe over 128Ki fact rows, per iteration.
+func BenchmarkMicroJoin(b *testing.B) {
+	fact, dim := microKernelData()
+	ctx := microKernelCtx()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.HashJoin(ctx, dim, "dk", fact, "fk")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.LeftPos) != microKernelRows {
+			b.Fatalf("join produced %d pairs", len(res.LeftPos))
+		}
+	}
+}
+
+// BenchmarkMicroAgg measures the morsel-parallel group-by kernel alone:
+// 128Ki rows into 32 groups with sum and count, per iteration.
+func BenchmarkMicroAgg(b *testing.B) {
+	fact, _ := microKernelData()
+	ctx := microKernelCtx()
+	aggs := []engine.AggSpec{
+		{Func: engine.Sum, Col: "val", As: "s"},
+		{Func: engine.Count, As: "n"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := engine.GroupBy(ctx, fact, []string{"grp"}, aggs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.NumRows() != 32 {
+			b.Fatalf("groupby produced %d groups", out.NumRows())
+		}
+	}
+}
+
+// BenchmarkMicroFilter measures the morsel-parallel selection kernel alone:
+// one predicate over 128Ki rows, per iteration.
+func BenchmarkMicroFilter(b *testing.B) {
+	fact, _ := microKernelData()
+	ctx := microKernelCtx()
+	pred := expr.NewCmp("val", expr.LT, 500.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos, err := engine.Filter(ctx, fact, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pos) == 0 {
+			b.Fatal("filter selected nothing")
+		}
+	}
 }
 
 // BenchmarkMicroChromeExport measures trace serialization: one WriteChrome

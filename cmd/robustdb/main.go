@@ -19,6 +19,10 @@
 //	-cache-frac F       device cache as a fraction of the database (default 0.5)
 //	-heap-frac F        device heap as a fraction of the database (default 1.0)
 //	-admission          admit only one query at a time (baseline)
+//	-kernel-workers N   worker threads per operator kernel (morsel-driven
+//	                    parallelism; default GOMAXPROCS). 1 runs every kernel
+//	                    serially — results are bit-identical either way, so
+//	                    use 1 when comparing traces against goldens.
 //	-trace FILE         write an operator-level execution trace as Chrome
 //	                    trace_event JSON (open in chrome://tracing or
 //	                    ui.perfetto.dev; summarize with cmd/tracereport).
@@ -61,6 +65,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -79,6 +84,8 @@ func main() {
 	cacheFrac := flag.Float64("cache-frac", 0.5, "device cache / database bytes")
 	heapFrac := flag.Float64("heap-frac", 1.0, "device heap / database bytes")
 	admission := flag.Bool("admission", false, "admission control: one query at a time")
+	kernelWorkers := flag.Int("kernel-workers", runtime.GOMAXPROCS(0),
+		"worker threads per operator kernel (1 = serial; results are bit-identical at any setting)")
 	seed := flag.Int64("seed", 0, "generator seed")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	faultAlloc := flag.Float64("fault-alloc", 0, "transient device-allocation failure probability")
@@ -103,6 +110,7 @@ func main() {
 		query:         *queryName,
 		cacheFrac:     *cacheFrac,
 		heapFrac:      *heapFrac,
+		kernelWorkers: *kernelWorkers,
 		logLevel:      *logLevel,
 		serve:         *serve,
 		serveWindow:   *serveWindow,
@@ -137,9 +145,10 @@ func main() {
 	}
 
 	dev := robustdb.Device{
-		CacheBytes: int64(*cacheFrac * float64(db.TotalBytes())),
-		HeapBytes:  int64(*heapFrac * float64(db.TotalBytes())),
-		Log:        logger,
+		CacheBytes:    int64(*cacheFrac * float64(db.TotalBytes())),
+		HeapBytes:     int64(*heapFrac * float64(db.TotalBytes())),
+		KernelWorkers: *kernelWorkers,
+		Log:           logger,
 	}
 	logger.Info("database ready",
 		"component", "cli", "bench", *bench, "sf", *sf,

@@ -21,6 +21,7 @@ type options struct {
 	query         string
 	cacheFrac     float64
 	heapFrac      float64
+	kernelWorkers int
 	logLevel      string
 	serve         string
 	serveWindow   time.Duration
@@ -53,6 +54,9 @@ func validateOptions(o options) error {
 	}
 	if o.heapFrac < 0 {
 		return fmt.Errorf("-heap-frac: fraction must not be negative, got %g", o.heapFrac)
+	}
+	if o.kernelWorkers < 1 {
+		return fmt.Errorf("-kernel-workers: need at least one worker, got %d", o.kernelWorkers)
 	}
 	if o.strategy != "all" {
 		if _, err := strategyByName(o.strategy); err != nil {

@@ -15,6 +15,7 @@ func validOptions() options {
 		strategy:      "data-driven-chopping",
 		cacheFrac:     0.5,
 		heapFrac:      1.0,
+		kernelWorkers: 1,
 		logLevel:      "info",
 		serveWindow:   500 * time.Millisecond,
 		serveCooldown: time.Second,
@@ -34,6 +35,7 @@ func TestValidateOptions(t *testing.T) {
 		{"tpch-query", func(o *options) { o.bench = "tpch"; o.query = "Q5" }, ""},
 		{"serve", func(o *options) { o.serve = ":0" }, ""},
 		{"zero-sf", func(o *options) { o.sf = 0 }, ""},
+		{"many-kernel-workers", func(o *options) { o.kernelWorkers = 64 }, ""},
 
 		{"unknown-bench", func(o *options) { o.bench = "tpcds" }, "-bench"},
 		{"negative-sf", func(o *options) { o.sf = -1 }, "-sf"},
@@ -43,6 +45,8 @@ func TestValidateOptions(t *testing.T) {
 		{"negative-total", func(o *options) { o.total = -1 }, "-total"},
 		{"negative-cache-frac", func(o *options) { o.cacheFrac = -0.1 }, "-cache-frac"},
 		{"negative-heap-frac", func(o *options) { o.heapFrac = -1 }, "-heap-frac"},
+		{"zero-kernel-workers", func(o *options) { o.kernelWorkers = 0 }, "-kernel-workers"},
+		{"negative-kernel-workers", func(o *options) { o.kernelWorkers = -2 }, "-kernel-workers"},
 		{"unknown-strategy", func(o *options) { o.strategy = "quantum" }, "-strategy"},
 		{"unknown-query", func(o *options) { o.query = "Q9.9" }, "-query"},
 		{"query-wrong-bench", func(o *options) { o.bench = "tpch"; o.query = "Q3.3" }, "-query"},

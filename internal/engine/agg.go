@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"robustdb/internal/column"
+	"robustdb/internal/par"
 )
 
 // AggFunc enumerates the supported aggregate functions.
@@ -44,12 +45,31 @@ type AggSpec struct {
 	As   string
 }
 
+// groupState is one group's accumulators plus the row its key columns are
+// gathered from.
+type groupState struct {
+	firstRow int32
+	accums   []accumulator
+}
+
+// groupPartial is the thread-local result of aggregating one morsel: groups
+// in first-occurrence order within the morsel.
+type groupPartial struct {
+	groups map[string]*groupState
+	order  []string
+}
+
 // GroupBy groups the batch by the key columns and computes the aggregates.
 // Groups are emitted in order of first occurrence, which keeps results
 // deterministic. Key columns appear first in the output, then aggregates in
 // spec order. Grouping with no key columns produces a single global group
 // (even for an empty input, matching SQL aggregate semantics).
-func GroupBy(b *Batch, keys []string, aggs []AggSpec) (*Batch, error) {
+//
+// The aggregation always uses the canonical morsel decomposition: partials
+// are computed per morsel and merged in morsel order, even under a nil
+// (serial) ctx, so float accumulation order — and therefore every output
+// bit — is independent of the worker count.
+func GroupBy(ctx *Ctx, b *Batch, keys []string, aggs []AggSpec) (*Batch, error) {
 	keyCols := make([]column.Column, len(keys))
 	for i, k := range keys {
 		c, err := b.Column(k)
@@ -57,10 +77,6 @@ func GroupBy(b *Batch, keys []string, aggs []AggSpec) (*Batch, error) {
 			return nil, fmt.Errorf("group by: %w", err)
 		}
 		keyCols[i] = c
-	}
-	type groupState struct {
-		firstRow int32
-		accums   []accumulator
 	}
 	mkAccums := func() ([]accumulator, error) {
 		accums := make([]accumulator, len(aggs))
@@ -75,28 +91,60 @@ func GroupBy(b *Batch, keys []string, aggs []AggSpec) (*Batch, error) {
 	}
 
 	n := b.NumRows()
-	groups := make(map[string]*groupState)
-	var order []string
-	keyBuf := make([]byte, 0, 64)
-	for row := 0; row < n; row++ {
-		keyBuf = keyBuf[:0]
-		for _, kc := range keyCols {
-			keyBuf = appendGroupKey(keyBuf, kc, row)
-		}
-		k := string(keyBuf)
-		g, ok := groups[k]
-		if !ok {
-			accums, err := mkAccums()
-			if err != nil {
-				return nil, err
+	numMorsels := par.Morsels(n)
+	partials := make([]groupPartial, numMorsels)
+	err := ctx.forEachMorsel(n, func(mi, lo, hi int) error {
+		local := groupPartial{groups: make(map[string]*groupState)}
+		keyBuf := make([]byte, 0, 64)
+		for row := lo; row < hi; row++ {
+			keyBuf = keyBuf[:0]
+			for _, kc := range keyCols {
+				keyBuf = appendGroupKey(keyBuf, kc, row)
 			}
-			g = &groupState{firstRow: int32(row), accums: accums}
-			groups[k] = g
-			order = append(order, k)
+			k := string(keyBuf)
+			g, ok := local.groups[k]
+			if !ok {
+				accums, err := mkAccums()
+				if err != nil {
+					return err
+				}
+				g = &groupState{firstRow: int32(row), accums: accums}
+				local.groups[k] = g
+				local.order = append(local.order, k)
+			}
+			for _, acc := range g.accums {
+				if err := acc.add(row); err != nil {
+					return err
+				}
+			}
 		}
-		for _, acc := range g.accums {
-			if err := acc.add(row); err != nil {
-				return nil, err
+		partials[mi] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge partials in morsel order: the global first-occurrence order (and
+	// every accumulator's fold order) matches a serial front-to-back scan.
+	var groups map[string]*groupState
+	var order []string
+	if numMorsels == 1 {
+		groups, order = partials[0].groups, partials[0].order
+	} else {
+		groups = make(map[string]*groupState)
+		for _, pt := range partials {
+			for _, k := range pt.order {
+				pg := pt.groups[k]
+				g, ok := groups[k]
+				if !ok {
+					groups[k] = pg
+					order = append(order, k)
+					continue
+				}
+				for i, acc := range g.accums {
+					acc.merge(pg.accums[i])
+				}
 			}
 		}
 	}
@@ -130,9 +178,12 @@ func GroupBy(b *Batch, keys []string, aggs []AggSpec) (*Batch, error) {
 	return NewBatch(out...)
 }
 
-// accumulator folds rows into one aggregate value.
+// accumulator folds rows into one aggregate value. merge folds another
+// accumulator of the same concrete type into the receiver; GroupBy calls it
+// in morsel order, which keeps float folds deterministic.
 type accumulator interface {
 	add(row int) error
+	merge(other accumulator)
 	result() float64
 }
 
@@ -178,16 +229,18 @@ func numericReader(c column.Column) (func(int) float64, error) {
 
 type countAcc struct{ n int64 }
 
-func (a *countAcc) add(int) error   { a.n++; return nil }
-func (a *countAcc) result() float64 { return float64(a.n) }
+func (a *countAcc) add(int) error       { a.n++; return nil }
+func (a *countAcc) merge(o accumulator) { a.n += o.(*countAcc).n }
+func (a *countAcc) result() float64     { return float64(a.n) }
 
 type sumAcc struct {
 	read func(int) float64
 	sum  float64
 }
 
-func (a *sumAcc) add(row int) error { a.sum += a.read(row); return nil }
-func (a *sumAcc) result() float64   { return a.sum }
+func (a *sumAcc) add(row int) error   { a.sum += a.read(row); return nil }
+func (a *sumAcc) merge(o accumulator) { a.sum += o.(*sumAcc).sum }
+func (a *sumAcc) result() float64     { return a.sum }
 
 type minAcc struct {
 	read func(int) float64
@@ -201,6 +254,12 @@ func (a *minAcc) add(row int) error {
 		a.min, a.seen = v, true
 	}
 	return nil
+}
+func (a *minAcc) merge(o accumulator) {
+	b := o.(*minAcc)
+	if b.seen && (!a.seen || b.min < a.min) {
+		a.min, a.seen = b.min, true
+	}
 }
 func (a *minAcc) result() float64 { return a.min }
 
@@ -217,6 +276,12 @@ func (a *maxAcc) add(row int) error {
 	}
 	return nil
 }
+func (a *maxAcc) merge(o accumulator) {
+	b := o.(*maxAcc)
+	if b.seen && (!a.seen || b.max > a.max) {
+		a.max, a.seen = b.max, true
+	}
+}
 func (a *maxAcc) result() float64 { return a.max }
 
 type avgAcc struct {
@@ -226,6 +291,11 @@ type avgAcc struct {
 }
 
 func (a *avgAcc) add(row int) error { a.sum += a.read(row); a.n++; return nil }
+func (a *avgAcc) merge(o accumulator) {
+	b := o.(*avgAcc)
+	a.sum += b.sum
+	a.n += b.n
+}
 func (a *avgAcc) result() float64 {
 	if a.n == 0 {
 		return 0

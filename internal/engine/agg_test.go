@@ -27,7 +27,7 @@ func TestGroupByBasic(t *testing.T) {
 		column.NewInt64("qty", []int64{1, 2, 3, 4, 5}),
 		column.NewFloat64("price", []float64{10, 20, 30, 40, 50}),
 	)
-	out, err := GroupBy(b, []string{"city"}, []AggSpec{
+	out, err := GroupBy(nil, b, []string{"city"}, []AggSpec{
 		{Func: Sum, Col: "qty", As: "sum_qty"},
 		{Func: Count, As: "n"},
 		{Func: Min, Col: "price", As: "min_p"},
@@ -70,7 +70,7 @@ func TestGroupByMultiKey(t *testing.T) {
 		column.NewString("c", []string{"x", "y", "x", "x"}),
 		column.NewInt64("v", []int64{1, 2, 3, 4}),
 	)
-	out, err := GroupBy(b, []string{"y", "c"}, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
+	out, err := GroupBy(nil, b, []string{"y", "c"}, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestGroupByMultiKey(t *testing.T) {
 
 func TestGroupByGlobalAggregate(t *testing.T) {
 	b := MustNewBatch(column.NewInt64("v", []int64{1, 2, 3}))
-	out, err := GroupBy(b, nil, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
+	out, err := GroupBy(nil, b, nil, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestGroupByGlobalAggregate(t *testing.T) {
 	}
 	// Global aggregate over empty input yields one row of zero.
 	empty := MustNewBatch(column.NewInt64("v", nil))
-	out, err = GroupBy(empty, nil, []AggSpec{
+	out, err = GroupBy(nil, empty, nil, []AggSpec{
 		{Func: Sum, Col: "v", As: "s"},
 		{Func: Count, As: "n"},
 		{Func: Avg, Col: "v", As: "a"},
@@ -118,7 +118,7 @@ func TestGroupByKeyedEmptyInput(t *testing.T) {
 		column.NewInt64("k", nil),
 		column.NewInt64("v", nil),
 	)
-	out, err := GroupBy(empty, []string{"k"}, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
+	out, err := GroupBy(nil, empty, []string{"k"}, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestGroupByDateKeyAndValue(t *testing.T) {
 		column.NewDate("d", []int32{10, 10, 20}),
 		column.NewDate("v", []int32{1, 2, 3}),
 	)
-	out, err := GroupBy(b, []string{"d"}, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
+	out, err := GroupBy(nil, b, []string{"d"}, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestGroupByFloatKey(t *testing.T) {
 		column.NewFloat64("f", []float64{1.5, 1.5, 2.5}),
 		column.NewInt64("v", []int64{1, 1, 1}),
 	)
-	out, err := GroupBy(b, []string{"f"}, []AggSpec{{Func: Count, As: "n"}})
+	out, err := GroupBy(nil, b, []string{"f"}, []AggSpec{{Func: Count, As: "n"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,21 +161,21 @@ func TestGroupByErrors(t *testing.T) {
 		column.NewInt64("k", []int64{1}),
 		column.NewString("s", []string{"x"}),
 	)
-	if _, err := GroupBy(b, []string{"zz"}, nil); err == nil {
+	if _, err := GroupBy(nil, b, []string{"zz"}, nil); err == nil {
 		t.Fatal("expected missing key error")
 	}
-	if _, err := GroupBy(b, []string{"k"}, []AggSpec{{Func: Sum, Col: "zz", As: "s2"}}); err == nil {
+	if _, err := GroupBy(nil, b, []string{"k"}, []AggSpec{{Func: Sum, Col: "zz", As: "s2"}}); err == nil {
 		t.Fatal("expected missing aggregate column error")
 	}
-	if _, err := GroupBy(b, []string{"k"}, []AggSpec{{Func: Sum, Col: "s", As: "s2"}}); err == nil {
+	if _, err := GroupBy(nil, b, []string{"k"}, []AggSpec{{Func: Sum, Col: "s", As: "s2"}}); err == nil {
 		t.Fatal("expected non-numeric aggregate error")
 	}
-	if _, err := GroupBy(b, []string{"k"}, []AggSpec{{Func: AggFunc(42), Col: "k", As: "x"}}); err == nil {
+	if _, err := GroupBy(nil, b, []string{"k"}, []AggSpec{{Func: AggFunc(42), Col: "k", As: "x"}}); err == nil {
 		t.Fatal("expected unknown aggregate error")
 	}
 }
 
-// Property: GroupBy(Sum) equals a reference map-based aggregation.
+// Property: GroupBy(nil, Sum) equals a reference map-based aggregation.
 func TestGroupBySumMatchesReference(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -187,7 +187,7 @@ func TestGroupBySumMatchesReference(t *testing.T) {
 			vals[i] = rng.Int63n(100)
 		}
 		b := MustNewBatch(column.NewInt64("k", keys), column.NewInt64("v", vals))
-		out, err := GroupBy(b, []string{"k"}, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
+		out, err := GroupBy(nil, b, []string{"k"}, []AggSpec{{Func: Sum, Col: "v", As: "s"}})
 		if err != nil {
 			return false
 		}

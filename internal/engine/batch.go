@@ -14,6 +14,7 @@ import (
 
 	"robustdb/internal/column"
 	"robustdb/internal/expr"
+	"robustdb/internal/par"
 	"robustdb/internal/table"
 )
 
@@ -144,16 +145,22 @@ func (b *Batch) Gather(pos column.PosList) *Batch {
 }
 
 // Filter evaluates the predicate against the batch's columns and returns the
-// qualifying positions.
-func Filter(b *Batch, pred expr.Predicate) (column.PosList, error) {
-	return pred.Eval(b.Column)
+// qualifying positions. Large inputs are evaluated per morsel on the
+// context's pool (nil ctx = serial); the qualifying positions are identical
+// either way because predicates are row-local.
+func Filter(ctx *Ctx, b *Batch, pred expr.Predicate) (column.PosList, error) {
+	n := b.NumRows()
+	if !ctx.parallel() || n <= par.DefaultMorselRows {
+		return pred.Eval(b.Column)
+	}
+	return parFilter(ctx, b, pred, n)
 }
 
 // Select evaluates the predicate and materializes the qualifying rows.
-func Select(b *Batch, pred expr.Predicate) (*Batch, error) {
-	pos, err := Filter(b, pred)
+func Select(ctx *Ctx, b *Batch, pred expr.Predicate) (*Batch, error) {
+	pos, err := Filter(ctx, b, pred)
 	if err != nil {
 		return nil, err
 	}
-	return b.Gather(pos), nil
+	return b.GatherCtx(ctx, pos), nil
 }

@@ -103,14 +103,14 @@ func TestProjectExtendGather(t *testing.T) {
 
 func TestFilterAndSelect(t *testing.T) {
 	b := sampleBatch()
-	pos, err := Filter(b, expr.NewCmp("price", expr.GE, 20.0))
+	pos, err := Filter(nil, b, expr.NewCmp("price", expr.GE, 20.0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pos) != 3 || pos[0] != 1 {
 		t.Fatalf("Filter = %v", pos)
 	}
-	sel, err := Select(b, expr.NewCmp("city", expr.EQ, "b"))
+	sel, err := Select(nil, b, expr.NewCmp("city", expr.EQ, "b"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestFilterAndSelect(t *testing.T) {
 	if ids[0] != 1 || ids[1] != 3 {
 		t.Fatalf("Select ids = %v", ids)
 	}
-	if _, err := Select(b, expr.NewCmp("zz", expr.EQ, 1)); err == nil {
+	if _, err := Select(nil, b, expr.NewCmp("zz", expr.EQ, 1)); err == nil {
 		t.Fatal("expected Select error")
 	}
 }

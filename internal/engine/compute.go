@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"robustdb/internal/column"
+	"robustdb/internal/par"
 )
 
 // BinOp enumerates arithmetic operators for derived columns.
@@ -33,10 +34,21 @@ func (op BinOp) String() string {
 	}
 }
 
+// computeRange runs a row loop with disjoint writes either serially or
+// per-morsel on the context's pool. Each morsel reports its first error, and
+// the scheduler surfaces the lowest-morsel one, so a division-by-zero error
+// names the same row at every worker count.
+func computeRange(ctx *Ctx, n int, run func(lo, hi int) error) error {
+	if !ctx.parallel() || n <= par.DefaultMorselRows {
+		return run(0, n)
+	}
+	return ctx.forEachMorsel(n, func(_, lo, hi int) error { return run(lo, hi) })
+}
+
 // Compute evaluates "left op right" row-wise over two numeric columns of the
 // batch and returns the derived column under the given name. The result is
 // always float64, matching the engine's aggregate domain.
-func Compute(b *Batch, as string, left string, op BinOp, right string) (column.Column, error) {
+func Compute(ctx *Ctx, b *Batch, as string, left string, op BinOp, right string) (column.Column, error) {
 	lc, err := b.Column(left)
 	if err != nil {
 		return nil, fmt.Errorf("compute %s: %w", as, err)
@@ -55,37 +67,54 @@ func Compute(b *Batch, as string, left string, op BinOp, right string) (column.C
 	}
 	n := b.NumRows()
 	out := make([]float64, n)
+	var run func(lo, hi int) error
 	switch op {
 	case Add:
-		for i := 0; i < n; i++ {
-			out[i] = lr(i) + rr(i)
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = lr(i) + rr(i)
+			}
+			return nil
 		}
 	case Sub:
-		for i := 0; i < n; i++ {
-			out[i] = lr(i) - rr(i)
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = lr(i) - rr(i)
+			}
+			return nil
 		}
 	case Mul:
-		for i := 0; i < n; i++ {
-			out[i] = lr(i) * rr(i)
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = lr(i) * rr(i)
+			}
+			return nil
 		}
 	case Div:
-		for i := 0; i < n; i++ {
-			d := rr(i)
-			if d == 0 {
-				return nil, fmt.Errorf("compute %s: division by zero at row %d", as, i)
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				d := rr(i)
+				if d == 0 {
+					return fmt.Errorf("compute %s: division by zero at row %d", as, i)
+				}
+				out[i] = lr(i) / d
 			}
-			out[i] = lr(i) / d
+			return nil
 		}
 	default:
 		return nil, fmt.Errorf("compute %s: unknown operator %v", as, op)
+	}
+	if err := computeRange(ctx, n, run); err != nil {
+		return nil, err
 	}
 	return column.NewFloat64(as, out), nil
 }
 
 // ComputeConst evaluates "col op constant" row-wise, e.g. the
 // "1 - discount" term of TPC-H pricing expressions (written as
-// ComputeConstLeft) or "price * 0.9".
-func ComputeConst(b *Batch, as string, col string, op BinOp, k float64) (column.Column, error) {
+// ComputeConstLeft) or "price * 0.9". The operator dispatch is hoisted out
+// of the row loop.
+func ComputeConst(ctx *Ctx, b *Batch, as string, col string, op BinOp, k float64) (column.Column, error) {
 	c, err := b.Column(col)
 	if err != nil {
 		return nil, fmt.Errorf("compute %s: %w", as, err)
@@ -96,29 +125,50 @@ func ComputeConst(b *Batch, as string, col string, op BinOp, k float64) (column.
 	}
 	n := b.NumRows()
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		v := read(i)
-		switch op {
-		case Add:
-			out[i] = v + k
-		case Sub:
-			out[i] = v - k
-		case Mul:
-			out[i] = v * k
-		case Div:
-			if k == 0 {
-				return nil, fmt.Errorf("compute %s: division by zero constant", as)
+	var run func(lo, hi int) error
+	switch op {
+	case Add:
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = read(i) + k
 			}
-			out[i] = v / k
-		default:
-			return nil, fmt.Errorf("compute %s: unknown operator %v", as, op)
+			return nil
 		}
+	case Sub:
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = read(i) - k
+			}
+			return nil
+		}
+	case Mul:
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = read(i) * k
+			}
+			return nil
+		}
+	case Div:
+		if k == 0 {
+			return nil, fmt.Errorf("compute %s: division by zero constant", as)
+		}
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = read(i) / k
+			}
+			return nil
+		}
+	default:
+		return nil, fmt.Errorf("compute %s: unknown operator %v", as, op)
+	}
+	if err := computeRange(ctx, n, run); err != nil {
+		return nil, err
 	}
 	return column.NewFloat64(as, out), nil
 }
 
 // ComputeConstLeft evaluates "constant op col" row-wise (e.g. 1 - discount).
-func ComputeConstLeft(b *Batch, as string, k float64, op BinOp, col string) (column.Column, error) {
+func ComputeConstLeft(ctx *Ctx, b *Batch, as string, k float64, op BinOp, col string) (column.Column, error) {
 	c, err := b.Column(col)
 	if err != nil {
 		return nil, fmt.Errorf("compute %s: %w", as, err)
@@ -129,23 +179,45 @@ func ComputeConstLeft(b *Batch, as string, k float64, op BinOp, col string) (col
 	}
 	n := b.NumRows()
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		v := read(i)
-		switch op {
-		case Add:
-			out[i] = k + v
-		case Sub:
-			out[i] = k - v
-		case Mul:
-			out[i] = k * v
-		case Div:
-			if v == 0 {
-				return nil, fmt.Errorf("compute %s: division by zero at row %d", as, i)
+	var run func(lo, hi int) error
+	switch op {
+	case Add:
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = k + read(i)
 			}
-			out[i] = k / v
-		default:
-			return nil, fmt.Errorf("compute %s: unknown operator %v", as, op)
+			return nil
 		}
+	case Sub:
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = k - read(i)
+			}
+			return nil
+		}
+	case Mul:
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = k * read(i)
+			}
+			return nil
+		}
+	case Div:
+		run = func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				v := read(i)
+				if v == 0 {
+					return fmt.Errorf("compute %s: division by zero at row %d", as, i)
+				}
+				out[i] = k / v
+			}
+			return nil
+		}
+	default:
+		return nil, fmt.Errorf("compute %s: unknown operator %v", as, op)
+	}
+	if err := computeRange(ctx, n, run); err != nil {
+		return nil, err
 	}
 	return column.NewFloat64(as, out), nil
 }

@@ -33,7 +33,7 @@ func TestCompute(t *testing.T) {
 		{Div, []float64{3, 2}},
 	}
 	for _, c := range cases {
-		col, err := Compute(b, "r", "a", c.op, "b")
+		col, err := Compute(nil, b, "r", "a", c.op, "b")
 		if err != nil {
 			t.Fatalf("%s: %v", c.op, err)
 		}
@@ -50,29 +50,29 @@ func TestComputeErrors(t *testing.T) {
 		column.NewFloat64("z", []float64{1, 0}),
 		column.NewString("s", []string{"x", "y"}),
 	)
-	if _, err := Compute(b, "r", "zz", Add, "a"); err == nil {
+	if _, err := Compute(nil, b, "r", "zz", Add, "a"); err == nil {
 		t.Fatal("expected missing left error")
 	}
-	if _, err := Compute(b, "r", "a", Add, "zz"); err == nil {
+	if _, err := Compute(nil, b, "r", "a", Add, "zz"); err == nil {
 		t.Fatal("expected missing right error")
 	}
-	if _, err := Compute(b, "r", "s", Add, "a"); err == nil {
+	if _, err := Compute(nil, b, "r", "s", Add, "a"); err == nil {
 		t.Fatal("expected non-numeric left error")
 	}
-	if _, err := Compute(b, "r", "a", Add, "s"); err == nil {
+	if _, err := Compute(nil, b, "r", "a", Add, "s"); err == nil {
 		t.Fatal("expected non-numeric right error")
 	}
-	if _, err := Compute(b, "r", "a", Div, "z"); err == nil {
+	if _, err := Compute(nil, b, "r", "a", Div, "z"); err == nil {
 		t.Fatal("expected division-by-zero error")
 	}
-	if _, err := Compute(b, "r", "a", BinOp(9), "z"); err == nil {
+	if _, err := Compute(nil, b, "r", "a", BinOp(9), "z"); err == nil {
 		t.Fatal("expected unknown-op error")
 	}
 }
 
 func TestComputeConst(t *testing.T) {
 	b := MustNewBatch(column.NewFloat64("p", []float64{100, 200}))
-	col, err := ComputeConst(b, "r", "p", Mul, 0.5)
+	col, err := ComputeConst(nil, b, "r", "p", Mul, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,28 +81,28 @@ func TestComputeConst(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 	for _, op := range []BinOp{Add, Sub, Div} {
-		if _, err := ComputeConst(b, "r", "p", op, 2); err != nil {
+		if _, err := ComputeConst(nil, b, "r", "p", op, 2); err != nil {
 			t.Fatalf("%s: %v", op, err)
 		}
 	}
-	if _, err := ComputeConst(b, "r", "p", Div, 0); err == nil {
+	if _, err := ComputeConst(nil, b, "r", "p", Div, 0); err == nil {
 		t.Fatal("expected divide-by-zero-constant error")
 	}
-	if _, err := ComputeConst(b, "r", "zz", Mul, 1); err == nil {
+	if _, err := ComputeConst(nil, b, "r", "zz", Mul, 1); err == nil {
 		t.Fatal("expected missing-column error")
 	}
-	if _, err := ComputeConst(b, "r", "p", BinOp(9), 1); err == nil {
+	if _, err := ComputeConst(nil, b, "r", "p", BinOp(9), 1); err == nil {
 		t.Fatal("expected unknown-op error")
 	}
 	s := MustNewBatch(column.NewString("s", []string{"a"}))
-	if _, err := ComputeConst(s, "r", "s", Mul, 1); err == nil {
+	if _, err := ComputeConst(nil, s, "r", "s", Mul, 1); err == nil {
 		t.Fatal("expected non-numeric error")
 	}
 }
 
 func TestComputeConstLeft(t *testing.T) {
 	b := MustNewBatch(column.NewFloat64("d", []float64{0.04, 0.06}))
-	col, err := ComputeConstLeft(b, "r", 1, Sub, "d")
+	col, err := ComputeConstLeft(nil, b, "r", 1, Sub, "d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,22 +111,22 @@ func TestComputeConstLeft(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 	for _, op := range []BinOp{Add, Mul, Div} {
-		if _, err := ComputeConstLeft(b, "r", 2, op, "d"); err != nil {
+		if _, err := ComputeConstLeft(nil, b, "r", 2, op, "d"); err != nil {
 			t.Fatalf("%s: %v", op, err)
 		}
 	}
 	z := MustNewBatch(column.NewFloat64("z", []float64{0}))
-	if _, err := ComputeConstLeft(z, "r", 1, Div, "z"); err == nil {
+	if _, err := ComputeConstLeft(nil, z, "r", 1, Div, "z"); err == nil {
 		t.Fatal("expected division-by-zero error")
 	}
-	if _, err := ComputeConstLeft(b, "r", 1, Sub, "zz"); err == nil {
+	if _, err := ComputeConstLeft(nil, b, "r", 1, Sub, "zz"); err == nil {
 		t.Fatal("expected missing-column error")
 	}
-	if _, err := ComputeConstLeft(b, "r", 1, BinOp(9), "d"); err == nil {
+	if _, err := ComputeConstLeft(nil, b, "r", 1, BinOp(9), "d"); err == nil {
 		t.Fatal("expected unknown-op error")
 	}
 	s := MustNewBatch(column.NewString("s", []string{"a"}))
-	if _, err := ComputeConstLeft(s, "r", 1, Sub, "s"); err == nil {
+	if _, err := ComputeConstLeft(nil, s, "r", 1, Sub, "s"); err == nil {
 		t.Fatal("expected non-numeric error")
 	}
 }

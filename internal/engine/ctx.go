@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"robustdb/internal/par"
+)
+
+// Ctx carries the kernel execution context of one operator invocation: the
+// worker pool the kernels may fan out on, and the morsel accounting the
+// tracer reports. A nil *Ctx is valid and means serial execution — every
+// kernel accepts nil and then behaves exactly like the pre-parallel engine.
+//
+// Determinism contract: kernel results are a pure function of their inputs
+// and the fixed morsel grain (par.DefaultMorselRows), never of the worker
+// count. Order-sensitive folds (float aggregation) always use the canonical
+// morsel decomposition — computed per-morsel and merged in morsel order —
+// even when executed serially, so any two contexts (including nil) produce
+// bit-identical results.
+type Ctx struct {
+	pool    *par.Pool
+	morsels atomic.Int64
+}
+
+// NewCtx returns a context executing on the given pool (nil pool = serial).
+func NewCtx(pool *par.Pool) *Ctx { return &Ctx{pool: pool} }
+
+// Workers reports the context's worker bound; nil reports one.
+func (c *Ctx) Workers() int {
+	if c == nil {
+		return 1
+	}
+	return c.pool.Workers()
+}
+
+// Morsels reports how many morsels the kernels dispatched through this
+// context so far (zero for nil or before any parallel kernel ran). The
+// executor copies it into the operator span after each attempt.
+func (c *Ctx) Morsels() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.morsels.Load()
+}
+
+// parallel reports whether the context can actually fan out.
+func (c *Ctx) parallel() bool { return c.Workers() > 1 }
+
+func (c *Ctx) pooled() *par.Pool {
+	if c == nil {
+		return nil
+	}
+	return c.pool
+}
+
+// forEachMorsel schedules fn over n rows and accounts the morsel count.
+func (c *Ctx) forEachMorsel(n int, fn func(m, lo, hi int) error) error {
+	if c != nil {
+		if m := par.Morsels(n); m > 0 {
+			c.morsels.Add(int64(m))
+		}
+	}
+	return c.pooled().ForEachMorsel(n, fn)
+}
+
+// forEachMorselNoErr is forEachMorsel for infallible bodies. The scheduler
+// only returns errors produced by fn, so a failure here is impossible; like
+// bus.Transfer, it panics instead of discarding.
+func (c *Ctx) forEachMorselNoErr(n int, fn func(m, lo, hi int)) {
+	err := c.forEachMorsel(n, func(m, lo, hi int) error {
+		fn(m, lo, hi)
+		return nil
+	})
+	if err != nil {
+		panic("engine: infallible morsel loop returned " + err.Error())
+	}
+}
+
+// forEachNNoErr fans an infallible fn out over k tasks (partition builds,
+// per-column gathers).
+func (c *Ctx) forEachNNoErr(k int, fn func(i int)) {
+	err := c.pooled().ForEachN(k, func(i int) error {
+		fn(i)
+		return nil
+	})
+	if err != nil {
+		panic("engine: infallible task loop returned " + err.Error())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"robustdb/internal/column"
+	"robustdb/internal/par"
 )
 
 // JoinResult holds the aligned match positions of a join: row i of the join
@@ -16,26 +17,182 @@ type JoinResult struct {
 // NumRows returns the number of join matches.
 func (r *JoinResult) NumRows() int { return len(r.LeftPos) }
 
-// keyOf extracts the join key of row i as an int64. Join keys may be int64,
-// date, or dictionary-coded string columns (codes are only comparable within
-// one column, so string-keyed joins require both sides to share a dictionary;
-// the schemas in this repository join on integer keys only).
-func keyOf(c column.Column, i int) (int64, error) {
+// keyAccessor resolves the key column's type once and returns a typed
+// row→key closure, hoisting the dispatch out of the build and probe loops.
+// Join keys may be int64 or date columns (dictionary codes are only
+// comparable within one column; the schemas in this repository join on
+// integer keys only).
+func keyAccessor(c column.Column) (func(int) int64, error) {
 	switch c := c.(type) {
 	case *column.Int64Column:
-		return c.Values[i], nil
+		vals := c.Values
+		return func(i int) int64 { return vals[i] }, nil
 	case *column.DateColumn:
-		return int64(c.Values[i]), nil
+		vals := c.Values
+		return func(i int) int64 { return int64(vals[i]) }, nil
 	default:
-		return 0, fmt.Errorf("join: unsupported key column type %T (%s)", c, c.Name())
+		return nil, fmt.Errorf("join: unsupported key column type %T (%s)", c, c.Name())
 	}
+}
+
+// fibMul is the 64-bit Fibonacci hashing constant (2^64 / φ, odd). A single
+// multiply spreads consecutive keys across the high bits, which is where the
+// partition index and slot index are taken from.
+const fibMul = 0x9E3779B97F4A7C15
+
+func fibHash(k int64) uint64 { return uint64(k) * fibMul }
+
+// joinPartitionBits selects 2^4 = 16 partitions for inputs large enough to
+// parallelize; below the morsel grain a single partition avoids all
+// partitioning overhead. The partition count depends only on the input size,
+// so the table layout — and therefore match order — is identical at every
+// worker count.
+const joinPartitionBits = 4
+
+// joinPart is one partition of the build table: an open-addressing
+// (linear-probe, power-of-two) index from key to a chain of build rows.
+// Chains list build rows in ascending order, which makes the probe emit
+// matches in exactly the order the previous map-based join (and the
+// NestedLoopJoin reference) produced.
+type joinPart struct {
+	shift uint    // hash right-shift for the slot index
+	mask  uint32  // slot mask (power-of-two size − 1)
+	key   []int64 // slot → key, valid where head ≥ 0
+	head  []int32 // slot → first chain entry, −1 when the slot is empty
+	next  []int32 // chain entry → next entry with the same key, −1 at end
+	rows  []int32 // chain entry → build row
+}
+
+// lookup returns the first chain entry for key k (with h = fibHash(k)), or
+// −1 when the key is absent. The load factor is kept ≤ 0.5, so probing always
+// terminates at an empty slot.
+func (p *joinPart) lookup(k int64, h uint64) int32 {
+	if len(p.head) == 0 {
+		return -1
+	}
+	s := uint32(h>>p.shift) & p.mask
+	for {
+		c := p.head[s]
+		if c < 0 {
+			return -1
+		}
+		if p.key[s] == k {
+			return c
+		}
+		s = (s + 1) & p.mask
+	}
+}
+
+type joinTable struct {
+	pbits uint
+	parts []joinPart
+}
+
+func (t *joinTable) partOf(h uint64) *joinPart {
+	if t.pbits == 0 {
+		return &t.parts[0]
+	}
+	return &t.parts[h>>(64-t.pbits)]
+}
+
+// buildJoinTable constructs the partitioned build-side table. The three
+// phases (count, scatter, per-partition insert) each fan out over disjoint
+// index ranges, and partition contents are laid out in global row order, so
+// the finished table is byte-identical regardless of worker count.
+func buildJoinTable(ctx *Ctx, key func(int) int64, n int) *joinTable {
+	var pbits uint
+	if n > par.DefaultMorselRows {
+		pbits = joinPartitionBits
+	}
+	numParts := 1 << pbits
+	t := &joinTable{pbits: pbits, parts: make([]joinPart, numParts)}
+
+	// Phase 1: hoist keys once and count rows per (morsel, partition).
+	keys := make([]int64, n)
+	numMorsels := par.Morsels(n)
+	counts := make([][]int32, numMorsels)
+	ctx.forEachMorselNoErr(n, func(mi, lo, hi int) {
+		cnt := make([]int32, numParts)
+		for i := lo; i < hi; i++ {
+			k := key(i)
+			keys[i] = k
+			cnt[fibHash(k)>>(64-pbits)]++
+		}
+		counts[mi] = cnt
+	})
+
+	// Prefix-sum the counts into scatter offsets: partition p receives its
+	// rows morsel by morsel, i.e. in ascending global row order.
+	for p := 0; p < numParts; p++ {
+		var run int32
+		for mi := 0; mi < numMorsels; mi++ {
+			c := counts[mi][p]
+			counts[mi][p] = run
+			run += c
+		}
+		t.parts[p].rows = make([]int32, run)
+	}
+
+	// Phase 2: scatter rows into their partitions. Each (morsel, partition)
+	// pair writes a disjoint region, so the fan-out is race-free.
+	ctx.forEachMorselNoErr(n, func(mi, lo, hi int) {
+		off := counts[mi]
+		for i := lo; i < hi; i++ {
+			p := fibHash(keys[i]) >> (64 - pbits)
+			t.parts[p].rows[off[p]] = int32(i)
+			off[p]++
+		}
+	})
+
+	// Phase 3: build each partition's open-addressing index. Inserting in
+	// descending chain order with prepends leaves every per-key chain in
+	// ascending build-row order.
+	ctx.forEachNNoErr(numParts, func(p int) {
+		part := &t.parts[p]
+		nrows := len(part.rows)
+		slots := 8
+		var slotBits uint = 3
+		for slots < 2*nrows { // load factor ≤ 0.5
+			slots <<= 1
+			slotBits++
+		}
+		part.mask = uint32(slots - 1)
+		part.shift = 64 - pbits - slotBits
+		part.key = make([]int64, slots)
+		part.head = make([]int32, slots)
+		for s := range part.head {
+			part.head[s] = -1
+		}
+		part.next = make([]int32, nrows)
+		for c := nrows - 1; c >= 0; c-- {
+			k := keys[part.rows[c]]
+			s := uint32(fibHash(k)>>part.shift) & part.mask
+			for {
+				if part.head[s] < 0 {
+					part.key[s] = k
+					part.head[s] = int32(c)
+					part.next[c] = -1
+					break
+				}
+				if part.key[s] == k {
+					part.next[c] = part.head[s]
+					part.head[s] = int32(c)
+					break
+				}
+				s = (s + 1) & part.mask
+			}
+		}
+	})
+	return t
 }
 
 // HashJoin computes the inner equi-join of left and right on
 // left.leftKey = right.rightKey. The hash table is built on the left
 // (conventionally the smaller, filtered dimension side) and probed with the
-// right. Matches preserve the probe order, like CoGaDB's join kernel.
-func HashJoin(left *Batch, leftKey string, right *Batch, rightKey string) (*JoinResult, error) {
+// right. Matches preserve the probe order, like CoGaDB's join kernel; ties
+// on one probe row list build rows in ascending order. The result is
+// bit-identical at every worker count, including serial (nil ctx).
+func HashJoin(ctx *Ctx, left *Batch, leftKey string, right *Batch, rightKey string) (*JoinResult, error) {
 	lk, err := left.Column(leftKey)
 	if err != nil {
 		return nil, fmt.Errorf("hash join build side: %w", err)
@@ -44,32 +201,85 @@ func HashJoin(left *Batch, leftKey string, right *Batch, rightKey string) (*Join
 	if err != nil {
 		return nil, fmt.Errorf("hash join probe side: %w", err)
 	}
-	ht := make(map[int64][]int32, lk.Len())
-	for i := 0; i < lk.Len(); i++ {
-		k, err := keyOf(lk, i)
-		if err != nil {
-			return nil, err
-		}
-		ht[k] = append(ht[k], int32(i))
+	lacc, err := keyAccessor(lk)
+	if err != nil {
+		return nil, err
 	}
+	racc, err := keyAccessor(rk)
+	if err != nil {
+		return nil, err
+	}
+	ht := buildJoinTable(ctx, lacc, lk.Len())
+
+	n := rk.Len()
 	res := &JoinResult{}
-	for j := 0; j < rk.Len(); j++ {
-		k, err := keyOf(rk, j)
-		if err != nil {
-			return nil, err
+	if par.Morsels(n) <= 1 {
+		if n == 0 {
+			return res, nil
 		}
-		for _, i := range ht[k] {
-			res.LeftPos = append(res.LeftPos, i)
-			res.RightPos = append(res.RightPos, int32(j))
+		// Serial probe; preallocate from the probe-side cardinality estimate
+		// (≈ one match per probe row) instead of growing from nil.
+		res.LeftPos = make(column.PosList, 0, n)
+		res.RightPos = make(column.PosList, 0, n)
+		probeJoinRange(ht, racc, 0, n, &res.LeftPos, &res.RightPos)
+		if len(res.LeftPos) == 0 {
+			res.LeftPos, res.RightPos = nil, nil
 		}
+		return res, nil
+	}
+
+	// Parallel probe into arena-backed per-morsel buffers, stitched back in
+	// morsel (= probe) order.
+	numMorsels := par.Morsels(n)
+	perL := make([]column.PosList, numMorsels)
+	perR := make([]column.PosList, numMorsels)
+	ctx.forEachMorselNoErr(n, func(mi, lo, hi int) {
+		lbuf := par.GetPos(hi - lo)
+		rbuf := par.GetPos(hi - lo)
+		probeJoinRange(ht, racc, lo, hi, &lbuf, &rbuf)
+		perL[mi], perR[mi] = lbuf, rbuf
+	})
+	total := 0
+	for _, s := range perL {
+		total += len(s)
+	}
+	if total == 0 {
+		for mi := range perL {
+			par.PutPos(perL[mi])
+			par.PutPos(perR[mi])
+		}
+		return res, nil
+	}
+	res.LeftPos = make(column.PosList, 0, total)
+	res.RightPos = make(column.PosList, 0, total)
+	for mi := range perL {
+		res.LeftPos = append(res.LeftPos, perL[mi]...)
+		res.RightPos = append(res.RightPos, perR[mi]...)
+		par.PutPos(perL[mi])
+		par.PutPos(perR[mi])
 	}
 	return res, nil
 }
 
+// probeJoinRange probes rows [lo, hi) of the probe side against the table,
+// appending matches to the position buffers.
+func probeJoinRange(ht *joinTable, key func(int) int64, lo, hi int, lout, rout *column.PosList) {
+	for j := lo; j < hi; j++ {
+		k := key(j)
+		h := fibHash(k)
+		part := ht.partOf(h)
+		for c := part.lookup(k, h); c >= 0; c = part.next[c] {
+			*lout = append(*lout, part.rows[c])
+			*rout = append(*rout, int32(j))
+		}
+	}
+}
+
 // SemiJoin returns the probe-side positions that have at least one build-side
-// match. It implements the invisible-join style filtering of star schema
-// plans: filter a dimension, semi-join the fact table's foreign key.
-func SemiJoin(build *Batch, buildKey string, probe *Batch, probeKey string) (column.PosList, error) {
+// match, in ascending order. It implements the invisible-join style filtering
+// of star schema plans: filter a dimension, semi-join the fact table's
+// foreign key.
+func SemiJoin(ctx *Ctx, build *Batch, buildKey string, probe *Batch, probeKey string) (column.PosList, error) {
 	bk, err := build.Column(buildKey)
 	if err != nil {
 		return nil, fmt.Errorf("semi join build side: %w", err)
@@ -78,25 +288,55 @@ func SemiJoin(build *Batch, buildKey string, probe *Batch, probeKey string) (col
 	if err != nil {
 		return nil, fmt.Errorf("semi join probe side: %w", err)
 	}
-	set := make(map[int64]struct{}, bk.Len())
-	for i := 0; i < bk.Len(); i++ {
-		k, err := keyOf(bk, i)
-		if err != nil {
-			return nil, err
-		}
-		set[k] = struct{}{}
+	bacc, err := keyAccessor(bk)
+	if err != nil {
+		return nil, err
 	}
-	var out column.PosList
-	for j := 0; j < pk.Len(); j++ {
-		k, err := keyOf(pk, j)
-		if err != nil {
-			return nil, err
+	pacc, err := keyAccessor(pk)
+	if err != nil {
+		return nil, err
+	}
+	ht := buildJoinTable(ctx, bacc, bk.Len())
+
+	n := pk.Len()
+	if par.Morsels(n) <= 1 {
+		var out column.PosList
+		semiJoinRange(ht, pacc, 0, n, &out)
+		return out, nil
+	}
+	numMorsels := par.Morsels(n)
+	parts := make([]column.PosList, numMorsels)
+	ctx.forEachMorselNoErr(n, func(mi, lo, hi int) {
+		buf := par.GetPos(hi - lo)
+		semiJoinRange(ht, pacc, lo, hi, &buf)
+		parts[mi] = buf
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		for _, p := range parts {
+			par.PutPos(p)
 		}
-		if _, ok := set[k]; ok {
-			out = append(out, int32(j))
-		}
+		return nil, nil
+	}
+	out := make(column.PosList, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+		par.PutPos(p)
 	}
 	return out, nil
+}
+
+func semiJoinRange(ht *joinTable, key func(int) int64, lo, hi int, out *column.PosList) {
+	for j := lo; j < hi; j++ {
+		k := key(j)
+		h := fibHash(k)
+		if ht.partOf(h).lookup(k, h) >= 0 {
+			*out = append(*out, int32(j))
+		}
+	}
 }
 
 // NestedLoopJoin is the O(n·m) reference join used by tests to validate
@@ -111,18 +351,19 @@ func NestedLoopJoin(left *Batch, leftKey string, right *Batch, rightKey string) 
 	if err != nil {
 		return nil, err
 	}
+	lacc, err := keyAccessor(lk)
+	if err != nil {
+		return nil, err
+	}
+	racc, err := keyAccessor(rk)
+	if err != nil {
+		return nil, err
+	}
 	res := &JoinResult{}
 	for j := 0; j < rk.Len(); j++ {
-		kj, err := keyOf(rk, j)
-		if err != nil {
-			return nil, err
-		}
+		kj := racc(j)
 		for i := 0; i < lk.Len(); i++ {
-			ki, err := keyOf(lk, i)
-			if err != nil {
-				return nil, err
-			}
-			if ki == kj {
+			if lacc(i) == kj {
 				res.LeftPos = append(res.LeftPos, int32(i))
 				res.RightPos = append(res.RightPos, int32(j))
 			}
@@ -134,21 +375,21 @@ func NestedLoopJoin(left *Batch, leftKey string, right *Batch, rightKey string) 
 // MaterializeJoin gathers the requested columns from both sides of a join
 // result into one batch. Column name collisions are an error; plans qualify
 // names up front.
-func MaterializeJoin(res *JoinResult, left *Batch, leftCols []string, right *Batch, rightCols []string) (*Batch, error) {
+func MaterializeJoin(ctx *Ctx, res *JoinResult, left *Batch, leftCols []string, right *Batch, rightCols []string) (*Batch, error) {
 	cols := make([]column.Column, 0, len(leftCols)+len(rightCols))
 	for _, name := range leftCols {
 		c, err := left.Column(name)
 		if err != nil {
 			return nil, err
 		}
-		cols = append(cols, c.Gather(res.LeftPos))
+		cols = append(cols, Gather(ctx, c, res.LeftPos))
 	}
 	for _, name := range rightCols {
 		c, err := right.Column(name)
 		if err != nil {
 			return nil, err
 		}
-		cols = append(cols, c.Gather(res.RightPos))
+		cols = append(cols, Gather(ctx, c, res.RightPos))
 	}
 	return NewBatch(cols...)
 }

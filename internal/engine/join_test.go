@@ -17,7 +17,7 @@ func TestHashJoinBasic(t *testing.T) {
 		column.NewInt64("fk", []int64{2, 3, 2, 9}),
 		column.NewFloat64("val", []float64{10, 20, 30, 40}),
 	)
-	res, err := HashJoin(dim, "dk", fact, "fk")
+	res, err := HashJoin(nil, dim, "dk", fact, "fk")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestHashJoinBasic(t *testing.T) {
 				i, res.LeftPos[i], res.RightPos[i], wantLeft[i], wantRight[i])
 		}
 	}
-	out, err := MaterializeJoin(res, dim, []string{"dname"}, fact, []string{"val"})
+	out, err := MaterializeJoin(nil, res, dim, []string{"dname"}, fact, []string{"val"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestHashJoinBasic(t *testing.T) {
 func TestHashJoinDuplicatesBothSides(t *testing.T) {
 	l := MustNewBatch(column.NewInt64("k", []int64{5, 5}))
 	r := MustNewBatch(column.NewInt64("k", []int64{5, 5, 5}))
-	res, err := HashJoin(l, "k", r, "k")
+	res, err := HashJoin(nil, l, "k", r, "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestHashJoinDuplicatesBothSides(t *testing.T) {
 func TestJoinDateKeys(t *testing.T) {
 	l := MustNewBatch(column.NewDate("d", []int32{10, 20}))
 	r := MustNewBatch(column.NewDate("d", []int32{20, 30}))
-	res, err := HashJoin(l, "d", r, "d")
+	res, err := HashJoin(nil, l, "d", r, "d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,28 +73,28 @@ func TestJoinDateKeys(t *testing.T) {
 func TestJoinErrors(t *testing.T) {
 	b := MustNewBatch(column.NewInt64("k", []int64{1}))
 	s := MustNewBatch(column.NewFloat64("f", []float64{1}))
-	if _, err := HashJoin(b, "zz", b, "k"); err == nil {
+	if _, err := HashJoin(nil, b, "zz", b, "k"); err == nil {
 		t.Fatal("expected build-side error")
 	}
-	if _, err := HashJoin(b, "k", b, "zz"); err == nil {
+	if _, err := HashJoin(nil, b, "k", b, "zz"); err == nil {
 		t.Fatal("expected probe-side error")
 	}
-	if _, err := HashJoin(s, "f", b, "k"); err == nil {
+	if _, err := HashJoin(nil, s, "f", b, "k"); err == nil {
 		t.Fatal("expected key-type error on build")
 	}
-	if _, err := HashJoin(b, "k", s, "f"); err == nil {
+	if _, err := HashJoin(nil, b, "k", s, "f"); err == nil {
 		t.Fatal("expected key-type error on probe")
 	}
-	if _, err := SemiJoin(b, "zz", b, "k"); err == nil {
+	if _, err := SemiJoin(nil, b, "zz", b, "k"); err == nil {
 		t.Fatal("expected semi-join build error")
 	}
-	if _, err := SemiJoin(b, "k", b, "zz"); err == nil {
+	if _, err := SemiJoin(nil, b, "k", b, "zz"); err == nil {
 		t.Fatal("expected semi-join probe error")
 	}
-	if _, err := SemiJoin(s, "f", b, "k"); err == nil {
+	if _, err := SemiJoin(nil, s, "f", b, "k"); err == nil {
 		t.Fatal("expected semi-join key-type error")
 	}
-	if _, err := SemiJoin(b, "k", s, "f"); err == nil {
+	if _, err := SemiJoin(nil, b, "k", s, "f"); err == nil {
 		t.Fatal("expected semi-join probe key-type error")
 	}
 	if _, err := NestedLoopJoin(b, "zz", b, "k"); err == nil {
@@ -104,10 +104,10 @@ func TestJoinErrors(t *testing.T) {
 		t.Fatal("expected nlj error")
 	}
 	res := &JoinResult{LeftPos: column.PosList{0}, RightPos: column.PosList{0}}
-	if _, err := MaterializeJoin(res, b, []string{"zz"}, b, nil); err == nil {
+	if _, err := MaterializeJoin(nil, res, b, []string{"zz"}, b, nil); err == nil {
 		t.Fatal("expected materialize error left")
 	}
-	if _, err := MaterializeJoin(res, b, nil, b, []string{"zz"}); err == nil {
+	if _, err := MaterializeJoin(nil, res, b, nil, b, []string{"zz"}); err == nil {
 		t.Fatal("expected materialize error right")
 	}
 }
@@ -115,7 +115,7 @@ func TestJoinErrors(t *testing.T) {
 func TestSemiJoin(t *testing.T) {
 	dim := MustNewBatch(column.NewInt64("dk", []int64{2, 4}))
 	fact := MustNewBatch(column.NewInt64("fk", []int64{1, 2, 3, 4, 2}))
-	pos, err := SemiJoin(dim, "dk", fact, "fk")
+	pos, err := SemiJoin(nil, dim, "dk", fact, "fk")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestHashJoinMatchesNestedLoop(t *testing.T) {
 		}
 		l := MustNewBatch(column.NewInt64("k", lv))
 		r := MustNewBatch(column.NewInt64("k", rv))
-		hj, err1 := HashJoin(l, "k", r, "k")
+		hj, err1 := HashJoin(nil, l, "k", r, "k")
 		nlj, err2 := NestedLoopJoin(l, "k", r, "k")
 		if err1 != nil || err2 != nil {
 			return false
@@ -166,7 +166,7 @@ func TestHashJoinMatchesNestedLoop(t *testing.T) {
 	}
 }
 
-// Property: SemiJoin(probe) == distinct probe positions of HashJoin.
+// Property: SemiJoin(nil, probe) == distinct probe positions of HashJoin.
 func TestSemiJoinMatchesHashJoin(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -181,8 +181,8 @@ func TestSemiJoinMatchesHashJoin(t *testing.T) {
 		}
 		l := MustNewBatch(column.NewInt64("k", lv))
 		r := MustNewBatch(column.NewInt64("k", rv))
-		semi, err1 := SemiJoin(l, "k", r, "k")
-		hj, err2 := HashJoin(l, "k", r, "k")
+		semi, err1 := SemiJoin(nil, l, "k", r, "k")
+		hj, err2 := HashJoin(nil, l, "k", r, "k")
 		if err1 != nil || err2 != nil {
 			return false
 		}

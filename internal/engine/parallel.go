@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"robustdb/internal/column"
+	"robustdb/internal/expr"
+	"robustdb/internal/par"
+)
+
+// sliceColumn returns a zero-copy view of rows [lo, hi) of a flat column
+// (the four dense storage types share their backing arrays; string views
+// share the dictionary). Reports false for non-flat columns such as
+// compressed ones, which callers handle by falling back to serial paths.
+func sliceColumn(c column.Column, lo, hi int) (column.Column, bool) {
+	switch c := c.(type) {
+	case *column.Int64Column:
+		return column.NewInt64(c.Name(), c.Values[lo:hi]), true
+	case *column.Float64Column:
+		return column.NewFloat64(c.Name(), c.Values[lo:hi]), true
+	case *column.DateColumn:
+		return column.NewDate(c.Name(), c.Values[lo:hi]), true
+	case *column.StringColumn:
+		return column.NewStringFromDict(c.Name(), c.Dict, c.Codes[lo:hi]), true
+	default:
+		return nil, false
+	}
+}
+
+// parFilter evaluates the whole predicate tree per morsel against zero-copy
+// column views and concatenates the per-morsel position lists. Predicates
+// are row-local (And/Or combine positions within a row range), so the
+// morsel-wise evaluation restricted to [lo, hi) shifted by lo reproduces the
+// serial evaluation exactly.
+func parFilter(ctx *Ctx, b *Batch, pred expr.Predicate, n int) (column.PosList, error) {
+	// Fall back to the serial evaluator if any referenced column cannot be
+	// sliced zero-copy (defensive: scans materialize compressed columns
+	// before batches reach the filter kernel).
+	for _, name := range pred.Columns() {
+		c, err := b.Column(name)
+		if err == nil {
+			if _, ok := sliceColumn(c, 0, 0); !ok {
+				return pred.Eval(b.Column)
+			}
+		}
+	}
+	numMorsels := par.Morsels(n)
+	parts := make([]column.PosList, numMorsels)
+	err := ctx.forEachMorsel(n, func(mi, lo, hi int) error {
+		resolve := func(name string) (column.Column, error) {
+			c, err := b.Column(name)
+			if err != nil {
+				return nil, err
+			}
+			v, _ := sliceColumn(c, lo, hi)
+			return v, nil
+		}
+		pos, err := pred.Eval(resolve)
+		if err != nil {
+			return err
+		}
+		for i := range pos {
+			pos[i] += int32(lo)
+		}
+		parts[mi] = pos
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	out := make(column.PosList, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Gather materializes the rows addressed by pos into a new column, fanning
+// large gathers out over the context's pool for the flat column types. The
+// output is identical to c.Gather(pos).
+func Gather(ctx *Ctx, c column.Column, pos column.PosList) column.Column {
+	n := len(pos)
+	if !ctx.parallel() || n <= par.DefaultMorselRows {
+		return c.Gather(pos)
+	}
+	switch c := c.(type) {
+	case *column.Int64Column:
+		src := c.Values
+		out := make([]int64, n)
+		ctx.forEachMorselNoErr(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = src[pos[i]]
+			}
+		})
+		return column.NewInt64(c.Name(), out)
+	case *column.Float64Column:
+		src := c.Values
+		out := make([]float64, n)
+		ctx.forEachMorselNoErr(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = src[pos[i]]
+			}
+		})
+		return column.NewFloat64(c.Name(), out)
+	case *column.DateColumn:
+		src := c.Values
+		out := make([]int32, n)
+		ctx.forEachMorselNoErr(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = src[pos[i]]
+			}
+		})
+		return column.NewDate(c.Name(), out)
+	case *column.StringColumn:
+		src := c.Codes
+		out := make([]int32, n)
+		ctx.forEachMorselNoErr(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = src[pos[i]]
+			}
+		})
+		return column.NewStringFromDict(c.Name(), c.Dict, out)
+	default:
+		return c.Gather(pos)
+	}
+}
+
+// GatherCtx is Batch.Gather with the columns gathered through the context's
+// pool.
+func (b *Batch) GatherCtx(ctx *Ctx, pos column.PosList) *Batch {
+	cols := make([]column.Column, len(b.cols))
+	for i, c := range b.cols {
+		cols[i] = Gather(ctx, c, pos)
+	}
+	return MustNewBatch(cols...)
+}

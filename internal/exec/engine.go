@@ -26,6 +26,7 @@ import (
 	"robustdb/internal/device"
 	"robustdb/internal/engine"
 	"robustdb/internal/faults"
+	"robustdb/internal/par"
 	"robustdb/internal/plan"
 	"robustdb/internal/sim"
 	"robustdb/internal/table"
@@ -51,6 +52,13 @@ type Config struct {
 	// 0 means UnboundedWorkers. Query chopping sets small bounds.
 	CPUWorkers int
 	GPUWorkers int
+	// KernelWorkers bounds intra-operator parallelism: the morsel-driven
+	// kernels fan each operator out over up to this many OS threads.
+	// 0 or 1 runs every kernel serially (the determinism goldens rely on
+	// this); kernel results are bit-identical at every setting. Unlike
+	// CPUWorkers/GPUWorkers — simulated admission bounds — this controls
+	// real host concurrency while computing exact results.
+	KernelWorkers int
 	// ForceCopyBack copies every GPU operator result back to the host
 	// immediately, so successors re-upload it: the per-operator round trips
 	// of UVA-style processing, which "pays the same data transfer cost as
@@ -161,6 +169,18 @@ type Engine struct {
 	// deviceValues registers every device-resident Value so a device reset
 	// can invalidate all of them.
 	deviceValues map[*Value]struct{}
+	// kernels is the morsel worker pool shared by every operator's kernels;
+	// nil when the engine is configured serial (KernelWorkers <= 1).
+	kernels *par.Pool
+}
+
+// kernelCtx returns a fresh kernel context for one operator attempt, or nil
+// when the engine runs its kernels serially.
+func (e *Engine) kernelCtx() *engine.Ctx {
+	if e.kernels == nil {
+		return nil
+	}
+	return engine.NewCtx(e.kernels)
 }
 
 // New builds an engine over the catalog with the given configuration.
@@ -206,6 +226,9 @@ func New(cat *table.Catalog, cfg Config) *Engine {
 		retry:         cfg.Retry.withDefaults(),
 		deadline:      cfg.QueryDeadline,
 		deviceValues:  make(map[*Value]struct{}),
+	}
+	if cfg.KernelWorkers > 1 {
+		e.kernels = par.New(cfg.KernelWorkers)
 	}
 	if cfg.Faults != nil {
 		cfg.Faults.WrapMemory(s, e.Heap)

@@ -92,6 +92,9 @@ type Metrics struct {
 	// HeapHighWater mirrors the device heap's high-water mark as a gauge so
 	// snapshots capture it alongside the counters.
 	HeapHighWater *trace.Gauge
+	// KernelMorsels counts the morsels the parallel kernels dispatched
+	// (exposed as robustdb_kernel_morsels_total; 0 in serial mode).
+	KernelMorsels *trace.Counter
 }
 
 // NewMetrics builds a metrics set over a fresh registry.
@@ -126,6 +129,7 @@ func NewMetrics() *Metrics {
 		GPURunTime:         reg.Histogram("GPURunTime"),
 		CPURunTime:         reg.Histogram("CPURunTime"),
 		HeapHighWater:      reg.Gauge("HeapHighWater"),
+		KernelMorsels:      reg.Counter("KernelMorsels"),
 	}
 }
 

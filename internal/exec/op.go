@@ -75,6 +75,11 @@ type opStats struct {
 	queueWait time.Duration
 	transfer  time.Duration
 	heapHW    int64
+	// kernelWorkers and morsels record the attempt's intra-operator
+	// parallelism; both stay zero in serial mode so serial trace goldens
+	// are unchanged.
+	kernelWorkers int
+	morsels       int64
 }
 
 // execOp runs one operator on the chosen processor. A GPU attempt that
@@ -159,7 +164,23 @@ func (e *Engine) traceOp(q *query, n *plan.Node, kind cost.ProcKind, attempt int
 		Abort:         abortLabel(abort, err),
 		Attempt:       attempt,
 		HeapHighWater: st.heapHW,
+		KernelWorkers: st.kernelWorkers,
+		MorselCount:   st.morsels,
 	})
+}
+
+// noteKernel folds one attempt's kernel parallelism into its stats and the
+// morsel counter. A nil context (serial engine) records nothing, keeping
+// serial spans byte-identical to the pre-parallel engine.
+func (e *Engine) noteKernel(st *opStats, ectx *engine.Ctx) {
+	if ectx == nil {
+		return
+	}
+	st.kernelWorkers = ectx.Workers()
+	st.morsels = ectx.Morsels()
+	if st.morsels > 0 {
+		e.Metrics.KernelMorsels.Add(st.morsels)
+	}
 }
 
 // transferTimed runs one bus transfer and accumulates its virtual duration
@@ -308,7 +329,9 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 
 	// The kernel's real result; the simulator charges its cost below.
 	batches := batchesOf(inputs)
-	result, kerr := n.Op.Execute(e.Cat, batches)
+	ectx := e.kernelCtx()
+	result, kerr := n.Op.Execute(ectx, e.Cat, batches)
+	e.noteKernel(&st, ectx)
 	if kerr != nil {
 		abort()
 		return nil, st, abortNone, fmt.Errorf("%s on gpu: %w", n.Op.Name(), kerr)
@@ -421,7 +444,9 @@ func (e *Engine) runOnCPU(p *sim.Proc, n *plan.Node, inputs []*Value) (*Value, o
 			return nil, st, err
 		}
 	}
-	result, err := n.Op.Execute(e.Cat, batchesOf(inputs))
+	ectx := e.kernelCtx()
+	result, err := n.Op.Execute(ectx, e.Cat, batchesOf(inputs))
+	e.noteKernel(&st, ectx)
 	if err != nil {
 		return nil, st, fmt.Errorf("%s on cpu: %w", n.Op.Name(), err)
 	}

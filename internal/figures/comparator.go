@@ -5,6 +5,7 @@ import (
 
 	"robustdb/internal/cost"
 	"robustdb/internal/exec"
+	"robustdb/internal/par"
 	"robustdb/internal/table"
 	"robustdb/internal/vecengine"
 	"robustdb/internal/workload"
@@ -23,6 +24,11 @@ func comparatorRun(o Options, cat *table.Catalog, cfg exec.Config,
 	ocelotGPU := Series{Label: "Ocelot* GPU"}
 	params := cost.DefaultParams()
 	vec := vecengine.New(cat, 0)
+	if cfg.KernelWorkers > 1 {
+		// Same morsel pool as the bulk engine; results are bit-identical, so
+		// the figure goldens do not depend on the worker count.
+		vec.SetPool(par.New(cfg.KernelWorkers))
+	}
 	for _, q := range queries {
 		if omit[q.Name] {
 			// The paper omits queries the comparator does not support

@@ -46,6 +46,7 @@ var Analyzers = []*Analyzer{
 	LockCopy,
 	LockHold,
 	PlacementGuard,
+	KernelPar,
 }
 
 // ByName returns the registered analyzer with the given name, or nil.

@@ -1,0 +1,26 @@
+// Package engine mimics a kernel package for the kernelpar golden test:
+// the package name puts it in scope, and every raw go statement must be
+// flagged — kernel concurrency belongs to par.Pool.
+package engine
+
+// SumRows spawns a raw goroutine for a partial sum, bypassing the pool's
+// worker bound and deterministic merge order.
+func SumRows(xs []int) int {
+	done := make(chan int)
+	go func() { // want `raw go statement in kernel package`
+		total := 0
+		for _, x := range xs {
+			total += x
+		}
+		done <- total
+	}()
+	return <-done
+}
+
+// Spawn fires an arbitrary function on an unbounded goroutine.
+func Spawn(f func(), done chan struct{}) {
+	go func() { // want `raw go statement in kernel package`
+		f()
+		close(done)
+	}()
+}

@@ -1,0 +1,21 @@
+// Package vecengine mimics a kernel package with compliant code for the
+// kernelpar golden test: serial loops and callback-driven decomposition are
+// fine; only raw go statements are forbidden.
+package vecengine
+
+// SumRows folds serially — no goroutines, nothing to flag.
+func SumRows(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// ForEach models handing work to a pool-style scheduler: invoking callbacks
+// is legal; the pool (outside this package) owns the goroutines.
+func ForEach(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -21,6 +21,7 @@ func goldenRegistry() *trace.Registry {
 	reg.Counter("Aborts").Add(7)
 	reg.Counter("GPUOperators").Add(42)
 	reg.Counter("H2DBytes").Add(1 << 20)
+	reg.Counter("KernelMorsels").Add(96)
 	reg.Counter("QueriesCompleted").Add(100)
 	reg.Duration("WastedTime").Add(1500 * time.Millisecond)
 	reg.Gauge("HeapHighWater").Set(65536)

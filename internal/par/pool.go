@@ -1,0 +1,147 @@
+// Package par provides the bounded worker pool and morsel scheduler used by
+// the bulk kernels in internal/engine and the vectorized pipelines in
+// internal/vecengine.
+//
+// Design constraints (DESIGN.md §12):
+//
+//   - Determinism: every result produced through the pool is a pure function
+//     of the input and the morsel grain — never of the worker count or of
+//     scheduling order. Callers achieve this by writing into per-morsel slots
+//     indexed by morsel number and merging in morsel order.
+//   - Bounded concurrency: a Pool never runs more than its configured worker
+//     count of goroutines at once, so kernel parallelism composes with query
+//     chopping's per-processor operator bounds (workers × operators is the
+//     hard CPU concurrency ceiling).
+//   - No persistent goroutines: workers are spawned per call and joined
+//     before the call returns. Nothing leaks, nothing outlives an operator,
+//     and an idle pool costs zero.
+//
+// A nil *Pool is valid and means "serial": every method degrades to an
+// inline loop on the calling goroutine.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselRows is the morsel grain: the number of rows each scheduled
+// work unit covers. The value follows Leis et al. (SIGMOD 2014): large
+// enough to amortize scheduling, small enough to load-balance skew. It is a
+// constant — not tunable per pool — because the morsel decomposition of an
+// input must depend only on its row count for results to be reproducible
+// across worker counts.
+const DefaultMorselRows = 8192
+
+// Pool is a bounded worker pool. The zero value and nil are both serial
+// pools; construct concurrent pools with New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool bounded to the given worker count. Counts below one are
+// clamped to one (serial). A pool with one worker never spawns goroutines.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// NumCPU returns the default worker count: runtime.GOMAXPROCS(0).
+func NumCPU() int { return runtime.GOMAXPROCS(0) }
+
+// Workers reports the pool's worker bound; a nil pool reports one.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Morsels returns the number of DefaultMorselRows-sized morsels covering n
+// rows (zero for n <= 0).
+func Morsels(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + DefaultMorselRows - 1) / DefaultMorselRows
+}
+
+// ForEachMorsel partitions n rows into DefaultMorselRows-sized morsels and
+// calls fn(m, lo, hi) for each, where m is the morsel index and [lo, hi) the
+// half-open row range. Morsels are claimed in ascending index order by up to
+// Workers goroutines (inline on the caller when the pool is serial or only
+// one morsel exists).
+//
+// Error contract: if any fn returns an error, ForEachMorsel returns the
+// error of the lowest-indexed failing morsel — deterministically, regardless
+// of worker count — and stops claiming further morsels. Because indices are
+// handed out in ascending order, every morsel below the failing index has
+// already been claimed and runs to completion, so the lowest failing index
+// is the same one a serial loop would hit first.
+func (p *Pool) ForEachMorsel(n int, fn func(m, lo, hi int) error) error {
+	return p.ForEachN(Morsels(n), func(m int) error {
+		lo := m * DefaultMorselRows
+		hi := lo + DefaultMorselRows
+		if hi > n {
+			hi = n
+		}
+		return fn(m, lo, hi)
+	})
+}
+
+// ForEachN runs fn(i) for i in [0, k) with the same claiming-order and
+// lowest-index error semantics as ForEachMorsel. It is the primitive for
+// non-row-shaped fan-out (per-partition builds, per-column gathers,
+// per-vector pipeline dispatch).
+func (p *Pool) ForEachN(k int, fn func(i int) error) error {
+	if k <= 0 {
+		return nil
+	}
+	w := p.Workers()
+	if w > k {
+		w = k
+	}
+	if w <= 1 {
+		for i := 0; i < k; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, k)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

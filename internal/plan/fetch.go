@@ -41,7 +41,7 @@ func (o *FetchOp) BaseColumns() []table.ColumnID {
 }
 
 // Execute gathers the base columns at the child's row ids.
-func (o *FetchOp) Execute(cat *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+func (o *FetchOp) Execute(ectx *engine.Ctx, cat *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("fetch: want 1 input, got %d", len(inputs))
 	}
@@ -70,7 +70,7 @@ func (o *FetchOp) Execute(cat *table.Catalog, inputs []*engine.Batch) (*engine.B
 		if err != nil {
 			return nil, err
 		}
-		cols[i] = c.Gather(pos)
+		cols[i] = engine.Gather(ectx, c, pos)
 	}
 	return engine.NewBatch(cols...)
 }
@@ -96,7 +96,7 @@ func (o *IntersectOp) Name() string { return fmt.Sprintf("intersect(%s)", o.Tabl
 func (o *IntersectOp) BaseColumns() []table.ColumnID { return nil }
 
 // Execute intersects the two rowid lists.
-func (o *IntersectOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+func (o *IntersectOp) Execute(_ *engine.Ctx, _ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
 	if len(inputs) != 2 {
 		return nil, fmt.Errorf("intersect: want 2 inputs, got %d", len(inputs))
 	}

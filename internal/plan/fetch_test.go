@@ -27,7 +27,7 @@ func TestPositionalPipelineMatchesDirectScan(t *testing.T) {
 		for _, c := range n.Children {
 			inputs = append(inputs, eval(c))
 		}
-		out, err := n.Op.Execute(cat, inputs)
+		out, err := n.Op.Execute(nil, cat, inputs)
 		if err != nil {
 			t.Fatalf("%s: %v", n.Op.Name(), err)
 		}
@@ -38,7 +38,7 @@ func TestPositionalPipelineMatchesDirectScan(t *testing.T) {
 	direct, err := Scan("fact", []string{"fk", "qty", "price"}, expr.NewAnd(
 		expr.NewCmp("qty", expr.GE, 20),
 		expr.NewCmp("fk", expr.LE, 2),
-	)).Op.Execute(cat, nil)
+	)).Op.Execute(nil, cat, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,27 +79,27 @@ func TestFetchErrors(t *testing.T) {
 	cat := testCatalog()
 	rowids := engine.MustNewBatch(column.NewInt64("fact.rowid", []int64{0, 1}))
 	op := &FetchOp{Table: "fact", Cols: []string{"qty"}}
-	if _, err := op.Execute(cat, nil); err == nil {
+	if _, err := op.Execute(nil, cat, nil); err == nil {
 		t.Fatal("expected arity error")
 	}
-	if _, err := (&FetchOp{Table: "missing", Cols: []string{"x"}}).Execute(cat,
+	if _, err := (&FetchOp{Table: "missing", Cols: []string{"x"}}).Execute(nil, cat,
 		[]*engine.Batch{rowids}); err == nil {
 		t.Fatal("expected unknown-table error")
 	}
 	noRowid := engine.MustNewBatch(column.NewInt64("other", []int64{0}))
-	if _, err := op.Execute(cat, []*engine.Batch{noRowid}); err == nil {
+	if _, err := op.Execute(nil, cat, []*engine.Batch{noRowid}); err == nil {
 		t.Fatal("expected missing-rowid error")
 	}
 	wrongType := engine.MustNewBatch(column.NewFloat64("fact.rowid", []float64{0}))
-	if _, err := op.Execute(cat, []*engine.Batch{wrongType}); err == nil {
+	if _, err := op.Execute(nil, cat, []*engine.Batch{wrongType}); err == nil {
 		t.Fatal("expected rowid-type error")
 	}
 	outOfRange := engine.MustNewBatch(column.NewInt64("fact.rowid", []int64{99999}))
-	if _, err := op.Execute(cat, []*engine.Batch{outOfRange}); err == nil {
+	if _, err := op.Execute(nil, cat, []*engine.Batch{outOfRange}); err == nil {
 		t.Fatal("expected out-of-range error")
 	}
 	badCol := &FetchOp{Table: "fact", Cols: []string{"zz"}}
-	if _, err := badCol.Execute(cat, []*engine.Batch{rowids}); err == nil {
+	if _, err := badCol.Execute(nil, cat, []*engine.Batch{rowids}); err == nil {
 		t.Fatal("expected unknown-column error")
 	}
 }
@@ -108,15 +108,15 @@ func TestIntersectErrors(t *testing.T) {
 	cat := testCatalog()
 	a := engine.MustNewBatch(column.NewInt64("fact.rowid", []int64{0, 1}))
 	op := &IntersectOp{Table: "fact"}
-	if _, err := op.Execute(cat, []*engine.Batch{a}); err == nil {
+	if _, err := op.Execute(nil, cat, []*engine.Batch{a}); err == nil {
 		t.Fatal("expected arity error")
 	}
 	noRowid := engine.MustNewBatch(column.NewInt64("other", []int64{0}))
-	if _, err := op.Execute(cat, []*engine.Batch{a, noRowid}); err == nil {
+	if _, err := op.Execute(nil, cat, []*engine.Batch{a, noRowid}); err == nil {
 		t.Fatal("expected missing-rowid error")
 	}
 	wrongType := engine.MustNewBatch(column.NewFloat64("fact.rowid", []float64{0}))
-	if _, err := op.Execute(cat, []*engine.Batch{a, wrongType}); err == nil {
+	if _, err := op.Execute(nil, cat, []*engine.Batch{a, wrongType}); err == nil {
 		t.Fatal("expected rowid-type error")
 	}
 }
@@ -125,12 +125,12 @@ func TestScanOverCompressedColumns(t *testing.T) {
 	cat := testCatalog().Compressed()
 	// Predicate + gather over compressed base columns must match the raw run.
 	raw, err := Scan("fact", []string{"fk", "qty"}, expr.NewCmp("qty", expr.GE, 30)).
-		Op.Execute(testCatalog(), nil)
+		Op.Execute(nil, testCatalog(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	comp, err := Scan("fact", []string{"fk", "qty"}, expr.NewCmp("qty", expr.GE, 30)).
-		Op.Execute(cat, nil)
+		Op.Execute(nil, cat, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

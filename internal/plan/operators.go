@@ -58,23 +58,34 @@ func (o *ScanOp) BaseColumns() []table.ColumnID {
 }
 
 // Execute runs the scan on real data.
-func (o *ScanOp) Execute(cat *table.Catalog, _ []*engine.Batch) (*engine.Batch, error) {
+func (o *ScanOp) Execute(ectx *engine.Ctx, cat *table.Catalog, _ []*engine.Batch) (*engine.Batch, error) {
 	t, err := cat.Table(o.Table)
 	if err != nil {
 		return nil, err
 	}
-	// Compressed base columns decompress on access (kernels always run on
-	// flat data).
-	resolve := func(name string) (column.Column, error) {
-		c, err := t.Column(name)
+	var pos column.PosList
+	if o.Pred != nil {
+		// Materialize the predicate's base columns (compressed base columns
+		// decompress on access; kernels always run on flat data) into a
+		// batch, so the filter kernel can evaluate per morsel.
+		seen := make(map[string]bool)
+		var predCols []column.Column
+		for _, name := range o.Pred.Columns() {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			c, err := t.Column(name)
+			if err != nil {
+				return nil, err
+			}
+			predCols = append(predCols, column.Materialized(c))
+		}
+		pb, err := engine.NewBatch(predCols...)
 		if err != nil {
 			return nil, err
 		}
-		return column.Materialized(c), nil
-	}
-	var pos column.PosList
-	if o.Pred != nil {
-		pos, err = o.Pred.Eval(resolve)
+		pos, err = engine.Filter(ectx, pb, o.Pred)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +105,7 @@ func (o *ScanOp) Execute(cat *table.Catalog, _ []*engine.Batch) (*engine.Batch, 
 		if err != nil {
 			return nil, err
 		}
-		cols[i] = c.Gather(pos)
+		cols[i] = engine.Gather(ectx, c, pos)
 	}
 	return engine.NewBatch(cols...)
 }
@@ -119,11 +130,11 @@ func (o *FilterOp) Name() string { return fmt.Sprintf("filter(%s)", o.Pred) }
 func (o *FilterOp) BaseColumns() []table.ColumnID { return nil }
 
 // Execute runs the filter.
-func (o *FilterOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+func (o *FilterOp) Execute(ectx *engine.Ctx, _ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("filter: want 1 input, got %d", len(inputs))
 	}
-	return engine.Select(inputs[0], o.Pred)
+	return engine.Select(ectx, inputs[0], o.Pred)
 }
 
 // ProjectOp keeps only the named columns of its input.
@@ -146,7 +157,7 @@ func (o *ProjectOp) Name() string { return fmt.Sprintf("project%v", o.Cols) }
 func (o *ProjectOp) BaseColumns() []table.ColumnID { return nil }
 
 // Execute runs the projection.
-func (o *ProjectOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+func (o *ProjectOp) Execute(_ *engine.Ctx, _ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("project: want 1 input, got %d", len(inputs))
 	}
@@ -198,7 +209,7 @@ func (o *ComputeOp) Name() string {
 func (o *ComputeOp) BaseColumns() []table.ColumnID { return nil }
 
 // Execute runs the computation.
-func (o *ComputeOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+func (o *ComputeOp) Execute(ectx *engine.Ctx, _ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("compute: want 1 input, got %d", len(inputs))
 	}
@@ -209,11 +220,11 @@ func (o *ComputeOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.B
 	)
 	switch {
 	case o.Right != "":
-		col, err = engine.Compute(in, o.As, o.Left, o.Op, o.Right)
+		col, err = engine.Compute(ectx, in, o.As, o.Left, o.Op, o.Right)
 	case o.ConstLeft:
-		col, err = engine.ComputeConstLeft(in, o.As, o.Const, o.Op, o.Left)
+		col, err = engine.ComputeConstLeft(ectx, in, o.As, o.Const, o.Op, o.Left)
 	default:
-		col, err = engine.ComputeConst(in, o.As, o.Left, o.Op, o.Const)
+		col, err = engine.ComputeConst(ectx, in, o.As, o.Left, o.Op, o.Const)
 	}
 	if err != nil {
 		return nil, err
@@ -246,15 +257,15 @@ func (o *JoinOp) Name() string { return fmt.Sprintf("join(%s=%s)", o.LeftKey, o.
 func (o *JoinOp) BaseColumns() []table.ColumnID { return nil }
 
 // Execute runs the join.
-func (o *JoinOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+func (o *JoinOp) Execute(ectx *engine.Ctx, _ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
 	if len(inputs) != 2 {
 		return nil, fmt.Errorf("join: want 2 inputs, got %d", len(inputs))
 	}
-	res, err := engine.HashJoin(inputs[0], o.LeftKey, inputs[1], o.RightKey)
+	res, err := engine.HashJoin(ectx, inputs[0], o.LeftKey, inputs[1], o.RightKey)
 	if err != nil {
 		return nil, err
 	}
-	return engine.MaterializeJoin(res, inputs[0], o.LeftCols, inputs[1], o.RightCols)
+	return engine.MaterializeJoin(ectx, res, inputs[0], o.LeftCols, inputs[1], o.RightCols)
 }
 
 // AggregateOp groups by Keys and computes Aggs.
@@ -278,11 +289,11 @@ func (o *AggregateOp) Name() string { return fmt.Sprintf("aggregate(by %v)", o.K
 func (o *AggregateOp) BaseColumns() []table.ColumnID { return nil }
 
 // Execute runs the aggregation.
-func (o *AggregateOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+func (o *AggregateOp) Execute(ectx *engine.Ctx, _ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("aggregate: want 1 input, got %d", len(inputs))
 	}
-	return engine.GroupBy(inputs[0], o.Keys, o.Aggs)
+	return engine.GroupBy(ectx, inputs[0], o.Keys, o.Aggs)
 }
 
 // SortOp orders its input; Limit > 0 keeps the first Limit rows.
@@ -316,7 +327,7 @@ func (o *SortOp) Name() string {
 func (o *SortOp) BaseColumns() []table.ColumnID { return nil }
 
 // Execute runs the sort.
-func (o *SortOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+func (o *SortOp) Execute(_ *engine.Ctx, _ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
 	if len(inputs) != 1 {
 		return nil, fmt.Errorf("sort: want 1 input, got %d", len(inputs))
 	}

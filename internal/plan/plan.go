@@ -24,8 +24,10 @@ type Operator interface {
 	// the catalog (non-empty for leaf scans only). These drive caching and
 	// data-driven placement.
 	BaseColumns() []table.ColumnID
-	// Execute runs the operator on real data.
-	Execute(cat *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error)
+	// Execute runs the operator on real data. The kernel context selects the
+	// worker pool intra-operator parallelism runs on; nil means serial, and
+	// results are bit-identical at every worker count.
+	Execute(ectx *engine.Ctx, cat *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error)
 }
 
 // Node is one operator in a plan tree.

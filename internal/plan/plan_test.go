@@ -137,7 +137,7 @@ func TestEndToEndExecution(t *testing.T) {
 		for _, c := range n.Children {
 			inputs = append(inputs, eval(c))
 		}
-		out, err := n.Op.Execute(cat, inputs)
+		out, err := n.Op.Execute(nil, cat, inputs)
 		if err != nil {
 			t.Fatalf("%s: %v", n.Op.Name(), err)
 		}
@@ -164,7 +164,7 @@ func TestScanVariants(t *testing.T) {
 	cat := testCatalog()
 	// Rowid-only scan (selection micro-benchmark shape).
 	n := Scan("fact", nil, expr.NewCmp("qty", expr.GE, 30))
-	out, err := n.Op.Execute(cat, nil)
+	out, err := n.Op.Execute(nil, cat, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,18 +174,18 @@ func TestScanVariants(t *testing.T) {
 	}
 	// Unfiltered scan.
 	n = Scan("dim", []string{"name"}, nil)
-	out, err = n.Op.Execute(cat, nil)
+	out, err = n.Op.Execute(nil, cat, nil)
 	if err != nil || out.NumRows() != 3 {
 		t.Fatalf("unfiltered scan: %v, rows=%d", err, out.NumRows())
 	}
 	// Error paths.
-	if _, err := Scan("missing", nil, nil).Op.Execute(cat, nil); err == nil {
+	if _, err := Scan("missing", nil, nil).Op.Execute(nil, cat, nil); err == nil {
 		t.Fatal("expected unknown-table error")
 	}
-	if _, err := Scan("fact", []string{"zz"}, nil).Op.Execute(cat, nil); err == nil {
+	if _, err := Scan("fact", []string{"zz"}, nil).Op.Execute(nil, cat, nil); err == nil {
 		t.Fatal("expected unknown-column error")
 	}
-	if _, err := Scan("fact", nil, expr.NewCmp("zz", expr.EQ, 1)).Op.Execute(cat, nil); err == nil {
+	if _, err := Scan("fact", nil, expr.NewCmp("zz", expr.EQ, 1)).Op.Execute(nil, cat, nil); err == nil {
 		t.Fatal("expected predicate error")
 	}
 }
@@ -237,22 +237,22 @@ func TestOperatorArityErrors(t *testing.T) {
 	b := engine.MustNewBatch(column.NewInt64("x", []int64{1}))
 	two := []*engine.Batch{b, b}
 	none := []*engine.Batch{}
-	if _, err := (&FilterOp{Pred: expr.NewCmp("x", expr.EQ, 1)}).Execute(cat, two); err == nil {
+	if _, err := (&FilterOp{Pred: expr.NewCmp("x", expr.EQ, 1)}).Execute(nil, cat, two); err == nil {
 		t.Fatal("filter arity")
 	}
-	if _, err := (&ProjectOp{Cols: []string{"x"}}).Execute(cat, two); err == nil {
+	if _, err := (&ProjectOp{Cols: []string{"x"}}).Execute(nil, cat, two); err == nil {
 		t.Fatal("project arity")
 	}
-	if _, err := (&ComputeOp{As: "y", Left: "x", Op: engine.Add, Const: 1}).Execute(cat, two); err == nil {
+	if _, err := (&ComputeOp{As: "y", Left: "x", Op: engine.Add, Const: 1}).Execute(nil, cat, two); err == nil {
 		t.Fatal("compute arity")
 	}
-	if _, err := (&JoinOp{LeftKey: "x", RightKey: "x"}).Execute(cat, none); err == nil {
+	if _, err := (&JoinOp{LeftKey: "x", RightKey: "x"}).Execute(nil, cat, none); err == nil {
 		t.Fatal("join arity")
 	}
-	if _, err := (&AggregateOp{}).Execute(cat, two); err == nil {
+	if _, err := (&AggregateOp{}).Execute(nil, cat, two); err == nil {
 		t.Fatal("aggregate arity")
 	}
-	if _, err := (&SortOp{Keys: []engine.SortKey{{Col: "x"}}}).Execute(cat, two); err == nil {
+	if _, err := (&SortOp{Keys: []engine.SortKey{{Col: "x"}}}).Execute(nil, cat, two); err == nil {
 		t.Fatal("sort arity")
 	}
 }
@@ -261,19 +261,19 @@ func TestComputeVariantsExecute(t *testing.T) {
 	cat := testCatalog()
 	in := engine.MustNewBatch(column.NewFloat64("d", []float64{0.1, 0.2}))
 	one := []*engine.Batch{in}
-	colcol, err := (&ComputeOp{As: "r", Left: "d", Op: engine.Add, Right: "d"}).Execute(cat, one)
+	colcol, err := (&ComputeOp{As: "r", Left: "d", Op: engine.Add, Right: "d"}).Execute(nil, cat, one)
 	if err != nil || colcol.MustColumn("r").(*column.Float64Column).Values[0] != 0.2 {
 		t.Fatalf("col×col compute: %v", err)
 	}
-	cl, err := (&ComputeOp{As: "r", Left: "d", Op: engine.Sub, Const: 1, ConstLeft: true}).Execute(cat, one)
+	cl, err := (&ComputeOp{As: "r", Left: "d", Op: engine.Sub, Const: 1, ConstLeft: true}).Execute(nil, cat, one)
 	if err != nil || cl.MustColumn("r").(*column.Float64Column).Values[0] != 0.9 {
 		t.Fatalf("const-left compute: %v", err)
 	}
-	cc, err := (&ComputeOp{As: "r", Left: "d", Op: engine.Mul, Const: 10}).Execute(cat, one)
+	cc, err := (&ComputeOp{As: "r", Left: "d", Op: engine.Mul, Const: 10}).Execute(nil, cat, one)
 	if err != nil || cc.MustColumn("r").(*column.Float64Column).Values[0] != 1 {
 		t.Fatalf("const compute: %v", err)
 	}
-	if _, err := (&ComputeOp{As: "r", Left: "zz", Op: engine.Mul, Const: 1}).Execute(cat, one); err == nil {
+	if _, err := (&ComputeOp{As: "r", Left: "zz", Op: engine.Mul, Const: 1}).Execute(nil, cat, one); err == nil {
 		t.Fatal("expected compute error")
 	}
 }

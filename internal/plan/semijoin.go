@@ -33,13 +33,13 @@ func (o *SemiJoinOp) Name() string {
 func (o *SemiJoinOp) BaseColumns() []table.ColumnID { return nil }
 
 // Execute runs the semi join.
-func (o *SemiJoinOp) Execute(_ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
+func (o *SemiJoinOp) Execute(ectx *engine.Ctx, _ *table.Catalog, inputs []*engine.Batch) (*engine.Batch, error) {
 	if len(inputs) != 2 {
 		return nil, fmt.Errorf("semijoin: want 2 inputs, got %d", len(inputs))
 	}
-	pos, err := engine.SemiJoin(inputs[0], o.BuildKey, inputs[1], o.ProbeKey)
+	pos, err := engine.SemiJoin(ectx, inputs[0], o.BuildKey, inputs[1], o.ProbeKey)
 	if err != nil {
 		return nil, err
 	}
-	return inputs[1].Gather(pos), nil
+	return inputs[1].GatherCtx(ectx, pos), nil
 }

@@ -17,7 +17,7 @@ func TestSemiJoinOp(t *testing.T) {
 		column.NewInt64("v", []int64{10, 20, 30, 40}),
 	)
 	n := SemiJoin(nil, nil, "k", "k") // node structure unused in direct Execute
-	out, err := n.Op.Execute(cat, []*engine.Batch{build, probe})
+	out, err := n.Op.Execute(nil, cat, []*engine.Batch{build, probe})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,10 +31,10 @@ func TestSemiJoinOp(t *testing.T) {
 	if !strings.Contains(n.Op.Name(), "semijoin") {
 		t.Fatalf("Name = %q", n.Op.Name())
 	}
-	if _, err := n.Op.Execute(cat, []*engine.Batch{build}); err == nil {
+	if _, err := n.Op.Execute(nil, cat, []*engine.Batch{build}); err == nil {
 		t.Fatal("expected arity error")
 	}
-	if _, err := (&SemiJoinOp{BuildKey: "zz", ProbeKey: "k"}).Execute(cat, []*engine.Batch{build, probe}); err == nil {
+	if _, err := (&SemiJoinOp{BuildKey: "zz", ProbeKey: "k"}).Execute(nil, cat, []*engine.Batch{build, probe}); err == nil {
 		t.Fatal("expected key error")
 	}
 }

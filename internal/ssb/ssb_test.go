@@ -181,7 +181,7 @@ func TestAllQueriesExecute(t *testing.T) {
 			for _, c := range n.Children {
 				inputs = append(inputs, eval(c))
 			}
-			out, err := n.Op.Execute(cat, inputs)
+			out, err := n.Op.Execute(nil, cat, inputs)
 			if err != nil {
 				t.Fatalf("%s: %s: %v", q.Name, n.Op.Name(), err)
 			}
@@ -226,7 +226,7 @@ func TestQ11MatchesReference(t *testing.T) {
 		for _, c := range n.Children {
 			inputs = append(inputs, eval(c))
 		}
-		out, err := n.Op.Execute(cat, inputs)
+		out, err := n.Op.Execute(nil, cat, inputs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +256,7 @@ func TestMicroBenchmarks(t *testing.T) {
 			t.Fatalf("column %s filtered twice", cols[0])
 		}
 		seen[cols[0]] = true
-		if _, err := q.Plan.Root.Op.Execute(cat, nil); err != nil {
+		if _, err := q.Plan.Root.Op.Execute(nil, cat, nil); err != nil {
 			t.Fatalf("%s: %v", q.Name, err)
 		}
 	}
@@ -270,7 +270,7 @@ func TestMicroBenchmarks(t *testing.T) {
 		for _, c := range n.Children {
 			inputs = append(inputs, eval(c))
 		}
-		out, err := n.Op.Execute(cat, inputs)
+		out, err := n.Op.Execute(nil, cat, inputs)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -21,7 +21,7 @@ func evalPlan(t *testing.T, cat *table.Catalog, p *plan.Plan) *engine.Batch {
 		for _, c := range n.Children {
 			inputs = append(inputs, eval(c))
 		}
-		out, err := n.Op.Execute(cat, inputs)
+		out, err := n.Op.Execute(nil, cat, inputs)
 		if err != nil {
 			t.Fatalf("%s: %v", n.Op.Name(), err)
 		}

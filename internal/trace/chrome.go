@@ -43,6 +43,10 @@ type spanArgs struct {
 	Abort         string  `json:"abort,omitempty"`
 	Attempt       int     `json:"attempt"`
 	HeapHighWater int64   `json:"heap_high_water"`
+	// Parallelism fields are omitted when zero so traces from serial runs
+	// (and their goldens) are byte-identical to the pre-parallel format.
+	KernelWorkers int   `json:"kernel_workers,omitempty"`
+	Morsels       int64 `json:"morsels,omitempty"`
 }
 
 // eventArgs carries the event fields through the args object.
@@ -100,6 +104,8 @@ func WriteChrome(w io.Writer, spans []Span, events []Event) error {
 			Abort:         s.Abort,
 			Attempt:       s.Attempt,
 			HeapHighWater: s.HeapHighWater,
+			KernelWorkers: s.KernelWorkers,
+			Morsels:       s.MorselCount,
 		})
 		if err != nil {
 			return err
@@ -168,6 +174,8 @@ func ReadChrome(r io.Reader) ([]Span, []Event, error) {
 				Abort:         args.Abort,
 				Attempt:       args.Attempt,
 				HeapHighWater: args.HeapHighWater,
+				KernelWorkers: args.KernelWorkers,
+				MorselCount:   args.Morsels,
 			})
 		case "i", "I":
 			var args eventArgs

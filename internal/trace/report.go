@@ -92,9 +92,15 @@ func Waterfall(w io.Writer, spans []Span, events []Event) error {
 			if s.Abort != "" {
 				mark = s.Proc + "!" + s.Abort
 			}
-			ew.printf("  %-7s |%s| %-9s +%-9s %-9s wait=%-9s xfer=%-9s %s\n",
+			// Parallelism is shown only when a kernel pool was active, so
+			// serial traces render byte-identically to older reports.
+			par := ""
+			if s.KernelWorkers > 0 {
+				par = fmt.Sprintf(" workers=%d morsels=%d", s.KernelWorkers, s.MorselCount)
+			}
+			ew.printf("  %-7s |%s| %-9s +%-9s %-9s wait=%-9s xfer=%-9s %s%s\n",
 				trimQuery(s.Name, s.Query), bar, mark, fmtDur(s.Start-q.Start),
-				fmtDur(s.Duration()), fmtDur(s.QueueWait), fmtDur(s.Transfer), s.Op)
+				fmtDur(s.Duration()), fmtDur(s.QueueWait), fmtDur(s.Transfer), s.Op, par)
 		}
 	}
 
@@ -230,7 +236,12 @@ type QuerySummary struct {
 	GPUOps     int    `json:"gpu_ops"`
 	CPUOps     int    `json:"cpu_ops"`
 	AbortedOps int    `json:"aborted_ops"`
-	Failed     string `json:"failed,omitempty"`
+	// KernelWorkers is the largest kernel pool observed among the query's
+	// operators and Morsels the total morsel count; both are omitted for
+	// serial traces so existing goldens and consumers are unaffected.
+	KernelWorkers int    `json:"kernel_workers,omitempty"`
+	Morsels       int64  `json:"morsels,omitempty"`
+	Failed        string `json:"failed,omitempty"`
 }
 
 // SummaryJSON writes the per-query aggregates as JSON Lines: one object per
@@ -261,6 +272,10 @@ func SummaryJSON(w io.Writer, spans []Span) error {
 			default:
 				row.CPUOps++
 			}
+			if s.KernelWorkers > row.KernelWorkers {
+				row.KernelWorkers = s.KernelWorkers
+			}
+			row.Morsels += s.MorselCount
 		}
 		if err := enc.Encode(row); err != nil {
 			return err

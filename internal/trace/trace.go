@@ -45,6 +45,13 @@ type Span struct {
 	// HeapHighWater is the attempt's peak device-heap reservation in bytes
 	// (0 for CPU runs and query spans).
 	HeapHighWater int64
+	// KernelWorkers is the intra-operator worker bound the attempt's kernels
+	// ran under (0 when the engine executed kernels serially, and for query
+	// spans).
+	KernelWorkers int
+	// MorselCount is the number of morsels the attempt's kernels fanned out
+	// (0 in serial mode: the serial paths dispatch no morsels).
+	MorselCount int64
 }
 
 // Duration returns the span length.

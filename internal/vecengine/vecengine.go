@@ -22,6 +22,7 @@ import (
 	"robustdb/internal/column"
 	"robustdb/internal/cost"
 	"robustdb/internal/engine"
+	"robustdb/internal/par"
 	"robustdb/internal/plan"
 	"robustdb/internal/table"
 )
@@ -48,6 +49,11 @@ type Stats struct {
 type Engine struct {
 	cat        *table.Catalog
 	vectorSize int
+	// pool, when non-nil, dispatches pipeline vectors (and the breakers'
+	// bulk kernels) across its workers. Results and stats are bit-identical
+	// to the serial engine: vectors fill indexed slots and stat deltas are
+	// summed in vector order.
+	pool *par.Pool
 }
 
 // New creates a vectorized engine over the catalog. vectorSize ≤ 0 selects
@@ -59,6 +65,9 @@ func New(cat *table.Catalog, vectorSize int) *Engine {
 	return &Engine{cat: cat, vectorSize: vectorSize}
 }
 
+// SetPool selects the worker pool vectors are dispatched on (nil = serial).
+func (e *Engine) SetPool(p *par.Pool) { e.pool = p }
+
 // VectorSize returns the configured rows-per-vector.
 func (e *Engine) VectorSize() int { return e.vectorSize }
 
@@ -66,7 +75,11 @@ func (e *Engine) VectorSize() int { return e.vectorSize }
 // statistics.
 func (e *Engine) Execute(p *plan.Plan) (*engine.Batch, Stats, error) {
 	var stats Stats
-	out, err := e.execNode(p.Root, &stats)
+	var ectx *engine.Ctx
+	if e.pool != nil {
+		ectx = engine.NewCtx(e.pool)
+	}
+	out, err := e.execNode(ectx, p.Root, &stats)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -88,19 +101,19 @@ func pipelineable(op plan.Operator) bool {
 
 // execNode materializes the output of node n: breakers run as bulk kernels
 // over materialized children; unary streaming chains run vector-at-a-time.
-func (e *Engine) execNode(n *plan.Node, stats *Stats) (*engine.Batch, error) {
+func (e *Engine) execNode(ectx *engine.Ctx, n *plan.Node, stats *Stats) (*engine.Batch, error) {
 	if pipelineable(n.Op) {
-		return e.execPipeline(n, stats)
+		return e.execPipeline(ectx, n, stats)
 	}
 	inputs := make([]*engine.Batch, len(n.Children))
 	for i, c := range n.Children {
-		in, err := e.execNode(c, stats)
+		in, err := e.execNode(ectx, c, stats)
 		if err != nil {
 			return nil, err
 		}
 		inputs[i] = in
 	}
-	out, err := n.Op.Execute(e.cat, inputs)
+	out, err := n.Op.Execute(ectx, e.cat, inputs)
 	if err != nil {
 		return nil, fmt.Errorf("vecengine: %s: %w", n.Op.Name(), err)
 	}
@@ -111,8 +124,10 @@ func (e *Engine) execNode(n *plan.Node, stats *Stats) (*engine.Batch, error) {
 // execPipeline walks down the chain of streaming unary operators below n,
 // materializes the chain's source, and streams it through the chain in
 // vectors, materializing only the final output (n is consumed by a breaker
-// or is the root).
-func (e *Engine) execPipeline(n *plan.Node, stats *Stats) (*engine.Batch, error) {
+// or is the root). With a pool set, vectors are processed concurrently into
+// indexed slots and stitched back in vector order, so the output batch and
+// the statistics match the serial execution exactly.
+func (e *Engine) execPipeline(ectx *engine.Ctx, n *plan.Node, stats *Stats) (*engine.Batch, error) {
 	// Collect the unary streaming chain bottom-up: source first.
 	var chain []*plan.Node
 	cur := n
@@ -132,7 +147,7 @@ func (e *Engine) execPipeline(n *plan.Node, stats *Stats) (*engine.Batch, error)
 		// Leaf scan: materialize per-vector below.
 		input = nil
 	case len(source.Children) == 1:
-		breakerOut, err := e.execNode(source.Children[0], stats)
+		breakerOut, err := e.execNode(ectx, source.Children[0], stats)
 		if err != nil {
 			return nil, err
 		}
@@ -142,36 +157,15 @@ func (e *Engine) execPipeline(n *plan.Node, stats *Stats) (*engine.Batch, error)
 	}
 
 	stats.Pipelines++
-	var pieces []*engine.Batch
-	process := func(vec *engine.Batch) error {
-		curBatch := vec
-		for _, stage := range chain {
-			var err error
-			var out *engine.Batch
-			if len(stage.Children) == 0 {
-				// Source scan already produced cur; skip.
-				out = curBatch
-			} else {
-				out, err = stage.Op.Execute(e.cat, []*engine.Batch{curBatch})
-				if err != nil {
-					return fmt.Errorf("vecengine: %s: %w", stage.Op.Name(), err)
-				}
-				if stage != chain[len(chain)-1] {
-					stats.SavedBytes += out.Bytes()
-				}
-			}
-			curBatch = out
-		}
-		stats.Vectors++
-		if curBatch.NumRows() > 0 || len(pieces) == 0 {
-			pieces = append(pieces, curBatch)
-		}
-		return nil
-	}
+
+	// Lay out the vector chunks up front (an empty source still emits one
+	// empty vector, so downstream operators see the schema).
+	type chunk struct{ lo, hi int }
+	var chunks []chunk
+	var makeVec func(c chunk) (*engine.Batch, error)
+	var scanSaves bool // charge SavedBytes for the scan's own vectors
 
 	if input == nil {
-		// Stream the scan: evaluate its predicate once, then emit the
-		// qualifying positions in vector-sized chunks.
 		scan, ok := source.Op.(*plan.ScanOp)
 		if !ok {
 			return nil, fmt.Errorf("vecengine: leaf %s is not a scan", source.Op.Name())
@@ -180,16 +174,28 @@ func (e *Engine) execPipeline(n *plan.Node, stats *Stats) (*engine.Batch, error)
 		if err != nil {
 			return nil, err
 		}
-		resolve := func(name string) (column.Column, error) {
-			c, err := t.Column(name)
+		// Evaluate the scan predicate once over the full table (morsel-wise
+		// on the pool via the filter kernel), then chunk the positions.
+		var pos column.PosList
+		if scan.Pred != nil {
+			seen := make(map[string]bool)
+			var predCols []column.Column
+			for _, name := range scan.Pred.Columns() {
+				if seen[name] {
+					continue
+				}
+				seen[name] = true
+				c, err := t.Column(name)
+				if err != nil {
+					return nil, err
+				}
+				predCols = append(predCols, column.Materialized(c))
+			}
+			pb, err := engine.NewBatch(predCols...)
 			if err != nil {
 				return nil, err
 			}
-			return column.Materialized(c), nil
-		}
-		var pos column.PosList
-		if scan.Pred != nil {
-			pos, err = scan.Pred.Eval(resolve)
+			pos, err = engine.Filter(ectx, pb, scan.Pred)
 			if err != nil {
 				return nil, err
 			}
@@ -201,19 +207,14 @@ func (e *Engine) execPipeline(n *plan.Node, stats *Stats) (*engine.Batch, error)
 			if hi > len(pos) {
 				hi = len(pos)
 			}
-			vec, err := e.materializeScan(scan, t, pos[lo:hi])
-			if err != nil {
-				return nil, err
-			}
-			if scan != chain[len(chain)-1].Op {
-				stats.SavedBytes += vec.Bytes()
-			}
-			if err := process(vec); err != nil {
-				return nil, err
-			}
+			chunks = append(chunks, chunk{lo, hi})
 			if len(pos) == 0 {
 				break
 			}
+		}
+		scanSaves = len(chain) > 1
+		makeVec = func(c chunk) (*engine.Batch, error) {
+			return e.materializeScan(scan, t, pos[c.lo:c.hi])
 		}
 	} else {
 		for lo := 0; lo < input.NumRows() || lo == 0; lo += e.vectorSize {
@@ -221,13 +222,67 @@ func (e *Engine) execPipeline(n *plan.Node, stats *Stats) (*engine.Batch, error)
 			if hi > input.NumRows() {
 				hi = input.NumRows()
 			}
-			vec := sliceBatch(input, lo, hi)
-			if err := process(vec); err != nil {
-				return nil, err
-			}
+			chunks = append(chunks, chunk{lo, hi})
 			if input.NumRows() == 0 {
 				break
 			}
+		}
+		makeVec = func(c chunk) (*engine.Batch, error) {
+			return sliceBatch(input, c.lo, c.hi), nil
+		}
+	}
+
+	// Per-chunk results and stat deltas, filled independently and folded in
+	// chunk order below. Stage kernels run serially (nil ctx): one vector is
+	// below the morsel grain, and the pool's workers are already busy with
+	// whole vectors.
+	type delta struct {
+		piece   *engine.Batch
+		vectors int64
+		saved   int64
+	}
+	deltas := make([]delta, len(chunks))
+	err := e.pool.ForEachN(len(chunks), func(ci int) error {
+		vec, err := makeVec(chunks[ci])
+		if err != nil {
+			return err
+		}
+		d := &deltas[ci]
+		if scanSaves {
+			d.saved += vec.Bytes()
+		}
+		curBatch := vec
+		for _, stage := range chain {
+			if len(stage.Children) == 0 {
+				// Source scan already produced the vector; skip.
+				continue
+			}
+			out, err := stage.Op.Execute(nil, e.cat, []*engine.Batch{curBatch})
+			if err != nil {
+				return fmt.Errorf("vecengine: %s: %w", stage.Op.Name(), err)
+			}
+			if stage != chain[len(chain)-1] {
+				d.saved += out.Bytes()
+			}
+			curBatch = out
+		}
+		d.vectors++
+		d.piece = curBatch
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold deltas and stitch pieces in chunk order: the first vector is
+	// always kept (it carries the schema), later ones only when non-empty —
+	// the same rule the serial loop applied incrementally.
+	var pieces []*engine.Batch
+	for ci := range deltas {
+		stats.Vectors += deltas[ci].vectors
+		stats.SavedBytes += deltas[ci].saved
+		if deltas[ci].piece != nil && (ci == 0 || deltas[ci].piece.NumRows() > 0) {
+			pieces = append(pieces, deltas[ci].piece)
 		}
 	}
 	out, err := concatBatches(pieces)

@@ -1,7 +1,10 @@
 package vecengine
 
 import (
+	"runtime"
 	"testing"
+
+	"robustdb/internal/par"
 
 	"robustdb/internal/column"
 	"robustdb/internal/cost"
@@ -25,7 +28,7 @@ func evalBulk(t *testing.T, cat *table.Catalog, p *plan.Plan) *engine.Batch {
 		for _, c := range n.Children {
 			inputs = append(inputs, eval(c))
 		}
-		out, err := n.Op.Execute(cat, inputs)
+		out, err := n.Op.Execute(nil, cat, inputs)
 		if err != nil {
 			t.Fatalf("%s: %v", n.Op.Name(), err)
 		}
@@ -168,5 +171,31 @@ func TestEstimateTime(t *testing.T) {
 	}
 	if gpu >= cpu {
 		t.Fatalf("vectorized GPU (%v) should beat CPU (%v) with resident data", gpu, cpu)
+	}
+}
+
+// A pooled engine must produce bit-identical results AND statistics at every
+// worker count: vectors fill indexed slots and stat deltas fold in vector
+// order, so parallel dispatch is unobservable in the output.
+func TestPooledMatchesSerial(t *testing.T) {
+	cat := testCatalog()
+	for _, q := range ssb.Queries() {
+		serial := New(cat, 100)
+		wantBatch, wantStats, err := serial.Execute(q.Plan)
+		if err != nil {
+			t.Fatalf("%s serial: %v", q.Name, err)
+		}
+		for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+			e := New(cat, 100)
+			e.SetPool(par.New(workers))
+			got, stats, err := e.Execute(q.Plan)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", q.Name, workers, err)
+			}
+			assertSameResults(t, q.Name, wantBatch, got)
+			if stats != wantStats {
+				t.Fatalf("%s workers=%d: stats %+v, want %+v", q.Name, workers, stats, wantStats)
+			}
+		}
 	}
 }

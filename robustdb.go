@@ -279,7 +279,7 @@ func evalPlan(cat *table.Catalog, p *plan.Plan) (*engine.Batch, error) {
 			}
 			inputs = append(inputs, in)
 		}
-		return n.Op.Execute(cat, inputs)
+		return n.Op.Execute(nil, cat, inputs)
 	}
 	return eval(p.Root)
 }
