@@ -31,15 +31,41 @@
 //	-log-level LEVEL    structured log level: debug, info, warn, error
 //	                    (default info; logs go to stderr as slog text)
 //
-// Serve mode (live monitoring):
+// Serve mode (multi-tenant query front door):
 //
-//	-serve ADDR         run the workload continuously on one persistent
-//	                    engine and expose /metrics (Prometheus), /healthz,
-//	                    /debug/snapshot, /debug/spans, and /debug/pprof on
-//	                    ADDR until SIGINT/SIGTERM. Needs a single -strategy.
-//	-serve-window D     detector sampling window (default 500ms)
-//	-serve-cooldown D   idle gap between workload passes (default 2s); the
+//	-serve ADDR         serve POST /v1/query (tenant-tagged SQL through
+//	                    admission control) plus /metrics (Prometheus),
+//	                    /healthz, /debug/admission, /debug/snapshot,
+//	                    /debug/spans, and /debug/pprof on ADDR until
+//	                    SIGINT/SIGTERM, then drain within -drain-timeout
+//	                    and exit 0. Needs a single -strategy. A background
+//	                    tenant cycles the benchmark mix through the same
+//	                    front door so the detectors always have signal.
+//	-serve-window D     detector sampling + backpressure interval (default 500ms)
+//	-serve-cooldown D   idle gap between background passes (default 2s); the
 //	                    idle windows let the detectors observe recovery
+//	-admission-policy P admission policy: fifo, fair, or detector
+//	                    (default fair; detector couples admitted concurrency
+//	                    to the thrashing/contention detectors)
+//	-admit N            queries admitted into the engine at once (default:
+//	                    derived from the strategy's chopping pool bounds)
+//	-queue-depth N      bounded admission queue length (default 64)
+//	-queue-timeout D    max queue wait before a queued query is shed
+//	                    (default 5s)
+//	-tenant-inflight N  per-tenant in-flight cap (default: same as -admit)
+//	-max-conns N        accepted TCP connection limit (default 256)
+//	-drain-timeout D    bound on the SIGTERM drain (default 10s)
+//
+// Loadgen mode (open-loop client fleet):
+//
+//	-loadgen URL        offer open-loop load against the front door at URL
+//	                    (e.g. http://localhost:8080) and report admitted/
+//	                    shed counts and latency quantiles. Runs without
+//	                    building a dataset.
+//	-rate F             offered arrival rate in queries/second (default 50)
+//	-duration D         loadgen run length (default 10s)
+//	-tenant-mix SPEC    comma list of name:share[:priority] tenants
+//	                    (default one "default" tenant), e.g. gold:3:1,bronze:1
 //
 // Fault injection (chaos runs — all off by default):
 //
@@ -95,26 +121,47 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-query deadline (0 = none)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
-	serve := flag.String("serve", "", "serve mode: listen address for the live observability surface (e.g. :8080)")
-	serveWindow := flag.Duration("serve-window", 500*time.Millisecond, "detector sampling window in serve mode")
-	serveCooldown := flag.Duration("serve-cooldown", 2*time.Second, "idle gap between workload passes in serve mode")
+	serve := flag.String("serve", "", "serve mode: listen address for the query front door + observability surface (e.g. :8080)")
+	serveWindow := flag.Duration("serve-window", 500*time.Millisecond, "detector sampling + backpressure interval in serve mode")
+	serveCooldown := flag.Duration("serve-cooldown", 2*time.Second, "idle gap between background workload passes in serve mode")
+	admissionPolicy := flag.String("admission-policy", "fair", "admission policy in serve mode: fifo, fair, or detector")
+	admit := flag.Int("admit", 0, "queries admitted into the engine at once in serve mode (0 = derive from the strategy's chopping pool bounds)")
+	queueDepth := flag.Int("queue-depth", 64, "bounded admission queue length in serve mode")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max admission queue wait before a queued query is shed")
+	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant in-flight cap in serve mode (0 = same as -admit)")
+	maxConns := flag.Int("max-conns", 256, "accepted TCP connection limit in serve mode")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the SIGTERM drain in serve mode")
+	loadgen := flag.String("loadgen", "", "loadgen mode: front-door URL to offer open-loop load against (e.g. http://localhost:8080)")
+	rate := flag.Float64("rate", 50, "offered arrival rate in queries/second in loadgen mode")
+	duration := flag.Duration("duration", 10*time.Second, "loadgen run length")
+	tenantMix := flag.String("tenant-mix", "", "loadgen tenant mix: comma list of name:share[:priority]")
 	flag.Parse()
 
 	opts := options{
-		bench:         *bench,
-		sf:            *sf,
-		rows:          *rows,
-		strategy:      *stratName,
-		users:         *users,
-		total:         *total,
-		query:         *queryName,
-		cacheFrac:     *cacheFrac,
-		heapFrac:      *heapFrac,
-		kernelWorkers: *kernelWorkers,
-		logLevel:      *logLevel,
-		serve:         *serve,
-		serveWindow:   *serveWindow,
-		serveCooldown: *serveCooldown,
+		bench:           *bench,
+		sf:              *sf,
+		rows:            *rows,
+		strategy:        *stratName,
+		users:           *users,
+		total:           *total,
+		query:           *queryName,
+		cacheFrac:       *cacheFrac,
+		heapFrac:        *heapFrac,
+		kernelWorkers:   *kernelWorkers,
+		logLevel:        *logLevel,
+		serve:           *serve,
+		serveWindow:     *serveWindow,
+		serveCooldown:   *serveCooldown,
+		admissionPolicy: *admissionPolicy,
+		admit:           *admit,
+		queueDepth:      *queueDepth,
+		tenantInflight:  *tenantInflight,
+		maxConns:        *maxConns,
+		drainTimeout:    *drainTimeout,
+		loadgen:         *loadgen,
+		rate:            *rate,
+		duration:        *duration,
+		tenantMix:       *tenantMix,
 	}
 	// Validate every flag before the dataset build: a typo'd flag must fail
 	// in milliseconds with exit 2, not after data generation.
@@ -124,6 +171,24 @@ func main() {
 	}
 	level, _ := parseLogLevel(*logLevel) // validated above
 	logger := obs.NewLogger(os.Stderr, level)
+
+	// Loadgen mode drives a remote front door; it needs no dataset.
+	if *loadgen != "" {
+		err := runLoadgen(loadgenConfig{
+			url:       *loadgen,
+			rate:      *rate,
+			duration:  *duration,
+			deadline:  *deadline,
+			tenantMix: *tenantMix,
+			seed:      *seed,
+			log:       logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustdb: loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var db *robustdb.DB
 	var queries []robustdb.WorkloadQuery
@@ -183,25 +248,24 @@ func main() {
 
 	if *serve != "" {
 		run := dev
-		run.QueryDeadline = *deadline
 		if chaos {
 			run.Faults = faultCfg()
 		}
+		admCfg, _ := admissionConfig(opts) // validated above
+		admCfg.QueueTimeout = *queueTimeout
 		err := runServe(serveConfig{
-			addr:     *serve,
-			window:   *serveWindow,
-			cooldown: *serveCooldown,
-			db:       db,
-			dev:      run,
-			strat:    strategies[0],
-			spec: robustdb.Workload{
-				Queries:          queries,
-				Users:            *users,
-				TotalQueries:     *total,
-				AdmissionControl: *admission,
-				ContinueOnError:  chaos || *deadline > 0,
-			},
-			log: logger,
+			addr:         *serve,
+			window:       *serveWindow,
+			cooldown:     *serveCooldown,
+			db:           db,
+			dev:          run,
+			strat:        strategies[0],
+			queries:      queries,
+			admission:    admCfg,
+			maxDeadline:  *deadline,
+			maxConns:     *maxConns,
+			drainTimeout: *drainTimeout,
+			log:          logger,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "robustdb: serve: %v\n", err)

@@ -13,112 +13,180 @@ import (
 	"time"
 
 	"robustdb"
+	"robustdb/internal/admission"
 	"robustdb/internal/obs"
+	"robustdb/internal/server"
 	"robustdb/internal/workload"
 )
 
-// serveConfig wires one continuous workload to the live observability
-// surface.
+// serveConfig wires the multi-tenant front door to one persistent engine and
+// the live observability surface.
 type serveConfig struct {
-	addr     string
-	window   time.Duration // detector sampling window (wall clock)
-	cooldown time.Duration // idle gap between workload passes (wall clock)
-	db       *robustdb.DB
-	dev      robustdb.Device
-	strat    robustdb.Strategy
-	spec     robustdb.Workload
-	log      *slog.Logger
+	addr         string
+	window       time.Duration // detector sampling + backpressure interval (wall clock)
+	cooldown     time.Duration // idle gap between background workload passes (wall clock)
+	db           *robustdb.DB
+	dev          robustdb.Device
+	strat        robustdb.Strategy
+	queries      []robustdb.WorkloadQuery
+	admission    admission.Config
+	maxDeadline  time.Duration // ceiling on client-requested deadlines (0 = server default)
+	maxConns     int
+	drainTimeout time.Duration
+	log          *slog.Logger
 }
 
-// runServe drives the configured workload in a loop on one persistent
-// engine while exposing /metrics, /healthz, /debug/snapshot, /debug/spans,
-// and pprof on addr. The engine itself stays deterministic — it runs on
-// virtual time as always; only the sampling ticker and the cooldown between
-// passes touch the wall clock, which is why those two lines carry lint
-// suppressions. SIGINT/SIGTERM shut the server down cleanly.
+// runServe runs the query front door on addr: POST /v1/query admits
+// tenant-tagged SQL into the engine under the configured admission policy,
+// /debug/admission exposes the controller state, and the observability mux
+// (/metrics, /healthz, /debug/snapshot, /debug/spans, pprof) shares the same
+// listener. A background tenant cycles the benchmark query mix through the
+// same front door so the detectors always have signal, and the detector →
+// admission backpressure loop runs on the sampling window. SIGINT/SIGTERM
+// triggers the orderly drain: stop admitting, finish or shed in-flight work
+// within -drain-timeout, flush a final stats line, exit 0.
 func runServe(cfg serveConfig) error {
+	//lint:ignore virtualtime process uptime on /metrics is wall-clock by definition, outside any deterministic run
+	start := time.Now()
 	tracer := robustdb.NewTracer(0)
 	cfg.dev.Tracer = tracer
-	runner, err := workload.NewRunner(cfg.db.Catalog(), cfg.dev, cfg.strat, cfg.spec)
+	engine, err := workload.NewEngine(cfg.db.Catalog(), cfg.dev, cfg.strat, cfg.queries)
 	if err != nil {
 		return err
 	}
-	reg := runner.Engine.Metrics.Registry()
+	front, err := server.New(server.Config{
+		Engine:           engine,
+		Placer:           cfg.strat.Placer,
+		Catalog:          cfg.db.Catalog(),
+		Admission:        cfg.admission,
+		MaxQueryDeadline: cfg.maxDeadline,
+		Log:              cfg.log,
+	})
+	if err != nil {
+		return err
+	}
+	reg := engine.Metrics.Registry()
 	detectors := []*obs.Detector{
 		obs.NewThrashingDetector(obs.ThrashingConfig{}),
 		obs.NewContentionDetector(obs.ContentionConfig{}),
 	}
 	sampler := obs.NewSampler(reg, detectors, cfg.log)
-	mux := obs.NewMux(obs.ServerConfig{
+	stopPressure := server.StartPressureLoop(front, sampler, cfg.window)
+	obsMux := obs.NewMux(obs.ServerConfig{
 		Registry:  reg,
 		Tracer:    tracer,
 		Detectors: detectors,
 		Log:       cfg.log,
+		Build:     obs.ReadBuildInfo(),
+		//lint:ignore virtualtime process uptime on /metrics is wall-clock by definition, outside any deterministic run
+		Uptime: func() time.Duration { return time.Since(start) },
 	})
+	root := http.NewServeMux()
+	root.Handle("/v1/query", front.Handler())
+	root.Handle("/debug/admission", front.Handler())
+	root.Handle("/", obsMux)
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
+		stopPressure()
 		return err
 	}
-	srv := &http.Server{Handler: mux}
+	if cfg.maxConns > 0 {
+		ln = server.LimitListener(ln, cfg.maxConns)
+	}
+	srv := &http.Server{Handler: root}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- srv.Serve(ln) }()
 	cfg.log.LogAttrs(context.Background(), slog.LevelInfo, "serving",
 		slog.String("component", "serve"),
 		slog.String("addr", ln.Addr().String()),
 		slog.String("strategy", cfg.strat.Label),
-		slog.Duration("window", cfg.window),
-		slog.Duration("cooldown", cfg.cooldown))
+		slog.String("policy", string(cfg.admission.Policy)),
+		slog.Int("admit", cfg.admission.MaxConcurrent),
+		slog.Int("max_conns", cfg.maxConns),
+		slog.Duration("window", cfg.window))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	//lint:ignore virtualtime detector sampling windows are wall-clock by design, outside any deterministic run
-	ticker := time.NewTicker(cfg.window)
-	defer ticker.Stop()
-
-	// The workload loop: one virtual-time pass, then a wall-clock cooldown.
-	// The idle windows during the cooldown are what lets the detectors
-	// observe recovery (hysteresis exit) between passes.
-	workErr := make(chan error, 1)
+	// The background tenant: one pass over the query mix through the front
+	// door, then a wall-clock cooldown. It shares the admission controller
+	// with network clients, so under external overload it is shed like
+	// everyone else — which is the point.
+	bgCtx, bgCancel := context.WithCancel(ctx)
+	bgDone := make(chan struct{})
 	go func() {
-		for ctx.Err() == nil {
-			if _, err := runner.RunOnce(); err != nil {
-				workErr <- err
-				return
-			}
-			select {
-			case <-ctx.Done():
-			//lint:ignore virtualtime the cooldown between passes is wall-clock idle time, outside any deterministic run
-			case <-time.After(cfg.cooldown):
-			}
-		}
-		workErr <- nil
+		defer close(bgDone)
+		backgroundLoad(bgCtx, front, cfg)
 	}()
 
 	var runErr error
-loop:
-	for {
-		select {
-		case <-ctx.Done():
-			break loop
-		case runErr = <-workErr:
-			break loop
-		case err := <-httpErr:
-			return fmt.Errorf("robustdb: http server: %w", err)
-		case <-ticker.C:
-			sampler.Tick()
-		}
+	select {
+	case <-ctx.Done():
+	case err := <-httpErr:
+		runErr = fmt.Errorf("robustdb: http server: %w", err)
 	}
 	stop()
-	cfg.log.LogAttrs(context.Background(), slog.LevelInfo, "shutting down",
-		slog.String("component", "serve"))
-	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		if runErr == nil {
-			runErr = err
+	bgCancel()
+	<-bgDone
+
+	cfg.log.LogAttrs(context.Background(), slog.LevelInfo, "draining",
+		slog.String("component", "serve"),
+		slog.Duration("timeout", cfg.drainTimeout))
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancelDrain()
+	drainErr := front.Drain(drainCtx)
+	stopPressure()
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) && drainErr == nil {
+		drainErr = err
+	}
+
+	// Flush the final state so operators see what the drain disposed of.
+	stats := front.Admission().Stats()
+	cfg.log.LogAttrs(context.Background(), slog.LevelInfo, "drained",
+		slog.String("component", "serve"),
+		slog.Int("in_flight", stats.InFlight),
+		slog.Int("queued", stats.Queued),
+		slog.Bool("clean", drainErr == nil))
+	if runErr != nil {
+		return runErr
+	}
+	return drainErr
+}
+
+// backgroundLoad cycles the query mix through the front door as the
+// low-priority "background" tenant until the context ends. Typed shed
+// errors are the admission controller doing its job under load; anything
+// untyped is logged loudly but does not kill the server — serving real
+// tenants takes precedence over the synthetic load.
+func backgroundLoad(ctx context.Context, front *server.Server, cfg serveConfig) {
+	for ctx.Err() == nil {
+		for _, q := range cfg.queries {
+			if ctx.Err() != nil {
+				return
+			}
+			_, err := front.Submit(ctx, "background", 0, q.Plan, 0)
+			var ae *admission.Error
+			switch {
+			case err == nil || errors.Is(err, context.Canceled):
+			case errors.As(err, &ae):
+				cfg.log.LogAttrs(ctx, slog.LevelDebug, "background query shed",
+					slog.String("component", "serve"),
+					slog.String("query", q.Name),
+					slog.String("code", string(ae.Code)))
+			default:
+				cfg.log.LogAttrs(ctx, slog.LevelWarn, "background query failed",
+					slog.String("component", "serve"),
+					slog.String("query", q.Name),
+					slog.String("error", err.Error()))
+			}
+		}
+		select {
+		case <-ctx.Done():
+		//lint:ignore virtualtime the cooldown between background passes is wall-clock idle time, outside any deterministic run
+		case <-time.After(cfg.cooldown):
 		}
 	}
-	return runErr
 }

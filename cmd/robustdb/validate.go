@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"robustdb"
+	"robustdb/internal/admission"
 )
 
 // options collects every parsed flag that needs validation. Validation runs
@@ -26,6 +27,20 @@ type options struct {
 	serve         string
 	serveWindow   time.Duration
 	serveCooldown time.Duration
+
+	// Serve-mode front door.
+	admissionPolicy string
+	admit           int
+	queueDepth      int
+	tenantInflight  int
+	maxConns        int
+	drainTimeout    time.Duration
+
+	// Loadgen mode.
+	loadgen   string
+	rate      float64
+	duration  time.Duration
+	tenantMix string
 }
 
 // validateOptions checks every flag value and returns an error naming the
@@ -81,8 +96,56 @@ func validateOptions(o options) error {
 		if o.serveCooldown < 0 {
 			return fmt.Errorf("-serve-cooldown: cooldown must not be negative, got %v", o.serveCooldown)
 		}
+		if _, err := admissionConfig(o); err != nil {
+			return err
+		}
+		if o.maxConns < 1 {
+			return fmt.Errorf("-max-conns: need at least one connection, got %d", o.maxConns)
+		}
+		if o.drainTimeout <= 0 {
+			return fmt.Errorf("-drain-timeout: drain bound must be positive, got %v", o.drainTimeout)
+		}
+	}
+	if o.loadgen != "" {
+		if o.serve != "" {
+			return fmt.Errorf("-loadgen: mutually exclusive with -serve")
+		}
+		if o.rate <= 0 {
+			return fmt.Errorf("-rate: arrival rate must be positive, got %g", o.rate)
+		}
+		if o.duration <= 0 {
+			return fmt.Errorf("-duration: run length must be positive, got %v", o.duration)
+		}
+		if _, err := parseTenantMix(o.tenantMix); err != nil {
+			return fmt.Errorf("-tenant-mix: %w", err)
+		}
 	}
 	return nil
+}
+
+// admissionConfig maps the serve-mode flags onto an admission controller
+// config (QueueTimeout is applied by the caller; zero fields keep the
+// controller defaults). The error names the offending flag.
+func admissionConfig(o options) (admission.Config, error) {
+	policy, err := admission.ParsePolicy(o.admissionPolicy)
+	if err != nil {
+		return admission.Config{}, fmt.Errorf("-admission-policy: %w", err)
+	}
+	if o.admit < 0 {
+		return admission.Config{}, fmt.Errorf("-admit: admitted concurrency must not be negative, got %d (0 derives it from the chopping pool bounds)", o.admit)
+	}
+	if o.queueDepth < 1 {
+		return admission.Config{}, fmt.Errorf("-queue-depth: need at least one queue slot, got %d", o.queueDepth)
+	}
+	if o.tenantInflight < 0 {
+		return admission.Config{}, fmt.Errorf("-tenant-inflight: cap must not be negative, got %d", o.tenantInflight)
+	}
+	return admission.Config{
+		Policy:        policy,
+		MaxConcurrent: o.admit,
+		MaxQueue:      o.queueDepth,
+		DefaultTenant: admission.TenantConfig{MaxInFlight: o.tenantInflight},
+	}, nil
 }
 
 // queryExists reports whether the benchmark defines the named query. Query

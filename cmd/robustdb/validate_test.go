@@ -19,6 +19,15 @@ func validOptions() options {
 		logLevel:      "info",
 		serveWindow:   500 * time.Millisecond,
 		serveCooldown: time.Second,
+
+		admissionPolicy: "fair",
+		admit:           8,
+		queueDepth:      64,
+		maxConns:        256,
+		drainTimeout:    10 * time.Second,
+
+		rate:     50,
+		duration: 10 * time.Second,
 	}
 }
 
@@ -54,6 +63,25 @@ func TestValidateOptions(t *testing.T) {
 		{"serve-all", func(o *options) { o.serve = ":0"; o.strategy = "all" }, "-serve"},
 		{"serve-zero-window", func(o *options) { o.serve = ":0"; o.serveWindow = 0 }, "-serve-window"},
 		{"serve-negative-cooldown", func(o *options) { o.serve = ":0"; o.serveCooldown = -time.Second }, "-serve-cooldown"},
+
+		{"serve-detector-policy", func(o *options) { o.serve = ":0"; o.admissionPolicy = "detector" }, ""},
+		{"serve-fifo-policy", func(o *options) { o.serve = ":0"; o.admissionPolicy = "fifo" }, ""},
+		{"serve-tenant-inflight", func(o *options) { o.serve = ":0"; o.tenantInflight = 2 }, ""},
+		{"serve-bad-policy", func(o *options) { o.serve = ":0"; o.admissionPolicy = "lifo" }, "-admission-policy"},
+		{"serve-derived-admit", func(o *options) { o.serve = ":0"; o.admit = 0 }, ""},
+		{"serve-negative-admit", func(o *options) { o.serve = ":0"; o.admit = -1 }, "-admit"},
+		{"serve-zero-queue-depth", func(o *options) { o.serve = ":0"; o.queueDepth = 0 }, "-queue-depth"},
+		{"serve-negative-tenant-inflight", func(o *options) { o.serve = ":0"; o.tenantInflight = -1 }, "-tenant-inflight"},
+		{"serve-zero-max-conns", func(o *options) { o.serve = ":0"; o.maxConns = 0 }, "-max-conns"},
+		{"serve-zero-drain-timeout", func(o *options) { o.serve = ":0"; o.drainTimeout = 0 }, "-drain-timeout"},
+
+		{"loadgen", func(o *options) { o.loadgen = "http://localhost:8080" }, ""},
+		{"loadgen-tenant-mix", func(o *options) { o.loadgen = "http://x:1"; o.tenantMix = "gold:3:1,bronze:1" }, ""},
+		{"loadgen-with-serve", func(o *options) { o.loadgen = "http://x:1"; o.serve = ":0" }, "-loadgen"},
+		{"loadgen-zero-rate", func(o *options) { o.loadgen = "http://x:1"; o.rate = 0 }, "-rate"},
+		{"loadgen-zero-duration", func(o *options) { o.loadgen = "http://x:1"; o.duration = 0 }, "-duration"},
+		{"loadgen-bad-mix", func(o *options) { o.loadgen = "http://x:1"; o.tenantMix = "gold" }, "-tenant-mix"},
+		{"loadgen-bad-mix-share", func(o *options) { o.loadgen = "http://x:1"; o.tenantMix = "gold:0" }, "-tenant-mix"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

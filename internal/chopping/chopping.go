@@ -33,6 +33,24 @@ const DefaultGPUWorkers = 2
 // matching the evaluation machine's four cores.
 const DefaultCPUWorkers = 4
 
+// AdmittedBound derives the front door's default admitted-concurrency
+// ceiling from the chopping pool bounds: the operator stream runs at most
+// gpuWorkers+cpuWorkers operators at once, so admitting one query per worker
+// slot plus two of headroom keeps the stream saturated while the extra
+// queries' leaf operators queue — more admitted concurrency only grows the
+// in-engine queue without adding throughput (§5.2). Unbounded pools (zero or
+// >= exec.UnboundedWorkers) fall back to the chopping defaults, so a front
+// door over an unbounded strategy still cannot admit thousands of queries.
+func AdmittedBound(gpuWorkers, cpuWorkers int) int {
+	if gpuWorkers <= 0 || gpuWorkers >= exec.UnboundedWorkers {
+		gpuWorkers = DefaultGPUWorkers
+	}
+	if cpuWorkers <= 0 || cpuWorkers >= exec.UnboundedWorkers {
+		cpuWorkers = DefaultCPUWorkers
+	}
+	return gpuWorkers + cpuWorkers + 2
+}
+
 // LoadBalanced places each ready operator on the processor with the lowest
 // estimated completion time: current queue estimate + input transfer +
 // learned operator estimate. The co-processor is only considered when the

@@ -194,3 +194,23 @@ func TestRunTimePlacersConsultBreaker(t *testing.T) {
 		t.Fatal("data-driven ignored the open breaker")
 	}
 }
+
+// AdmittedBound feeds the front door's default admitted concurrency; it must
+// track the pool bounds for chopping strategies and stay small for unbounded
+// ones so a misconfigured front door cannot flood the operator stream.
+func TestAdmittedBound(t *testing.T) {
+	cases := []struct {
+		gpu, cpu, want int
+	}{
+		{DefaultGPUWorkers, DefaultCPUWorkers, DefaultGPUWorkers + DefaultCPUWorkers + 2},
+		{4, 8, 14},
+		{0, 0, DefaultGPUWorkers + DefaultCPUWorkers + 2},     // unbounded strategy
+		{exec.UnboundedWorkers, 8, DefaultGPUWorkers + 8 + 2}, // half-bounded
+		{exec.UnboundedWorkers, exec.UnboundedWorkers, DefaultGPUWorkers + DefaultCPUWorkers + 2},
+	}
+	for _, c := range cases {
+		if got := AdmittedBound(c.gpu, c.cpu); got != c.want {
+			t.Errorf("AdmittedBound(%d, %d) = %d, want %d", c.gpu, c.cpu, got, c.want)
+		}
+	}
+}

@@ -20,6 +20,7 @@ var ErrDeadlineExceeded = errors.New("exec: query deadline exceeded")
 type query struct {
 	engine    *Engine
 	name      string
+	tenant    string
 	plan      *plan.Plan
 	placer    Placer
 	placement map[int]cost.ProcKind // non-nil for compile-time strategies
@@ -39,14 +40,33 @@ type QueryStats struct {
 	Latency time.Duration
 }
 
+// QueryOpts carries per-query execution options. The zero value inherits
+// every engine-level default.
+type QueryOpts struct {
+	// Deadline fails the query cleanly if it is still running after this
+	// much virtual time, overriding the engine-level Config.QueryDeadline.
+	// Zero inherits the engine default; the front door propagates wire
+	// deadlines through this field.
+	Deadline time.Duration
+	// Tenant labels the query's trace span with the submitting tenant
+	// (front-door queries); empty for benchmark-driven runs.
+	Tenant string
+}
+
 // RunQuery executes the plan under the given placement strategy on behalf of
 // the calling session process, blocking in virtual time until the root
 // finishes, and returns the exact query result. A configured QueryDeadline
 // fails the query cleanly if it is still running when the deadline expires.
 func (e *Engine) RunQuery(p *sim.Proc, pl *plan.Plan, placer Placer) (*Value, QueryStats, error) {
+	return e.RunQueryWith(p, pl, placer, QueryOpts{})
+}
+
+// RunQueryWith is RunQuery with per-query options; see QueryOpts.
+func (e *Engine) RunQueryWith(p *sim.Proc, pl *plan.Plan, placer Placer, opts QueryOpts) (*Value, QueryStats, error) {
 	q := &query{
 		engine:  e,
 		name:    fmt.Sprintf("q%04d", e.nextQueryID()),
+		tenant:  opts.Tenant,
 		plan:    pl,
 		placer:  placer,
 		parents: make(map[int]*plan.Node),
@@ -63,8 +83,11 @@ func (e *Engine) RunQuery(p *sim.Proc, pl *plan.Plan, placer Placer) (*Value, Qu
 		}
 	}
 	var watchdog *sim.Timer
-	if e.deadline > 0 {
-		deadline := e.deadline
+	deadline := e.deadline
+	if opts.Deadline > 0 {
+		deadline = opts.Deadline
+	}
+	if deadline > 0 {
 		watchdog = e.Sim.After(deadline, func() {
 			e.Metrics.DeadlineFailures.Inc()
 			q.fail(fmt.Errorf("%s: %w (%v)", q.name, ErrDeadlineExceeded, deadline))
@@ -110,13 +133,14 @@ func (q *query) traceQuery(end time.Duration, abort string) {
 		return
 	}
 	q.engine.Tracer.Span(trace.Span{
-		Query: q.name,
-		Name:  q.name,
-		Class: "query",
-		Node:  -1,
-		Start: q.started,
-		End:   end,
-		Abort: abort,
+		Query:  q.name,
+		Name:   q.name,
+		Class:  "query",
+		Node:   -1,
+		Start:  q.started,
+		End:    end,
+		Abort:  abort,
+		Tenant: q.tenant,
 	})
 }
 

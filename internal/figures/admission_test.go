@@ -1,0 +1,47 @@
+package figures
+
+import "testing"
+
+// TestAdmissionOverloadShape runs the front-door figure on a tiny database
+// and checks the structural contract: three figures, full x coverage, and a
+// nonzero shed rate at the highest offered concurrency (4× capacity) for
+// every policy — if nothing is shed there, admission control is inert and
+// the figure is lying.
+func TestAdmissionOverloadShape(t *testing.T) {
+	figs := AdmissionOverload(Options{RowsPerSF: 800, Reps: 2, Seed: 5})
+	if len(figs) != 3 {
+		t.Fatalf("want 3 figures, got %d", len(figs))
+	}
+	lat, shed, flt := figs[0], figs[1], figs[2]
+	if lat.ID != "admission-overload" || shed.ID != "admission-overload-shed" || flt.ID != "admission-overload-faults" {
+		t.Fatalf("unexpected figure ids: %s, %s, %s", lat.ID, shed.ID, flt.ID)
+	}
+	for _, f := range figs {
+		if len(f.X) != 4 {
+			t.Fatalf("%s: want 4 x positions, got %d", f.ID, len(f.X))
+		}
+		for _, s := range f.Series {
+			if len(s.Y) != len(f.X) {
+				t.Fatalf("%s/%s: ragged series: %d y for %d x", f.ID, s.Label, len(s.Y), len(f.X))
+			}
+		}
+	}
+	if len(lat.Series) != 6 || len(shed.Series) != 3 || len(flt.Series) != 3 {
+		t.Fatalf("series counts: lat %d, shed %d, faults %d", len(lat.Series), len(shed.Series), len(flt.Series))
+	}
+	last := len(shed.X) - 1
+	for _, s := range shed.Series {
+		if s.Y[last] <= 0 {
+			t.Errorf("policy %s shed nothing at 4x overload", s.Label)
+		}
+	}
+	// Admitted latency must be reported (nonzero) everywhere: admitted
+	// queries execute to completion even past saturation.
+	for _, s := range lat.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("%s: zero admitted latency at x=%s", s.Label, lat.X[i])
+			}
+		}
+	}
+}

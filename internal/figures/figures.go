@@ -229,6 +229,7 @@ func All() map[string]func(Options) []*Figure {
 		"fig23":              func(o Options) []*Figure { return []*Figure{Fig23(o)} },
 		"fig24":              func(o Options) []*Figure { return []*Figure{Fig24(o)} },
 		"fig25":              func(o Options) []*Figure { return []*Figure{Fig25(o)} },
+		"admission-overload": func(o Options) []*Figure { return AdmissionOverload(o) },
 		"ablate-compression": func(o Options) []*Figure { return []*Figure{AblateCompression(o)} },
 		"ablate-faultrate":   func(o Options) []*Figure { return []*Figure{AblateFaultRate(o)} },
 		"ablate-poolsize":    func(o Options) []*Figure { return []*Figure{AblatePoolSize(o)} },

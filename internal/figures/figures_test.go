@@ -47,11 +47,11 @@ func TestIDsAndAll(t *testing.T) {
 	if len(ids) != len(All()) {
 		t.Fatal("IDs and All disagree")
 	}
-	if ids[0] != "fig1" || ids[len(ids)-5] != "fig25" {
+	if ids[0] != "fig1" || ids[len(ids)-6] != "fig25" {
 		t.Fatalf("IDs order wrong: %v", ids)
 	}
-	if ids[len(ids)-1] != "ablate-poolsize" {
-		t.Fatalf("ablations should sort last: %v", ids)
+	if ids[len(ids)-1] != "admission-overload" {
+		t.Fatalf("non-figure ids should sort last by name: %v", ids)
 	}
 	for _, id := range ids {
 		if All()[id] == nil {

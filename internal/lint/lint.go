@@ -47,6 +47,7 @@ var Analyzers = []*Analyzer{
 	LockHold,
 	PlacementGuard,
 	KernelPar,
+	WireStatus,
 }
 
 // ByName returns the registered analyzer with the given name, or nil.

@@ -1,0 +1,49 @@
+// Package server holds golden-test violations of the wirestatus analyzer:
+// HTTP handlers in the serving layer that swallow a query error without
+// mapping it to a wire status, leaving the client with no response. The
+// package is named server because the analyzer (like the virtualtime
+// serving-layer exemption) scopes by package name.
+package server
+
+import (
+	"errors"
+	"net/http"
+)
+
+func submit() error { return errors.New("overloaded") }
+
+func submitValue() (int, error) { return 0, errors.New("overloaded") }
+
+// DropSilently returns from the error branch without touching the
+// ResponseWriter: the client connection is abandoned with no status.
+func DropSilently(w http.ResponseWriter, r *http.Request) {
+	if err := submit(); err != nil { // want `drops a query error without mapping it to a wire status`
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+var droppedQueries int
+
+// DropAfterCounting records the failure in a metric but still leaves the
+// wire silent — counting is not a substitute for a status.
+func DropAfterCounting(w http.ResponseWriter, r *http.Request) {
+	rows, err := submitValue()
+	if err != nil { // want `drops a query error without mapping it to a wire status`
+		droppedQueries++
+		return
+	}
+	_ = rows
+	w.WriteHeader(http.StatusOK)
+}
+
+type frontDoor struct{}
+
+// ServeQuery shows the violation on a method handler: the reversed nil
+// comparison is matched too.
+func (frontDoor) ServeQuery(w http.ResponseWriter, r *http.Request) {
+	if err := submit(); nil != err { // want `drops a query error without mapping it to a wire status`
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

@@ -1,0 +1,58 @@
+// Package server holds wirestatus-clean serving-layer code: every error
+// branch that ends a handler either maps the failure onto the wire or
+// propagates it to a caller that will.
+package server
+
+import (
+	"errors"
+	"net/http"
+)
+
+func submit() error { return errors.New("overloaded") }
+
+// MappedToStatus writes the error to the wire before returning — the
+// canonical handler shape.
+func MappedToStatus(w http.ResponseWriter, r *http.Request) {
+	if err := submit(); err != nil {
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// Propagated hands the error back to the caller, which owns the mapping.
+func Propagated(w http.ResponseWriter, r *http.Request) error {
+	if err := submit(); err != nil {
+		return err
+	}
+	w.WriteHeader(http.StatusOK)
+	return nil
+}
+
+// FallsThrough does not terminate in the error branch: the error stays live
+// and the handler maps it below.
+func FallsThrough(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	err := submit()
+	if err != nil {
+		status = http.StatusTooManyRequests
+	}
+	w.WriteHeader(status)
+}
+
+// NotAHandler has no ResponseWriter parameter, so the invariant does not
+// apply; its caller owns the wire.
+func NotAHandler() {
+	if err := submit(); err != nil {
+		return
+	}
+}
+
+// CrashesLoudly panics instead of answering — loud, not silent, so the
+// analyzer leaves it to the process supervisor.
+func CrashesLoudly(w http.ResponseWriter, r *http.Request) {
+	if err := submit(); err != nil {
+		panic(err)
+	}
+	w.WriteHeader(http.StatusOK)
+}

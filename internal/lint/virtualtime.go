@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // VirtualTime enforces the engine's determinism invariant: chaos runs replay
@@ -13,6 +14,12 @@ import (
 // package boundary; the one legitimate wall-clock consumer (benchfig's
 // operator-facing progress timing) carries //lint:ignore annotations.
 // _test.go files are never loaded, so tests are exempt by construction.
+//
+// The real-time serving layer — internal/server and internal/admission —
+// is exempt as a whole: it sits between wall-clock network clients and the
+// deterministic engine, and queue timeouts, Retry-After hints, and drain
+// deadlines are wall-clock quantities by design. The boundary is the Host
+// pump: everything submitted through it still runs in virtual time.
 var VirtualTime = &Analyzer{
 	Name: "virtualtime",
 	Doc:  "forbid wall-clock time and unseeded randomness in deterministic code",
@@ -35,7 +42,22 @@ var seededRandFuncs = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
+// virtualTimeExemptPkg reports whether the package is part of the wall-clock
+// serving layer (see the analyzer doc). Matching by path suffix or package
+// name covers both the real packages and their golden-test fixtures.
+func virtualTimeExemptPkg(p *Pass) bool {
+	for _, name := range []string{"server", "admission"} {
+		if strings.HasSuffix(p.Pkg.Path, "/"+name) || p.Pkg.Types.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
 func runVirtualTime(p *Pass) {
+	if virtualTimeExemptPkg(p) {
+		return
+	}
 	info := p.Pkg.Info
 	p.walkFiles(func(f *ast.File) {
 		ast.Inspect(f, func(n ast.Node) bool {

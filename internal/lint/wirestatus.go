@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireStatus enforces the front door's error contract: a serving-layer
+// handler — any function in a server package that takes an
+// http.ResponseWriter — must never swallow a query error. Every `err != nil`
+// branch that terminates the handler has to either write to the
+// ResponseWriter (mapping the failure to a wire status, typically via
+// writeError) or propagate the error to a caller that will. A branch that
+// just `return`s leaves the client hanging with no status, which is exactly
+// the silent drop the overload tests forbid: every shed, timed-out, or
+// failed query must surface as a typed wire response.
+var WireStatus = &Analyzer{
+	Name: "wirestatus",
+	Doc:  "forbid server handlers dropping a query error without mapping it to a wire status",
+	Run:  runWireStatus,
+}
+
+// wireStatusScoped reports whether the package is part of the serving layer
+// the invariant covers, by import path or package name (mirrors the
+// virtualtime serving-layer exemption, which is scoped the same way).
+func wireStatusScoped(p *Pass) bool {
+	return strings.HasSuffix(p.Pkg.Path, "/server") || p.Pkg.Types.Name() == "server"
+}
+
+func runWireStatus(p *Pass) {
+	if !wireStatusScoped(p) {
+		return
+	}
+	info := p.Pkg.Info
+	p.walkFiles(func(f *ast.File) {
+		funcBodies(f, func(name string, ftype *ast.FuncType, body *ast.BlockStmt) {
+			writers := responseWriterParams(info, ftype)
+			if len(writers) == 0 {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				ifStmt, ok := n.(*ast.IfStmt)
+				if !ok || !isErrNilCheck(info, ifStmt.Cond) {
+					return true
+				}
+				if !terminatesBare(ifStmt.Body) {
+					return true // branch falls through; the error is still live
+				}
+				if usesAny(info, ifStmt.Body, writers) || returnsError(info, ifStmt.Body) || panics(info, ifStmt.Body) {
+					return true
+				}
+				p.Reportf(ifStmt.Pos(), "handler %s drops a query error without mapping it to a wire status; write to the ResponseWriter or return the error", name)
+				return true
+			})
+		})
+	})
+}
+
+// responseWriterParams collects the function's parameters whose type is
+// net/http.ResponseWriter.
+func responseWriterParams(info *types.Info, ftype *ast.FuncType) []*types.Var {
+	var out []*types.Var
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			v, ok := info.Defs[name].(*types.Var)
+			if ok && isResponseWriter(v.Type()) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// isErrNilCheck matches the `err != nil` guard: a != comparison between an
+// error-typed expression and nil.
+func isErrNilCheck(info *types.Info, cond ast.Expr) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "!=" {
+		return false
+	}
+	x, y := bin.X, bin.Y
+	if isNilExpr(info, x) {
+		x, y = y, x
+	}
+	if !isNilExpr(info, y) {
+		return false
+	}
+	tv, ok := info.Types[x]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// terminatesBare reports whether the block's control flow ends the handler:
+// its last statement is a return (of any shape).
+func terminatesBare(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// usesAny reports whether the block references any of the given objects
+// (passing the ResponseWriter to writeError counts, as does a direct write).
+func usesAny(info *types.Info, body *ast.BlockStmt, objs []*types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use := info.Uses[id]
+		for _, obj := range objs {
+			if use == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returnsError reports whether some return statement in the block propagates
+// an error value to the caller.
+func returnsError(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			tv, ok := info.Types[res]
+			if ok && tv.Type != nil && !tv.IsNil() && isErrorType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// panics reports whether the block calls the builtin panic — crashing is a
+// (loud) alternative to a wire status, not a silent drop.
+func panics(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -3,9 +3,11 @@ package obs
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"robustdb/internal/trace"
 )
@@ -76,6 +78,61 @@ func WritePrometheus(w io.Writer, s trace.Snapshot) error {
 		}
 	}
 	return nil
+}
+
+// BuildInfo identifies the running binary on the exposition surface.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary ("go1.22.1").
+	GoVersion string
+	// Revision is the VCS revision baked into the build ("" outside VCS
+	// builds).
+	Revision string
+	// Modified is "true" when the build had uncommitted changes.
+	Modified string
+}
+
+// ReadBuildInfo extracts the BuildInfo of the running binary.
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value
+		}
+	}
+	return info
+}
+
+// WriteExposition renders the full /metrics payload: the process-level
+// series — robustdb_build_info (constant 1, identity in labels) and
+// robustdb_process_uptime_seconds — followed by the registry snapshot via
+// WritePrometheus. The process series come first in a fixed order, so equal
+// inputs still render byte-identical text.
+func WriteExposition(w io.Writer, s trace.Snapshot, info BuildInfo, uptime time.Duration) error {
+	if _, err := fmt.Fprintf(w,
+		"# HELP %sbuild_info Build identity of the running binary (constant 1).\n"+
+			"# TYPE %sbuild_info gauge\n"+
+			"%sbuild_info{go_version=%q,revision=%q,modified=%q} 1\n",
+		namePrefix, namePrefix, namePrefix,
+		info.GoVersion, info.Revision, info.Modified); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP %sprocess_uptime_seconds Wall-clock seconds since process start.\n"+
+			"# TYPE %sprocess_uptime_seconds gauge\n"+
+			"%sprocess_uptime_seconds %s\n",
+		namePrefix, namePrefix, namePrefix,
+		formatFloat(uptime.Seconds())); err != nil {
+		return err
+	}
+	return WritePrometheus(w, s)
 }
 
 // counterBody renders a plain integer-valued counter or gauge.

@@ -34,10 +34,13 @@ func goldenRegistry() *trace.Registry {
 	return reg
 }
 
-// TestWritePrometheusGolden pins the full exposition output byte for byte.
+// TestWritePrometheusGolden pins the full /metrics payload byte for byte:
+// the process-level build_info and uptime series followed by the registry
+// exposition.
 func TestWritePrometheusGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WritePrometheus(&buf, goldenRegistry().Snapshot()); err != nil {
+	info := BuildInfo{GoVersion: "go1.21.0", Revision: "deadbeef", Modified: "false"}
+	if err := WriteExposition(&buf, goldenRegistry().Snapshot(), info, 90*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "exposition.golden")
@@ -63,7 +66,7 @@ func TestWritePrometheusGolden(t *testing.T) {
 // histogram buckets cumulative and ending at +Inf with the count.
 func TestWritePrometheusWellFormed(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WritePrometheus(&buf, goldenRegistry().Snapshot()); err != nil {
+	if err := WriteExposition(&buf, goldenRegistry().Snapshot(), ReadBuildInfo(), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	seen := make(map[string]bool)

@@ -24,6 +24,13 @@ type ServerConfig struct {
 	SpanLimit int
 	// Log, when non-nil, receives one debug record per handled request.
 	Log *slog.Logger
+	// Build identifies the binary on /metrics (robustdb_build_info); the
+	// zero value renders empty labels. Fill with ReadBuildInfo().
+	Build BuildInfo
+	// Uptime supplies the process-uptime gauge on /metrics; nil reports 0.
+	// The serve command passes a wall-clock closure (the obs package itself
+	// stays clock-free for the virtualtime determinism rule).
+	Uptime func() time.Duration
 }
 
 // DefaultSpanLimit is the /debug/spans tail length when none is configured.
@@ -49,7 +56,11 @@ func NewMux(cfg ServerConfig) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", cfg.logged(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", contentTypeProm)
-		if err := WritePrometheus(w, cfg.Registry.Snapshot()); err != nil {
+		var uptime time.Duration
+		if cfg.Uptime != nil {
+			uptime = cfg.Uptime()
+		}
+		if err := WriteExposition(w, cfg.Registry.Snapshot(), cfg.Build, uptime); err != nil {
 			// The scraper hung up mid-response; the next scrape starts fresh.
 			return
 		}

@@ -1,0 +1,453 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"robustdb/internal/admission"
+	"robustdb/internal/chopping"
+	"robustdb/internal/column"
+	"robustdb/internal/engine"
+	"robustdb/internal/exec"
+	"robustdb/internal/plan"
+	"robustdb/internal/sql"
+	"robustdb/internal/table"
+	"robustdb/internal/trace"
+)
+
+// ErrDrainTimeout marks a drain that hit its bound with queries still in
+// flight; those queries were failed by their deadlines or the host close,
+// never silently dropped.
+var ErrDrainTimeout = errors.New("server: drain timeout")
+
+// Config assembles a front door.
+type Config struct {
+	// Engine executes the queries (build with workload.NewEngine so serving
+	// matches benchmarking). Required.
+	Engine *exec.Engine
+	// Placer is the placement heuristic every served query runs under.
+	// Required.
+	Placer exec.Placer
+	// Catalog compiles SQL against the served database. Required for the
+	// HTTP handler; the direct Submit path can run plan-only.
+	Catalog *table.Catalog
+	// Admission tunes the admission controller; zero value = defaults.
+	Admission admission.Config
+	// MaxQueryDeadline caps client-requested deadlines (default 10s of
+	// virtual time; the same figure bounds the queue wait).
+	MaxQueryDeadline time.Duration
+	// Log receives request-level diagnostics; nil disables logging.
+	Log *slog.Logger
+}
+
+// Server is the front door: admission control in wall-clock time, execution
+// in virtual time through the Host pump.
+type Server struct {
+	host *Host
+	ctrl *admission.Controller
+	cat  *table.Catalog
+	log  *slog.Logger
+
+	maxDeadline time.Duration
+
+	reqs    reqMetrics
+	plansMu sync.Mutex
+	plans   map[string]*plan.Plan // SQL plan cache (front door compiles once per text)
+}
+
+// reqMetrics are the server's registry series; all-nil when no registry is
+// configured.
+type reqMetrics struct {
+	total, badRequest, admitted, shed, failed, succeeded *trace.Counter
+}
+
+func inc(c *trace.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// New builds the server, starts the host pump, and wires the admission
+// controller. Close with Drain (orderly) or Close (immediate).
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil || cfg.Placer == nil {
+		return nil, errors.New("server: Config.Engine and Config.Placer are required")
+	}
+	if cfg.MaxQueryDeadline <= 0 {
+		cfg.MaxQueryDeadline = 10 * time.Second
+	}
+	if cfg.Admission.Registry == nil {
+		cfg.Admission.Registry = cfg.Engine.Metrics.Registry()
+	}
+	if cfg.Admission.MaxConcurrent == 0 {
+		// Default the admitted concurrency to the engine's chopping pool
+		// bounds: past one query per worker slot (plus headroom) additional
+		// admissions only queue inside the operator stream.
+		cfg.Admission.MaxConcurrent = chopping.AdmittedBound(
+			cfg.Engine.GPU.Workers.Capacity(), cfg.Engine.CPU.Workers.Capacity())
+	}
+	s := &Server{
+		host:        NewHost(cfg.Engine, cfg.Placer),
+		ctrl:        admission.New(cfg.Admission),
+		cat:         cfg.Catalog,
+		log:         cfg.Log,
+		maxDeadline: cfg.MaxQueryDeadline,
+		plans:       make(map[string]*plan.Plan),
+	}
+	if reg := cfg.Admission.Registry; reg != nil {
+		s.reqs = reqMetrics{
+			total:      reg.Counter("ServerRequests"),
+			badRequest: reg.Counter("ServerBadRequests"),
+			admitted:   reg.Counter("ServerAdmitted"),
+			shed:       reg.Counter("ServerShed"),
+			failed:     reg.Counter("ServerQueryErrors"),
+			succeeded:  reg.Counter("ServerQueriesOK"),
+		}
+	}
+	return s, nil
+}
+
+// Engine exposes the serving engine for observability wiring.
+func (s *Server) Engine() *exec.Engine { return s.host.Engine }
+
+// Admission exposes the controller (pressure wiring, stats handler).
+func (s *Server) Admission() *admission.Controller { return s.ctrl }
+
+// SetPressure forwards the detector-driven backpressure level; see
+// admission.Controller.SetPressure.
+func (s *Server) SetPressure(level int) { s.ctrl.SetPressure(level) }
+
+// Result is one admitted, completed query.
+type Result struct {
+	// Batch is the exact query result.
+	Batch *engine.Batch
+	// Latency is the virtual-time response time inside the engine.
+	Latency time.Duration
+	// QueueWait is the wall-clock time spent waiting for admission.
+	QueueWait time.Duration
+}
+
+// Submit runs one query through the full front-door path — admission,
+// queueing, execution — on behalf of tenant. prio raises the query above
+// the tenant's base priority; deadline bounds both the wall-clock queue
+// wait and the virtual-time execution (0 = server default). Every error
+// return is typed: *admission.Error for shed queries, exec errors for
+// admitted ones.
+func (s *Server) Submit(ctx context.Context, tenant string, prio int, pl *plan.Plan, deadline time.Duration) (Result, error) {
+	inc(s.reqs.total)
+	if deadline <= 0 || deadline > s.maxDeadline {
+		deadline = s.maxDeadline
+	}
+	tk, err := s.ctrl.Submit(tenant, prio, deadline)
+	if err != nil {
+		inc(s.reqs.shed)
+		return Result{}, err
+	}
+	if err := tk.Wait(ctx); err != nil {
+		inc(s.reqs.shed)
+		return Result{}, err
+	}
+	queueWait := tk.QueueWait()
+	defer s.ctrl.Release(tk)
+	inc(s.reqs.admitted)
+	batch, stats, err := s.host.Run(pl, exec.QueryOpts{Deadline: deadline, Tenant: tenant})
+	if err != nil {
+		inc(s.reqs.failed)
+		return Result{}, err
+	}
+	inc(s.reqs.succeeded)
+	return Result{Batch: batch, Latency: stats.Latency, QueueWait: queueWait}, nil
+}
+
+// ErrBadQuery wraps SQL compilation failures so the wire layer can map them
+// to 400 instead of 500.
+var ErrBadQuery = errors.New("server: bad query")
+
+// SubmitSQL compiles the SQL text (cached per statement) and Submits it.
+func (s *Server) SubmitSQL(ctx context.Context, tenant string, prio int, query string, deadline time.Duration) (Result, error) {
+	pl, err := s.plan(query)
+	if err != nil {
+		inc(s.reqs.badRequest)
+		return Result{}, err
+	}
+	return s.Submit(ctx, tenant, prio, pl, deadline)
+}
+
+func (s *Server) plan(query string) (*plan.Plan, error) {
+	if s.cat == nil {
+		return nil, errors.New("server: no catalog configured for SQL")
+	}
+	s.plansMu.Lock()
+	pl, ok := s.plans[query]
+	s.plansMu.Unlock()
+	if ok {
+		return pl, nil
+	}
+	pl, err := sql.PlanQuery(s.cat, query)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	s.plansMu.Lock()
+	s.plans[query] = pl
+	s.plansMu.Unlock()
+	return pl, nil
+}
+
+// Drain performs the orderly shutdown: stop admitting (queued queries shed
+// with ErrDraining), wait — bounded by ctx — for in-flight queries to
+// finish, then stop the host pump. Returns nil when everything drained, or
+// ErrDrainTimeout when the bound hit first (in-flight queries are then
+// failed by the closing host, with a decision delivered to every waiter).
+func (s *Server) Drain(ctx context.Context) error {
+	s.ctrl.Drain()
+	var err error
+	select {
+	case <-s.ctrl.Drained():
+	case <-ctx.Done():
+		err = ErrDrainTimeout
+	}
+	s.host.Close()
+	return err
+}
+
+// QueryRequest is the wire format of POST /v1/query.
+type QueryRequest struct {
+	// Tenant identifies the submitting tenant ("" maps to "default").
+	Tenant string `json:"tenant"`
+	// SQL is the statement to execute.
+	SQL string `json:"sql"`
+	// Priority raises the query above the tenant's base priority.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS bounds queue wait + execution in milliseconds (0 = server
+	// default).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// QueryResponse is the wire format of a successful query.
+type QueryResponse struct {
+	Columns []string `json:"columns"`
+	// Rows are the result rows; dates are days since 1992-01-01.
+	Rows [][]any `json:"rows"`
+	// RowCount duplicates len(Rows) for truncation-free clients.
+	RowCount int `json:"row_count"`
+	// LatencyUS is the virtual-time engine latency in microseconds.
+	LatencyUS int64 `json:"latency_us"`
+	// QueueMS is the wall-clock admission queue wait in milliseconds.
+	QueueMS float64 `json:"queue_ms"`
+}
+
+// ErrorResponse is the wire format of every failed query.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code is the machine-readable class: an admission code ("overloaded",
+	// "draining", …), "deadline", "bad-request", or "internal".
+	Code string `json:"code"`
+	// RetryAfterMS mirrors the Retry-After header for JSON-only clients.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Handler returns the front-door HTTP handler (mount alongside obs.NewMux).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/debug/admission", s.handleAdmissionStats)
+	return mux
+}
+
+// handleQuery is the wire entry point. Every error path maps to a typed
+// wire status via writeError — the wirestatus lint rule pins this property.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad-request", errors.New("server: POST only"), 0)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		inc(s.reqs.badRequest)
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("server: bad request body: %w", err), 0)
+		return
+	}
+	if req.SQL == "" {
+		inc(s.reqs.badRequest)
+		writeError(w, http.StatusBadRequest, "bad-request", errors.New("server: empty sql"), 0)
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	res, err := s.SubmitSQL(r.Context(), req.Tenant, req.Priority, req.SQL, time.Duration(req.DeadlineMS)*time.Millisecond)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(res))
+	if s.log != nil && s.log.Enabled(r.Context(), slog.LevelDebug) {
+		s.log.LogAttrs(r.Context(), slog.LevelDebug, "query served",
+			slog.String("component", "server"),
+			slog.String("tenant", req.Tenant),
+			slog.Duration("latency", res.Latency),
+			slog.Duration("queue_wait", res.QueueWait))
+	}
+}
+
+// handleAdmissionStats serves the frozen controller state as JSON.
+func (s *Server) handleAdmissionStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ctrl.Stats())
+}
+
+// writeQueryError maps every submit error to its wire status. The mapping
+// is the contract the load generator and the overload tests assert on:
+// shed and deadline failures are 4xx/503/504 with typed codes — a 5xx on an
+// admitted query would mean the engine itself broke.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	var ae *admission.Error
+	switch {
+	case errors.As(err, &ae):
+		status := http.StatusTooManyRequests // overloaded, tenant-limit
+		switch ae.Code {
+		case admission.CodeDraining:
+			status = http.StatusServiceUnavailable
+		case admission.CodeQueueTimeout:
+			status = http.StatusGatewayTimeout
+		case admission.CodeCanceled:
+			// The client went away; nothing can be delivered, but the
+			// status keeps logs truthful.
+			status = statusClientClosedRequest
+		}
+		writeError(w, status, string(ae.Code), err, ae.RetryAfter)
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline", err, 0)
+	case errors.Is(err, ErrHostClosed):
+		writeError(w, http.StatusServiceUnavailable, "draining", err, time.Second)
+	case isBadRequest(err):
+		writeError(w, http.StatusBadRequest, "bad-request", err, 0)
+	default:
+		// Admitted query failed inside the engine (fault injection exhausted
+		// retries, plan logic error): a true internal error.
+		writeError(w, http.StatusInternalServerError, "internal", err, 0)
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client
+// that disconnected before the response; stdlib has no constant for it.
+const statusClientClosedRequest = 499
+
+// isBadRequest reports whether the error is the client's fault (SQL parse
+// or plan building over missing tables/columns).
+func isBadRequest(err error) bool { return errors.Is(err, ErrBadQuery) }
+
+// writeError emits the typed error envelope plus Retry-After when hinted.
+func writeError(w http.ResponseWriter, status int, code string, err error, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, ErrorResponse{
+		Error:        err.Error(),
+		Code:         code,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
+// writeJSON writes one JSON response. Encoding a materialized response
+// struct cannot fail; a broken connection surfaces on the transport and is
+// not recoverable here.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	//lint:ignore wirestatus the status header is already committed above; an encode failure here means the connection broke and no further wire response is possible
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return
+	}
+}
+
+// toResponse serializes a result batch into the wire format.
+func toResponse(res Result) QueryResponse {
+	cols := res.Batch.Columns()
+	out := QueryResponse{
+		Columns:   make([]string, len(cols)),
+		LatencyUS: res.Latency.Microseconds(),
+		QueueMS:   float64(res.QueueWait) / float64(time.Millisecond),
+	}
+	n := res.Batch.NumRows()
+	out.RowCount = n
+	for i, c := range cols {
+		out.Columns[i] = c.Name()
+	}
+	out.Rows = make([][]any, n)
+	for r := 0; r < n; r++ {
+		row := make([]any, len(cols))
+		for i, c := range cols {
+			row[i] = cellValue(c, r)
+		}
+		out.Rows[r] = row
+	}
+	return out
+}
+
+// cellValue extracts one cell for JSON encoding.
+func cellValue(c column.Column, i int) any {
+	switch col := c.(type) {
+	case *column.Int64Column:
+		return col.Values[i]
+	case *column.Float64Column:
+		return col.Values[i]
+	case *column.DateColumn:
+		return col.Values[i]
+	case *column.StringColumn:
+		return col.Value(i)
+	case *column.CompressedInt64Column:
+		return col.Value(i)
+	default:
+		// Gather materializes any column type into its dense form.
+		return cellValue(c.Gather([]int32{int32(i)}), 0)
+	}
+}
+
+// limitListener bounds concurrent accepted connections with a semaphore;
+// Accept blocks while the limit is reached, providing natural TCP-level
+// backpressure before admission control even sees a request.
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+// LimitListener wraps l so at most n connections are open at once (n <= 0
+// returns l unchanged).
+func LimitListener(l net.Listener, n int) net.Listener {
+	if n <= 0 {
+		return l
+	}
+	return &limitListener{Listener: l, sem: make(chan struct{}, n)}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: c, release: func() { <-l.sem }}, nil
+}
+
+// limitConn releases its listener slot exactly once on Close.
+type limitConn struct {
+	net.Conn
+	release func()
+	once    sync.Once
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}

@@ -1,0 +1,439 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"robustdb/internal/admission"
+	"robustdb/internal/exec"
+	"robustdb/internal/faults"
+	"robustdb/internal/server"
+	"robustdb/internal/ssb"
+	"robustdb/internal/table"
+	"robustdb/internal/trace"
+	"robustdb/internal/workload"
+)
+
+// testCatalog memoizes a small SSB database shared by every test.
+var (
+	catOnce sync.Once
+	testCat *table.Catalog
+)
+
+func catalog(t *testing.T) *table.Catalog {
+	t.Helper()
+	catOnce.Do(func() {
+		testCat = ssb.Generate(ssb.Config{SF: 1, RowsPerSF: 2000, Seed: 7})
+	})
+	return testCat
+}
+
+func queries() []workload.Query {
+	var out []workload.Query
+	for _, q := range ssb.Queries() {
+		out = append(out, workload.Query{Name: q.Name, Plan: q.Plan})
+	}
+	return out
+}
+
+// newServer builds a front door over a fresh engine; mut tweaks the config
+// before construction.
+func newServer(t *testing.T, cat *table.Catalog, dev exec.Config, mut func(*server.Config)) *server.Server {
+	t.Helper()
+	if dev.CacheBytes == 0 {
+		dev.CacheBytes = cat.TotalBytes() / 2
+		dev.HeapBytes = cat.TotalBytes()
+	}
+	strat := workload.DataDrivenChopping()
+	e, err := workload.NewEngine(cat, dev, strat, queries())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	cfg := server.Config{
+		Engine:  e,
+		Placer:  strat.Placer,
+		Catalog: cat,
+		Admission: admission.Config{
+			Policy:        admission.Fair,
+			MaxConcurrent: 4,
+			MaxQueue:      32,
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	return s
+}
+
+func drain(t *testing.T, s *server.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if used := s.Engine().Heap.Used(); used != 0 {
+		t.Fatalf("leaked %d device-heap bytes after drain", used)
+	}
+}
+
+func TestHTTPQueryEndToEnd(t *testing.T) {
+	cat := catalog(t)
+	s := newServer(t, cat, exec.Config{}, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drain(t, s)
+
+	body := `{"tenant":"acme","sql":"SELECT SUM(lo_revenue) AS rev FROM lineorder"}`
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.RowCount != 1 || len(out.Rows) != 1 || out.Columns[0] != "rev" {
+		t.Fatalf("unexpected result: %+v", out)
+	}
+	if out.LatencyUS <= 0 {
+		t.Fatalf("latency must be positive virtual time, got %dµs", out.LatencyUS)
+	}
+}
+
+func TestHTTPWireStatuses(t *testing.T) {
+	cat := catalog(t)
+	s := newServer(t, cat, exec.Config{}, func(cfg *server.Config) {
+		cfg.Admission.MaxConcurrent = 1
+		cfg.Admission.MaxQueue = 1
+		cfg.Admission.DefaultTenant = admission.TenantConfig{MaxQueue: 1}
+		cfg.Admission.Policy = admission.FIFO
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		return resp
+	}
+	wantStatus := func(resp *http.Response, status int, code string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != status {
+			t.Fatalf("status %d, want %d", resp.StatusCode, status)
+		}
+		var we server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&we); err != nil {
+			t.Fatalf("decode error envelope: %v", err)
+		}
+		if we.Code != code {
+			t.Fatalf("code %q, want %q", we.Code, code)
+		}
+	}
+
+	wantStatus(post(`{"sql":"SELECT FROM"}`), http.StatusBadRequest, "bad-request")
+	wantStatus(post(`{}`), http.StatusBadRequest, "bad-request")
+
+	// Saturate: one admitted (held by a slow-enough query mix is hard to
+	// arrange over HTTP, so saturate the queue with concurrent requests and
+	// check that at least one got a typed 429 with Retry-After).
+	const n = 24
+	statuses := make(chan *http.Response, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+				strings.NewReader(`{"tenant":"burst","sql":"SELECT SUM(lo_revenue) AS rev FROM lineorder"}`))
+			if err == nil {
+				statuses <- resp
+			}
+		}()
+	}
+	wg.Wait()
+	close(statuses)
+	got429 := false
+	for resp := range statuses {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			got429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After header")
+			}
+		}
+		resp.Body.Close()
+	}
+	if !got429 {
+		t.Fatal("burst of 24 against queue bound 1 produced no 429")
+	}
+
+	// Drain, then verify the typed draining status.
+	drain(t, s)
+	wantStatus(post(`{"sql":"SELECT SUM(lo_revenue) AS rev FROM lineorder"}`), http.StatusServiceUnavailable, "draining")
+}
+
+// TestDrainNoSilentDrops is the shutdown regression test: a drain racing a
+// concurrent query storm must give every single query a decision — a result
+// or a typed error — and every admitted-but-failed query must carry a
+// recorded abort cause in the trace.
+func TestDrainNoSilentDrops(t *testing.T) {
+	cat := catalog(t)
+	tracer := trace.New(0)
+	s := newServer(t, cat, exec.Config{Tracer: tracer}, func(cfg *server.Config) {
+		cfg.Admission.MaxConcurrent = 2
+		cfg.Admission.MaxQueue = 64
+		cfg.Admission.DefaultTenant = admission.TenantConfig{MaxQueue: 64}
+	})
+
+	qs := queries()
+	const n = 48
+	type outcome struct {
+		err error
+	}
+	outcomes := make(chan outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), fmt.Sprintf("t%d", i%3), 0,
+				qs[i%len(qs)].Plan, 5*time.Second)
+			outcomes <- outcome{err: err}
+		}()
+	}
+	// Let some queries in, then drain mid-storm with a bounded timeout.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+	close(outcomes)
+
+	decided := 0
+	for o := range outcomes {
+		decided++
+		if o.err == nil {
+			continue
+		}
+		var ae *admission.Error
+		switch {
+		case errors.As(o.err, &ae): // typed shed: recorded cause
+		case errors.Is(o.err, exec.ErrDeadlineExceeded): // typed deadline
+		case errors.Is(o.err, server.ErrHostClosed): // typed close
+		default:
+			t.Errorf("query dropped with untyped error: %v", o.err)
+		}
+	}
+	if decided != n {
+		t.Fatalf("only %d/%d queries got a decision", decided, n)
+	}
+	// Every admitted query appears in the trace as a query span; failed ones
+	// must carry an abort cause.
+	spans := tracer.Spans()
+	queries, aborted := 0, 0
+	for _, sp := range spans {
+		if sp.Class != "query" {
+			continue
+		}
+		queries++
+		if sp.Abort != "" {
+			aborted++
+			if sp.Abort != "failed" {
+				t.Errorf("query span %s: unexpected abort cause %q", sp.Name, sp.Abort)
+			}
+		}
+	}
+	if queries == 0 {
+		t.Fatal("no query spans recorded — tracer not wired through the front door")
+	}
+	if used := s.Engine().Heap.Used(); used != 0 {
+		t.Fatalf("leaked %d device-heap bytes after drain", used)
+	}
+}
+
+// TestOverloadProperty pins the acceptance criterion: at 4× sustained
+// capacity with fault injection, the server sheds with typed errors only,
+// p99 virtual latency of admitted queries stays ≤ 3× the at-capacity p99,
+// the heap-leak check stays zero, and the drain completes cleanly.
+func TestOverloadProperty(t *testing.T) {
+	cat := catalog(t)
+	const capacity = 2
+	build := func() *server.Server {
+		return newServer(t, cat, exec.Config{
+			Faults: faults.New(faults.Config{
+				Seed:             11,
+				AllocFailRate:    0.02,
+				TransferFailRate: 0.02,
+			}),
+		}, func(cfg *server.Config) {
+			cfg.Admission.Policy = admission.Detector
+			cfg.Admission.MaxConcurrent = capacity
+			cfg.Admission.MaxQueue = 2 * capacity
+			cfg.Admission.DefaultTenant = admission.TenantConfig{MaxQueue: 2 * capacity}
+			cfg.Admission.QueueTimeout = 2 * time.Second
+		})
+	}
+	qs := queries()
+
+	// Baseline: closed loop at exactly the admitted capacity.
+	run := func(s *server.Server, clients, perClient int) (virt []time.Duration, typedErrs, untyped int) {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					res, err := s.Submit(context.Background(), fmt.Sprintf("tenant%d", c%4), 0,
+						qs[(c+i)%len(qs)].Plan, 10*time.Second)
+					mu.Lock()
+					if err == nil {
+						virt = append(virt, res.Latency)
+					} else {
+						var ae *admission.Error
+						if errors.As(err, &ae) || errors.Is(err, exec.ErrDeadlineExceeded) {
+							typedErrs++
+						} else {
+							untyped++
+							t.Errorf("untyped overload error: %v", err)
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+
+	base := build()
+	baseLat, _, baseUntyped := run(base, capacity, 12)
+	drain(t, base)
+	if baseUntyped != 0 || len(baseLat) == 0 {
+		t.Fatalf("baseline run broken: %d admitted, %d untyped", len(baseLat), baseUntyped)
+	}
+
+	over := build()
+	overLat, typed, untyped := run(over, 4*capacity, 12)
+	drain(t, over)
+	if untyped != 0 {
+		t.Fatalf("%d untyped errors under overload", untyped)
+	}
+	if len(overLat) == 0 {
+		t.Fatal("overload run admitted nothing")
+	}
+	if typed == 0 {
+		t.Fatal("4× overload shed nothing — admission control inactive")
+	}
+	_, baseP99 := p50p99(baseLat)
+	_, overP99 := p50p99(overLat)
+	if overP99 > 3*baseP99 {
+		t.Fatalf("admitted p99 under overload %v exceeds 3× at-capacity p99 %v", overP99, baseP99)
+	}
+}
+
+func p50p99(samples []time.Duration) (p50, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2], sorted[int(0.99*float64(len(sorted)-1))]
+}
+
+func TestLoadgenDirectOverload(t *testing.T) {
+	cat := catalog(t)
+	s := newServer(t, cat, exec.Config{}, func(cfg *server.Config) {
+		cfg.Admission.Policy = admission.Fair
+		cfg.Admission.MaxConcurrent = 2
+		cfg.Admission.MaxQueue = 4
+		cfg.Admission.DefaultTenant = admission.TenantConfig{MaxQueue: 4}
+		cfg.Admission.QueueTimeout = 500 * time.Millisecond
+	})
+	res, err := server.RunLoadgen(context.Background(), server.LoadgenConfig{
+		Server:   s,
+		Queries:  queries(),
+		Rate:     400,
+		Duration: 500 * time.Millisecond,
+		Tenants: []TenantMix{
+			{Name: "gold", Share: 1, Priority: 5},
+			{Name: "bronze", Share: 3},
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("RunLoadgen: %v", err)
+	}
+	drain(t, s)
+	if res.Offered == 0 || res.Admitted == 0 {
+		t.Fatalf("loadgen made no progress: %+v", res)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d engine failures on admitted queries", res.Failed)
+	}
+	if res.Admitted > 0 && res.VirtualP99 <= 0 {
+		t.Fatalf("admitted queries must report virtual latency: %+v", res)
+	}
+}
+
+// TenantMix alias so the test file reads naturally.
+type TenantMix = server.TenantMix
+
+func TestLimitListener(t *testing.T) {
+	cat := catalog(t)
+	s := newServer(t, cat, exec.Config{}, nil)
+	defer drain(t, s)
+	ts := httptest.NewUnstartedServer(s.Handler())
+	ts.Listener = server.LimitListener(ts.Listener, 2)
+	ts.Start()
+	defer ts.Close()
+	// With keep-alives off every request opens a fresh connection; the limit
+	// only throttles, never deadlocks.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Post(ts.URL+"/v1/query", "application/json",
+				strings.NewReader(`{"sql":"SELECT SUM(lo_revenue) AS rev FROM lineorder"}`))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+}

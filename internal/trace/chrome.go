@@ -47,6 +47,9 @@ type spanArgs struct {
 	// (and their goldens) are byte-identical to the pre-parallel format.
 	KernelWorkers int   `json:"kernel_workers,omitempty"`
 	Morsels       int64 `json:"morsels,omitempty"`
+	// Tenant is omitted when empty so benchmark traces keep the pre-front-door
+	// format byte-identical.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // eventArgs carries the event fields through the args object.
@@ -106,6 +109,7 @@ func WriteChrome(w io.Writer, spans []Span, events []Event) error {
 			HeapHighWater: s.HeapHighWater,
 			KernelWorkers: s.KernelWorkers,
 			Morsels:       s.MorselCount,
+			Tenant:        s.Tenant,
 		})
 		if err != nil {
 			return err
@@ -176,6 +180,7 @@ func ReadChrome(r io.Reader) ([]Span, []Event, error) {
 				HeapHighWater: args.HeapHighWater,
 				KernelWorkers: args.KernelWorkers,
 				MorselCount:   args.Morsels,
+				Tenant:        args.Tenant,
 			})
 		case "i", "I":
 			var args eventArgs

@@ -52,6 +52,9 @@ type Span struct {
 	// MorselCount is the number of morsels the attempt's kernels fanned out
 	// (0 in serial mode: the serial paths dispatch no morsels).
 	MorselCount int64
+	// Tenant is the submitting tenant when the query arrived through the
+	// network front door; empty for benchmark-driven runs.
+	Tenant string
 }
 
 // Duration returns the span length.

@@ -151,15 +151,13 @@ type Runner struct {
 	admission *sim.Pool
 }
 
-// NewRunner builds a fresh engine over cat, pre-loads the cache per the
-// strategy, and distributes the workload over the user sessions.
-func NewRunner(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*Runner, error) {
-	if spec.Users < 1 {
-		return nil, fmt.Errorf("workload: need at least one user, got %d", spec.Users)
-	}
-	if len(spec.Queries) == 0 {
-		return nil, fmt.Errorf("workload: no queries")
-	}
+// NewEngine builds a fresh engine over cat with the strategy's concurrency
+// bounds and pre-loads the cache per the strategy, warming the access
+// statistics from the given query mix (the paper warms the system with two
+// unmeasured passes). The workload runner and the network front door share
+// this construction so a served engine behaves exactly like a benchmarked
+// one.
+func NewEngine(cat *table.Catalog, cfg exec.Config, strat Strategy, warm []Query) (*exec.Engine, error) {
 	if strat.GPUWorkers > 0 {
 		cfg.GPUWorkers = strat.GPUWorkers
 	}
@@ -169,9 +167,9 @@ func NewRunner(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (
 	e := exec.New(cat, cfg)
 
 	// Pre-load the cache. The access statistics come from the workload's
-	// own query mix — the paper warms the system with two unmeasured passes.
+	// own query mix.
 	mgr := placement.NewManager(strat.PlacementPolicy)
-	for _, q := range spec.Queries {
+	for _, q := range warm {
 		mgr.Tracker.Record(q.Plan.BaseColumns()...)
 	}
 	if strat.DataDriven || strat.Preload {
@@ -189,6 +187,22 @@ func NewRunner(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (
 				e.NotePreloadError(err)
 			}
 		}
+	}
+	return e, nil
+}
+
+// NewRunner builds a fresh engine over cat, pre-loads the cache per the
+// strategy, and distributes the workload over the user sessions.
+func NewRunner(cat *table.Catalog, cfg exec.Config, strat Strategy, spec Spec) (*Runner, error) {
+	if spec.Users < 1 {
+		return nil, fmt.Errorf("workload: need at least one user, got %d", spec.Users)
+	}
+	if len(spec.Queries) == 0 {
+		return nil, fmt.Errorf("workload: no queries")
+	}
+	e, err := NewEngine(cat, cfg, strat, spec.Queries)
+	if err != nil {
+		return nil, err
 	}
 
 	total := spec.TotalQueries
