@@ -1,8 +1,15 @@
 // Command robustlint runs robustdb's static-analysis pass: repo-specific
 // analyzers that enforce the engine invariants behind the paper's robustness
 // claims — heap balance, virtual-time determinism, surfaced errors, lock
-// discipline, and health-guarded GPU placement. It uses only the standard
+// discipline, health-guarded GPU placement, and the request-path lifecycle
+// rules (context threading, goroutine joins). It uses only the standard
 // library (go/parser, go/ast, go/types) and is wired into CI.
+//
+// The run is whole-program: every matched package is loaded into one
+// Program (dependency-ordered, with a CHA call graph and cross-package
+// facts), so interprocedural analyzers see flows that span packages —
+// including robustlint linting its own sources under cmd/... and
+// internal/lint.
 //
 // Usage:
 //
@@ -11,14 +18,20 @@
 // Packages default to ./... (all module packages, testdata excluded). Flags:
 //
 //	-json            emit diagnostics as a JSON array
+//	-github          also emit GitHub Actions ::error annotations
 //	-list            list registered analyzers and exit
 //	-enable  a,b,c   run only the named analyzers
 //	-disable a,b,c   run all but the named analyzers
+//	-stale=false     skip the stale-suppression audit
 //
 // A diagnostic can be suppressed with a justified directive on its line or
 // the line above:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// A directive that suppresses nothing while every analyzer it names is
+// running is itself reported (the stale-suppression audit; disable with
+// -stale=false during refactors that move code under directives around).
 //
 // Exit status is 0 with no diagnostics, 1 with diagnostics, 2 on usage or
 // load errors.
@@ -28,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"robustdb/internal/lint"
@@ -35,9 +49,11 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	github := flag.Bool("github", false, "also emit GitHub Actions ::error annotations")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	stale := flag.Bool("stale", true, "audit //lint:ignore directives that suppress nothing")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: robustlint [flags] [packages]\nanalyzers:\n")
 		for _, a := range lint.Analyzers {
@@ -80,7 +96,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	diags := lint.RunWith(pkgs, analyzers, lint.Options{NoStaleCheck: !*stale})
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "robustlint: %v\n", err)
@@ -89,9 +105,36 @@ func main() {
 	} else {
 		lint.WriteText(os.Stdout, diags)
 	}
+	if *github {
+		writeGitHubAnnotations(os.Stdout, cwd, diags)
+	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeGitHubAnnotations emits one GitHub Actions workflow command per
+// diagnostic, so findings surface inline on the pull-request diff. Paths are
+// rewritten relative to the working directory (the checkout root in CI)
+// because the annotation matcher requires repo-relative files.
+func writeGitHubAnnotations(w *os.File, cwd string, diags []lint.Diagnostic) {
+	for _, d := range diags {
+		file := d.File
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=robustlint %s::%s\n",
+			file, d.Line, d.Col, d.Analyzer, escapeAnnotation(d.Message))
+	}
+}
+
+// escapeAnnotation applies the workflow-command data escaping rules:
+// percent, carriage return, and newline must be URL-style encoded.
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // selectAnalyzers applies -enable / -disable to the registry.

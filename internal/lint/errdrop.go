@@ -9,12 +9,16 @@ import (
 // ErrDrop enforces the surfaced-error invariant of the robustness work: in
 // the engine and execution paths an error return is a signal the degradation
 // ladder reacts to, so discarding one with `_ =` or a bare call hides a
-// failure the way the pre-PR-1 Metrics.CatalogErrors bug did. Errors must be
-// handled, propagated, or counted (NoteCatalogError / NotePreloadError); a
-// deliberate drop needs a //lint:ignore errdrop with its justification.
+// failure the way the pre-PR-1 Metrics.CatalogErrors bug did. The walk
+// covers every statement position an error can vanish from — expression
+// statements, all-blank assignments (inside goroutine closures too),
+// `defer f()`, and `go f()`. Errors must be handled, propagated, or counted
+// (NoteCatalogError / NotePreloadError); a deliberate drop needs a
+// //lint:ignore errdrop with its justification, and `defer x.Close()` is
+// exempt as the one conventional cleanup idiom.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "forbid discarded error returns (`_ =` and bare calls) in engine paths",
+	Doc:  "forbid discarded error returns (`_ =`, bare, deferred, and go-spawned calls) in engine paths",
 	Run:  runErrDrop,
 }
 
@@ -43,6 +47,21 @@ func runErrDrop(p *Pass) {
 					return true
 				}
 				p.Reportf(s.Pos(), "error return of %s is silently discarded; handle, propagate, or count it", calleeName(info, call))
+			case *ast.DeferStmt:
+				// A deferred call is not an ExprStmt, so it used to slip past
+				// the walk — yet its error is just as lost. `defer x.Close()`
+				// (a no-argument Close method) is the one conventional
+				// exception: deferred cleanup of a resource whose close
+				// failure has no remediation.
+				if resultsError(info, s.Call) && !errDropExempt(info, s.Call) && !isDeferredClose(info, s.Call) {
+					p.Reportf(s.Pos(), "error return of deferred %s call is silently discarded; wrap it in a closure that handles or counts it", calleeName(info, s.Call))
+				}
+			case *ast.GoStmt:
+				// Same blind spot for go statements: an error returned by the
+				// goroutine's entry call has no receiver at all.
+				if resultsError(info, s.Call) && !errDropExempt(info, s.Call) {
+					p.Reportf(s.Pos(), "error return of %s is unobservable from a go statement; run it in a closure that handles or counts the error", calleeName(info, s.Call))
+				}
 			case *ast.AssignStmt:
 				if !allBlank(s.Lhs) {
 					return true
@@ -76,6 +95,18 @@ func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
 		}
 	}
 	return false
+}
+
+// isDeferredClose reports whether call is a no-argument Close() method call
+// — the io.Closer cleanup idiom whose deferred error drop is conventional
+// (`defer resp.Body.Close()`).
+func isDeferredClose(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Close" || len(call.Args) != 0 {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil
 }
 
 func calleeName(info *types.Info, call *ast.CallExpr) string {

@@ -23,10 +23,240 @@ const devicePkg = "robustdb/internal/device"
 //     closure — transfers ownership and ends local tracking.
 //  2. Raw Memory.Alloc calls must be balanced by a Memory.Release in the
 //     same function, and a Reserve() result must not be discarded.
+//
+// The analysis is interprocedural through the facts mechanism: a
+// dependency-ordered facts pass summarizes every function that (a) releases
+// a *device.Reservation parameter on all paths (a releasing helper) or (b)
+// returns a fresh reservation the caller owns (a reserving constructor).
+// With those summaries, `res := newRes(m)` is tracked exactly like a direct
+// Reserve() call, `releaseVia(res)` counts as the release, and
+// `defer cleanup(res)` covers every exit path — reservations that escape
+// through helpers or are released in a callee, invisible to the per-function
+// pass, stay under analysis across function and package boundaries.
 var HeapBalance = &Analyzer{
-	Name: "heapbalance",
-	Doc:  "require every device-heap Alloc/Reserve to reach a Release on all paths",
-	Run:  runHeapBalance,
+	Name:  "heapbalance",
+	Doc:   "require every device-heap Alloc/Reserve to reach a Release on all paths (through helpers too)",
+	Run:   runHeapBalance,
+	Facts: heapBalanceFacts,
+}
+
+// releasesParamsFact marks a function that releases its reservation
+// parameter(s) on every control-flow path: calling it transfers ownership
+// and counts as the release at the call site.
+type releasesParamsFact struct {
+	// Params are the indices of the released *device.Reservation parameters.
+	Params []int
+}
+
+// returnsReservationFact marks a function whose (single) result is a fresh
+// *device.Reservation the caller owns — a reserving constructor. Binding its
+// result starts leak tracking exactly like a direct Reserve() call.
+type returnsReservationFact struct{}
+
+// heapBalanceFacts summarizes one package's releasing helpers and reserving
+// constructors. It iterates to a fixpoint within the package so helper
+// chains (cleanup → releaseVia → Release) summarize in any declaration
+// order; dependencies were summarized earlier by the dependency-ordered
+// facts schedule.
+func heapBalanceFacts(p *Pass) {
+	if p.Pkg.Path == devicePkg {
+		return
+	}
+	for changed := true; changed; {
+		changed = false
+		p.walkFiles(func(f *ast.File) {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if exportReleasesFact(p, fd, fn) {
+					changed = true
+				}
+				if exportReturnsFact(p, fd, fn) {
+					changed = true
+				}
+			}
+		})
+	}
+}
+
+// exportReleasesFact checks whether the function releases every one of its
+// reservation parameters on all paths and, if so, exports the fact.
+// Returns true when a new fact was recorded.
+func exportReleasesFact(p *Pass, fd *ast.FuncDecl, fn *types.Func) bool {
+	var existing releasesParamsFact
+	if p.Prog.ImportFact(fn, &existing) {
+		return false // already summarized
+	}
+	info := p.Pkg.Info
+	var released []int
+	idx := 0
+	if fd.Type.Params == nil {
+		return false
+	}
+	parents := parentMap(fd.Body)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil || !isReservationPtr(obj.Type()) {
+				idx++
+				continue
+			}
+			if releasesOnAllPaths(p, fd.Body, parents, obj) {
+				released = append(released, idx)
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	if len(released) == 0 {
+		return false
+	}
+	p.Prog.ExportFact(fn, &releasesParamsFact{Params: released})
+	return true
+}
+
+// releasesOnAllPaths reports whether the reservation held by obj is released
+// on every path out of body — directly, through a deferred release, or via
+// an already-summarized releasing helper — without escaping anywhere the
+// analysis cannot see.
+func releasesOnAllPaths(p *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, obj types.Object) bool {
+	if escapes(p, body, parents, obj) {
+		return false
+	}
+	t := &hbTracker{pass: p, info: p.Pkg.Info, obj: obj, silent: true}
+	t.deferred = hasDeferredRelease(p, body, obj)
+	final := t.stmts(body.List, hbState{defined: true})
+	if t.leaks > 0 {
+		return false
+	}
+	return t.deferred || final.released || final.terminated
+}
+
+// exportReturnsFact checks whether the function is a reserving constructor:
+// a single *device.Reservation result where every return hands back a fresh
+// reservation (a direct Reserve() call, a chained constructor, or a local
+// bound to either). Returns true when a new fact was recorded.
+func exportReturnsFact(p *Pass, fd *ast.FuncDecl, fn *types.Func) bool {
+	var existing returnsReservationFact
+	if p.Prog.ImportFact(fn, &existing) {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() != 1 || !isReservationPtr(sig.Results().At(0).Type()) {
+		return false
+	}
+	info := p.Pkg.Info
+	// Locals bound to fresh reservations within this body.
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		if !isFreshReservationExpr(p, assign.Rhs[0], nil) {
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	ok := true
+	returns := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet || len(ret.Results) != 1 {
+			return true
+		}
+		returns++
+		if !isFreshReservationExpr(p, ret.Results[0], fresh) {
+			ok = false
+		}
+		return true
+	})
+	if !ok || returns == 0 {
+		return false
+	}
+	p.Prog.ExportFact(fn, &returnsReservationFact{})
+	return true
+}
+
+// isFreshReservationExpr reports whether e evaluates to a fresh reservation:
+// a direct Memory.Reserve() call, a call to a summarized reserving
+// constructor, or (when locals is non-nil) a local known to hold one.
+func isFreshReservationExpr(p *Pass, e ast.Expr, locals map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok && locals != nil {
+		return locals[p.Pkg.Info.Uses[id]]
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(p.Pkg.Info, call)
+	if isMethod(fn, devicePkg, "Memory", "Reserve") {
+		return true
+	}
+	var fact returnsReservationFact
+	return fn != nil && p.Prog.ImportFact(fn, &fact)
+}
+
+// isReservationPtr reports whether t is *device.Reservation.
+func isReservationPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Reservation" && obj.Pkg() != nil && obj.Pkg().Path() == devicePkg
+}
+
+// releasingParamIndices returns the summarized released-parameter indices of
+// the call's callee (nil when the callee has no releasing fact).
+func releasingParamIndices(p *Pass, call *ast.CallExpr) []int {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	var fact releasesParamsFact
+	if !p.Prog.ImportFact(fn, &fact) {
+		return nil
+	}
+	return fact.Params
+}
+
+// isReleasingCallOn reports whether call is `helper(..., obj, ...)` where
+// the summarized helper releases the parameter obj is passed as.
+func isReleasingCallOn(p *Pass, call *ast.CallExpr, obj types.Object) bool {
+	indices := releasingParamIndices(p, call)
+	if indices == nil {
+		return false
+	}
+	for _, i := range indices {
+		if i < len(call.Args) {
+			if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok && p.Pkg.Info.Uses[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func runHeapBalance(p *Pass) {
@@ -38,12 +268,12 @@ func runHeapBalance(p *Pass) {
 		funcBodies(f, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
 			checkAllocBalance(p, body)
 			parents := parentMap(body)
-			for _, def := range reservationDefs(info, body, parents) {
-				if escapes(info, body, parents, def.obj) {
+			for _, def := range reservationDefs(p, body, parents) {
+				if escapes(p, body, parents, def.obj) {
 					continue // ownership moved; the receiver releases it
 				}
 				t := &hbTracker{pass: p, info: info, obj: def.obj, fn: name}
-				t.deferred = hasDeferredRelease(info, body, def.obj)
+				t.deferred = hasDeferredRelease(p, body, def.obj)
 				final := t.stmts(body.List, hbState{})
 				if final.defined && !final.released && !final.terminated && !t.deferred {
 					p.Reportf(def.pos, "device reservation %q leaks: control can leave %s without releasing it", def.obj.Name(), name)
@@ -85,24 +315,25 @@ func checkAllocBalance(p *Pass, body *ast.BlockStmt) {
 	}
 }
 
-// resDef is one `res := mem.Reserve()` definition.
+// resDef is one `res := mem.Reserve()` (or reserving-constructor)
+// definition.
 type resDef struct {
 	obj types.Object
 	pos token.Pos
 }
 
-// reservationDefs finds short-variable definitions bound to a Reserve()
-// call, skipping definitions inside nested function literals (those are
-// visited as their own bodies).
-func reservationDefs(info *types.Info, body *ast.BlockStmt, parents map[ast.Node]ast.Node) []resDef {
+// reservationDefs finds short-variable definitions bound to a Reserve() call
+// or a summarized reserving constructor, skipping definitions inside nested
+// function literals (those are visited as their own bodies).
+func reservationDefs(p *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node) []resDef {
+	info := p.Pkg.Info
 	var defs []resDef
 	ast.Inspect(body, func(n ast.Node) bool {
 		assign, ok := n.(*ast.AssignStmt)
 		if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
 			return true
 		}
-		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
-		if !ok || !isMethod(calleeFunc(info, call), devicePkg, "Memory", "Reserve") {
+		if !isFreshReservationExpr(p, assign.Rhs[0], nil) {
 			return true
 		}
 		id, ok := assign.Lhs[0].(*ast.Ident)
@@ -118,10 +349,12 @@ func reservationDefs(info *types.Info, body *ast.BlockStmt, parents map[ast.Node
 }
 
 // escapes reports whether the reservation is used as anything other than a
-// direct method-call receiver: passed to a call, returned, assigned,
-// captured by a function literal. Any such use transfers ownership to code
-// this function-local analysis cannot see, so tracking stops.
-func escapes(info *types.Info, body *ast.BlockStmt, parents map[ast.Node]ast.Node, obj types.Object) bool {
+// direct method-call receiver or an argument to a summarized releasing
+// helper: passed to an unknown call, returned, assigned, captured by a
+// function literal. Any such use transfers ownership to code this analysis
+// cannot see, so tracking stops.
+func escapes(p *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, obj types.Object) bool {
+	info := p.Pkg.Info
 	escaped := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -130,6 +363,16 @@ func escapes(info *types.Info, body *ast.BlockStmt, parents map[ast.Node]ast.Nod
 		}
 		if insideFuncLit(parents, id, body) {
 			escaped = true // captured by a closure with its own lifetime
+			return true
+		}
+		if call, ok := parents[id].(*ast.CallExpr); ok && call.Fun != id {
+			// Passed as an argument: fine when the callee is summarized as
+			// releasing exactly this parameter — ownership transfer the
+			// tracker accounts for — an escape otherwise.
+			if isReleasingCallOn(p, call, obj) {
+				return true
+			}
+			escaped = true
 			return true
 		}
 		sel, ok := parents[id].(*ast.SelectorExpr)
@@ -158,12 +401,13 @@ func insideFuncLit(parents map[ast.Node]ast.Node, n ast.Node, body *ast.BlockStm
 }
 
 // hasDeferredRelease reports whether the body contains `defer res.Release()`
-// for the tracked reservation, which covers every exit path at once.
-func hasDeferredRelease(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+// or `defer helper(res)` with a summarized releasing helper — either covers
+// every exit path at once.
+func hasDeferredRelease(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		d, ok := n.(*ast.DeferStmt)
-		if ok && isReleaseOn(info, d.Call, obj) {
+		if ok && (isReleaseOn(p.Pkg.Info, d.Call, obj) || isReleasingCallOn(p, d.Call, obj)) {
 			found = true
 		}
 		return !found
@@ -197,13 +441,16 @@ type hbState struct {
 // times and branch merges require release on *all* fall-through arms, so a
 // false "leak" is possible in convoluted shapes (suppress with
 // //lint:ignore heapbalance and a reason) but a silent leak on a straight
-// error path is not.
+// error path is not. In silent mode (the facts pass) leaks are counted, not
+// reported.
 type hbTracker struct {
 	pass     *Pass
 	info     *types.Info
 	obj      types.Object
 	fn       string
 	deferred bool
+	silent   bool
+	leaks    int
 }
 
 func (t *hbTracker) stmts(list []ast.Stmt, st hbState) hbState {
@@ -229,7 +476,7 @@ func (t *hbTracker) stmt(s ast.Stmt, st hbState) hbState {
 		return st
 	case *ast.ExprStmt:
 		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
-			if st.defined && isReleaseOn(t.info, call, t.obj) {
+			if st.defined && (isReleaseOn(t.info, call, t.obj) || isReleasingCallOn(t.pass, call, t.obj)) {
 				st.released = true
 			}
 			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
@@ -241,7 +488,10 @@ func (t *hbTracker) stmt(s ast.Stmt, st hbState) hbState {
 		return st
 	case *ast.ReturnStmt:
 		if st.defined && !st.released && !t.deferred {
-			t.pass.Reportf(s.Pos(), "device reservation %q leaks: this return path in %s does not release it", t.obj.Name(), t.fn)
+			t.leaks++
+			if !t.silent {
+				t.pass.Reportf(s.Pos(), "device reservation %q leaks: this return path in %s does not release it", t.obj.Name(), t.fn)
+			}
 		}
 		st.terminated = true
 		return st

@@ -144,11 +144,13 @@ func TestSuppression(t *testing.T) {
 	}
 
 	diags := Run([]*Package{loadFixture(t, "suppress_bad")}, Analyzers)
-	var malformed, virtualtime int
+	var malformed, stale, virtualtime int
 	for _, d := range diags {
 		switch {
 		case d.Analyzer == "lint" && strings.Contains(d.Message, "malformed"):
 			malformed++
+		case d.Analyzer == "lint" && strings.Contains(d.Message, "stale"):
+			stale++
 		case d.Analyzer == "virtualtime":
 			virtualtime++
 		default:
@@ -158,8 +160,20 @@ func TestSuppression(t *testing.T) {
 	if malformed != 1 {
 		t.Errorf("suppress_bad: want 1 malformed-directive diagnostic, got %d", malformed)
 	}
+	if stale != 1 {
+		t.Errorf("suppress_bad: want 1 stale-directive diagnostic (the wrong-analyzer errdrop ignore suppresses nothing), got %d", stale)
+	}
 	if virtualtime != 2 {
 		t.Errorf("suppress_bad: want 2 virtualtime diagnostics (neither directive suppresses them), got %d", virtualtime)
+	}
+
+	// A partial run that does not include the named analyzer must not judge
+	// the directive stale: -enable subsets cannot tell whether the directive
+	// would have suppressed something.
+	for _, d := range Run([]*Package{loadFixture(t, "suppress_bad")}, []*Analyzer{VirtualTime}) {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, "stale") {
+			t.Errorf("suppress_bad under -enable virtualtime: errdrop directive wrongly judged stale: %s", d)
+		}
 	}
 }
 

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -40,6 +42,7 @@ type Loader struct {
 	root    string // module root directory (holds go.mod)
 	modPath string // module path from go.mod
 	cache   map[string]*Package
+	loading map[string]bool // packages currently being type-checked (cycle detection)
 	std     types.ImporterFrom
 }
 
@@ -60,6 +63,7 @@ func NewLoader(dir string) (*Loader, error) {
 		root:    root,
 		modPath: modPath,
 		cache:   map[string]*Package{},
+		loading: map[string]bool{},
 		std:     std,
 	}, nil
 }
@@ -223,23 +227,44 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	if pkg, ok := l.cache[path]; ok {
 		return pkg, nil
 	}
+	// Type-checking a package recurses through Import for each module-internal
+	// dependency; re-entering a package still being checked means the module
+	// has an import cycle, which must surface as a clean diagnostic rather
+	// than unbounded recursion.
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %w", path, err)
 	}
 	var files []*ast.File
+	excluded := 0
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		src, rerr := os.ReadFile(filepath.Join(dir, name))
+		if rerr != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, rerr)
+		}
+		if !buildTagsSatisfied(src) {
+			excluded++
+			continue
+		}
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), src, parser.ParseComments)
 		if perr != nil {
 			return nil, fmt.Errorf("lint: %s: %w", path, perr)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
+		if excluded > 0 {
+			return nil, fmt.Errorf("lint: all %d Go files in %s are excluded by build constraints", excluded, dir)
+		}
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	info := &types.Info{
@@ -256,4 +281,39 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.cache[path] = pkg
 	return pkg, nil
+}
+
+// buildTagsSatisfied reports whether the file's //go:build constraint (if
+// any) is satisfied for the host platform, mirroring what the go tool would
+// compile. Only the leading comment block is consulted; files without a
+// constraint are always included. Unknown tags evaluate to false, so files
+// gated on `ignore`, another OS, or a custom tag are skipped instead of
+// breaking the type check with duplicate or dangling declarations.
+func buildTagsSatisfied(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") && !constraint.IsGoBuild(line) {
+			continue
+		}
+		if !constraint.IsGoBuild(line) {
+			// First non-comment line: the constraint block is over.
+			return true
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return true // malformed constraint: let the type checker decide
+		}
+		return expr.Eval(func(tag string) bool {
+			switch tag {
+			case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+				// "unix" is correct for every platform this repo targets
+				// (linux CI and darwin laptops).
+				return true
+			}
+			// Released Go versions satisfy go1.N tags up to the toolchain's
+			// own version; assuming they hold matches a current toolchain.
+			return strings.HasPrefix(tag, "go1.")
+		})
+	}
+	return true
 }

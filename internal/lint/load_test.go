@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a synthetic module in a temp directory: files maps
+// module-relative paths to contents. Loader failure modes (syntax errors,
+// import cycles, excluded files) are tested on synthetic trees because the
+// repo itself must stay gofmt-clean and compilable.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module example.com/m\n\ngo 1.22\n"
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir for %s: %v", rel, err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatalf("write %s: %v", rel, err)
+		}
+	}
+	return root
+}
+
+// loadErr loads one directory of a synthetic module and returns the error,
+// failing the test on success — every case here is a failure mode that must
+// surface as a clean diagnostic, not a panic or an unbounded recursion.
+func loadErr(t *testing.T, root, dir string) error {
+	t.Helper()
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = loader.LoadDir(filepath.Join(root, dir))
+	if err == nil {
+		t.Fatalf("LoadDir(%s): expected an error, got none", dir)
+	}
+	return err
+}
+
+func TestLoadMalformedSource(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"broken/broken.go": "package broken\n\nfunc Oops( {\n",
+	})
+	err := loadErr(t, root, "broken")
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("syntax-error diagnostic does not name the package: %v", err)
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"badtypes/badtypes.go": "package badtypes\n\nvar X = undefinedName\n",
+	})
+	err := loadErr(t, root, "badtypes")
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("type error not reported as a type-checking diagnostic: %v", err)
+	}
+}
+
+func TestLoadImportCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"example.com/m/b\"\n\nvar X = b.Y\n",
+		"b/b.go": "package b\n\nimport \"example.com/m/a\"\n\nvar Y = a.X\n",
+	})
+	err := loadErr(t, root, "a")
+	if !strings.Contains(err.Error(), "import cycle through") {
+		t.Errorf("cycle not reported as an import-cycle diagnostic: %v", err)
+	}
+}
+
+func TestLoadEmptyDir(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"empty/README.txt": "no Go files here\n",
+	})
+	err := loadErr(t, root, "empty")
+	if !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("empty package dir not reported cleanly: %v", err)
+	}
+}
+
+func TestLoadSkipsExcludedFiles(t *testing.T) {
+	// The gated file declares a symbol that would collide with the real one;
+	// loading succeeds only if the build constraint actually excludes it.
+	root := writeModule(t, map[string]string{
+		"tagged/tagged.go": "package tagged\n\nconst Mode = \"real\"\n",
+		"tagged/gen.go":    "//go:build generate_tool\n\npackage tagged\n\nconst Mode = \"tool\"\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, "tagged"))
+	if err != nil {
+		t.Fatalf("LoadDir: build-tag-excluded file broke the load: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("want 1 included file, got %d", len(pkg.Files))
+	}
+}
+
+func TestLoadAllFilesExcluded(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"gated/gated.go": "//go:build sometool\n\npackage gated\n\nconst X = 1\n",
+	})
+	err := loadErr(t, root, "gated")
+	if !strings.Contains(err.Error(), "excluded by build constraints") {
+		t.Errorf("all-excluded package not reported cleanly: %v", err)
+	}
+}
+
+func TestBuildTagsSatisfied(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"no constraint", "package p\n", true},
+		{"unknown tag", "//go:build sometool\n\npackage p\n", false},
+		{"negated unknown tag", "//go:build !sometool\n\npackage p\n", true},
+		{"host os", "//go:build linux || darwin\n\npackage p\n", true},
+		{"foreign os", "//go:build plan9\n\npackage p\n", false},
+		{"compiler", "//go:build gc\n\npackage p\n", true},
+		{"go version", "//go:build go1.21\n\npackage p\n", true},
+		{"doc comment first", "// Package p does things.\n//go:build sometool\npackage p\n", false},
+		{"malformed", "//go:build !!(\n\npackage p\n", true},
+	}
+	for _, tc := range cases {
+		if got := buildTagsSatisfied([]byte(tc.src)); got != tc.want {
+			t.Errorf("%s: buildTagsSatisfied = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

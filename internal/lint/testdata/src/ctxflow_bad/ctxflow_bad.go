@@ -1,0 +1,59 @@
+// Package server holds golden-test violations of the ctxflow analyzer:
+// request-path code that detaches from the request's deadline and
+// cancellation. The package is named server because ctxflow seeds its
+// request-path roots from the server/admission serving surface.
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// handleQuery is the /v1/query handler shape: a serving root. It threads
+// the request context correctly — the regression it seeds sits two calls
+// down, where the per-function view loses sight of it.
+func handleQuery(w http.ResponseWriter, r *http.Request) {
+	runQuery(r.Context())
+}
+
+// runQuery forwards the context but calls into a helper that drops it.
+func runQuery(ctx context.Context) {
+	execOnDevice()
+	_ = ctx
+}
+
+// execOnDevice mints a fresh root context on the request path — the seeded
+// /v1/query → exec regression: the kernel run outlives the client's
+// deadline, invisible to any single-function analysis.
+func execOnDevice() {
+	ctx := context.Background() // want `context.Background\(\) on the request path detaches execOnDevice`
+	_ = ctx
+}
+
+// WaitForSlot is exported (a serving root) and parks the request in a
+// wall-clock sleep that ignores cancellation.
+func WaitForSlot() {
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep in WaitForSlot blocks the request path`
+}
+
+// Submit receives a context but still performs a naked blocking receive the
+// dead context cannot interrupt.
+func Submit(ctx context.Context, done chan struct{}) {
+	<-done // want `blocking channel receive outside select`
+	_ = ctx
+}
+
+// Enqueue receives a context but sends without a ctx.Done() escape hatch.
+func Enqueue(ctx context.Context, q chan int) {
+	q <- 1 // want `blocking channel send outside select`
+	_ = ctx
+}
+
+// SubmitTODO reaches for context.TODO instead of the request context that
+// is already in hand.
+func SubmitTODO(w http.ResponseWriter, r *http.Request) {
+	process(context.TODO()) // want `context.TODO\(\) on the request path`
+}
+
+func process(ctx context.Context) { _ = ctx }

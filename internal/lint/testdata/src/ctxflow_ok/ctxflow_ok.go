@@ -1,0 +1,53 @@
+// Package server holds the ctxflow negative fixture: request-path code that
+// threads the request context correctly — selects guarded by ctx.Done(),
+// the documented slog Background placeholder, and drivers upstream of the
+// serving surface.
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// handleQuery threads the request context end to end.
+func handleQuery(w http.ResponseWriter, r *http.Request) {
+	runQuery(r.Context())
+}
+
+// runQuery logs with the documented slog "no context" placeholder — exempt
+// because the argument is passed directly to a *slog.Logger method — and
+// forwards the real context onward.
+func runQuery(ctx context.Context) {
+	slog.Default().Log(context.Background(), slog.LevelInfo, "admitted")
+	drainSeq()
+	execOnDevice(ctx)
+}
+
+// execOnDevice waits with the context in a select: cancellation wins.
+func execOnDevice(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// Enqueue pairs its send with ctx.Done() in a select.
+func Enqueue(ctx context.Context, q chan int) {
+	select {
+	case q <- 1:
+	case <-ctx.Done():
+	}
+}
+
+var sequence = make(chan struct{}, 1)
+
+// drainSeq is reachable from the serving surface but has no context
+// parameter: its naked channel operations are the owner-side mutex idiom
+// (Host.Run's sequencing channel), not a request-path wait, so rule 3 does
+// not apply.
+func drainSeq() {
+	<-sequence
+	sequence <- struct{}{}
+}

@@ -30,3 +30,23 @@ func DropVariable() {
 	err := fallible()
 	_ = err // want `error assigned to _`
 }
+
+// DropInDefer discards the error through a defer statement — the statement
+// position the pre-extension walk never visited.
+func DropInDefer() {
+	defer fallible() // want `error return of deferred fallible call is silently discarded`
+}
+
+// DropInGo spawns an error-returning call whose result nothing can observe.
+func DropInGo() {
+	go fallible() // want `error return of fallible is unobservable from a go statement`
+}
+
+// DropInGoroutineClosure blanks the error inside a goroutine closure; the
+// closure body is engine code like any other.
+func DropInGoroutineClosure(done chan struct{}) {
+	go func() {
+		_ = fallible() // want `error assigned to _`
+		close(done)
+	}()
+}

@@ -35,3 +35,35 @@ func ExemptWriters() string {
 	fmt.Println("done")
 	return b.String()
 }
+
+type resource struct{}
+
+func (resource) Close() error { return nil }
+
+// DeferredClose uses the one conventional deferred drop: a no-argument
+// Close method cleanup.
+func DeferredClose() {
+	r := resource{}
+	defer r.Close()
+}
+
+// DeferredHandled wraps the deferred fallible call in a closure that counts
+// the failure.
+func DeferredHandled(counter *int64) {
+	defer func() {
+		if err := fallible(); err != nil {
+			*counter++
+		}
+	}()
+}
+
+// GoHandled spawns a closure that surfaces the error instead of spawning
+// the fallible call directly.
+func GoHandled(counter *int64, done chan struct{}) {
+	go func() {
+		if err := fallible(); err != nil {
+			*counter++
+		}
+		close(done)
+	}()
+}

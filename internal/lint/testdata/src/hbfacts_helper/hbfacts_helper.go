@@ -1,0 +1,16 @@
+// Package hbfacts_helper is the provider side of the cross-package facts
+// test: a releasing helper and a reserving constructor whose summaries the
+// dependency-ordered facts pass must export before hbfacts_user is analyzed.
+package hbfacts_helper
+
+import "robustdb/internal/device"
+
+// ReleaseVia releases its reservation argument on every path.
+func ReleaseVia(res *device.Reservation) {
+	res.Release()
+}
+
+// NewScratch hands its caller a fresh reservation the caller owns.
+func NewScratch(m *device.Memory) *device.Reservation {
+	return m.Reserve()
+}

@@ -1,0 +1,28 @@
+// Package hbfacts_user is the consumer side of the cross-package facts
+// test: it leaks and releases reservations only through helpers defined in
+// hbfacts_helper, so every verdict here depends on facts imported across
+// the package boundary.
+package hbfacts_user
+
+import (
+	"robustdb/internal/device"
+	helper "robustdb/internal/lint/testdata/src/hbfacts_helper"
+)
+
+// LeakAcrossPackages owns the reservation the imported constructor hands
+// back and releases it on the success path only.
+func LeakAcrossPackages(m *device.Memory) error {
+	res := helper.NewScratch(m)
+	if err := res.Grow(16); err != nil {
+		return err // the error path leaks; the test expects this diagnostic
+	}
+	helper.ReleaseVia(res)
+	return nil
+}
+
+// CleanAcrossPackages releases through the imported helper on every path.
+func CleanAcrossPackages(m *device.Memory) error {
+	res := helper.NewScratch(m)
+	defer helper.ReleaseVia(res)
+	return res.Grow(32)
+}

@@ -39,3 +39,54 @@ func DropReservation(m *device.Memory) {
 func AllocNoRelease(m *device.Memory) error {
 	return m.Alloc(128) // want `Memory\.Alloc without a matching Memory\.Release`
 }
+
+// releaseVia is summarized by the facts pass as a releasing helper: it
+// releases its reservation parameter on every path.
+func releaseVia(res *device.Reservation) {
+	res.Release()
+}
+
+// LeakThroughHelper releases through the helper on the success path only;
+// the helper summary keeps the error path visible as a leak instead of the
+// call hiding the reservation entirely.
+func LeakThroughHelper(m *device.Memory) error {
+	res := m.Reserve()
+	if err := res.Grow(16); err != nil {
+		return err // want `device reservation "res" leaks: this return path`
+	}
+	releaseVia(res)
+	return nil
+}
+
+// newScratch is summarized as a reserving constructor: its caller owns the
+// result.
+func newScratch(m *device.Memory) *device.Reservation {
+	return m.Reserve()
+}
+
+// LeakFromConstructor owns the reservation newScratch hands back and never
+// releases it — invisible without the constructor summary.
+func LeakFromConstructor(m *device.Memory) {
+	res := newScratch(m) // want `device reservation "res" leaks: control can leave`
+	if err := res.Grow(8); err != nil {
+		panic(err)
+	}
+}
+
+// releaseSometimes is NOT summarized as releasing: the else path keeps the
+// reservation, so calling it neither releases nor legitimately escapes.
+func releaseSometimes(res *device.Reservation, ok bool) {
+	if ok {
+		res.Release()
+	}
+}
+
+// LeakThroughPartialHelper trusts a helper that only sometimes releases;
+// without the all-paths summary the pass treats the call as an escape, and
+// ownership transfer is the conservative verdict — no diagnostic here, but
+// the helper itself must not earn a releasing fact (covered by
+// LeakThroughHelper distinguishing the summarized case).
+func LeakThroughPartialHelper(m *device.Memory, ok bool) {
+	res := m.Reserve()
+	releaseSometimes(res, ok)
+}

@@ -46,3 +46,50 @@ func AllocBalanced(m *device.Memory) error {
 	m.Release(128)
 	return nil
 }
+
+// releaseVia is summarized as a releasing helper: passing a reservation to
+// it counts as the release at the call site.
+func releaseVia(res *device.Reservation) {
+	res.Release()
+}
+
+// newScratch is summarized as a reserving constructor; the local it binds
+// before returning transfers ownership to the caller.
+func newScratch(m *device.Memory) *device.Reservation {
+	res := m.Reserve()
+	return res
+}
+
+// newScratchChained forwards another constructor's fresh reservation, so
+// the summary propagates through the chain.
+func newScratchChained(m *device.Memory) *device.Reservation {
+	return newScratch(m)
+}
+
+// ReleasedInCallee hands the reservation to the releasing helper on every
+// path: the summary makes the helper call count as the release.
+func ReleasedInCallee(m *device.Memory) error {
+	res := m.Reserve()
+	if err := res.Grow(16); err != nil {
+		releaseVia(res)
+		return err
+	}
+	releaseVia(res)
+	return nil
+}
+
+// DeferredHelperRelease covers every exit path with one deferred helper
+// call — `defer releaseVia(res)` is as good as `defer res.Release()`.
+func DeferredHelperRelease(m *device.Memory) error {
+	res := newScratch(m)
+	defer releaseVia(res)
+	return res.Grow(32)
+}
+
+// ChainedConstructor tracks a reservation created two helpers deep and
+// releases it through a defer.
+func ChainedConstructor(m *device.Memory) error {
+	res := newScratchChained(m)
+	defer res.Release()
+	return res.Grow(8)
+}

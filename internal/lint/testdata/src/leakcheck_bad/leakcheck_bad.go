@@ -1,0 +1,47 @@
+// Package obs holds golden-test violations of the leakcheck analyzer:
+// serving-layer goroutines with no join or stop path, so Drain/shutdown can
+// return while they still run. The package is named obs because leakcheck
+// scopes to the serving layer (server, admission, obs).
+package obs
+
+import "sync"
+
+var counter int
+
+// StartSampler spawns a loop nothing can stop: no WaitGroup, no stop
+// channel — the canonical leaked background goroutine.
+func StartSampler() {
+	go func() { // want `goroutine has no join or stop path`
+		for {
+			counter++
+		}
+	}()
+}
+
+func spin() {
+	for {
+		counter++
+	}
+}
+
+// StartSpinner spawns a named function whose body (and callees) carry no
+// join evidence either.
+func StartSpinner() {
+	go spin() // want `goroutine has no join or stop path`
+}
+
+// StartWorkers calls Done on a WaitGroup nothing in the program ever
+// Wait()s on — Done without a Wait is bookkeeping, not a join.
+func StartWorkers(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `goroutine has no join or stop path`
+		defer wg.Done()
+		counter++
+	}()
+}
+
+// StartDynamic spawns through a function value: with no body to inspect,
+// no stop path can be verified.
+func StartDynamic(f func()) {
+	go f() // want `goroutine has no join or stop path`
+}

@@ -1,0 +1,71 @@
+// Package obs holds the leakcheck negative fixture: every spawned goroutine
+// carries one of the accepted join/stop shapes — a waited WaitGroup, a
+// closed stop channel (found through the call graph, across methods), a
+// drained channel, or a channel parameter whose owner holds the stop path.
+package obs
+
+import "sync"
+
+var counter int
+
+// RunWorkers joins every worker through the WaitGroup it Wait()s on.
+func RunWorkers(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counter++
+		}()
+	}
+	wg.Wait()
+}
+
+type sampler struct {
+	quit chan struct{}
+}
+
+// Start spawns the loop; the stop path lives two hops away, in Stop.
+func (s *sampler) Start() {
+	go s.loop()
+}
+
+// loop selects on the quit field the owner closes — the Host.pump pattern.
+func (s *sampler) loop() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+			counter++
+		}
+	}
+}
+
+// Stop closes the quit channel the loop selects on.
+func (s *sampler) Stop() {
+	close(s.quit)
+}
+
+// Drain consumes events until the producer closes the channel; the close in
+// this function is the goroutine's exit condition.
+func Drain(events chan int) {
+	go func() {
+		for v := range events {
+			counter += v
+		}
+	}()
+	close(events)
+}
+
+func pump(ch chan int) {
+	for v := range ch {
+		counter += v
+	}
+}
+
+// StartPump delegates the stop path to the channel's owner: pump blocks
+// only on its channel parameter, so whoever owns ch owns the shutdown.
+func StartPump(ch chan int) {
+	go pump(ch)
+}
