@@ -394,6 +394,7 @@ func (c *Controller) Submit(tenant string, prio int, timeout time.Duration) (*Ti
 	// it, so a high-priority burst cannot be locked out by a full queue of
 	// stale low-priority work.
 	var victim *Ticket
+	victimCode := CodeOverloaded
 	if ts.cfg.MaxQueue > 0 && len(ts.queue) >= ts.cfg.MaxQueue {
 		victim = c.boundVictim(t, ts.queue)
 		if victim == nil {
@@ -401,6 +402,10 @@ func (c *Controller) Submit(tenant string, prio int, timeout time.Duration) (*Ti
 			c.mu.Unlock()
 			return nil, c.shedError(CodeTenantLimit, fmt.Sprintf("tenant queue full (%d)", ts.cfg.MaxQueue))
 		}
+		// The displaced ticket hit its own tenant's bound, not global
+		// overload: signal the tenant-local condition so clients (and the
+		// ShedByCode breakdown) do not read it as server-wide pressure.
+		victimCode = CodeTenantLimit
 	} else if c.queued >= c.queueBound() {
 		victim = c.boundVictim(t, nil)
 		if victim == nil {
@@ -410,7 +415,7 @@ func (c *Controller) Submit(tenant string, prio int, timeout time.Duration) (*Ti
 		}
 	}
 	if victim != nil {
-		c.shedLocked(victim, CodeOverloaded, "displaced by higher-priority arrival")
+		c.shedLocked(victim, victimCode, "displaced by higher-priority arrival")
 	}
 	ts.queue = append(ts.queue, t)
 	c.queued++
@@ -609,32 +614,37 @@ func (c *Controller) expire(t *Ticket) {
 }
 
 // cancel withdraws a queued ticket (client context ended). If the ticket
-// was already decided, the decision is returned instead so no grant is lost:
-// the caller must Release a granted ticket.
+// was already decided, the decision is collected instead so no grant is
+// lost: a concurrently granted slot is handed straight back via Release.
 func (c *Controller) cancel(t *Ticket) error {
 	c.mu.Lock()
-	if t.state != stateQueued {
+	if t.state == stateQueued {
+		c.shedLocked(t, CodeCanceled, "client canceled")
+		granted := c.grantLocked()
 		c.mu.Unlock()
-		// Decision already delivered to the channel; collect it.
-		select {
-		case err := <-t.decided:
-			if err == nil {
-				// Granted concurrently with cancellation: hand the slot back.
-				c.Release(t)
-				return ErrCanceled
-			}
-			return err
-		default:
-			return ErrCanceled
-		}
+		deliver(granted)
+		// Drain our own decision so the channel cannot retain the error.
+		<-t.decided
+		return ErrCanceled
 	}
-	c.shedLocked(t, CodeCanceled, "client canceled")
-	granted := c.grantLocked()
+	state := t.state
 	c.mu.Unlock()
-	deliver(granted)
-	// Drain our own decision so the channel cannot retain the error.
-	<-t.decided
-	return ErrCanceled
+	switch state {
+	case stateGranted:
+		// grantLocked flips the state under the mutex, but deliver sends on
+		// t.decided only after it is released — a non-blocking read here
+		// would race the send and leak the in-flight slot. The send is
+		// guaranteed by the state machine, so block for it, then hand the
+		// slot back.
+		<-t.decided
+		c.Release(t)
+		return ErrCanceled
+	case stateShed:
+		// shedLocked sends while holding the mutex: the error is present.
+		return <-t.decided
+	default: // stateReleased: the grant was already consumed and returned.
+		return ErrCanceled
+	}
 }
 
 // Release returns an admitted slot after the query finished (or failed) and

@@ -127,13 +127,33 @@ func TestFairDisplacesLowestPriorityWhenFull(t *testing.T) {
 	if err != nil {
 		t.Fatalf("high-priority submit displaced nothing: %v", err)
 	}
-	if err := low.Wait(context.Background()); !errors.Is(err, ErrOverloaded) {
-		t.Fatalf("displaced ticket: want ErrOverloaded, got %v", err)
+	// The victim hit its own tenant's queue bound, so the shed signal is the
+	// tenant-local code, not global overload.
+	if err := low.Wait(context.Background()); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("displaced ticket: want ErrTenantLimit, got %v", err)
 	}
 	select {
 	case err := <-tk.decided:
 		t.Fatalf("newcomer decided early: %v", err)
 	default:
+	}
+}
+
+func TestFairDisplacementAtGlobalBoundShedsOverloaded(t *testing.T) {
+	clk := newFakeClock()
+	c := New(testConfig(clk, func(cfg *Config) {
+		cfg.MaxConcurrent = 1
+		cfg.MaxQueue = 2
+		cfg.DefaultTenant.MaxQueue = 10 // per-tenant bound never binds here
+	}))
+	admit(t, c, "a")
+	low := queued(t, c, "a", 0)
+	queued(t, c, "a", 5)
+	if _, err := c.Submit("b", 10, 0); err != nil { // global bound displaces
+		t.Fatalf("high-priority submit displaced nothing: %v", err)
+	}
+	if err := low.Wait(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("globally displaced ticket: want ErrOverloaded, got %v", err)
 	}
 }
 
@@ -207,6 +227,41 @@ func TestContextCancelWithdraws(t *testing.T) {
 	}
 	// The canceled ticket must not hold a slot: the next submit gets it.
 	c.Release(running)
+	next := admit(t, c, "a")
+	c.Release(next)
+}
+
+// TestCancelOfGrantedUndeliveredTicketReturnsSlot reproduces the race window
+// between grantLocked (state flips to granted under the lock) and deliver
+// (the send on decided happens after unlock): a cancel arriving inside that
+// window must wait for the guaranteed send and hand the slot back, never
+// leak it.
+func TestCancelOfGrantedUndeliveredTicketReturnsSlot(t *testing.T) {
+	clk := newFakeClock()
+	c := New(testConfig(clk, func(cfg *Config) { cfg.MaxConcurrent = 1 }))
+	a := admit(t, c, "a")
+	b := queued(t, c, "a", 0)
+	// Re-create Release's critical section by hand, stopping before deliver:
+	// b is now stateGranted but nothing has been sent on b.decided yet.
+	c.mu.Lock()
+	a.state = stateReleased
+	c.tenants["a"].inFlight--
+	c.inFlight--
+	granted := c.grantLocked()
+	c.mu.Unlock()
+	if len(granted) != 1 || granted[0] != b {
+		t.Fatalf("setup: want b granted-undelivered, got %v", granted)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.cancel(b) }()
+	deliver(granted) // the send cancel must block for
+	if err := <-done; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancel of granted-undelivered ticket: want ErrCanceled, got %v", err)
+	}
+	if s := c.Stats(); s.InFlight != 0 {
+		t.Fatalf("in-flight slot leaked after cancel: %+v", s)
+	}
+	// The slot must be reusable immediately.
 	next := admit(t, c, "a")
 	c.Release(next)
 }

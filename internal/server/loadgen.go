@@ -167,7 +167,15 @@ arrivals:
 			continue
 		}
 		tenant := wheel[rng.Intn(len(wheel))]
-		qi := rng.Intn(max(len(cfg.Queries), len(cfg.SQL)))
+		// Draw from the mix the mode actually indexes: direct mode uses
+		// Queries, HTTP mode uses SQL. A config setting both with different
+		// lengths must not panic the worker goroutine.
+		var qi int
+		if cfg.Server != nil {
+			qi = rng.Intn(len(cfg.Queries))
+		} else {
+			qi = rng.Intn(len(cfg.SQL))
+		}
 		outstanding.Add(1)
 		wg.Add(1)
 		go func() {

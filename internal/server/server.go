@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -58,9 +59,60 @@ type Server struct {
 
 	maxDeadline time.Duration
 
-	reqs    reqMetrics
-	plansMu sync.Mutex
-	plans   map[string]*plan.Plan // SQL plan cache (front door compiles once per text)
+	reqs  reqMetrics
+	plans *planCache // bounded SQL plan cache (front door compiles once per text)
+}
+
+// planCacheCap bounds the SQL plan cache. The cache key is raw
+// client-supplied statement text on a multi-tenant front door, so without a
+// bound any client issuing unique texts (e.g. inlined literals) grows the
+// map without limit — a memory-exhaustion vector. The benchmark workloads
+// use a few dozen distinct statements; 256 leaves ample headroom.
+const planCacheCap = 256
+
+// planCache is a mutex-guarded LRU of compiled statements. Only statements
+// that compile successfully are inserted.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   list.List // front = most recently used; values are *planCacheEntry
+	byKey map[string]*list.Element
+}
+
+type planCacheEntry struct {
+	key string
+	pl  *plan.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, byKey: make(map[string]*list.Element, capacity)}
+}
+
+func (c *planCache) get(key string) (*plan.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planCacheEntry).pl, true
+}
+
+func (c *planCache) put(key string, pl *plan.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*planCacheEntry).pl = pl
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&planCacheEntry{key: key, pl: pl})
+	if c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*planCacheEntry).key)
+	}
 }
 
 // reqMetrics are the server's registry series; all-nil when no registry is
@@ -100,7 +152,7 @@ func New(cfg Config) (*Server, error) {
 		cat:         cfg.Catalog,
 		log:         cfg.Log,
 		maxDeadline: cfg.MaxQueryDeadline,
-		plans:       make(map[string]*plan.Plan),
+		plans:       newPlanCache(planCacheCap),
 	}
 	if reg := cfg.Admission.Registry; reg != nil {
 		s.reqs = reqMetrics{
@@ -185,19 +237,14 @@ func (s *Server) plan(query string) (*plan.Plan, error) {
 	if s.cat == nil {
 		return nil, errors.New("server: no catalog configured for SQL")
 	}
-	s.plansMu.Lock()
-	pl, ok := s.plans[query]
-	s.plansMu.Unlock()
-	if ok {
+	if pl, ok := s.plans.get(query); ok {
 		return pl, nil
 	}
 	pl, err := sql.PlanQuery(s.cat, query)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
-	s.plansMu.Lock()
-	s.plans[query] = pl
-	s.plansMu.Unlock()
+	s.plans.put(query, pl)
 	return pl, nil
 }
 
@@ -417,7 +464,9 @@ func cellValue(c column.Column, i int) any {
 // backpressure before admission control even sees a request.
 type limitListener struct {
 	net.Listener
-	sem chan struct{}
+	sem       chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // LimitListener wraps l so at most n connections are open at once (n <= 0
@@ -426,17 +475,30 @@ func LimitListener(l net.Listener, n int) net.Listener {
 	if n <= 0 {
 		return l
 	}
-	return &limitListener{Listener: l, sem: make(chan struct{}, n)}
+	return &limitListener{Listener: l, sem: make(chan struct{}, n), closed: make(chan struct{})}
 }
 
 func (l *limitListener) Accept() (net.Conn, error) {
-	l.sem <- struct{}{}
+	// Waiting on the semaphore alone would pin the accept loop when every
+	// slot is held: Close could not unblock it until some connection
+	// finished, hanging shutdown indefinitely at the connection cap. The
+	// close signal keeps listener closure prompt regardless of slot state.
+	select {
+	case l.sem <- struct{}{}:
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
 	c, err := l.Listener.Accept()
 	if err != nil {
 		<-l.sem
 		return nil, err
 	}
 	return &limitConn{Conn: c, release: func() { <-l.sem }}, nil
+}
+
+func (l *limitListener) Close() error {
+	l.closeOnce.Do(func() { close(l.closed) })
+	return l.Listener.Close()
 }
 
 // limitConn releases its listener slot exactly once on Close.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -436,4 +437,45 @@ func TestLimitListener(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestLimitListenerCloseUnblocksAccept pins the shutdown property: when every
+// connection slot is held, a blocked Accept must still return promptly on
+// Close instead of hanging until an existing connection finishes.
+func TestLimitListenerCloseUnblocksAccept(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ll := server.LimitListener(ln, 1)
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	held, err := ll.Accept() // takes the only slot
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	defer held.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := ll.Accept() // blocks on the exhausted semaphore
+		if c != nil {
+			c.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the goroutine reach the blocked state
+	if err := ll.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Accept returned a connection after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept did not unblock on Close while all slots were held")
+	}
 }
