@@ -10,6 +10,7 @@ package robustdb
 // RowsPerSF/Reps (see cmd/benchfig) for sharper steady-state numbers.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
@@ -322,6 +323,199 @@ func BenchmarkMicroChromeExport(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := WriteChromeTrace(io.Discard, spans, events); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- compressed execution micro set ---
+//
+// Each Compressed benchmark has a Decompress twin that runs the paper's
+// decompress-first model — decode the encoded column, then execute on the
+// flat data — over identical inputs. CI gates the Filter and Agg speedups
+// (compressed must stay ≥1.5× faster) via cmd/benchdiff -ratios.
+
+const microCompressedRows = 1 << 17
+
+var (
+	microCompOnce      sync.Once
+	microCompFilterCol *column.CompressedInt64Column
+	microCompFilter    *engine.Batch
+	microCompAgg       *engine.Batch
+	microCompAggCols   []*column.RLEInt64Column
+	microCompJoinDim   *engine.Batch
+	microCompJoinFact  *engine.Batch
+)
+
+// microCompressedData builds the fixed seeded inputs the compressed micro
+// set shares. The shapes are deliberately encoding-friendly — clustered
+// values for block skipping, 64-long runs for RLE folding, one key domain
+// under two dictionaries for the join bridge — because the benchmarks
+// measure what compressed execution buys when the encoding fits.
+func microCompressedData() {
+	microCompOnce.Do(func() {
+		// Clustered (sorted) values: a narrow range predicate classifies
+		// almost every 128-row bit-packed block as all-in or all-out, so the
+		// scan kernel touches block headers instead of rows.
+		vals := make([]int64, microCompressedRows)
+		for i := range vals {
+			vals[i] = int64(i >> 7)
+		}
+		microCompFilterCol = column.CompressInt64(column.NewInt64("v", vals))
+		microCompFilter = engine.MustNewBatch(microCompFilterCol)
+
+		// 64-long runs: the run-aware group-by folds each run in O(1).
+		grps := make([]int64, microCompressedRows)
+		rvals := make([]int64, microCompressedRows)
+		for i := range grps {
+			run := i >> 6
+			grps[i] = int64(run % 32)
+			rvals[i] = int64(run%7 + 1)
+		}
+		gc := column.CompressRLE("grp", grps)
+		vc := column.CompressRLE("val", rvals)
+		microCompAggCols = []*column.RLEInt64Column{gc, vc}
+		microCompAgg = engine.MustNewBatch(gc, vc)
+
+		// One key domain, two independently built dictionaries: the join
+		// bridges build codes to probe codes once instead of hashing strings.
+		dk := make([]string, 4096)
+		for i := range dk {
+			dk[i] = fmt.Sprintf("key-%04d", i)
+		}
+		fk := make([]string, microCompressedRows)
+		rng := rand.New(rand.NewSource(99))
+		for i := range fk {
+			fk[i] = dk[rng.Intn(len(dk))]
+		}
+		microCompJoinDim = engine.MustNewBatch(column.NewString("dk", dk))
+		microCompJoinFact = engine.MustNewBatch(column.NewString("fk", fk))
+	})
+}
+
+// microCompAggSpecs is the shared aggregation shape: one run-foldable sum
+// plus a count.
+func microCompAggSpecs() []engine.AggSpec {
+	return []engine.AggSpec{
+		{Func: engine.Sum, Col: "val", As: "s"},
+		{Func: engine.Count, As: "n"},
+	}
+}
+
+// BenchmarkMicroCompressedFilter measures the code-domain range scan over
+// the bit-packed column: block skipping, no decode.
+func BenchmarkMicroCompressedFilter(b *testing.B) {
+	microCompressedData()
+	ctx := microKernelCtx()
+	pred := expr.NewBetween("v", int64(400), int64(415))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos, err := engine.Filter(ctx, microCompFilter, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pos) != 16*128 {
+			b.Fatalf("compressed filter selected %d rows", len(pos))
+		}
+	}
+}
+
+// BenchmarkMicroDecompressFilter is the decompress-first reference for
+// BenchmarkMicroCompressedFilter: decode the column, then scan the values.
+func BenchmarkMicroDecompressFilter(b *testing.B) {
+	microCompressedData()
+	ctx := microKernelCtx()
+	pred := expr.NewBetween("v", int64(400), int64(415))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flat := engine.MustNewBatch(microCompFilterCol.Decompress())
+		pos, err := engine.Filter(ctx, flat, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pos) != 16*128 {
+			b.Fatalf("decompressed filter selected %d rows", len(pos))
+		}
+	}
+}
+
+// BenchmarkMicroCompressedAgg measures the run-aware group-by over RLE
+// columns: each 64-row run folds in O(1).
+func BenchmarkMicroCompressedAgg(b *testing.B) {
+	microCompressedData()
+	ctx := microKernelCtx()
+	aggs := microCompAggSpecs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := engine.GroupBy(ctx, microCompAgg, []string{"grp"}, aggs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.NumRows() != 32 {
+			b.Fatalf("compressed groupby produced %d groups", out.NumRows())
+		}
+	}
+}
+
+// BenchmarkMicroDecompressAgg is the decompress-first reference for
+// BenchmarkMicroCompressedAgg: decode both RLE columns, then aggregate row
+// by row.
+func BenchmarkMicroDecompressAgg(b *testing.B) {
+	microCompressedData()
+	ctx := microKernelCtx()
+	aggs := microCompAggSpecs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flat := engine.MustNewBatch(
+			microCompAggCols[0].Decompress(), microCompAggCols[1].Decompress())
+		out, err := engine.GroupBy(ctx, flat, []string{"grp"}, aggs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.NumRows() != 32 {
+			b.Fatalf("decompressed groupby produced %d groups", out.NumRows())
+		}
+	}
+}
+
+// BenchmarkMicroCompressedJoin measures the dictionary-bridge hash join:
+// build and probe stay in the integer code domain, with one code→code
+// bridge built over the 4Ki-entry dictionary per join.
+func BenchmarkMicroCompressedJoin(b *testing.B) {
+	microCompressedData()
+	ctx := microKernelCtx()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.HashJoin(ctx, microCompJoinDim, "dk", microCompJoinFact, "fk")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.LeftPos) != microCompressedRows {
+			b.Fatalf("bridge join produced %d pairs", len(res.LeftPos))
+		}
+	}
+}
+
+// BenchmarkMicroDecompressJoin is the decode-first reference for
+// BenchmarkMicroCompressedJoin: join in the value domain, hashing every
+// dictionary-decoded string on both sides.
+func BenchmarkMicroDecompressJoin(b *testing.B) {
+	microCompressedData()
+	dim := microCompJoinDim.Columns()[0].(*column.StringColumn)
+	fact := microCompJoinFact.Columns()[0].(*column.StringColumn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht := make(map[string]int32, dim.Len())
+		for r := 0; r < dim.Len(); r++ {
+			ht[dim.Value(r)] = int32(r)
+		}
+		pairs := 0
+		for r := 0; r < fact.Len(); r++ {
+			if _, ok := ht[fact.Value(r)]; ok {
+				pairs++
+			}
+		}
+		if pairs != microCompressedRows {
+			b.Fatalf("value join produced %d pairs", pairs)
 		}
 	}
 }

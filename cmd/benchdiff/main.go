@@ -13,6 +13,17 @@
 // ratios (new/old) exceeds 1+threshold: single-benchmark jitter is tolerated,
 // a regression across the suite is not. Benchmarks missing from either side
 // are reported but do not gate — they change the suite, not its speed.
+//
+// -ratios asserts cross-benchmark speedups within the current run (they
+// compare two medians from the same machine and input, so they are immune
+// to the runner-speed drift the baseline gate must tolerate):
+//
+//	benchdiff -ratios 'BenchmarkMicroCompressedFilter=BenchmarkMicroDecompressFilter:1.5' bench.txt
+//
+// reads "the slow (right) benchmark must take at least 1.5× the fast (left)
+// one's ns/op". Omitting :min reports the speedup without gating on it.
+// Ratio checks run in both gate and -update modes, so a re-pin cannot
+// silently accept a lost speedup.
 package main
 
 import (
@@ -38,7 +49,13 @@ func main() {
 	basePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (and -update)")
 	update := flag.Bool("update", false, "write the parsed medians as the new baseline instead of gating")
 	threshold := flag.Float64("threshold", 0.20, "allowed geomean regression (0.20 = +20%)")
+	ratios := flag.String("ratios", "", "comma list of fast=slow[:min] speedup assertions within this run (slow median must be ≥ min× the fast one)")
 	flag.Parse()
+
+	specs, err := parseRatioSpecs(*ratios)
+	if err != nil {
+		fatal(err)
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() == 1 {
@@ -66,14 +83,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("benchdiff: wrote %s (%d benchmarks)\n", *basePath, len(medians))
-		return
+		os.Exit(checkRatios(os.Stdout, specs, medians))
 	}
 
 	base, err := readBaseline(*basePath)
 	if err != nil {
 		fatal(err)
 	}
-	os.Exit(compare(os.Stdout, base.Benchmarks, medians, *threshold))
+	code := compare(os.Stdout, base.Benchmarks, medians, *threshold)
+	if rc := checkRatios(os.Stdout, specs, medians); rc != 0 {
+		code = rc
+	}
+	os.Exit(code)
 }
 
 // parseBench extracts ns/op samples from `go test -bench` output and reduces
@@ -184,6 +205,76 @@ func compare(w io.Writer, old, cur map[string]float64, threshold float64) int {
 	}
 	fmt.Fprintln(w, "benchdiff: OK")
 	return 0
+}
+
+// ratioSpec is one fast=slow[:min] speedup assertion.
+type ratioSpec struct {
+	fast, slow string
+	min        float64 // 0 = report only
+}
+
+func parseRatioSpecs(s string) ([]ratioSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var specs []ratioSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var spec ratioSpec
+		if i := strings.LastIndex(part, ":"); i >= 0 {
+			min, err := strconv.ParseFloat(part[i+1:], 64)
+			if err != nil || min <= 0 {
+				return nil, fmt.Errorf("ratio %q: bad minimum %q", part, part[i+1:])
+			}
+			spec.min = min
+			part = part[:i]
+		}
+		fast, slow, ok := strings.Cut(part, "=")
+		if !ok || fast == "" || slow == "" {
+			return nil, fmt.Errorf("ratio %q: want fast=slow[:min]", part)
+		}
+		spec.fast, spec.slow = fast, slow
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// checkRatios prints the speedup table and returns 1 when an asserted
+// minimum is missed or a named benchmark is absent from the run.
+func checkRatios(w io.Writer, specs []ratioSpec, medians map[string]float64) int {
+	if len(specs) == 0 {
+		return 0
+	}
+	code := 0
+	fmt.Fprintf(w, "%-64s %9s %9s\n", "speedup (slow/fast medians, this run)", "actual", "min")
+	for _, sp := range specs {
+		fastNS, okF := medians[sp.fast]
+		slowNS, okS := medians[sp.slow]
+		label := sp.fast + " vs " + sp.slow
+		if !okF || !okS {
+			fmt.Fprintf(w, "%-64s %9s %9s\n", label, "MISSING", "-")
+			code = 1
+			continue
+		}
+		speedup := slowNS / fastNS
+		min := "-"
+		if sp.min > 0 {
+			min = fmt.Sprintf("%.2fx", sp.min)
+		}
+		fmt.Fprintf(w, "%-64s %8.2fx %9s\n", label, speedup, min)
+		if sp.min > 0 && speedup < sp.min {
+			fmt.Fprintf(w, "benchdiff: FAIL — %s is only %.2fx faster than %s (need %.2fx)\n",
+				sp.fast, speedup, sp.slow, sp.min)
+			code = 1
+		}
+	}
+	if code == 0 {
+		fmt.Fprintln(w, "benchdiff: ratios OK")
+	}
+	return code
 }
 
 func fatal(err error) {

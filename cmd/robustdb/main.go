@@ -16,6 +16,11 @@
 //	-total N            total queries, split over the users (default: one
 //	                    pass over the query mix per user)
 //	-query NAME         run a single named query instead of the full mix
+//	-explain SQL        print the plan document for a statement as indented
+//	                    JSON (operator tree, predicates, size estimates,
+//	                    per-scan compression modes) and exit without
+//	                    executing it; serve mode exposes the same document
+//	                    on POST /v1/explain with placement decisions
 //	-cache-frac F       device cache as a fraction of the database (default 0.5)
 //	-heap-frac F        device heap as a fraction of the database (default 1.0)
 //	-admission          admit only one query at a time (baseline)
@@ -87,6 +92,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -119,6 +125,7 @@ func main() {
 	faultResets := flag.Int("fault-resets", 0, "full device resets over the run")
 	faultStuck := flag.Float64("fault-stuck", 0, "probability a GPU operator hangs before progress")
 	deadline := flag.Duration("deadline", 0, "per-query deadline (0 = none)")
+	explainSQL := flag.String("explain", "", "print the EXPLAIN plan document for a SQL statement as JSON and exit")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	serve := flag.String("serve", "", "serve mode: listen address for the query front door + observability surface (e.g. :8080)")
@@ -207,6 +214,23 @@ func main() {
 				break
 			}
 		}
+	}
+
+	// Explain mode: print the plan document and exit before any engine or
+	// device is built — EXPLAIN never executes the statement.
+	if *explainSQL != "" {
+		payload, err := db.ExplainSQL(*explainSQL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustdb: explain: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			fmt.Fprintf(os.Stderr, "robustdb: explain: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	dev := robustdb.Device{

@@ -38,6 +38,7 @@ type serveConfig struct {
 
 // runServe runs the query front door on addr: POST /v1/query admits
 // tenant-tagged SQL into the engine under the configured admission policy,
+// POST /v1/explain describes a statement's plan without running it,
 // /debug/admission exposes the controller state, and the observability mux
 // (/metrics, /healthz, /debug/snapshot, /debug/spans, pprof) shares the same
 // listener. A background tenant cycles the benchmark query mix through the
@@ -83,6 +84,7 @@ func runServe(cfg serveConfig) error {
 	})
 	root := http.NewServeMux()
 	root.Handle("/v1/query", front.Handler())
+	root.Handle("/v1/explain", front.Handler())
 	root.Handle("/debug/admission", front.Handler())
 	root.Handle("/", obsMux)
 

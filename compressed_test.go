@@ -68,8 +68,11 @@ func assertBatchesEqual(t *testing.T, name string, a, b *Batch) {
 		t.Fatalf("%s: shape differs: %dx%d vs %dx%d",
 			name, a.NumRows(), a.NumColumns(), b.NumRows(), b.NumColumns())
 	}
-	for ci, ac := range a.Columns() {
-		bc := b.Columns()[ci]
+	for ci := range a.Columns() {
+		// Late materialization may leave either side compressed; flatten both
+		// so the comparison is value-wise regardless of encoding.
+		ac := column.Materialized(a.Columns()[ci])
+		bc := column.Materialized(b.Columns()[ci])
 		for i := 0; i < ac.Len(); i++ {
 			var av, bv interface{}
 			switch ac := ac.(type) {
@@ -81,6 +84,8 @@ func assertBatchesEqual(t *testing.T, name string, a, b *Batch) {
 				av, bv = ac.Values[i], bc.(*column.DateColumn).Values[i]
 			case *column.StringColumn:
 				av, bv = ac.Value(i), bc.(*column.StringColumn).Value(i)
+			default:
+				t.Fatalf("%s: column %s has unexpected type %T", name, ac.Name(), ac)
 			}
 			if av != bv {
 				t.Fatalf("%s: column %s row %d: %v vs %v", name, ac.Name(), i, av, bv)

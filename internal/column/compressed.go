@@ -11,6 +11,14 @@ package column
 // is real — Bytes() reports the actual packed size, so caching, transfers,
 // and footprints all shrink by the true compression ratio, which is exactly
 // the mechanism that moves the knees of Figures 2/3/14.
+//
+// Kernels no longer decompress to operate: predicates scan the packed
+// blocks directly (see scan.go), Gather re-packs the surviving rows instead
+// of materializing them, and Slice produces zero-copy views so the morsel
+// scheduler can hand workers disjoint ranges of the same packed words. Full
+// decodes still happen at well-defined seams (Decompress/Materialized) and
+// are metered through DecompressedBytes so late materialization is
+// observable, not just asserted.
 
 // blockSize is the number of values per compression block.
 const blockSize = 128
@@ -107,12 +115,30 @@ func blocksBytes(blocks []packedBlock) int64 {
 	return n
 }
 
-// CompressedInt64Column is a bit-packed integer column. It satisfies Column;
-// Gather and Decompress materialize plain Int64Columns, so operators always
-// run on flat data (decompression-on-access, like CoGaDB's kernels).
+// viewBlocksBytes charges a [off, off+length) view for the blocks it
+// overlaps. A full-column view (off 0) reproduces blocksBytes exactly, so
+// catalog byte accounting is unchanged by the view machinery.
+func viewBlocksBytes(blocks []packedBlock, off, length int) int64 {
+	if length == 0 {
+		return 0
+	}
+	first := off / blockSize
+	last := (off + length + blockSize - 1) / blockSize
+	if last > len(blocks) {
+		last = len(blocks)
+	}
+	return blocksBytes(blocks[first:last])
+}
+
+// CompressedInt64Column is a bit-packed integer column, possibly a zero-copy
+// view of a larger one. It satisfies Column; predicates evaluate directly on
+// the packed blocks (ScanCmp/ScanRange), Gather re-packs the addressed rows
+// so late-materialized paths stay compressed, and Decompress is the single
+// (metered) full-decode seam.
 type CompressedInt64Column struct {
 	name   string
 	blocks []packedBlock
+	off    int // first logical row, in block coordinates
 	length int
 }
 
@@ -134,27 +160,36 @@ func (c *CompressedInt64Column) Type() Type { return Int64 }
 // Len returns the number of rows.
 func (c *CompressedInt64Column) Len() int { return c.length }
 
-// Bytes returns the real encoded size.
-func (c *CompressedInt64Column) Bytes() int64 { return blocksBytes(c.blocks) }
+// Bytes returns the real encoded size of the blocks this view overlaps.
+func (c *CompressedInt64Column) Bytes() int64 { return viewBlocksBytes(c.blocks, c.off, c.length) }
 
 // Value returns the i-th value.
-func (c *CompressedInt64Column) Value(i int) int64 { return blocksValue(c.blocks, i) }
+func (c *CompressedInt64Column) Value(i int) int64 { return blocksValue(c.blocks, c.off+i) }
 
-// Gather materializes the addressed rows as a plain column.
+// Slice returns a zero-copy view of rows [lo, hi): the packed words are
+// shared, only the window moves. Morsel workers slice instead of decoding.
+func (c *CompressedInt64Column) Slice(lo, hi int) *CompressedInt64Column {
+	return &CompressedInt64Column{name: c.name, blocks: c.blocks, off: c.off + lo, length: hi - lo}
+}
+
+// Gather re-packs the addressed rows into a new compressed column. Late
+// materialization keeps survivors encoded; decoding happens only at the
+// Decompress/Materialized seam (or value-at-a-time at the wire edge).
 func (c *CompressedInt64Column) Gather(pos []int32) Column {
 	out := make([]int64, len(pos))
 	for i, p := range pos {
-		out[i] = blocksValue(c.blocks, int(p))
+		out[i] = blocksValue(c.blocks, c.off+int(p))
 	}
-	return NewInt64(c.name, out)
+	return &CompressedInt64Column{name: c.name, blocks: packInt64(out), length: len(out)}
 }
 
-// Decompress materializes the whole column.
+// Decompress materializes the whole column (metered; see DecompressedBytes).
 func (c *CompressedInt64Column) Decompress() *Int64Column {
 	out := make([]int64, c.length)
 	for i := range out {
-		out[i] = blocksValue(c.blocks, i)
+		out[i] = blocksValue(c.blocks, c.off+i)
 	}
+	noteDecompressed(int64(c.length) * 8)
 	return NewInt64(c.name, out)
 }
 
@@ -163,10 +198,12 @@ func (c *CompressedInt64Column) CompressionRatio() float64 {
 	return float64(c.length*8) / float64(c.Bytes())
 }
 
-// CompressedDateColumn is a bit-packed date column.
+// CompressedDateColumn is a bit-packed date column (same block layout and
+// view semantics as CompressedInt64Column).
 type CompressedDateColumn struct {
 	name   string
 	blocks []packedBlock
+	off    int
 	length int
 }
 
@@ -188,24 +225,35 @@ func (c *CompressedDateColumn) Type() Type { return Date }
 // Len returns the number of rows.
 func (c *CompressedDateColumn) Len() int { return c.length }
 
-// Bytes returns the real encoded size.
-func (c *CompressedDateColumn) Bytes() int64 { return blocksBytes(c.blocks) }
+// Bytes returns the real encoded size of the blocks this view overlaps.
+func (c *CompressedDateColumn) Bytes() int64 { return viewBlocksBytes(c.blocks, c.off, c.length) }
 
-// Gather materializes the addressed rows as a plain date column.
-func (c *CompressedDateColumn) Gather(pos []int32) Column {
-	out := make([]int32, len(pos))
-	for i, p := range pos {
-		out[i] = int32(blocksValue(c.blocks, int(p)))
-	}
-	return NewDate(c.name, out)
+// Value returns the i-th value as days since epoch.
+func (c *CompressedDateColumn) Value(i int) int32 {
+	return int32(blocksValue(c.blocks, c.off+i))
 }
 
-// Decompress materializes the whole column.
+// Slice returns a zero-copy view of rows [lo, hi).
+func (c *CompressedDateColumn) Slice(lo, hi int) *CompressedDateColumn {
+	return &CompressedDateColumn{name: c.name, blocks: c.blocks, off: c.off + lo, length: hi - lo}
+}
+
+// Gather re-packs the addressed rows into a new compressed date column.
+func (c *CompressedDateColumn) Gather(pos []int32) Column {
+	out := make([]int64, len(pos))
+	for i, p := range pos {
+		out[i] = blocksValue(c.blocks, c.off+int(p))
+	}
+	return &CompressedDateColumn{name: c.name, blocks: packInt64(out), length: len(out)}
+}
+
+// Decompress materializes the whole column (metered; see DecompressedBytes).
 func (c *CompressedDateColumn) Decompress() *DateColumn {
 	out := make([]int32, c.length)
 	for i := range out {
-		out[i] = int32(blocksValue(c.blocks, i))
+		out[i] = int32(blocksValue(c.blocks, c.off+i))
 	}
+	noteDecompressed(int64(c.length) * 4)
 	return NewDate(c.name, out)
 }
 
@@ -216,6 +264,8 @@ func Materialized(c Column) Column {
 	case *CompressedInt64Column:
 		return c.Decompress()
 	case *CompressedDateColumn:
+		return c.Decompress()
+	case *RLEInt64Column:
 		return c.Decompress()
 	default:
 		return c

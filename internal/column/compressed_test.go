@@ -24,9 +24,11 @@ func TestCompressInt64Roundtrip(t *testing.T) {
 			t.Fatalf("Decompress[%d] = %d, want %d", i, d.Values[i], v)
 		}
 	}
-	g := c.Gather([]int32{5, 0, 6}).(*Int64Column)
-	if g.Values[0] != 100 || g.Values[1] != 5 || g.Values[2] != -3 {
-		t.Fatalf("Gather = %v", g.Values)
+	// Gather preserves the encoding (late materialization): survivors are
+	// re-packed, and only Decompress flattens them.
+	g := c.Gather([]int32{5, 0, 6}).(*CompressedInt64Column)
+	if got := g.Decompress().Values; got[0] != 100 || got[1] != 5 || got[2] != -3 {
+		t.Fatalf("Gather = %v", got)
 	}
 }
 
@@ -73,8 +75,8 @@ func TestCompressDateRoundtrip(t *testing.T) {
 			t.Fatalf("date decode[%d] = %d, want %d", i, d.Values[i], v)
 		}
 	}
-	g := c.Gather([]int32{2}).(*DateColumn)
-	if g.Values[0] != 19981231 {
+	g := c.Gather([]int32{2}).(*CompressedDateColumn)
+	if g.Value(0) != 19981231 {
 		t.Fatal("date gather wrong")
 	}
 	if c.Bytes() >= NewDate("d", vals).Bytes()*3 {

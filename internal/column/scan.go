@@ -1,0 +1,266 @@
+package column
+
+// Code-domain scan kernels: predicates evaluate directly on the packed
+// representation. Every frame-of-reference block knows its minimum and (from
+// the bit width) a conservative maximum, so whole blocks are skipped or
+// taken with two comparisons; only straddling blocks decode value-at-a-time,
+// and even those compare in the translated delta domain without
+// reconstructing the int64. This is what makes compressed filters faster
+// than decompress-then-filter on clustered data, not merely equal.
+
+import "sync/atomic"
+
+// ScanOp enumerates the comparison kinds of the code-domain kernels.
+// internal/expr translates its operators to these once per predicate.
+type ScanOp uint8
+
+const (
+	// ScanEQ selects values equal to the constant.
+	ScanEQ ScanOp = iota
+	// ScanNE selects values not equal to the constant.
+	ScanNE
+	// ScanLT selects values less than the constant.
+	ScanLT
+	// ScanLE selects values at most the constant.
+	ScanLE
+	// ScanGT selects values greater than the constant.
+	ScanGT
+	// ScanGE selects values at least the constant.
+	ScanGE
+)
+
+// cmpMatches reports whether (a op b) holds.
+func cmpMatches(op ScanOp, a, b int64) bool {
+	switch op {
+	case ScanEQ:
+		return a == b
+	case ScanNE:
+		return a != b
+	case ScanLT:
+		return a < b
+	case ScanLE:
+		return a <= b
+	case ScanGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// ScanCmp appends the local positions satisfying (value op v) to out.
+func (c *CompressedInt64Column) ScanCmp(op ScanOp, v int64, out PosList) PosList {
+	return scanBlocksCmp(c.blocks, c.off, c.length, op, v, out)
+}
+
+// ScanRange appends the local positions with lo ≤ value ≤ hi to out.
+func (c *CompressedInt64Column) ScanRange(lo, hi int64, out PosList) PosList {
+	return scanBlocksRange(c.blocks, c.off, c.length, lo, hi, out)
+}
+
+// ScanCmp appends the local positions satisfying (value op v) to out.
+func (c *CompressedDateColumn) ScanCmp(op ScanOp, v int64, out PosList) PosList {
+	return scanBlocksCmp(c.blocks, c.off, c.length, op, v, out)
+}
+
+// ScanRange appends the local positions with lo ≤ value ≤ hi to out.
+func (c *CompressedDateColumn) ScanRange(lo, hi int64, out PosList) PosList {
+	return scanBlocksRange(c.blocks, c.off, c.length, lo, hi, out)
+}
+
+// blockBounds returns the value range a block can contain. The maximum is
+// the width-implied bound (min + 2^width − 1), which is exact for blocks
+// whose extremes realize the width and conservative otherwise. bounded is
+// false for 64-bit blocks, whose delta range wraps int64.
+func blockBounds(b *packedBlock) (mn int64, maxDelta uint64, bounded bool) {
+	if b.width >= 64 {
+		return b.min, 0, false
+	}
+	return b.min, (uint64(1) << b.width) - 1, true
+}
+
+// blockClass classifies a block against (value op v): every row matches,
+// no row matches, or the block straddles and must be scanned.
+type blockClass uint8
+
+const (
+	classNone blockClass = iota
+	classAll
+	classMixed
+)
+
+func classifyCmp(b *packedBlock, op ScanOp, v int64) blockClass {
+	mn, maxDelta, bounded := blockBounds(b)
+	// dv is the unsigned distance v − mn, meaningful only when v ≥ mn;
+	// computing it in uint64 sidesteps int64 overflow for extreme frames.
+	var dv uint64
+	if v >= mn {
+		dv = uint64(v) - uint64(mn)
+	}
+	above := bounded && v >= mn && dv > maxDelta // v exceeds the block maximum
+	below := v < mn                              // v is under the block minimum
+	switch op {
+	case ScanEQ:
+		if below || above {
+			return classNone
+		}
+		if b.width == 0 && mn == v {
+			return classAll
+		}
+	case ScanNE:
+		if below || above {
+			return classAll
+		}
+		if b.width == 0 && mn == v {
+			return classNone
+		}
+	case ScanLT:
+		if above {
+			return classAll
+		}
+		if v <= mn {
+			return classNone
+		}
+	case ScanLE:
+		if above || (bounded && v >= mn && dv == maxDelta) {
+			return classAll
+		}
+		if below {
+			return classNone
+		}
+	case ScanGT:
+		if below {
+			return classAll
+		}
+		if above || (bounded && v >= mn && dv == maxDelta) {
+			return classNone
+		}
+	case ScanGE:
+		if v <= mn {
+			return classAll
+		}
+		if above {
+			return classNone
+		}
+	}
+	return classMixed
+}
+
+// scanBlocksCmp walks the blocks overlapping logical rows [off, off+n),
+// appending matching local positions. Blocks classified all/none are
+// emitted or skipped without touching their packed words.
+func scanBlocksCmp(blocks []packedBlock, off, n int, op ScanOp, v int64, out PosList) PosList {
+	for local := 0; local < n; {
+		base := off + local
+		b := &blocks[base/blockSize]
+		j := base % blockSize // first row of interest inside the block
+		span := b.n - j
+		if span > n-local {
+			span = n - local
+		}
+		switch classifyCmp(b, op, v) {
+		case classAll:
+			for i := 0; i < span; i++ {
+				out = append(out, int32(local+i))
+			}
+		case classMixed:
+			// Compare in the delta domain: value op v ⇔ delta op (v − min),
+			// with the boundary cases already resolved by classification.
+			dv := uint64(v) - uint64(b.min)
+			vBelow := v < b.min // NE with v under the frame: everything matches
+			for i := 0; i < span; i++ {
+				d := getBits(b.words, (j+i)*int(b.width), b.width)
+				var match bool
+				switch op {
+				case ScanEQ:
+					match = d == dv
+				case ScanNE:
+					match = vBelow || d != dv
+				case ScanLT:
+					match = !vBelow && d < dv
+				case ScanLE:
+					match = !vBelow && d <= dv
+				case ScanGT:
+					match = vBelow || d > dv
+				default: // ScanGE
+					match = vBelow || d >= dv
+				}
+				if match {
+					out = append(out, int32(local+i))
+				}
+			}
+		}
+		local += span
+	}
+	return out
+}
+
+// scanBlocksRange is scanBlocksCmp for lo ≤ value ≤ hi.
+func scanBlocksRange(blocks []packedBlock, off, n int, lo, hi int64, out PosList) PosList {
+	if lo > hi {
+		return out
+	}
+	for local := 0; local < n; {
+		base := off + local
+		b := &blocks[base/blockSize]
+		j := base % blockSize
+		span := b.n - j
+		if span > n-local {
+			span = n - local
+		}
+		mn, maxDelta, bounded := blockBounds(b)
+		var dhi uint64
+		hiAbove := false // hi exceeds the block maximum
+		if hi >= mn {
+			dhi = uint64(hi) - uint64(mn)
+			hiAbove = bounded && dhi >= maxDelta
+		}
+		switch {
+		case hi < mn || (bounded && lo >= mn && uint64(lo)-uint64(mn) > maxDelta):
+			// disjoint: skip the block
+		case lo <= mn && hiAbove:
+			for i := 0; i < span; i++ {
+				out = append(out, int32(local+i))
+			}
+		default:
+			var dlo uint64
+			if lo > mn {
+				dlo = uint64(lo) - uint64(mn)
+			}
+			for i := 0; i < span; i++ {
+				d := getBits(b.words, (j+i)*int(b.width), b.width)
+				if d >= dlo && (hiAbove || d <= dhi) {
+					out = append(out, int32(local+i))
+				}
+			}
+		}
+		local += span
+	}
+	return out
+}
+
+// decompressedBytes counts bytes materialized out of compressed columns by
+// full decodes (Decompress/Materialized). Late-materialized plans keep this
+// near zero; the exposition surfaces it as robustdb_decompress_bytes_total.
+var decompressedBytes atomic.Int64
+
+func noteDecompressed(n int64) { decompressedBytes.Add(n) }
+
+// DecompressedBytes returns the process-wide total of bytes produced by
+// decompressing columns. Monotonic; exported as a Prometheus counter.
+func DecompressedBytes() int64 { return decompressedBytes.Load() }
+
+// Encoding names the physical encoding of a column for plans and traces:
+// "plain", "dict" (order-preserving string dictionary), "bitpack"
+// (frame-of-reference bit packing), or "rle" (run-length encoding).
+func Encoding(c Column) string {
+	switch c.(type) {
+	case *CompressedInt64Column, *CompressedDateColumn:
+		return "bitpack"
+	case *RLEInt64Column:
+		return "rle"
+	case *StringColumn:
+		return "dict"
+	default:
+		return "plain"
+	}
+}

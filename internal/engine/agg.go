@@ -90,13 +90,29 @@ func GroupBy(ctx *Ctx, b *Batch, keys []string, aggs []AggSpec) (*Batch, error) 
 		return accums, nil
 	}
 
+	// RLE fast path: when every key column and every aggregate input column
+	// exposes maximal equal-value runs, a whole run is one key lookup and one
+	// O(1) accumulator fold instead of per-row work. Runs are clipped to
+	// morsel boundaries, so the decomposition — and therefore every output
+	// bit — stays identical at any worker count.
+	runCols, runAware := runColumns(b, keyCols, aggs)
+
 	n := b.NumRows()
 	numMorsels := par.Morsels(n)
 	partials := make([]groupPartial, numMorsels)
 	err := ctx.forEachMorsel(n, func(mi, lo, hi int) error {
 		local := groupPartial{groups: make(map[string]*groupState)}
 		keyBuf := make([]byte, 0, 64)
-		for row := lo; row < hi; row++ {
+		for row := lo; row < hi; {
+			end := row + 1
+			if runAware {
+				end = hi
+				for _, rc := range runCols {
+					if e := rc.RunEnd(row); e < end {
+						end = e
+					}
+				}
+			}
 			keyBuf = keyBuf[:0]
 			for _, kc := range keyCols {
 				keyBuf = appendGroupKey(keyBuf, kc, row)
@@ -113,10 +129,11 @@ func GroupBy(ctx *Ctx, b *Batch, keys []string, aggs []AggSpec) (*Batch, error) 
 				local.order = append(local.order, k)
 			}
 			for _, acc := range g.accums {
-				if err := acc.add(row); err != nil {
+				if err := acc.addRun(row, end-row); err != nil {
 					return err
 				}
 			}
+			row = end
 		}
 		partials[mi] = local
 		return nil
@@ -178,13 +195,54 @@ func GroupBy(ctx *Ctx, b *Batch, keys []string, aggs []AggSpec) (*Batch, error) 
 	return NewBatch(out...)
 }
 
-// accumulator folds rows into one aggregate value. merge folds another
-// accumulator of the same concrete type into the receiver; GroupBy calls it
-// in morsel order, which keeps float folds deterministic.
+// accumulator folds rows into one aggregate value. addRun folds k
+// consecutive rows starting at row that are known to carry equal values in
+// every aggregate input column (the RLE fast path); addRun(row, 1) is the
+// per-row case. merge folds another accumulator of the same concrete type
+// into the receiver; GroupBy calls it in morsel order, which keeps float
+// folds deterministic.
+//
+// Run folds compute sums as value×count. For the integer-valued columns RLE
+// encodes this is exact (and therefore bit-identical to repeated addition)
+// as long as intermediate sums stay within float64's 2^53 integer range —
+// the property the compressed determinism suite pins.
 type accumulator interface {
-	add(row int) error
+	addRun(row, k int) error
 	merge(other accumulator)
 	result() float64
+}
+
+// runColumn is implemented by run-length-encoded columns: RunEnd(i) is the
+// exclusive end of the maximal equal-value run containing row i.
+type runColumn interface{ RunEnd(i int) int }
+
+// runColumns collects the run views of every column the grouping reads
+// (keys and aggregate inputs). ok is true only when all of them expose
+// runs; Count aggregates read no column and never disqualify the fast path.
+func runColumns(b *Batch, keyCols []column.Column, aggs []AggSpec) ([]runColumn, bool) {
+	var out []runColumn
+	for _, kc := range keyCols {
+		rc, ok := kc.(runColumn)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, rc)
+	}
+	for _, a := range aggs {
+		if a.Func == Count {
+			continue
+		}
+		c, err := b.Column(a.Col)
+		if err != nil {
+			return nil, false // newAccumulator reports the missing column
+		}
+		rc, ok := c.(runColumn)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, rc)
+	}
+	return out, true
 }
 
 func newAccumulator(b *Batch, spec AggSpec) (accumulator, error) {
@@ -222,6 +280,12 @@ func numericReader(c column.Column) (func(int) float64, error) {
 		return func(i int) float64 { return c.Values[i] }, nil
 	case *column.DateColumn:
 		return func(i int) float64 { return float64(c.Values[i]) }, nil
+	case *column.CompressedInt64Column:
+		return func(i int) float64 { return float64(c.Value(i)) }, nil
+	case *column.CompressedDateColumn:
+		return func(i int) float64 { return float64(c.Value(i)) }, nil
+	case *column.RLEInt64Column:
+		return func(i int) float64 { return float64(c.Value(i)) }, nil
 	default:
 		return nil, fmt.Errorf("column %s is not numeric", c.Name())
 	}
@@ -229,16 +293,23 @@ func numericReader(c column.Column) (func(int) float64, error) {
 
 type countAcc struct{ n int64 }
 
-func (a *countAcc) add(int) error       { a.n++; return nil }
-func (a *countAcc) merge(o accumulator) { a.n += o.(*countAcc).n }
-func (a *countAcc) result() float64     { return float64(a.n) }
+func (a *countAcc) addRun(_, k int) error { a.n += int64(k); return nil }
+func (a *countAcc) merge(o accumulator)   { a.n += o.(*countAcc).n }
+func (a *countAcc) result() float64       { return float64(a.n) }
 
 type sumAcc struct {
 	read func(int) float64
 	sum  float64
 }
 
-func (a *sumAcc) add(row int) error   { a.sum += a.read(row); return nil }
+func (a *sumAcc) addRun(row, k int) error {
+	if k == 1 {
+		a.sum += a.read(row)
+	} else {
+		a.sum += a.read(row) * float64(k)
+	}
+	return nil
+}
 func (a *sumAcc) merge(o accumulator) { a.sum += o.(*sumAcc).sum }
 func (a *sumAcc) result() float64     { return a.sum }
 
@@ -248,7 +319,7 @@ type minAcc struct {
 	seen bool
 }
 
-func (a *minAcc) add(row int) error {
+func (a *minAcc) addRun(row, _ int) error {
 	v := a.read(row)
 	if !a.seen || v < a.min {
 		a.min, a.seen = v, true
@@ -269,7 +340,7 @@ type maxAcc struct {
 	seen bool
 }
 
-func (a *maxAcc) add(row int) error {
+func (a *maxAcc) addRun(row, _ int) error {
 	v := a.read(row)
 	if !a.seen || v > a.max {
 		a.max, a.seen = v, true
@@ -290,7 +361,15 @@ type avgAcc struct {
 	n    int64
 }
 
-func (a *avgAcc) add(row int) error { a.sum += a.read(row); a.n++; return nil }
+func (a *avgAcc) addRun(row, k int) error {
+	if k == 1 {
+		a.sum += a.read(row)
+	} else {
+		a.sum += a.read(row) * float64(k)
+	}
+	a.n += int64(k)
+	return nil
+}
 func (a *avgAcc) merge(o accumulator) {
 	b := o.(*avgAcc)
 	a.sum += b.sum
@@ -317,6 +396,12 @@ func appendGroupKey(buf []byte, c column.Column, i int) []byte {
 	case *column.Float64Column:
 		// Group-by on floats groups identical bit patterns.
 		v = uint64(int64(c.Values[i] * 1e6)) // fixed-point to be robust for money values
+	case *column.CompressedInt64Column:
+		v = uint64(c.Value(i))
+	case *column.CompressedDateColumn:
+		v = uint64(uint32(c.Value(i)))
+	case *column.RLEInt64Column:
+		v = uint64(c.Value(i))
 	}
 	buf = append(buf,
 		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),

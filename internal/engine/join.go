@@ -19,9 +19,10 @@ func (r *JoinResult) NumRows() int { return len(r.LeftPos) }
 
 // keyAccessor resolves the key column's type once and returns a typed
 // row→key closure, hoisting the dispatch out of the build and probe loops.
-// Join keys may be int64 or date columns (dictionary codes are only
-// comparable within one column; the schemas in this repository join on
-// integer keys only).
+// Join keys may be int64 or date columns, plain or compressed (compressed
+// keys decode value-at-a-time inside the accessor — the column itself is
+// never materialized). Dictionary codes are only comparable across columns
+// through joinKeyAccessors' bridge.
 func keyAccessor(c column.Column) (func(int) int64, error) {
 	switch c := c.(type) {
 	case *column.Int64Column:
@@ -30,9 +31,58 @@ func keyAccessor(c column.Column) (func(int) int64, error) {
 	case *column.DateColumn:
 		vals := c.Values
 		return func(i int) int64 { return int64(vals[i]) }, nil
+	case *column.CompressedInt64Column:
+		return func(i int) int64 { return c.Value(i) }, nil
+	case *column.CompressedDateColumn:
+		return func(i int) int64 { return int64(c.Value(i)) }, nil
+	case *column.RLEInt64Column:
+		return func(i int) int64 { return c.Value(i) }, nil
 	default:
 		return nil, fmt.Errorf("join: unsupported key column type %T (%s)", c, c.Name())
 	}
+}
+
+// joinKeyAccessors resolves both key columns of a join together so
+// dictionary-encoded string keys can join on their integer codes. When both
+// sides share one dictionary (Gather propagates the dictionary by
+// reference), codes compare directly; otherwise a code→code bridge is built
+// once — build-side codes translate into the probe side's code domain, with
+// −1 marking build values absent from the probe dictionary (−1 never equals
+// a probe code, so unmatched build rows simply find no partner). String
+// joins therefore never materialize or hash a single string.
+func joinKeyAccessors(build, probe column.Column) (func(int) int64, func(int) int64, error) {
+	bs, bok := build.(*column.StringColumn)
+	ps, pok := probe.(*column.StringColumn)
+	if bok != pok {
+		return nil, nil, fmt.Errorf("join: cannot join %s (%T) with %s (%T)",
+			build.Name(), build, probe.Name(), probe)
+	}
+	if !bok {
+		bacc, err := keyAccessor(build)
+		if err != nil {
+			return nil, nil, err
+		}
+		pacc, err := keyAccessor(probe)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bacc, pacc, nil
+	}
+	bCodes, pCodes := bs.Codes, ps.Codes
+	pacc := func(j int) int64 { return int64(pCodes[j]) }
+	if len(bs.Dict) == len(ps.Dict) && (len(bs.Dict) == 0 || &bs.Dict[0] == &ps.Dict[0]) {
+		// Shared dictionary: one code domain on both sides.
+		return func(i int) int64 { return int64(bCodes[i]) }, pacc, nil
+	}
+	bridge := make([]int64, len(bs.Dict))
+	for c, s := range bs.Dict {
+		if code, ok := ps.Code(s); ok {
+			bridge[c] = int64(code)
+		} else {
+			bridge[c] = -1
+		}
+	}
+	return func(i int) int64 { return bridge[bCodes[i]] }, pacc, nil
 }
 
 // fibMul is the 64-bit Fibonacci hashing constant (2^64 / φ, odd). A single
@@ -201,11 +251,7 @@ func HashJoin(ctx *Ctx, left *Batch, leftKey string, right *Batch, rightKey stri
 	if err != nil {
 		return nil, fmt.Errorf("hash join probe side: %w", err)
 	}
-	lacc, err := keyAccessor(lk)
-	if err != nil {
-		return nil, err
-	}
-	racc, err := keyAccessor(rk)
+	lacc, racc, err := joinKeyAccessors(lk, rk)
 	if err != nil {
 		return nil, err
 	}
@@ -288,11 +334,7 @@ func SemiJoin(ctx *Ctx, build *Batch, buildKey string, probe *Batch, probeKey st
 	if err != nil {
 		return nil, fmt.Errorf("semi join probe side: %w", err)
 	}
-	bacc, err := keyAccessor(bk)
-	if err != nil {
-		return nil, err
-	}
-	pacc, err := keyAccessor(pk)
+	bacc, pacc, err := joinKeyAccessors(bk, pk)
 	if err != nil {
 		return nil, err
 	}
@@ -351,11 +393,7 @@ func NestedLoopJoin(left *Batch, leftKey string, right *Batch, rightKey string) 
 	if err != nil {
 		return nil, err
 	}
-	lacc, err := keyAccessor(lk)
-	if err != nil {
-		return nil, err
-	}
-	racc, err := keyAccessor(rk)
+	lacc, racc, err := joinKeyAccessors(lk, rk)
 	if err != nil {
 		return nil, err
 	}

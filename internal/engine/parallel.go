@@ -6,10 +6,12 @@ import (
 	"robustdb/internal/par"
 )
 
-// sliceColumn returns a zero-copy view of rows [lo, hi) of a flat column
-// (the four dense storage types share their backing arrays; string views
-// share the dictionary). Reports false for non-flat columns such as
-// compressed ones, which callers handle by falling back to serial paths.
+// sliceColumn returns a zero-copy view of rows [lo, hi) of a column: the
+// four dense storage types share their backing arrays (string views share
+// the dictionary), and the compressed encodings share their packed blocks
+// or runs through window views — morsel workers scan encoded data in place.
+// Reports false for column types without view support, which callers handle
+// by falling back to serial paths.
 func sliceColumn(c column.Column, lo, hi int) (column.Column, bool) {
 	switch c := c.(type) {
 	case *column.Int64Column:
@@ -20,6 +22,12 @@ func sliceColumn(c column.Column, lo, hi int) (column.Column, bool) {
 		return column.NewDate(c.Name(), c.Values[lo:hi]), true
 	case *column.StringColumn:
 		return column.NewStringFromDict(c.Name(), c.Dict, c.Codes[lo:hi]), true
+	case *column.CompressedInt64Column:
+		return c.Slice(lo, hi), true
+	case *column.CompressedDateColumn:
+		return c.Slice(lo, hi), true
+	case *column.RLEInt64Column:
+		return c.Slice(lo, hi), true
 	default:
 		return nil, false
 	}
@@ -32,8 +40,8 @@ func sliceColumn(c column.Column, lo, hi int) (column.Column, bool) {
 // serial evaluation exactly.
 func parFilter(ctx *Ctx, b *Batch, pred expr.Predicate, n int) (column.PosList, error) {
 	// Fall back to the serial evaluator if any referenced column cannot be
-	// sliced zero-copy (defensive: scans materialize compressed columns
-	// before batches reach the filter kernel).
+	// sliced zero-copy (defensive: every storage and compressed encoding
+	// supports views, so this only triggers for exotic column types).
 	for _, name := range pred.Columns() {
 		c, err := b.Column(name)
 		if err == nil {

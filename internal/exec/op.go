@@ -4,9 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
+	"strings"
 	"time"
 
 	"robustdb/internal/bus"
+	"robustdb/internal/column"
 	"robustdb/internal/cost"
 	"robustdb/internal/device"
 	"robustdb/internal/engine"
@@ -166,7 +169,33 @@ func (e *Engine) traceOp(q *query, n *plan.Node, kind cost.ProcKind, attempt int
 		HeapHighWater: st.heapHW,
 		KernelWorkers: st.kernelWorkers,
 		MorselCount:   st.morsels,
+		Compression:   e.compressionModes(n),
 	})
+}
+
+// compressionModes summarizes the compressed encodings of the base columns
+// the operator reads ("bitpack", "rle", "bitpack+rle"). Plain and
+// dictionary storage report nothing: dictionaries predate compressed
+// execution, so only genuinely compressed scans annotate their spans (and
+// goldens from uncompressed databases stay stable).
+func (e *Engine) compressionModes(n *plan.Node) string {
+	var modes []string
+	seen := make(map[string]bool)
+	for _, id := range n.Op.BaseColumns() {
+		c, err := e.Cat.Column(id)
+		if err != nil {
+			continue // placement-level concern; traceOp stays best-effort
+		}
+		switch enc := column.Encoding(c); enc {
+		case "bitpack", "rle":
+			if !seen[enc] {
+				seen[enc] = true
+				modes = append(modes, enc)
+			}
+		}
+	}
+	sort.Strings(modes)
+	return strings.Join(modes, "+")
 }
 
 // noteKernel folds one attempt's kernel parallelism into its stats and the

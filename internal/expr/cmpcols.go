@@ -66,6 +66,12 @@ func rowReader(c column.Column) (func(int) float64, error) {
 		return func(i int) float64 { return c.Values[i] }, nil
 	case *column.DateColumn:
 		return func(i int) float64 { return float64(c.Values[i]) }, nil
+	case *column.CompressedInt64Column:
+		return func(i int) float64 { return float64(c.Value(i)) }, nil
+	case *column.CompressedDateColumn:
+		return func(i int) float64 { return float64(c.Value(i)) }, nil
+	case *column.RLEInt64Column:
+		return func(i int) float64 { return float64(c.Value(i)) }, nil
 	default:
 		return nil, fmt.Errorf("column %s is not numeric", c.Name())
 	}

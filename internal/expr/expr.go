@@ -75,11 +75,47 @@ func (c *Cmp) Columns() []string { return []string{c.Col} }
 // String renders "col op value".
 func (c *Cmp) String() string { return fmt.Sprintf("%s %s %v", c.Col, c.Op, c.Value) }
 
+// codeScanner is implemented by the compressed column encodings (bit-packed
+// and run-length): comparisons evaluate directly on the encoded blocks/runs
+// with block skipping, never materializing the column.
+type codeScanner interface {
+	column.Column
+	ScanCmp(op column.ScanOp, v int64, out column.PosList) column.PosList
+	ScanRange(lo, hi int64, out column.PosList) column.PosList
+}
+
+// scanOp translates a predicate operator to the column scan kernels'
+// operator domain; the translation happens once per predicate evaluation,
+// not per row.
+func scanOp(op CmpOp) column.ScanOp {
+	switch op {
+	case EQ:
+		return column.ScanEQ
+	case NE:
+		return column.ScanNE
+	case LT:
+		return column.ScanLT
+	case LE:
+		return column.ScanLE
+	case GT:
+		return column.ScanGT
+	default:
+		return column.ScanGE
+	}
+}
+
 // Eval scans the column and collects qualifying positions.
 func (c *Cmp) Eval(resolve func(string) (column.Column, error)) (column.PosList, error) {
 	col, err := resolve(c.Col)
 	if err != nil {
 		return nil, err
+	}
+	if sc, ok := col.(codeScanner); ok {
+		v, err := asInt64(c.Value)
+		if err != nil {
+			return nil, fmt.Errorf("predicate %s: %w", c, err)
+		}
+		return sc.ScanCmp(scanOp(c.Op), v, make(column.PosList, 0, sc.Len()/4)), nil
 	}
 	switch col := col.(type) {
 	case *column.Int64Column:
@@ -171,6 +207,17 @@ func (b *Between) Eval(resolve func(string) (column.Column, error)) (column.PosL
 	col, err := resolve(b.Col)
 	if err != nil {
 		return nil, err
+	}
+	if sc, ok := col.(codeScanner); ok {
+		lo, err := asInt64(b.Lo)
+		if err != nil {
+			return nil, fmt.Errorf("predicate %s: %w", b, err)
+		}
+		hi, err := asInt64(b.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("predicate %s: %w", b, err)
+		}
+		return sc.ScanRange(lo, hi, make(column.PosList, 0, sc.Len()/4)), nil
 	}
 	switch col := col.(type) {
 	case *column.Int64Column:

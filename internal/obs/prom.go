@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"robustdb/internal/column"
 	"robustdb/internal/trace"
 )
 
@@ -130,6 +131,19 @@ func WriteExposition(w io.Writer, s trace.Snapshot, info BuildInfo, uptime time.
 			"%sprocess_uptime_seconds %s\n",
 		namePrefix, namePrefix, namePrefix,
 		formatFloat(uptime.Seconds())); err != nil {
+		return err
+	}
+	// Decompression is metered process-wide at the column layer (the
+	// registry is per-engine, but encodings decode wherever a column
+	// flattens), so the series sits with the process-level block. A
+	// compressed database serving compressed execution keeps this near
+	// zero; growth means late materialization is being defeated somewhere.
+	if _, err := fmt.Fprintf(w,
+		"# HELP %sdecompress_bytes_total Bytes materialized by decoding compressed columns (process-wide).\n"+
+			"# TYPE %sdecompress_bytes_total counter\n"+
+			"%sdecompress_bytes_total %d\n",
+		namePrefix, namePrefix, namePrefix,
+		column.DecompressedBytes()); err != nil {
 		return err
 	}
 	return WritePrometheus(w, s)

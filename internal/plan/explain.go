@@ -1,0 +1,219 @@
+package plan
+
+import (
+	"sort"
+	"strings"
+
+	"robustdb/internal/column"
+	"robustdb/internal/cost"
+	"robustdb/internal/table"
+)
+
+// ExplainVersion is the schema version of the EXPLAIN payload. Bump it when
+// field meanings change so downstream consumers (CI smoke, dashboards) can
+// detect drift instead of misreading.
+const ExplainVersion = 1
+
+// ExplainColumn is one base column a node reads, with its stored encoding.
+type ExplainColumn struct {
+	Name     string `json:"name"`
+	Encoding string `json:"encoding"` // plain | dict | bitpack | rle
+	Bytes    int64  `json:"bytes"`
+}
+
+// ExplainNode is the JSON rendering of one plan node. Children appear in
+// execution order (build side first for joins).
+type ExplainNode struct {
+	ID        int    `json:"id"`
+	Kind      string `json:"kind"`
+	Op        string `json:"op"`
+	Class     string `json:"class"`
+	Table     string `json:"table,omitempty"`
+	Predicate string `json:"predicate,omitempty"`
+	BuildSide string `json:"build_side,omitempty"`
+
+	// Compression summarizes the stored encodings of the node's base
+	// columns ("plain", "bitpack", "bitpack+dict", ...). Always present on
+	// nodes that read base columns (scan, fetch); empty elsewhere.
+	Compression string          `json:"compression,omitempty"`
+	Columns     []ExplainColumn `json:"columns,omitempty"`
+
+	EstRows     int64 `json:"est_rows"`
+	EstInBytes  int64 `json:"est_in_bytes"`
+	EstOutBytes int64 `json:"est_out_bytes"`
+
+	// Placement is the compile-time processor decision ("cpu"/"gpu"), or
+	// "runtime" when the strategy defers per-operator decisions to run time.
+	Placement string `json:"placement"`
+
+	Children []*ExplainNode `json:"children,omitempty"`
+}
+
+// ExplainPayload is the versioned EXPLAIN document served over /v1/explain
+// and printed by the CLI.
+type ExplainPayload struct {
+	Version int          `json:"version"`
+	SQL     string       `json:"sql,omitempty"`
+	Text    string       `json:"text"`
+	Root    *ExplainNode `json:"root"`
+}
+
+// Explain renders the plan as a JSON-serializable node tree. It fills the
+// compile-time size estimates (mutating the plan's Est fields), so callers
+// that share plans across requests should pass a freshly compiled plan.
+// placement maps node id → processor for compile-time strategies; nil means
+// every decision is deferred to run time.
+func Explain(p *Plan, cat *table.Catalog, placement map[int]cost.ProcKind) (*ExplainPayload, error) {
+	if err := p.EstimateSizes(cat); err != nil {
+		return nil, err
+	}
+	var build func(n *Node) (*ExplainNode, error)
+	build = func(n *Node) (*ExplainNode, error) {
+		en := &ExplainNode{
+			ID:          n.ID(),
+			Op:          n.Op.Name(),
+			Class:       n.Op.Class().String(),
+			EstInBytes:  n.EstInBytes,
+			EstOutBytes: n.EstOutBytes,
+			Placement:   "runtime",
+		}
+		if placement != nil {
+			if kind, ok := placement[n.ID()]; ok {
+				en.Placement = kind.String()
+			}
+		}
+		describeOp(n.Op, en)
+		if err := explainBaseColumns(n.Op, cat, en); err != nil {
+			return nil, err
+		}
+		for _, c := range n.Children {
+			ce, err := build(c)
+			if err != nil {
+				return nil, err
+			}
+			en.Children = append(en.Children, ce)
+		}
+		en.EstRows = estRows(n, en, cat)
+		return en, nil
+	}
+	root, err := build(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainPayload{Version: ExplainVersion, Text: p.String(), Root: root}, nil
+}
+
+// describeOp fills the operator-specific fields (kind, table, predicate,
+// build side) from the concrete operator type.
+func describeOp(op Operator, en *ExplainNode) {
+	switch o := op.(type) {
+	case *ScanOp:
+		en.Kind = "scan"
+		en.Table = o.Table
+		if o.Pred != nil {
+			en.Predicate = o.Pred.String()
+		}
+	case *FilterOp:
+		en.Kind = "filter"
+		en.Predicate = o.Pred.String()
+	case *ProjectOp:
+		en.Kind = "project"
+	case *ComputeOp:
+		en.Kind = "compute"
+	case *JoinOp:
+		en.Kind = "join"
+		en.BuildSide = "left(" + o.LeftKey + ")"
+	case *SemiJoinOp:
+		en.Kind = "semijoin"
+		en.BuildSide = "build(" + o.BuildKey + ")"
+	case *AggregateOp:
+		en.Kind = "aggregate"
+	case *SortOp:
+		en.Kind = "sort"
+	case *FetchOp:
+		en.Kind = "fetch"
+		en.Table = o.Table
+	case *IntersectOp:
+		en.Kind = "intersect"
+		en.Table = o.Table
+	default:
+		en.Kind = op.Class().String()
+	}
+}
+
+// explainBaseColumns resolves the node's base columns against the catalog
+// and summarizes their encodings. Nodes that read base columns always get a
+// non-empty Compression, so consumers can rely on the field's presence.
+func explainBaseColumns(op Operator, cat *table.Catalog, en *ExplainNode) error {
+	ids := op.BaseColumns()
+	if len(ids) == 0 {
+		return nil
+	}
+	encodings := make(map[string]bool)
+	for _, id := range ids {
+		c, err := cat.Column(id)
+		if err != nil {
+			return err
+		}
+		enc := column.Encoding(c)
+		encodings[enc] = true
+		en.Columns = append(en.Columns, ExplainColumn{
+			Name:     string(id),
+			Encoding: enc,
+			Bytes:    c.Bytes(),
+		})
+	}
+	modes := make([]string, 0, len(encodings))
+	for m := range encodings {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	en.Compression = strings.Join(modes, "+")
+	return nil
+}
+
+// estRows estimates output cardinality with the same crude factors as
+// EstimateSizes: scans start from exact catalog row counts, everything above
+// propagates child estimates through per-class reduction factors. The paper's
+// point (§4) is that such estimates are unreliable — EXPLAIN surfaces them so
+// the unreliability is visible.
+func estRows(n *Node, en *ExplainNode, cat *table.Catalog) int64 {
+	clamp := func(r int64) int64 {
+		if r < 1 {
+			return 1
+		}
+		return r
+	}
+	if o, ok := n.Op.(*ScanOp); ok {
+		rows := int64(0)
+		if t, err := cat.Table(o.Table); err == nil {
+			rows = int64(t.NumRows())
+		}
+		if o.Pred != nil {
+			rows = int64(float64(rows) * estSelectivity)
+		}
+		return clamp(rows)
+	}
+	var childRows int64
+	for _, c := range en.Children {
+		if c.EstRows > childRows {
+			childRows = c.EstRows
+		}
+	}
+	switch n.Op.Class() {
+	case cost.Selection:
+		return clamp(int64(float64(childRows) * estSelectivity))
+	case cost.Aggregation:
+		return clamp(int64(float64(childRows) * estAggReduction))
+	case cost.Join:
+		if len(en.Children) == 2 {
+			return clamp(int64(float64(en.Children[1].EstRows) * estJoinExpansion))
+		}
+		return clamp(childRows)
+	default:
+		if o, ok := n.Op.(*SortOp); ok && o.Limit > 0 && int64(o.Limit) < childRows {
+			return clamp(int64(o.Limit))
+		}
+		return clamp(childRows)
+	}
+}

@@ -137,8 +137,12 @@ func TestScanOverCompressedColumns(t *testing.T) {
 	if raw.NumRows() != comp.NumRows() {
 		t.Fatalf("rows: raw %d comp %d", raw.NumRows(), comp.NumRows())
 	}
+	// Late materialization: the gathered column keeps its stored encoding.
+	if enc := column.Encoding(comp.MustColumn("fk")); enc != "bitpack" {
+		t.Fatalf("compressed scan materialized fk to %q", enc)
+	}
 	r := raw.MustColumn("fk").(*column.Int64Column).Values
-	c := comp.MustColumn("fk").(*column.Int64Column).Values
+	c := column.Materialized(comp.MustColumn("fk")).(*column.Int64Column).Values
 	for i := range r {
 		if r[i] != c[i] {
 			t.Fatalf("row %d: raw %d comp %d", i, r[i], c[i])

@@ -65,9 +65,10 @@ func (o *ScanOp) Execute(ectx *engine.Ctx, cat *table.Catalog, _ []*engine.Batch
 	}
 	var pos column.PosList
 	if o.Pred != nil {
-		// Materialize the predicate's base columns (compressed base columns
-		// decompress on access; kernels always run on flat data) into a
-		// batch, so the filter kernel can evaluate per morsel.
+		// Hand the predicate's base columns to the filter kernel in their
+		// stored encoding: compressed columns are scanned in the code domain
+		// (block skipping, run comparisons) and sliced per morsel without
+		// ever materializing.
 		seen := make(map[string]bool)
 		var predCols []column.Column
 		for _, name := range o.Pred.Columns() {
@@ -79,7 +80,7 @@ func (o *ScanOp) Execute(ectx *engine.Ctx, cat *table.Catalog, _ []*engine.Batch
 			if err != nil {
 				return nil, err
 			}
-			predCols = append(predCols, column.Materialized(c))
+			predCols = append(predCols, c)
 		}
 		pb, err := engine.NewBatch(predCols...)
 		if err != nil {

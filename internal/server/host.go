@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"robustdb/internal/cost"
 	"robustdb/internal/engine"
 	"robustdb/internal/exec"
 	"robustdb/internal/plan"
@@ -33,17 +34,19 @@ var ErrHostClosed = errors.New("server: host closed")
 
 // jobResult is one finished query's outcome.
 type jobResult struct {
-	batch *engine.Batch
-	stats exec.QueryStats
-	err   error
+	batch     *engine.Batch
+	stats     exec.QueryStats
+	placement map[int]cost.ProcKind // place-only jobs: compile-time decisions
+	err       error
 }
 
 // job is one admitted query travelling from a network goroutine to the pump.
 type job struct {
-	name string
-	plan *plan.Plan
-	opts exec.QueryOpts
-	done chan jobResult // buffered(1): the session process never blocks
+	name      string
+	plan      *plan.Plan
+	opts      exec.QueryOpts
+	placeOnly bool           // EXPLAIN: compute placement, do not execute
+	done      chan jobResult // buffered(1): the session process never blocks
 }
 
 // Host owns the engine and serializes all execution onto its virtual-time
@@ -114,6 +117,32 @@ func (h *Host) Run(pl *plan.Plan, opts exec.QueryOpts) (*engine.Batch, exec.Quer
 	}
 }
 
+// Placement computes the compile-time placement the shared placer would
+// choose for pl, or nil when the strategy defers every decision to run time.
+// The computation is serialized onto the pump goroutine: placers read the
+// engine's learned cost models and cache state, which only the pump may
+// touch while queries execute. pl should be freshly compiled — compile-time
+// placers mutate its size estimates.
+func (h *Host) Placement(pl *plan.Plan) (map[int]cost.ProcKind, error) {
+	j := &job{placeOnly: true, plan: pl, done: make(chan jobResult, 1)}
+	select {
+	case h.jobs <- j:
+	case <-h.quit:
+		return nil, ErrHostClosed
+	}
+	select {
+	case res := <-j.done:
+		return res.placement, res.err
+	case <-h.done:
+		select {
+		case res := <-j.done:
+			return res.placement, res.err
+		default:
+			return nil, ErrHostClosed
+		}
+	}
+}
+
 // Close stops the pump after the in-flight batch finishes; queued jobs that
 // never ran fail with ErrHostClosed. Callers drain the admission controller
 // first, so under orderly shutdown the queue is already empty.
@@ -154,6 +183,12 @@ func (h *Host) pump() {
 		}
 		for _, j := range batch {
 			j := j
+			if j.placeOnly {
+				// Decided on the pump, between simulation runs: no query is
+				// mid-flight, so reading the learner/cache cannot race.
+				j.done <- jobResult{placement: h.placer.CompileTime(h.Engine, j.plan)}
+				continue
+			}
 			h.Engine.Sim.Spawn(j.name, func(p *sim.Proc) {
 				v, stats, err := h.Engine.RunQueryWith(p, j.plan, h.placer, j.opts)
 				r := jobResult{stats: stats, err: err}

@@ -305,8 +305,69 @@ type ErrorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/explain", s.handleExplain)
 	mux.HandleFunc("/debug/admission", s.handleAdmissionStats)
 	return mux
+}
+
+// ExplainRequest is the wire format of POST /v1/explain. The statement may
+// carry an optional EXPLAIN prefix; either spelling describes the plan.
+type ExplainRequest struct {
+	SQL string `json:"sql"`
+}
+
+// Explain compiles the statement and renders its plan tree with placement
+// decisions and per-scan compression modes. The plan is compiled fresh —
+// never taken from the shared plan cache — because compile-time placers
+// mutate the plan's size estimates while deciding.
+func (s *Server) Explain(query string) (*plan.ExplainPayload, error) {
+	if s.cat == nil {
+		return nil, errors.New("server: no catalog configured for SQL")
+	}
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	pl, err := sql.Compile(s.cat, st)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	placement, err := s.host.Placement(pl)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := plan.Explain(pl, s.cat, placement)
+	if err != nil {
+		return nil, err
+	}
+	payload.SQL = query
+	return payload, nil
+}
+
+// handleExplain serves POST /v1/explain: the plan document for a statement,
+// without executing it or passing through admission control.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad-request", errors.New("server: POST only"), 0)
+		return
+	}
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		inc(s.reqs.badRequest)
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("server: bad request body: %w", err), 0)
+		return
+	}
+	if req.SQL == "" {
+		inc(s.reqs.badRequest)
+		writeError(w, http.StatusBadRequest, "bad-request", errors.New("server: empty sql"), 0)
+		return
+	}
+	payload, err := s.Explain(req.SQL)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // handleQuery is the wire entry point. Every error path maps to a typed
@@ -329,6 +390,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Tenant == "" {
 		req.Tenant = "default"
+	}
+	// An EXPLAIN statement describes its plan instead of executing: answer
+	// with the same document /v1/explain serves rather than silently running
+	// the query.
+	if st, err := sql.Parse(req.SQL); err == nil && st.Explain {
+		payload, err := s.Explain(req.SQL)
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, payload)
+		return
 	}
 	res, err := s.SubmitSQL(r.Context(), req.Tenant, req.Priority, req.SQL, time.Duration(req.DeadlineMS)*time.Millisecond)
 	if err != nil {
@@ -453,9 +526,13 @@ func cellValue(c column.Column, i int) any {
 		return col.Value(i)
 	case *column.CompressedInt64Column:
 		return col.Value(i)
+	case *column.CompressedDateColumn:
+		return col.Value(i)
+	case *column.RLEInt64Column:
+		return col.Value(i)
 	default:
-		// Gather materializes any column type into its dense form.
-		return cellValue(c.Gather([]int32{int32(i)}), 0)
+		// Materialized flattens any remaining encoding into its dense form.
+		return cellValue(column.Materialized(c), i)
 	}
 }
 

@@ -479,3 +479,93 @@ func TestLimitListenerCloseUnblocksAccept(t *testing.T) {
 		t.Fatal("Accept did not unblock on Close while all slots were held")
 	}
 }
+
+// TestHTTPExplainEndpoint exercises the EXPLAIN surface end to end: the
+// dedicated /v1/explain endpoint, the EXPLAIN-prefixed statement on
+// /v1/query, and the per-scan compression modes over a compressed catalog.
+func TestHTTPExplainEndpoint(t *testing.T) {
+	cat := catalog(t).Compressed()
+	s := newServer(t, cat, exec.Config{}, func(cfg *server.Config) {
+		cfg.Catalog = cat
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drain(t, s)
+
+	const sql = `SELECT c_nation, SUM(lo_revenue) AS rev FROM lineorder, customer
+		WHERE lo_custkey = c_custkey AND lo_discount BETWEEN 1 AND 3
+		GROUP BY c_nation ORDER BY rev DESC`
+
+	fetch := func(url, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return out
+	}
+
+	out := fetch(ts.URL+"/v1/explain", fmt.Sprintf("{%q:%q}", "sql", sql))
+	if out["version"] != float64(1) {
+		t.Fatalf("version = %v", out["version"])
+	}
+	root, ok := out["root"].(map[string]any)
+	if !ok {
+		t.Fatalf("missing root node: %v", out)
+	}
+	var scans, sawBitpack int
+	var walk func(n map[string]any)
+	walk = func(n map[string]any) {
+		if n["placement"] == "" || n["placement"] == nil {
+			t.Fatalf("node %v has no placement", n["op"])
+		}
+		if n["kind"] == "scan" {
+			scans++
+			comp, _ := n["compression"].(string)
+			if comp == "" {
+				t.Fatalf("scan node %v has no compression mode", n["op"])
+			}
+			if strings.Contains(comp, "bitpack") {
+				sawBitpack++
+			}
+		}
+		if kids, ok := n["children"].([]any); ok {
+			for _, k := range kids {
+				walk(k.(map[string]any))
+			}
+		}
+	}
+	walk(root)
+	if scans == 0 {
+		t.Fatal("no scan nodes in explain tree")
+	}
+	if sawBitpack == 0 {
+		t.Fatal("compressed catalog should surface bitpack scans")
+	}
+
+	// The EXPLAIN-prefixed spelling on /v1/query serves the same document
+	// instead of executing the statement.
+	out2 := fetch(ts.URL+"/v1/query", fmt.Sprintf("{%q:%q}", "sql", "EXPLAIN "+sql))
+	if out2["version"] != float64(1) || out2["root"] == nil {
+		t.Fatalf("EXPLAIN via /v1/query did not return a plan document: %v", out2)
+	}
+
+	// Broken SQL maps to 400, not 500.
+	resp, err := http.Post(ts.URL+"/v1/explain", "application/json",
+		strings.NewReader(`{"sql":"SELECT FROM nowhere"}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad SQL explain status = %d", resp.StatusCode)
+	}
+}

@@ -8,8 +8,9 @@ import (
 
 // The AST of the supported subset.
 
-// Statement is a parsed SELECT.
+// Statement is a parsed SELECT, optionally prefixed with EXPLAIN.
 type Statement struct {
+	Explain bool // EXPLAIN SELECT ...: describe the plan instead of running it
 	Items   []SelectItem
 	Tables  []string
 	Preds   []Pred
@@ -70,10 +71,12 @@ func Parse(input string) (*Statement, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	explain := p.accept(tokIdent, "explain")
 	st, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
+	st.Explain = explain
 	if !p.at(tokEOF, "") {
 		return nil, p.errf("unexpected %q after statement", p.cur().text)
 	}

@@ -8,6 +8,29 @@ import (
 	"robustdb/internal/tpch"
 )
 
+func TestParseExplainPrefix(t *testing.T) {
+	st, err := Parse("explain select lo_revenue from lineorder where lo_quantity < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Explain {
+		t.Fatal("EXPLAIN prefix not flagged")
+	}
+	if len(st.Items) != 1 || st.Items[0].Column != "lo_revenue" {
+		t.Fatalf("explained select body lost: %+v", st.Items)
+	}
+	plain, err := Parse("select lo_revenue from lineorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Explain {
+		t.Fatal("plain SELECT should not be flagged as EXPLAIN")
+	}
+	if _, err := Parse("explain explain select x from t"); err == nil {
+		t.Fatal("double EXPLAIN should not parse")
+	}
+}
+
 func TestParseQualifiedColumnsAndOperators(t *testing.T) {
 	st, err := Parse(`
 		select lineorder.lo_revenue, max(lo_tax) as top_tax, min(lo_tax), avg(lo_tax)

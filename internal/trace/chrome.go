@@ -50,6 +50,9 @@ type spanArgs struct {
 	// Tenant is omitted when empty so benchmark traces keep the pre-front-door
 	// format byte-identical.
 	Tenant string `json:"tenant,omitempty"`
+	// Compression is omitted when empty (uncompressed base columns) so
+	// goldens from uncompressed databases stay byte-identical.
+	Compression string `json:"compression,omitempty"`
 }
 
 // eventArgs carries the event fields through the args object.
@@ -110,6 +113,7 @@ func WriteChrome(w io.Writer, spans []Span, events []Event) error {
 			KernelWorkers: s.KernelWorkers,
 			Morsels:       s.MorselCount,
 			Tenant:        s.Tenant,
+			Compression:   s.Compression,
 		})
 		if err != nil {
 			return err
@@ -181,6 +185,7 @@ func ReadChrome(r io.Reader) ([]Span, []Event, error) {
 				KernelWorkers: args.KernelWorkers,
 				MorselCount:   args.Morsels,
 				Tenant:        args.Tenant,
+				Compression:   args.Compression,
 			})
 		case "i", "I":
 			var args eventArgs

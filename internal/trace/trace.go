@@ -55,6 +55,11 @@ type Span struct {
 	// Tenant is the submitting tenant when the query arrived through the
 	// network front door; empty for benchmark-driven runs.
 	Tenant string
+	// Compression lists the compressed encodings ("bitpack", "rle",
+	// "bitpack+rle") of the base columns the operator scanned; empty when
+	// the operator read no compressed base columns, so traces from
+	// uncompressed databases keep the earlier format byte-identical.
+	Compression string
 }
 
 // Duration returns the span length.

@@ -189,7 +189,9 @@ func (e *Engine) execPipeline(ectx *engine.Ctx, n *plan.Node, stats *Stats) (*en
 				if err != nil {
 					return nil, err
 				}
-				predCols = append(predCols, column.Materialized(c))
+				// Stored encoding goes straight to the filter kernel:
+				// compressed columns scan in the code domain per morsel.
+				predCols = append(predCols, c)
 			}
 			pb, err := engine.NewBatch(predCols...)
 			if err != nil {
@@ -360,11 +362,34 @@ func concatBatches(pieces []*engine.Batch) (*engine.Batch, error) {
 				}
 			}
 			cols[ci] = column.NewString(proto.Name(), vals)
+		case *column.CompressedInt64Column:
+			// Late materialization keeps scan vectors compressed; the
+			// pipeline output re-packs the concatenation so the encoding
+			// survives the breaker boundary.
+			cols[ci] = column.CompressInt64(concatInt64(proto.Name(), pieces, ci))
+		case *column.CompressedDateColumn:
+			var vals []int32
+			for _, p := range pieces {
+				vals = append(vals, column.Materialized(p.Columns()[ci]).(*column.DateColumn).Values...)
+			}
+			cols[ci] = column.CompressDate(column.NewDate(proto.Name(), vals))
+		case *column.RLEInt64Column:
+			cols[ci] = column.CompressInt64RLE(concatInt64(proto.Name(), pieces, ci))
 		default:
 			return nil, fmt.Errorf("vecengine: cannot concatenate column type %T", proto)
 		}
 	}
 	return engine.NewBatch(cols...)
+}
+
+// concatInt64 flattens the ci-th column of every piece into one plain
+// int64 column, decoding whatever encoding each piece carries.
+func concatInt64(name string, pieces []*engine.Batch, ci int) *column.Int64Column {
+	var vals []int64
+	for _, p := range pieces {
+		vals = append(vals, column.Materialized(p.Columns()[ci]).(*column.Int64Column).Values...)
+	}
+	return column.NewInt64(name, vals)
 }
 
 // EstimateTime predicts the virtual execution time of the vectorized run on

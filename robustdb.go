@@ -219,6 +219,28 @@ func (db *DB) SQL(query string) (*Plan, error) {
 	return sql.PlanQuery(db.cat, query)
 }
 
+// ExplainPayload is the JSON plan document EXPLAIN produces.
+type ExplainPayload = plan.ExplainPayload
+
+// ExplainSQL compiles the statement (with or without a leading EXPLAIN
+// keyword) and renders its plan as a JSON-serializable tree: operator kinds,
+// predicates, build sides, size/cardinality estimates, and the stored
+// compression mode of every scanned column. Placement shows as "runtime" —
+// the library surface has no strategy attached; the serve-mode /v1/explain
+// endpoint reports the strategy's compile-time decisions.
+func (db *DB) ExplainSQL(query string) (*ExplainPayload, error) {
+	pl, err := db.SQL(query)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := plan.Explain(pl, db.cat, nil)
+	if err != nil {
+		return nil, err
+	}
+	payload.SQL = query
+	return payload, nil
+}
+
 // SSBQueries returns all 13 SSB queries as workload queries.
 func SSBQueries() []WorkloadQuery {
 	var out []WorkloadQuery
