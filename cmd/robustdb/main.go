@@ -21,6 +21,12 @@
 //	                    per-scan compression modes) and exit without
 //	                    executing it; serve mode exposes the same document
 //	                    on POST /v1/explain with placement decisions
+//	-analyze            with -explain: execute the statement once on a fresh
+//	                    simulated machine under -strategy and attach per-node
+//	                    actuals (rows, bytes, virtual wall/queue/transfer
+//	                    time, attempts, processor) — EXPLAIN ANALYZE; serve
+//	                    mode accepts the same via POST /v1/explain?analyze=1
+//	                    or an EXPLAIN ANALYZE statement
 //	-cache-frac F       device cache as a fraction of the database (default 0.5)
 //	-heap-frac F        device heap as a fraction of the database (default 1.0)
 //	-admission          admit only one query at a time (baseline)
@@ -40,8 +46,9 @@
 //
 //	-serve ADDR         serve POST /v1/query (tenant-tagged SQL through
 //	                    admission control) plus /metrics (Prometheus),
-//	                    /healthz, /debug/admission, /debug/snapshot,
-//	                    /debug/spans, and /debug/pprof on ADDR until
+//	                    /healthz, /debug/admission, /debug/slowlog,
+//	                    /debug/snapshot, /debug/spans, and /debug/pprof
+//	                    on ADDR until
 //	                    SIGINT/SIGTERM, then drain within -drain-timeout
 //	                    and exit 0. Needs a single -strategy. A background
 //	                    tenant cycles the benchmark mix through the same
@@ -60,6 +67,13 @@
 //	-tenant-inflight N  per-tenant in-flight cap (default: same as -admit)
 //	-max-conns N        accepted TCP connection limit (default 256)
 //	-drain-timeout D    bound on the SIGTERM drain (default 10s)
+//	-slowlog-capacity N slow-query journal ring capacity (default 256;
+//	                    0 disables the journal and /debug/slowlog)
+//	-slowlog-threshold D
+//	                    virtual latency at or above which a query is
+//	                    journaled (default 100ms; 0 journals every query)
+//	-slowlog-qerror F   q-error at or above which a query is journaled
+//	                    regardless of latency (default 16; 0 disables)
 //
 // Loadgen mode (open-loop client fleet):
 //
@@ -126,6 +140,7 @@ func main() {
 	faultStuck := flag.Float64("fault-stuck", 0, "probability a GPU operator hangs before progress")
 	deadline := flag.Duration("deadline", 0, "per-query deadline (0 = none)")
 	explainSQL := flag.String("explain", "", "print the EXPLAIN plan document for a SQL statement as JSON and exit")
+	analyze := flag.Bool("analyze", false, "with -explain: execute the statement under -strategy and attach per-node actuals (EXPLAIN ANALYZE)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	serve := flag.String("serve", "", "serve mode: listen address for the query front door + observability surface (e.g. :8080)")
@@ -138,6 +153,9 @@ func main() {
 	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant in-flight cap in serve mode (0 = same as -admit)")
 	maxConns := flag.Int("max-conns", 256, "accepted TCP connection limit in serve mode")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the SIGTERM drain in serve mode")
+	slowlogCap := flag.Int("slowlog-capacity", 256, "slow-query journal ring capacity in serve mode (0 disables /debug/slowlog)")
+	slowlogThreshold := flag.Duration("slowlog-threshold", 100*time.Millisecond, "virtual latency at or above which a query is journaled (0 journals every query)")
+	slowlogQError := flag.Float64("slowlog-qerror", 16, "q-error at or above which a query is journaled regardless of latency (0 disables the gate)")
 	loadgen := flag.String("loadgen", "", "loadgen mode: front-door URL to offer open-loop load against (e.g. http://localhost:8080)")
 	rate := flag.Float64("rate", 50, "offered arrival rate in queries/second in loadgen mode")
 	duration := flag.Duration("duration", 10*time.Second, "loadgen run length")
@@ -216,10 +234,28 @@ func main() {
 		}
 	}
 
-	// Explain mode: print the plan document and exit before any engine or
-	// device is built — EXPLAIN never executes the statement.
+	// Explain mode: print the plan document and exit. Plain EXPLAIN never
+	// executes the statement; -analyze runs it once on a fresh simulated
+	// machine under -strategy and attaches per-node actuals.
 	if *explainSQL != "" {
-		payload, err := db.ExplainSQL(*explainSQL)
+		var payload *robustdb.ExplainPayload
+		var err error
+		if *analyze {
+			if *stratName == "all" {
+				fmt.Fprintln(os.Stderr, "robustdb: -explain -analyze needs a single -strategy, not 'all'")
+				os.Exit(2)
+			}
+			strat, _ := strategyByName(*stratName) // validated above
+			dev := robustdb.Device{
+				CacheBytes:    int64(*cacheFrac * float64(db.TotalBytes())),
+				HeapBytes:     int64(*heapFrac * float64(db.TotalBytes())),
+				KernelWorkers: *kernelWorkers,
+				Log:           logger,
+			}
+			payload, err = db.ExplainAnalyzeSQL(dev, strat, *explainSQL)
+		} else {
+			payload, err = db.ExplainSQL(*explainSQL)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "robustdb: explain: %v\n", err)
 			os.Exit(1)
@@ -290,6 +326,10 @@ func main() {
 			maxConns:     *maxConns,
 			drainTimeout: *drainTimeout,
 			log:          logger,
+
+			slowlogCap:       *slowlogCap,
+			slowlogThreshold: *slowlogThreshold,
+			slowlogQError:    *slowlogQError,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "robustdb: serve: %v\n", err)

@@ -14,6 +14,7 @@ import (
 
 	"robustdb"
 	"robustdb/internal/admission"
+	"robustdb/internal/journal"
 	"robustdb/internal/obs"
 	"robustdb/internal/server"
 	"robustdb/internal/workload"
@@ -34,6 +35,11 @@ type serveConfig struct {
 	maxConns     int
 	drainTimeout time.Duration
 	log          *slog.Logger
+
+	// Slow-query journal (always on by default; slowlogCap 0 disables).
+	slowlogCap       int
+	slowlogThreshold time.Duration // virtual latency gate
+	slowlogQError    float64       // q-error gate (0 disables)
 }
 
 // runServe runs the query front door on addr: POST /v1/query admits
@@ -55,12 +61,17 @@ func runServe(cfg serveConfig) error {
 	if err != nil {
 		return err
 	}
+	var slowlog *journal.Journal
+	if cfg.slowlogCap != 0 {
+		slowlog = journal.New(cfg.slowlogCap, cfg.slowlogThreshold, cfg.slowlogQError)
+	}
 	front, err := server.New(server.Config{
 		Engine:           engine,
 		Placer:           cfg.strat.Placer,
 		Catalog:          cfg.db.Catalog(),
 		Admission:        cfg.admission,
 		MaxQueryDeadline: cfg.maxDeadline,
+		Journal:          slowlog,
 		Log:              cfg.log,
 	})
 	if err != nil {
@@ -86,6 +97,7 @@ func runServe(cfg serveConfig) error {
 	root.Handle("/v1/query", front.Handler())
 	root.Handle("/v1/explain", front.Handler())
 	root.Handle("/debug/admission", front.Handler())
+	root.Handle("/debug/slowlog", front.Handler())
 	root.Handle("/", obsMux)
 
 	ln, err := net.Listen("tcp", cfg.addr)

@@ -6,11 +6,14 @@
 //
 // Usage:
 //
-//	tracereport [-summary|-waterfall|-json] trace.json
+//	tracereport [-summary|-waterfall|-json|-slowest N] trace.json
 //
 // With no mode flag both text reports are printed, summary first. -json
 // emits the per-query summary as JSON Lines (one object per query) for
-// scripting — jq, spreadsheet import, CI assertions.
+// scripting — jq, spreadsheet import, CI assertions. -slowest N prints the
+// N slowest queries by wall time with a per-operator breakdown (rows,
+// bytes, attempts, wall/wait/transfer time per plan node) — the first stop
+// when chasing a slow query out of a recorded trace.
 package main
 
 import (
@@ -26,25 +29,26 @@ func main() {
 	summaryOnly := flag.Bool("summary", false, "print only the per-query aggregate table")
 	waterfallOnly := flag.Bool("waterfall", false, "print only the per-query waterfall")
 	jsonOut := flag.Bool("json", false, "emit the per-query summary as JSON Lines (one object per query)")
+	slowest := flag.Int("slowest", 0, "print the N slowest queries by wall time with per-operator breakdowns")
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*summaryOnly, *waterfallOnly, *jsonOut} {
+	for _, m := range []bool{*summaryOnly, *waterfallOnly, *jsonOut, *slowest > 0} {
 		if m {
 			modes++
 		}
 	}
-	if flag.NArg() != 1 || modes > 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracereport [-summary|-waterfall|-json] trace.json")
+	if flag.NArg() != 1 || modes > 1 || *slowest < 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracereport [-summary|-waterfall|-json|-slowest N] trace.json")
 		os.Exit(2)
 	}
-	if err := report(os.Stdout, flag.Arg(0), *summaryOnly, *waterfallOnly, *jsonOut); err != nil {
+	if err := report(os.Stdout, flag.Arg(0), *summaryOnly, *waterfallOnly, *jsonOut, *slowest); err != nil {
 		fmt.Fprintln(os.Stderr, "tracereport:", err)
 		os.Exit(1)
 	}
 }
 
 // report loads the trace file and renders the selected report(s) to w.
-func report(w io.Writer, path string, summaryOnly, waterfallOnly, jsonOut bool) error {
+func report(w io.Writer, path string, summaryOnly, waterfallOnly, jsonOut bool, slowest int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -56,6 +60,9 @@ func report(w io.Writer, path string, summaryOnly, waterfallOnly, jsonOut bool) 
 	}
 	if jsonOut {
 		return robustdb.TraceSummaryJSON(w, spans)
+	}
+	if slowest > 0 {
+		return robustdb.TraceSlowest(w, spans, slowest)
 	}
 	if !waterfallOnly {
 		if err := robustdb.TraceSummary(w, spans); err != nil {

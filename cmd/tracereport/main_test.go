@@ -51,7 +51,7 @@ func goldenTracePath(t *testing.T) string {
 
 func TestReportJSONGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := report(&buf, goldenTracePath(t), false, false, true); err != nil {
+	if err := report(&buf, goldenTracePath(t), false, false, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "summary.golden.jsonl")
@@ -75,7 +75,7 @@ func TestReportJSONGolden(t *testing.T) {
 // object per query with the documented keys and consistent op counts.
 func TestReportJSONShape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := report(&buf, goldenTracePath(t), false, false, true); err != nil {
+	if err := report(&buf, goldenTracePath(t), false, false, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
@@ -108,18 +108,41 @@ func TestReportJSONShape(t *testing.T) {
 	}
 }
 
+// TestReportSlowest checks the -slowest N mode: at most N queries, ranked by
+// wall time (the first listed latency is the maximum), each with at least one
+// per-operator row carrying rows/bytes actuals.
+func TestReportSlowest(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report(&buf, goldenTracePath(t), false, false, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "#"); n != 2 {
+		t.Fatalf("want 2 ranked queries, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "#1 ") || !strings.Contains(out, "#2 ") {
+		t.Fatalf("missing rank markers:\n%s", out)
+	}
+	if !strings.Contains(out, "node=") || !strings.Contains(out, "rows=") {
+		t.Fatalf("missing per-operator breakdown:\n%s", out)
+	}
+	if strings.Index(out, "#1 ") > strings.Index(out, "#2 ") {
+		t.Fatalf("ranks out of order:\n%s", out)
+	}
+}
+
 // TestReportTextModes exercises the pre-existing text paths through the same
 // report entry point the command uses.
 func TestReportTextModes(t *testing.T) {
 	path := goldenTracePath(t)
 	var summary, waterfall, both bytes.Buffer
-	if err := report(&summary, path, true, false, false); err != nil {
+	if err := report(&summary, path, true, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := report(&waterfall, path, false, true, false); err != nil {
+	if err := report(&waterfall, path, false, true, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := report(&both, path, false, false, false); err != nil {
+	if err := report(&both, path, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if summary.Len() == 0 || waterfall.Len() == 0 {

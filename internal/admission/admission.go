@@ -279,7 +279,18 @@ type metrics struct {
 	inFlight   *trace.Gauge
 	limit      *trace.Gauge
 	queueWait  *trace.Histogram
+
+	// reg and tenantPool back the per-tenant labeled series
+	// (AdmissionTenantAdmitted/AdmissionTenantShed). The pool bounds label
+	// cardinality: tenant ids are client-supplied strings, and unbounded
+	// distinct values would mint unbounded registry series.
+	reg        *trace.Registry
+	tenantPool *trace.LabelPool
 }
+
+// maxTenantSeries bounds distinct tenant labels on the exposition surface;
+// later tenants fold into "other".
+const maxTenantSeries = 16
 
 func newMetrics(reg *trace.Registry) *metrics {
 	if reg == nil {
@@ -295,11 +306,27 @@ func newMetrics(reg *trace.Registry) *metrics {
 		limit:      reg.Gauge("AdmissionConcurrencyLimit"),
 		queueWait:  reg.Histogram("AdmissionQueueWait"),
 		shedByCode: make(map[Code]*trace.Counter),
+		reg:        reg,
+		tenantPool: trace.NewLabelPool(maxTenantSeries),
 	}
 	for _, code := range []Code{CodeOverloaded, CodeTenantLimit, CodeQueueTimeout, CodeDraining, CodeCanceled} {
 		m.shedByCode[code] = reg.Counter("AdmissionShed" + metricSuffix(code))
 	}
 	return m
+}
+
+// tenantAdmitted counts one admission on the tenant's labeled series.
+func (m *metrics) tenantAdmitted(tenant string) {
+	m.reg.Counter(trace.LabeledName("AdmissionTenantAdmitted",
+		"tenant", m.tenantPool.Get(tenant))).Inc()
+}
+
+// tenantShed counts one shed decision on the tenant's labeled series, split
+// by shed code so dashboards can tell tenant-local limits from global
+// overload per tenant.
+func (m *metrics) tenantShed(tenant string, code Code) {
+	m.reg.Counter(trace.LabeledName("AdmissionTenantShed",
+		"tenant", m.tenantPool.Get(tenant), "code", string(code))).Inc()
 }
 
 func metricSuffix(code Code) string {
@@ -378,7 +405,7 @@ func (c *Controller) Submit(tenant string, prio int, timeout time.Duration) (*Ti
 	c.mu.Lock()
 	if c.draining {
 		c.mu.Unlock()
-		return nil, c.shedError(CodeDraining, "server draining")
+		return nil, c.shedError(tenant, CodeDraining, "server draining")
 	}
 	ts := c.tenant(tenant)
 	t := &Ticket{
@@ -400,7 +427,7 @@ func (c *Controller) Submit(tenant string, prio int, timeout time.Duration) (*Ti
 		if victim == nil {
 			ts.shed++
 			c.mu.Unlock()
-			return nil, c.shedError(CodeTenantLimit, fmt.Sprintf("tenant queue full (%d)", ts.cfg.MaxQueue))
+			return nil, c.shedError(tenant, CodeTenantLimit, fmt.Sprintf("tenant queue full (%d)", ts.cfg.MaxQueue))
 		}
 		// The displaced ticket hit its own tenant's bound, not global
 		// overload: signal the tenant-local condition so clients (and the
@@ -411,7 +438,7 @@ func (c *Controller) Submit(tenant string, prio int, timeout time.Duration) (*Ti
 		if victim == nil {
 			ts.shed++
 			c.mu.Unlock()
-			return nil, c.shedError(CodeOverloaded, fmt.Sprintf("queue full (%d)", c.queueBound()))
+			return nil, c.shedError(tenant, CodeOverloaded, fmt.Sprintf("queue full (%d)", c.queueBound()))
 		}
 	}
 	if victim != nil {
@@ -497,8 +524,9 @@ func (c *Controller) nextSeq() int64 {
 	return c.seq
 }
 
-// shedError builds the typed error for a shed decision and counts it.
-func (c *Controller) shedError(code Code, reason string) *Error {
+// shedError builds the typed error for a shed decision and counts it, on the
+// global series and on the tenant's labeled attribution series.
+func (c *Controller) shedError(tenant string, code Code, reason string) *Error {
 	if c.m != nil {
 		c.m.shed.Inc()
 		if ctr := c.m.shedByCode[code]; ctr != nil {
@@ -507,6 +535,7 @@ func (c *Controller) shedError(code Code, reason string) *Error {
 		if code == CodeQueueTimeout {
 			c.m.timeouts.Inc()
 		}
+		c.m.tenantShed(tenant, code)
 	}
 	retry := c.cfg.RetryAfter
 	if code == CodeQueueTimeout || code == CodeCanceled {
@@ -540,6 +569,7 @@ func (c *Controller) grantLocked() []*Ticket {
 			c.m.inFlight.Set(int64(c.inFlight))
 			c.m.queueDepth.Set(int64(c.queued))
 			c.m.queueWait.Observe(c.cfg.now().Sub(t.enqueued))
+			c.m.tenantAdmitted(t.Tenant)
 		}
 		granted = append(granted, t)
 	}
@@ -597,7 +627,7 @@ func (c *Controller) shedLocked(t *Ticket, code Code, reason string) {
 	if t.timer != nil {
 		t.timer.Stop()
 	}
-	err := c.shedError(code, reason)
+	err := c.shedError(t.Tenant, code, reason)
 	if c.m != nil {
 		c.m.queueDepth.Set(int64(c.queued))
 	}

@@ -95,6 +95,23 @@ type Metrics struct {
 	// KernelMorsels counts the morsels the parallel kernels dispatched
 	// (exposed as robustdb_kernel_morsels_total; 0 in serial mode).
 	KernelMorsels *trace.Counter
+
+	// Misestimation series: the estimate-vs-actual loop EXPLAIN ANALYZE
+	// closes, aggregated so cost-model drift is visible on /metrics before
+	// it misplaces work. Observed once per completed operator whose plan
+	// carried estimates (SQL-path plans; hand-built benchmark plans without
+	// EstimateSizes observe nothing).
+
+	// EstimateRowsRatio observes est_rows/actual_rows per completed operator
+	// (robustdb_estimate_rows_ratio; 1.0 = perfect, buckets 2^(i-16)).
+	EstimateRowsRatio *trace.RatioHistogram
+	// EstimateBytesRatio observes est_out_bytes/actual_bytes per completed
+	// operator (robustdb_estimate_bytes_ratio).
+	EstimateBytesRatio *trace.RatioHistogram
+	// QErrorMax is the worst per-operator cardinality q-error —
+	// max(est/actual, actual/est) — seen over the engine's lifetime
+	// (robustdb_q_error_max).
+	QErrorMax *trace.FloatGauge
 }
 
 // NewMetrics builds a metrics set over a fresh registry.
@@ -130,6 +147,9 @@ func NewMetrics() *Metrics {
 		CPURunTime:         reg.Histogram("CPURunTime"),
 		HeapHighWater:      reg.Gauge("HeapHighWater"),
 		KernelMorsels:      reg.Counter("KernelMorsels"),
+		EstimateRowsRatio:  reg.Ratio("EstimateRowsRatio"),
+		EstimateBytesRatio: reg.Ratio("EstimateBytesRatio"),
+		QErrorMax:          reg.FloatGauge("QErrorMax"),
 	}
 }
 

@@ -83,6 +83,14 @@ type opStats struct {
 	// are unchanged.
 	kernelWorkers int
 	morsels       int64
+	// rows and outBytes are the kernel's actual output (the "actual" side of
+	// EXPLAIN ANALYZE); decompress is the volume materialized by decoding
+	// compressed columns during the kernel, measured only when tracing is on
+	// (the decode meter is process-global, so the delta is not read on the
+	// disabled path).
+	rows       int64
+	outBytes   int64
+	decompress int64
 }
 
 // execOp runs one operator on the chosen processor. A GPU attempt that
@@ -153,23 +161,32 @@ func (e *Engine) traceOp(q *query, n *plan.Node, kind cost.ProcKind, attempt int
 	if e.Tracer == nil {
 		return
 	}
+	rows, outBytes := st.rows, st.outBytes
+	if abort != abortNone || err != nil {
+		// Aborted attempts report no actuals even when the kernel itself ran
+		// (heap-phase aborts): the output was rolled back, not produced.
+		rows, outBytes = 0, 0
+	}
 	e.Tracer.Span(trace.Span{
-		Query:         q.name,
-		Name:          procName(q.name, n),
-		Op:            n.Op.Name(),
-		Class:         n.Op.Class().String(),
-		Proc:          kind.String(),
-		Node:          n.ID(),
-		Start:         start,
-		End:           e.Sim.Now(),
-		QueueWait:     st.queueWait,
-		Transfer:      st.transfer,
-		Abort:         abortLabel(abort, err),
-		Attempt:       attempt,
-		HeapHighWater: st.heapHW,
-		KernelWorkers: st.kernelWorkers,
-		MorselCount:   st.morsels,
-		Compression:   e.compressionModes(n),
+		Query:           q.name,
+		Name:            procName(q.name, n),
+		Op:              n.Op.Name(),
+		Class:           n.Op.Class().String(),
+		Proc:            kind.String(),
+		Node:            n.ID(),
+		Start:           start,
+		End:             e.Sim.Now(),
+		QueueWait:       st.queueWait,
+		Transfer:        st.transfer,
+		Abort:           abortLabel(abort, err),
+		Attempt:         attempt,
+		HeapHighWater:   st.heapHW,
+		KernelWorkers:   st.kernelWorkers,
+		MorselCount:     st.morsels,
+		Compression:     e.compressionModes(n),
+		Rows:            rows,
+		OutBytes:        outBytes,
+		DecompressBytes: st.decompress,
 	})
 }
 
@@ -359,13 +376,21 @@ func (e *Engine) runOnGPU(p *sim.Proc, n *plan.Node, inputs []*Value) (v *Value,
 	// The kernel's real result; the simulator charges its cost below.
 	batches := batchesOf(inputs)
 	ectx := e.kernelCtx()
+	var decodeBase int64
+	if e.Tracer != nil {
+		decodeBase = column.DecompressedBytes()
+	}
 	result, kerr := n.Op.Execute(ectx, e.Cat, batches)
+	if e.Tracer != nil {
+		st.decompress = column.DecompressedBytes() - decodeBase
+	}
 	e.noteKernel(&st, ectx)
 	if kerr != nil {
 		abort()
 		return nil, st, abortNone, fmt.Errorf("%s on gpu: %w", n.Op.Name(), kerr)
 	}
 	outBytes := result.Bytes()
+	st.rows, st.outBytes = int64(result.NumRows()), outBytes
 
 	// Heap phase: scratch + result footprint. Device operators cannot
 	// pre-declare their full demand (no concise upper bound for joins,
@@ -474,12 +499,20 @@ func (e *Engine) runOnCPU(p *sim.Proc, n *plan.Node, inputs []*Value) (*Value, o
 		}
 	}
 	ectx := e.kernelCtx()
+	var decodeBase int64
+	if e.Tracer != nil {
+		decodeBase = column.DecompressedBytes()
+	}
 	result, err := n.Op.Execute(ectx, e.Cat, batchesOf(inputs))
+	if e.Tracer != nil {
+		st.decompress = column.DecompressedBytes() - decodeBase
+	}
 	e.noteKernel(&st, ectx)
 	if err != nil {
 		return nil, st, fmt.Errorf("%s on cpu: %w", n.Op.Name(), err)
 	}
 	outBytes := result.Bytes()
+	st.rows, st.outBytes = int64(result.NumRows()), outBytes
 	dur := e.Params.OpDuration(n.Op.Class(), cost.CPU, cost.Work(inBytes, outBytes))
 	t0 := p.Now()
 	e.CPU.Server.Execute(p, dur.Seconds())

@@ -32,12 +32,25 @@ type query struct {
 	err       error
 	started   time.Duration
 	finished  time.Duration
+	// qerror tracks the worst per-operator cardinality misestimate seen so
+	// far (max over operators of max(est/actual, actual/est)); written only
+	// from operator completions, which the single-threaded simulator
+	// serializes.
+	qerror float64
 }
 
 // QueryStats reports the outcome of one query.
 type QueryStats struct {
 	// Latency is the response time of the query in virtual time.
 	Latency time.Duration
+	// QueryID is the engine-assigned query id ("q0001") — the key that
+	// correlates the query's trace spans back to its plan (EXPLAIN ANALYZE,
+	// slow-query journal). Set on success and failure alike.
+	QueryID string
+	// QError is the query's worst per-operator cardinality misestimate; 0
+	// when no operator had both an estimate and an actual (hand-built plans
+	// without EstimateSizes, or nothing completed).
+	QError float64
 }
 
 // QueryOpts carries per-query execution options. The zero value inherits
@@ -112,7 +125,13 @@ func (e *Engine) RunQueryWith(p *sim.Proc, pl *plan.Plan, placer Placer, opts Qu
 				slog.String("query", q.name),
 				slog.String("error", q.err.Error()))
 		}
-		return nil, QueryStats{}, q.err
+		// Latency is time-to-failure: the slow-query journal records deadline
+		// failures with the latency they actually burned, not zero.
+		return nil, QueryStats{
+			Latency: e.Sim.Now() - q.started,
+			QueryID: q.name,
+			QError:  q.qerror,
+		}, q.err
 	}
 	e.Metrics.QueriesCompleted.Inc()
 	q.traceQuery(q.finished, "")
@@ -123,7 +142,11 @@ func (e *Engine) RunQueryWith(p *sim.Proc, pl *plan.Plan, placer Placer, opts Qu
 			slog.String("query", q.name),
 			slog.Duration("latency", q.finished-q.started))
 	}
-	return q.result, QueryStats{Latency: q.finished - q.started}, nil
+	return q.result, QueryStats{
+		Latency: q.finished - q.started,
+		QueryID: q.name,
+		QError:  q.qerror,
+	}, nil
 }
 
 // traceQuery emits the query-level span every operator span of the query
@@ -199,6 +222,7 @@ func (q *query) runNode(p *sim.Proc, n *plan.Node, kind cost.ProcKind, est float
 		q.fail(err)
 		return
 	}
+	q.observeEstimates(n, v)
 	if q.err != nil {
 		// The query failed (deadline, sibling error) while this operator was
 		// already executing: fail() released the reservations it knew about,
@@ -223,6 +247,30 @@ func (q *query) runNode(p *sim.Proc, n *plan.Node, kind cost.ProcKind, est float
 	q.pending[parent.ID()]--
 	if q.pending[parent.ID()] == 0 {
 		q.scheduleNode(parent)
+	}
+}
+
+// observeEstimates feeds the misestimation series from one completed
+// operator: estimate/actual ratios into the histograms, and the operator's
+// q-error into the query's running maximum and the engine-wide gauge. Plans
+// without compile-time estimates (EstRows 0) observe nothing, so hand-built
+// benchmark plans cost only these comparisons.
+func (q *query) observeEstimates(n *plan.Node, v *Value) {
+	m := q.engine.Metrics
+	if rows := int64(v.Batch.NumRows()); n.EstRows > 0 && rows > 0 {
+		r := float64(n.EstRows) / float64(rows)
+		m.EstimateRowsRatio.Observe(r)
+		qe := r
+		if qe < 1 {
+			qe = 1 / qe
+		}
+		if qe > q.qerror {
+			q.qerror = qe
+		}
+		m.QErrorMax.Max(qe)
+	}
+	if b := v.Bytes(); n.EstOutBytes > 0 && b > 0 {
+		m.EstimateBytesRatio.Observe(float64(n.EstOutBytes) / float64(b))
 	}
 }
 

@@ -23,62 +23,120 @@ const namePrefix = "robustdb_"
 //   - Counter N            → robustdb_<n>_total           (TYPE counter)
 //   - DurationCounter N    → robustdb_<n>_seconds_total   (TYPE counter)
 //   - Gauge N              → robustdb_<n>                 (TYPE gauge)
+//   - FloatGauge N         → robustdb_<n>                 (TYPE gauge)
 //   - Histogram N          → robustdb_<n>_seconds         (TYPE histogram)
+//   - RatioHistogram N     → robustdb_<n>                 (TYPE histogram)
 //
-// where <n> is SanitizeMetricName(N). Histograms render their power-of-two
-// microsecond buckets as cumulative `_bucket` series with `le` edges in
-// seconds; the top bucket absorbs overflow and is exported as +Inf. Output
-// is sorted by metric name, so equal snapshots render byte-identical text.
-// The returned error is the first write error, if any.
+// where <n> is SanitizeMetricName(N). Registry keys composed with
+// trace.LabeledName (`Base{k="v"}`) split back into base name + label set:
+// every labeled series of one base renders under a single HELP/TYPE header
+// as one metric family, which is what Prometheus requires. Duration
+// histograms render their power-of-two microsecond buckets as cumulative
+// `_bucket` series with `le` edges in seconds; ratio histograms are
+// dimensionless (no unit suffix) with power-of-two ratio edges; the top
+// bucket absorbs overflow and is exported as +Inf. Output is sorted by
+// family name, then by label set, so equal snapshots render byte-identical
+// text. The returned error is the first write error, if any.
 func WritePrometheus(w io.Writer, s trace.Snapshot) error {
-	type series struct {
-		name string
-		body func(io.Writer, string) error
+	type sample struct {
+		labels string // raw label pairs without braces; "" for unlabeled
+		body   func(w io.Writer, full, labels string) error
 	}
-	var all []series
+	type family struct {
+		name    string // exposition name without the robustdb_ prefix
+		typ     string
+		orig    string // registry base name, for the HELP line
+		samples []sample
+	}
+	fams := make(map[string]*family)
+	add := func(key, suffix, typ string, body func(io.Writer, string, string) error) {
+		base, labels := trace.SplitLabeledName(key)
+		name := SanitizeMetricName(base) + suffix
+		f, ok := fams[name]
+		if !ok {
+			f = &family{name: name, typ: typ, orig: base}
+			fams[name] = f
+		}
+		f.samples = append(f.samples, sample{labels: labels, body: body})
+	}
 
 	for name, v := range s.Counters {
 		v := v
-		all = append(all, series{
-			name: SanitizeMetricName(name) + "_total",
-			body: counterBody(name, "counter", v),
+		add(name, "_total", "counter", func(w io.Writer, full, labels string) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", sampleName(full, labels), v)
+			return err
 		})
 	}
 	for name, d := range s.Durations {
 		secs := d.Seconds()
-		orig := name
-		all = append(all, series{
-			name: SanitizeMetricName(name) + "_seconds_total",
-			body: func(w io.Writer, full string) error {
-				return writeSimple(w, full, orig, "counter", formatFloat(secs))
-			},
+		add(name, "_seconds_total", "counter", func(w io.Writer, full, labels string) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", sampleName(full, labels), formatFloat(secs))
+			return err
 		})
 	}
 	for name, v := range s.Gauges {
 		v := v
-		all = append(all, series{
-			name: SanitizeMetricName(name),
-			body: counterBody(name, "gauge", v),
+		add(name, "", "gauge", func(w io.Writer, full, labels string) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", sampleName(full, labels), v)
+			return err
+		})
+	}
+	for name, v := range s.FloatGauges {
+		v := v
+		add(name, "", "gauge", func(w io.Writer, full, labels string) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", sampleName(full, labels), formatFloat(v))
+			return err
 		})
 	}
 	for name, h := range s.Histograms {
 		h := h
-		orig := name
-		all = append(all, series{
-			name: SanitizeMetricName(name) + "_seconds",
-			body: func(w io.Writer, full string) error {
-				return writeHistogram(w, full, orig, h)
-			},
+		add(name, "_seconds", "histogram", func(w io.Writer, full, labels string) error {
+			return writeHistogram(w, full, labels, h)
+		})
+	}
+	for name, h := range s.Ratios {
+		h := h
+		add(name, "", "histogram", func(w io.Writer, full, labels string) error {
+			return writeRatioHistogram(w, full, labels, h)
 		})
 	}
 
-	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
-	for _, sr := range all {
-		if err := sr.body(w, namePrefix+sr.name); err != nil {
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		full := namePrefix + f.name
+		if _, err := fmt.Fprintf(w, "# HELP %s Registry series %s.\n# TYPE %s %s\n",
+			full, f.orig, full, f.typ); err != nil {
 			return err
+		}
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		for _, sm := range f.samples {
+			if err := sm.body(w, full, sm.labels); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// sampleName composes one sample's name with its label set.
+func sampleName(full, labels string) string {
+	if labels == "" {
+		return full
+	}
+	return full + "{" + labels + "}"
+}
+
+// mergeLabels appends extra (`le="0.001"`) to a possibly-empty label set.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
 }
 
 // BuildInfo identifies the running binary on the exposition surface.
@@ -149,28 +207,11 @@ func WriteExposition(w io.Writer, s trace.Snapshot, info BuildInfo, uptime time.
 	return WritePrometheus(w, s)
 }
 
-// counterBody renders a plain integer-valued counter or gauge.
-func counterBody(orig, typ string, v int64) func(io.Writer, string) error {
-	return func(w io.Writer, full string) error {
-		return writeSimple(w, full, orig, typ, strconv.FormatInt(v, 10))
-	}
-}
-
-// writeSimple emits the HELP/TYPE header and one sample line.
-func writeSimple(w io.Writer, full, orig, typ, value string) error {
-	_, err := fmt.Fprintf(w, "# HELP %s Registry series %s.\n# TYPE %s %s\n%s %s\n",
-		full, orig, full, typ, full, value)
-	return err
-}
-
 // writeHistogram emits cumulative buckets, sum, and count for one duration
-// histogram. Bucket edges are the registry's power-of-two microsecond edges
-// converted to seconds; the top bucket is +Inf.
-func writeHistogram(w io.Writer, full, orig string, h trace.HistogramSnapshot) error {
-	if _, err := fmt.Fprintf(w, "# HELP %s Registry series %s.\n# TYPE %s histogram\n",
-		full, orig, full); err != nil {
-		return err
-	}
+// histogram sample. Bucket edges are the registry's power-of-two microsecond
+// edges converted to seconds; the top bucket is +Inf. labels are the sample's
+// own labels, merged with the `le` edge on bucket lines.
+func writeHistogram(w io.Writer, full, labels string, h trace.HistogramSnapshot) error {
 	var cum int64
 	for i, b := range h.Buckets {
 		cum += b
@@ -178,12 +219,36 @@ func writeHistogram(w io.Writer, full, orig string, h trace.HistogramSnapshot) e
 		if i < len(h.Buckets)-1 {
 			le = formatFloat(trace.BucketUpperEdge(i).Seconds())
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", full, le, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n",
+			full, mergeLabels(labels, `le="`+le+`"`), cum); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-		full, formatFloat(h.Sum.Seconds()), full, h.Count)
+	_, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+		sampleName(full+"_sum", labels), formatFloat(h.Sum.Seconds()),
+		sampleName(full+"_count", labels), h.Count)
+	return err
+}
+
+// writeRatioHistogram is writeHistogram for a dimensionless ratio histogram:
+// edges come from trace.RatioBucketUpperEdge and the sum is the raw ratio
+// mass (no unit conversion).
+func writeRatioHistogram(w io.Writer, full, labels string, h trace.RatioSnapshot) error {
+	var cum int64
+	for i, b := range h.Buckets {
+		cum += b
+		le := "+Inf"
+		if i < len(h.Buckets)-1 {
+			le = formatFloat(trace.RatioBucketUpperEdge(i))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n",
+			full, mergeLabels(labels, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+		sampleName(full+"_sum", labels), formatFloat(h.Sum),
+		sampleName(full+"_count", labels), h.Count)
 	return err
 }
 

@@ -15,7 +15,8 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite the exposition golden file")
 
 // goldenRegistry builds a deterministic registry exercising every metric
-// kind and every name-sanitization case (acronyms, digits, plain camel).
+// kind (including labeled series, ratio histograms, and float gauges) and
+// every name-sanitization case (acronyms, digits, plain camel).
 func goldenRegistry() *trace.Registry {
 	reg := trace.NewRegistry()
 	reg.Counter("Aborts").Add(7)
@@ -23,14 +24,32 @@ func goldenRegistry() *trace.Registry {
 	reg.Counter("H2DBytes").Add(1 << 20)
 	reg.Counter("KernelMorsels").Add(96)
 	reg.Counter("QueriesCompleted").Add(100)
+	reg.Counter("PlancacheHits").Add(12)
+	reg.Counter("PlancacheMisses").Add(3)
+	reg.Counter("PlancacheEvictions").Add(1)
 	reg.Duration("WastedTime").Add(1500 * time.Millisecond)
 	reg.Gauge("HeapHighWater").Set(65536)
 	reg.Gauge("DetectorThrashing").Set(1)
+	reg.FloatGauge("QErrorMax").Max(7.5)
 	h := reg.Histogram("GPURunTime")
 	h.Observe(500 * time.Nanosecond)  // bucket 0
 	h.Observe(3 * time.Microsecond)   // bucket 2
 	h.Observe(100 * time.Microsecond) // bucket 7
 	h.Observe(time.Hour)              // clamps into the top bucket
+	r := reg.Ratio("EstimateRowsRatio")
+	r.Observe(0.25) // underestimate by 4x
+	r.Observe(1)    // exact
+	r.Observe(7.5)  // overestimate
+	// Labeled series: one base name, several label sets — the exporter must
+	// group them under a single metric family.
+	reg.Counter(trace.LabeledName("AdmissionTenantShed",
+		"tenant", "t1", "code", "overloaded")).Add(2)
+	reg.Counter(trace.LabeledName("AdmissionTenantShed",
+		"tenant", "t2", "code", "tenant-limit")).Add(5)
+	reg.Histogram(trace.LabeledName("TenantQueryLatency",
+		"tenant", "t1", "outcome", "ok")).Observe(4 * time.Microsecond)
+	reg.Histogram(trace.LabeledName("TenantQueryLatency",
+		"tenant", "t1", "outcome", "shed")).Observe(90 * time.Microsecond)
 	return reg
 }
 
@@ -104,6 +123,29 @@ func TestWritePrometheusWellFormed(t *testing.T) {
 	}
 	if !strings.Contains(out, "robustdb_gpu_run_time_seconds_count 4") {
 		t.Fatalf("histogram count missing:\n%s", out)
+	}
+	// Labeled families: one TYPE line for all label sets, labels sorted by key.
+	if got := strings.Count(out, "# TYPE robustdb_admission_tenant_shed_total counter"); got != 1 {
+		t.Fatalf("labeled counter family has %d TYPE lines, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, `robustdb_admission_tenant_shed_total{code="overloaded",tenant="t1"} 2`) {
+		t.Fatalf("labeled counter sample missing:\n%s", out)
+	}
+	if got := strings.Count(out, "# TYPE robustdb_tenant_query_latency_seconds histogram"); got != 1 {
+		t.Fatalf("labeled histogram family has %d TYPE lines, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, `robustdb_tenant_query_latency_seconds_bucket{outcome="ok",tenant="t1",le="+Inf"} 1`) {
+		t.Fatalf("labeled histogram bucket missing:\n%s", out)
+	}
+	// Ratio histograms are dimensionless: no unit suffix, ratio-valued edges.
+	if !strings.Contains(out, `robustdb_estimate_rows_ratio_bucket{le="+Inf"} 3`) {
+		t.Fatalf("ratio histogram +Inf bucket missing:\n%s", out)
+	}
+	if !strings.Contains(out, "robustdb_estimate_rows_ratio_sum 8.75") {
+		t.Fatalf("ratio histogram sum must be raw ratio mass:\n%s", out)
+	}
+	if !strings.Contains(out, "robustdb_q_error_max 7.5") {
+		t.Fatalf("float gauge missing:\n%s", out)
 	}
 }
 

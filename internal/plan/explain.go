@@ -3,10 +3,12 @@ package plan
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"robustdb/internal/column"
 	"robustdb/internal/cost"
 	"robustdb/internal/table"
+	"robustdb/internal/trace"
 )
 
 // ExplainVersion is the schema version of the EXPLAIN payload. Bump it when
@@ -46,26 +48,82 @@ type ExplainNode struct {
 	// "runtime" when the strategy defers per-operator decisions to run time.
 	Placement string `json:"placement"`
 
+	// Analyze carries the node's execution actuals when the payload was
+	// produced by EXPLAIN ANALYZE (AttachActuals); nil for plain EXPLAIN, so
+	// pre-ANALYZE documents are byte-identical.
+	Analyze *ExplainAnalyze `json:"analyze,omitempty"`
+
 	Children []*ExplainNode `json:"children,omitempty"`
+}
+
+// ExplainAnalyze is the per-node actuals section of EXPLAIN ANALYZE,
+// populated by correlating exec spans back to plan nodes by node id.
+// Durations are virtual microseconds (integral and lossless at simulator
+// resolution) summed across all attempts; rows/bytes come from the completed
+// attempt only, so retries never double-count output.
+type ExplainAnalyze struct {
+	// Status is "ok" (a completed attempt was found), "partial" (the node
+	// ran but every attempt aborted — durations are real, rows/bytes are
+	// not), or "missing" (no span reached the tracer: the query was shed or
+	// failed before this node started).
+	Status string `json:"status"`
+	// Processor is where the final attempt ran ("cpu"/"gpu"); empty when
+	// status is "missing".
+	Processor string `json:"processor,omitempty"`
+	// Attempts counts execution attempts including retries and the CPU
+	// fallback; 0 when status is "missing".
+	Attempts int `json:"attempts"`
+	// ActualRows and ActualBytes are the completed attempt's output; 0 when
+	// no attempt completed (status != "ok" — flagged, not fabricated).
+	ActualRows  int64 `json:"actual_rows"`
+	ActualBytes int64 `json:"actual_bytes"`
+	// WallUS, QueueWaitUS, and TransferUS sum across all attempts.
+	WallUS      int64 `json:"wall_us"`
+	QueueWaitUS int64 `json:"queue_wait_us"`
+	TransferUS  int64 `json:"transfer_us"`
+	// DecompressBytes is the volume materialized by decoding compressed
+	// columns during the node's kernels, summed across attempts.
+	DecompressBytes int64 `json:"decompress_bytes,omitempty"`
+}
+
+// ExplainExec is the query-level execution summary of an EXPLAIN ANALYZE
+// payload, drawn from the query span and the per-node actuals.
+type ExplainExec struct {
+	// QueryID is the engine's query id ("q0001") — the span correlation key.
+	QueryID string `json:"query_id"`
+	// Outcome is "ok" or the query span's abort class ("failed", ...).
+	Outcome   string `json:"outcome"`
+	LatencyUS int64  `json:"latency_us"`
+	Tenant    string `json:"tenant,omitempty"`
+	// QError is the worst per-node cardinality misestimate:
+	// max(est/actual, actual/est) over nodes with both sides known. 0 when
+	// no node had both.
+	QError float64 `json:"q_error,omitempty"`
 }
 
 // ExplainPayload is the versioned EXPLAIN document served over /v1/explain
 // and printed by the CLI.
 type ExplainPayload struct {
-	Version int          `json:"version"`
-	SQL     string       `json:"sql,omitempty"`
-	Text    string       `json:"text"`
-	Root    *ExplainNode `json:"root"`
+	Version int    `json:"version"`
+	SQL     string `json:"sql,omitempty"`
+	Text    string `json:"text"`
+	// Exec is the query-level execution summary; present only on EXPLAIN
+	// ANALYZE payloads (AttachActuals).
+	Exec *ExplainExec `json:"exec,omitempty"`
+	Root *ExplainNode `json:"root"`
 }
 
-// Explain renders the plan as a JSON-serializable node tree. It fills the
-// compile-time size estimates (mutating the plan's Est fields), so callers
-// that share plans across requests should pass a freshly compiled plan.
+// Explain renders the plan as a JSON-serializable node tree. Plans not yet
+// estimated get their compile-time estimates filled (mutating the plan's Est
+// fields); already-estimated plans — e.g. cached plans shared across
+// concurrent requests, estimated once at insert — are read without mutation.
 // placement maps node id → processor for compile-time strategies; nil means
 // every decision is deferred to run time.
 func Explain(p *Plan, cat *table.Catalog, placement map[int]cost.ProcKind) (*ExplainPayload, error) {
-	if err := p.EstimateSizes(cat); err != nil {
-		return nil, err
+	if !p.estimated {
+		if err := p.EstimateSizes(cat); err != nil {
+			return nil, err
+		}
 	}
 	var build func(n *Node) (*ExplainNode, error)
 	build = func(n *Node) (*ExplainNode, error) {
@@ -73,6 +131,7 @@ func Explain(p *Plan, cat *table.Catalog, placement map[int]cost.ProcKind) (*Exp
 			ID:          n.ID(),
 			Op:          n.Op.Name(),
 			Class:       n.Op.Class().String(),
+			EstRows:     n.EstRows,
 			EstInBytes:  n.EstInBytes,
 			EstOutBytes: n.EstOutBytes,
 			Placement:   "runtime",
@@ -93,7 +152,6 @@ func Explain(p *Plan, cat *table.Catalog, placement map[int]cost.ProcKind) (*Exp
 			}
 			en.Children = append(en.Children, ce)
 		}
-		en.EstRows = estRows(n, en, cat)
 		return en, nil
 	}
 	root, err := build(p.Root)
@@ -172,48 +230,75 @@ func explainBaseColumns(op Operator, cat *table.Catalog, en *ExplainNode) error 
 	return nil
 }
 
-// estRows estimates output cardinality with the same crude factors as
-// EstimateSizes: scans start from exact catalog row counts, everything above
-// propagates child estimates through per-class reduction factors. The paper's
-// point (§4) is that such estimates are unreliable — EXPLAIN surfaces them so
-// the unreliability is visible.
-func estRows(n *Node, en *ExplainNode, cat *table.Catalog) int64 {
-	clamp := func(r int64) int64 {
-		if r < 1 {
-			return 1
+// AttachActuals upgrades a plain EXPLAIN payload to EXPLAIN ANALYZE by
+// correlating the query's exec spans back to plan nodes: every node gains an
+// Analyze section (status "missing" when no span reached it — shed queries
+// and nodes past a mid-plan failure report missing, never fabricated zeros),
+// and the payload gains an Exec summary from the query-level span. spans is
+// the output of Tracer.SpansFor(queryID); outcome overrides the span-derived
+// outcome when non-empty (the server knows shed/deadline classifications the
+// engine cannot see).
+func AttachActuals(payload *ExplainPayload, queryID string, spans []trace.Span, outcome string) {
+	exec := &ExplainExec{QueryID: queryID, Outcome: "ok"}
+	byNode := make(map[int][]trace.Span, len(spans))
+	for _, s := range spans {
+		if s.Class == "query" {
+			exec.LatencyUS = int64(s.Duration() / time.Microsecond)
+			exec.Tenant = s.Tenant
+			if s.Abort != "" {
+				exec.Outcome = s.Abort
+			}
+			continue
 		}
-		return r
+		byNode[s.Node] = append(byNode[s.Node], s)
 	}
-	if o, ok := n.Op.(*ScanOp); ok {
-		rows := int64(0)
-		if t, err := cat.Table(o.Table); err == nil {
-			rows = int64(t.NumRows())
-		}
-		if o.Pred != nil {
-			rows = int64(float64(rows) * estSelectivity)
-		}
-		return clamp(rows)
+	if outcome != "" {
+		exec.Outcome = outcome
 	}
-	var childRows int64
-	for _, c := range en.Children {
-		if c.EstRows > childRows {
-			childRows = c.EstRows
+
+	var walk func(en *ExplainNode)
+	walk = func(en *ExplainNode) {
+		en.Analyze = analyzeNode(byNode[en.ID])
+		if a := en.Analyze; a.Status == "ok" && en.EstRows > 0 && a.ActualRows > 0 {
+			q := float64(en.EstRows) / float64(a.ActualRows)
+			if q < 1 {
+				q = 1 / q
+			}
+			if q > exec.QError {
+				exec.QError = q
+			}
+		}
+		for _, c := range en.Children {
+			walk(c)
 		}
 	}
-	switch n.Op.Class() {
-	case cost.Selection:
-		return clamp(int64(float64(childRows) * estSelectivity))
-	case cost.Aggregation:
-		return clamp(int64(float64(childRows) * estAggReduction))
-	case cost.Join:
-		if len(en.Children) == 2 {
-			return clamp(int64(float64(en.Children[1].EstRows) * estJoinExpansion))
-		}
-		return clamp(childRows)
-	default:
-		if o, ok := n.Op.(*SortOp); ok && o.Limit > 0 && int64(o.Limit) < childRows {
-			return clamp(int64(o.Limit))
-		}
-		return clamp(childRows)
+	if payload.Root != nil {
+		walk(payload.Root)
 	}
+	payload.Exec = exec
+}
+
+// analyzeNode folds one node's attempt spans into its Analyze section.
+func analyzeNode(spans []trace.Span) *ExplainAnalyze {
+	a := &ExplainAnalyze{Status: "missing"}
+	final := -1
+	for _, s := range spans {
+		a.Attempts++
+		a.WallUS += int64(s.Duration() / time.Microsecond)
+		a.QueueWaitUS += int64(s.QueueWait / time.Microsecond)
+		a.TransferUS += int64(s.Transfer / time.Microsecond)
+		a.DecompressBytes += s.DecompressBytes
+		if s.Attempt >= final {
+			final = s.Attempt
+			a.Processor = s.Proc
+		}
+		if s.Abort == "" {
+			a.Status = "ok"
+			a.ActualRows = s.Rows
+			a.ActualBytes = s.OutBytes
+		} else if a.Status == "missing" {
+			a.Status = "partial"
+		}
+	}
+	return a
 }

@@ -36,11 +36,14 @@ type Node struct {
 	Op       Operator
 	Children []*Node
 
-	// EstInBytes and EstOutBytes are the compile-time size estimates set by
-	// Plan.EstimateSizes; compile-time heuristics plan with them, run-time
-	// placement ignores them (paper §4: exact cardinalities at run time).
+	// EstInBytes, EstOutBytes, and EstRows are the compile-time estimates
+	// set by Plan.EstimateSizes; compile-time heuristics plan with them,
+	// run-time placement ignores them (paper §4: exact cardinalities at run
+	// time). EstRows is also the "estimate" side of EXPLAIN ANALYZE's
+	// estimate-vs-actual comparison and the misestimation metrics.
 	EstInBytes  int64
 	EstOutBytes int64
+	EstRows     int64
 }
 
 // ID returns the node's plan-unique id (post-order, root last).
@@ -55,6 +58,12 @@ func NewNode(op Operator, children ...*Node) *Node {
 type Plan struct {
 	Root  *Node
 	nodes []*Node
+
+	// estimated records that EstimateSizes already ran, letting Explain skip
+	// re-estimation. Plans cached and shared across concurrent requests are
+	// estimated once at insert; re-estimating per request would race on the
+	// shared Est fields.
+	estimated bool
 }
 
 // New numbers the tree in post-order (children before parents, root last)
@@ -141,8 +150,8 @@ const (
 	estJoinExpansion = 1.0
 )
 
-// EstimateSizes fills EstInBytes/EstOutBytes bottom-up using base column
-// sizes from the catalog and fixed selectivity guesses.
+// EstimateSizes fills EstInBytes/EstOutBytes/EstRows bottom-up using base
+// column sizes and row counts from the catalog and fixed selectivity guesses.
 func (p *Plan) EstimateSizes(cat *table.Catalog) error {
 	for _, n := range p.nodes { // post-order: children first
 		var in int64
@@ -176,6 +185,55 @@ func (p *Plan) EstimateSizes(cat *table.Catalog) error {
 		if n.EstOutBytes < 64 {
 			n.EstOutBytes = 64
 		}
+		n.EstRows = estRows(n, cat)
 	}
+	p.estimated = true
 	return nil
+}
+
+// estRows estimates output cardinality with the same crude factors as the
+// byte estimates: scans start from exact catalog row counts, everything above
+// propagates child estimates through per-class reduction factors. The paper's
+// point (§4) is that such estimates are unreliable — EXPLAIN surfaces them,
+// and the misestimation histograms measure them against actuals.
+// Children are already estimated (post-order caller).
+func estRows(n *Node, cat *table.Catalog) int64 {
+	clamp := func(r int64) int64 {
+		if r < 1 {
+			return 1
+		}
+		return r
+	}
+	if o, ok := n.Op.(*ScanOp); ok {
+		rows := int64(0)
+		if t, err := cat.Table(o.Table); err == nil {
+			rows = int64(t.NumRows())
+		}
+		if o.Pred != nil {
+			rows = int64(float64(rows) * estSelectivity)
+		}
+		return clamp(rows)
+	}
+	var childRows int64
+	for _, c := range n.Children {
+		if c.EstRows > childRows {
+			childRows = c.EstRows
+		}
+	}
+	switch n.Op.Class() {
+	case cost.Selection:
+		return clamp(int64(float64(childRows) * estSelectivity))
+	case cost.Aggregation:
+		return clamp(int64(float64(childRows) * estAggReduction))
+	case cost.Join:
+		if len(n.Children) == 2 {
+			return clamp(int64(float64(n.Children[1].EstRows) * estJoinExpansion))
+		}
+		return clamp(childRows)
+	default:
+		if o, ok := n.Op.(*SortOp); ok && o.Limit > 0 && int64(o.Limit) < childRows {
+			return clamp(int64(o.Limit))
+		}
+		return clamp(childRows)
+	}
 }

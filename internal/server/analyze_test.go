@@ -1,0 +1,291 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"robustdb/internal/admission"
+	"robustdb/internal/exec"
+	"robustdb/internal/journal"
+	"robustdb/internal/plan"
+	"robustdb/internal/server"
+	"robustdb/internal/trace"
+)
+
+const analyzeSQL = "SELECT c_nation, SUM(lo_revenue) AS rev " +
+	"FROM lineorder, customer " +
+	"WHERE lo_custkey = c_custkey AND lo_discount BETWEEN 1 AND 3 " +
+	"GROUP BY c_nation ORDER BY rev DESC LIMIT 5"
+
+// TestExplainAnalyzeHTTP drives POST /v1/explain?analyze=1 end to end: the
+// document must carry an exec summary and numeric actuals on every node.
+func TestExplainAnalyzeHTTP(t *testing.T) {
+	cat := catalog(t)
+	s := newServer(t, cat, exec.Config{Tracer: trace.New(0)}, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drain(t, s)
+
+	body := `{"tenant":"acme","sql":"` + analyzeSQL + `"}`
+	resp, err := http.Post(ts.URL+"/v1/explain?analyze=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var doc plan.ExplainPayload
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Exec == nil || doc.Exec.QueryID == "" || doc.Exec.Outcome != "ok" {
+		t.Fatalf("exec summary = %+v", doc.Exec)
+	}
+	if doc.Exec.Tenant != "acme" {
+		t.Fatalf("tenant = %q, want acme", doc.Exec.Tenant)
+	}
+	var check func(n *plan.ExplainNode)
+	check = func(n *plan.ExplainNode) {
+		if n.Analyze == nil {
+			t.Fatalf("node %d has no analyze section", n.ID)
+		}
+		if n.Analyze.Status != "ok" || n.Analyze.Attempts < 1 || n.Analyze.WallUS <= 0 {
+			t.Fatalf("node %d analyze = %+v", n.ID, n.Analyze)
+		}
+		for _, c := range n.Children {
+			check(c)
+		}
+	}
+	check(doc.Root)
+}
+
+// TestExplainAnalyzeStatement pins the SQL spelling: an EXPLAIN ANALYZE
+// statement POSTed to /v1/query executes and answers with the analyzed
+// document, while plain EXPLAIN stays execution-free (no analyze sections).
+func TestExplainAnalyzeStatement(t *testing.T) {
+	cat := catalog(t)
+	s := newServer(t, cat, exec.Config{Tracer: trace.New(0)}, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drain(t, s)
+
+	post := func(sql string) plan.ExplainPayload {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"tenant": "acme", "sql": sql})
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var doc plan.ExplainPayload
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return doc
+	}
+	analyzed := post("EXPLAIN ANALYZE " + analyzeSQL)
+	if analyzed.Exec == nil || analyzed.Root.Analyze == nil {
+		t.Fatalf("EXPLAIN ANALYZE returned no actuals: exec=%+v", analyzed.Exec)
+	}
+	plain := post("EXPLAIN " + analyzeSQL)
+	if plain.Exec != nil || plain.Root.Analyze != nil {
+		t.Fatalf("plain EXPLAIN must not execute: exec=%+v analyze=%+v", plain.Exec, plain.Root.Analyze)
+	}
+}
+
+// TestExplainAnalyzeDeadline pins the mid-plan deadline contract: the
+// payload is still returned, the outcome is "deadline", and no node carries
+// fabricated actuals — unreached nodes are "missing", aborted ones "partial".
+func TestExplainAnalyzeDeadline(t *testing.T) {
+	cat := catalog(t)
+	s := newServer(t, cat, exec.Config{Tracer: trace.New(0)}, nil)
+	defer drain(t, s)
+
+	doc, err := s.ExplainAnalyze(context.Background(), "acme", 0, analyzeSQL, time.Microsecond)
+	if err != nil {
+		t.Fatalf("ExplainAnalyze: %v (a deadline failure must still return the payload)", err)
+	}
+	if doc == nil || doc.Exec == nil {
+		t.Fatal("deadline failure must still return the analyzed payload")
+	}
+	if doc.Exec.Outcome != "deadline" {
+		t.Fatalf("outcome = %q, want deadline", doc.Exec.Outcome)
+	}
+	okNodes := 0
+	var check func(n *plan.ExplainNode)
+	check = func(n *plan.ExplainNode) {
+		a := n.Analyze
+		if a == nil {
+			t.Fatalf("node %d has no analyze section", n.ID)
+		}
+		switch a.Status {
+		case "ok":
+			okNodes++
+		case "partial", "missing":
+			if a.ActualRows != 0 || a.ActualBytes != 0 {
+				t.Fatalf("node %d status %q fabricates actuals: %+v", n.ID, a.Status, a)
+			}
+		default:
+			t.Fatalf("node %d unknown status %q", n.ID, a.Status)
+		}
+		for _, c := range n.Children {
+			check(c)
+		}
+	}
+	check(doc.Root)
+	nodes := countNodes(doc.Root)
+	if okNodes == nodes {
+		t.Fatalf("a 1µs deadline completed all %d nodes — deadline did not fire mid-plan", nodes)
+	}
+}
+
+func countNodes(n *plan.ExplainNode) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// TestExplainAnalyzeShed pins the shed contract: a query shed at admission
+// returns the typed admission error and no payload (there is nothing to
+// analyze), and the journal records a minimal entry without plan or spans.
+func TestExplainAnalyzeShed(t *testing.T) {
+	cat := catalog(t)
+	j := journal.New(16, 0, 0)
+	s := newServer(t, cat, exec.Config{Tracer: trace.New(0)}, func(cfg *server.Config) {
+		cfg.Journal = j
+	})
+	defer drain(t, s)
+	// Draining the admission controller sheds every new submission before it
+	// reaches the engine, while the host stays up to serve Placement.
+	s.Admission().Drain()
+	doc, err := s.ExplainAnalyze(context.Background(), "acme", 0, analyzeSQL, 0)
+	var ae *admission.Error
+	if !errors.As(err, &ae) && !errors.Is(err, server.ErrHostClosed) {
+		t.Fatalf("err = %v, want a typed shed error", err)
+	}
+	if doc != nil {
+		t.Fatalf("shed query returned a payload: %+v", doc)
+	}
+	entries := j.Entries()
+	if len(entries) == 0 {
+		t.Fatal("shed query was not journaled")
+	}
+	last := entries[len(entries)-1]
+	if last.Outcome != "shed" || last.QueryID != "" || last.Plan != nil || len(last.Spans) != 0 {
+		t.Fatalf("shed journal entry = %+v, want minimal shed record", last)
+	}
+}
+
+// TestSlowlogEndpoint drives the journal over HTTP: with a zero threshold
+// every query is journaled, and /debug/slowlog serves JSON Lines carrying
+// the analyzed plan and span waterfall.
+func TestSlowlogEndpoint(t *testing.T) {
+	cat := catalog(t)
+	j := journal.New(16, 0, 0)
+	s := newServer(t, cat, exec.Config{Tracer: trace.New(0)}, func(cfg *server.Config) {
+		cfg.Journal = j
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drain(t, s)
+
+	body := `{"tenant":"acme","sql":"` + analyzeSQL + `"}`
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+
+	slow, err := http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatalf("GET slowlog: %v", err)
+	}
+	defer slow.Body.Close()
+	if slow.StatusCode != http.StatusOK {
+		t.Fatalf("slowlog status %d", slow.StatusCode)
+	}
+	var entry journal.Entry
+	dec := json.NewDecoder(slow.Body)
+	found := false
+	for dec.More() {
+		if err := dec.Decode(&entry); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if entry.Tenant == "acme" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("journaled query not found in /debug/slowlog")
+	}
+	if entry.QueryID == "" || entry.Outcome != "ok" || entry.Reason != "latency" {
+		t.Fatalf("entry = %+v", entry)
+	}
+	if entry.SQL != analyzeSQL {
+		t.Fatalf("entry sql = %q", entry.SQL)
+	}
+	if len(entry.Spans) == 0 {
+		t.Fatal("entry has no span waterfall")
+	}
+	if entry.Plan == nil || entry.Plan.Exec == nil || entry.Plan.Root.Analyze == nil {
+		t.Fatalf("entry plan is not analyzed: %+v", entry.Plan)
+	}
+	if entry.WallTime == "" {
+		t.Fatal("entry has no wall-clock timestamp")
+	}
+}
+
+// TestSlowlogDisabled pins the off switch: no journal configured → 404, so
+// probes can tell "disabled" from "empty".
+func TestSlowlogDisabled(t *testing.T) {
+	cat := catalog(t)
+	s := newServer(t, cat, exec.Config{}, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer drain(t, s)
+	resp, err := http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTenantOutcomeMetrics pins the SLO attribution series: one completed
+// query shows up on TenantQueryLatency{tenant,outcome="ok"} with bounded,
+// sanitized tenant labels.
+func TestTenantOutcomeMetrics(t *testing.T) {
+	cat := catalog(t)
+	s := newServer(t, cat, exec.Config{}, nil)
+	defer drain(t, s)
+	if _, err := s.SubmitSQL(context.Background(), "acme", 0, analyzeSQL, 0); err != nil {
+		t.Fatalf("SubmitSQL: %v", err)
+	}
+	snap := s.Engine().Metrics.Registry().Snapshot()
+	key := trace.LabeledName("TenantQueryLatency", "tenant", "acme", "outcome", "ok")
+	h, ok := snap.Histograms[key]
+	if !ok || h.Count != 1 {
+		t.Fatalf("series %q = %+v (ok=%v), want one observation", key, h, ok)
+	}
+	if h.Sum <= 0 {
+		t.Fatalf("observed latency must be positive, got %v", h.Sum)
+	}
+}

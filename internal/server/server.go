@@ -18,6 +18,7 @@ import (
 	"robustdb/internal/column"
 	"robustdb/internal/engine"
 	"robustdb/internal/exec"
+	"robustdb/internal/journal"
 	"robustdb/internal/plan"
 	"robustdb/internal/sql"
 	"robustdb/internal/table"
@@ -45,6 +46,10 @@ type Config struct {
 	// MaxQueryDeadline caps client-requested deadlines (default 10s of
 	// virtual time; the same figure bounds the queue wait).
 	MaxQueryDeadline time.Duration
+	// Journal, when non-nil, receives slow-query entries (latency over its
+	// threshold, q-error over its bound, or failed) and backs the
+	// /debug/slowlog endpoint. Nil disables journaling at zero cost.
+	Journal *journal.Journal
 	// Log receives request-level diagnostics; nil disables logging.
 	Log *slog.Logger
 }
@@ -61,6 +66,14 @@ type Server struct {
 
 	reqs  reqMetrics
 	plans *planCache // bounded SQL plan cache (front door compiles once per text)
+
+	journal *journal.Journal // nil = journaling off
+
+	// reg and tenantPool back the per-tenant SLO attribution histograms
+	// (TenantQueryLatency{tenant,outcome}); tenantPool bounds the
+	// client-controlled tenant label's cardinality.
+	reg        *trace.Registry
+	tenantPool *trace.LabelPool
 }
 
 // planCacheCap bounds the SQL plan cache. The cache key is raw
@@ -71,12 +84,18 @@ type Server struct {
 const planCacheCap = 256
 
 // planCache is a mutex-guarded LRU of compiled statements. Only statements
-// that compile successfully are inserted.
+// that compile successfully are inserted, with their size estimates filled
+// once at insert — cached plans are shared across concurrent requests, so
+// per-request re-estimation would race on the shared Est fields.
 type planCache struct {
 	mu    sync.Mutex
 	cap   int
 	lru   list.List // front = most recently used; values are *planCacheEntry
 	byKey map[string]*list.Element
+
+	// Effectiveness counters (robustdb_plancache_*_total); nil without a
+	// registry.
+	hits, misses, evictions *trace.Counter
 }
 
 type planCacheEntry struct {
@@ -93,8 +112,10 @@ func (c *planCache) get(key string) (*plan.Plan, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
+		inc(c.misses)
 		return nil, false
 	}
+	inc(c.hits)
 	c.lru.MoveToFront(el)
 	return el.Value.(*planCacheEntry).pl, true
 }
@@ -112,6 +133,7 @@ func (c *planCache) put(key string, pl *plan.Plan) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*planCacheEntry).key)
+		inc(c.evictions)
 	}
 }
 
@@ -153,8 +175,11 @@ func New(cfg Config) (*Server, error) {
 		log:         cfg.Log,
 		maxDeadline: cfg.MaxQueryDeadline,
 		plans:       newPlanCache(planCacheCap),
+		journal:     cfg.Journal,
+		tenantPool:  trace.NewLabelPool(0),
 	}
 	if reg := cfg.Admission.Registry; reg != nil {
+		s.reg = reg
 		s.reqs = reqMetrics{
 			total:      reg.Counter("ServerRequests"),
 			badRequest: reg.Counter("ServerBadRequests"),
@@ -163,6 +188,9 @@ func New(cfg Config) (*Server, error) {
 			failed:     reg.Counter("ServerQueryErrors"),
 			succeeded:  reg.Counter("ServerQueriesOK"),
 		}
+		s.plans.hits = reg.Counter("PlancacheHits")
+		s.plans.misses = reg.Counter("PlancacheMisses")
+		s.plans.evictions = reg.Counter("PlancacheEvictions")
 	}
 	return s, nil
 }
@@ -185,15 +213,37 @@ type Result struct {
 	Latency time.Duration
 	// QueueWait is the wall-clock time spent waiting for admission.
 	QueueWait time.Duration
+	// QueryID is the engine query id ("q0001") — the span correlation key.
+	// Set whenever the query reached the engine, including on failure;
+	// empty for shed queries.
+	QueryID string
+	// QError is the query's worst per-operator cardinality misestimate (0
+	// when unknown).
+	QError float64
 }
+
+// SLO attribution outcome labels (TenantQueryLatency{tenant,outcome} and the
+// journal's Outcome field). The set is fixed so label cardinality is bounded
+// by construction.
+const (
+	outcomeOK            = "ok"
+	outcomeShed          = "shed"
+	outcomeDeadline      = "deadline"
+	outcomeEngineFailure = "engine-failure"
+)
 
 // Submit runs one query through the full front-door path — admission,
 // queueing, execution — on behalf of tenant. prio raises the query above
 // the tenant's base priority; deadline bounds both the wall-clock queue
 // wait and the virtual-time execution (0 = server default). Every error
 // return is typed: *admission.Error for shed queries, exec errors for
-// admitted ones.
+// admitted ones. On engine failure the Result still carries the QueryID so
+// callers can correlate spans.
 func (s *Server) Submit(ctx context.Context, tenant string, prio int, pl *plan.Plan, deadline time.Duration) (Result, error) {
+	return s.submit(ctx, tenant, prio, pl, "", deadline)
+}
+
+func (s *Server) submit(ctx context.Context, tenant string, prio int, pl *plan.Plan, sqlText string, deadline time.Duration) (Result, error) {
 	inc(s.reqs.total)
 	if deadline <= 0 || deadline > s.maxDeadline {
 		deadline = s.maxDeadline
@@ -201,10 +251,14 @@ func (s *Server) Submit(ctx context.Context, tenant string, prio int, pl *plan.P
 	tk, err := s.ctrl.Submit(tenant, prio, deadline)
 	if err != nil {
 		inc(s.reqs.shed)
+		s.noteOutcome(tenant, outcomeShed, 0)
+		s.journalQuery(sqlText, tenant, outcomeShed, exec.QueryStats{}, true)
 		return Result{}, err
 	}
 	if err := tk.Wait(ctx); err != nil {
 		inc(s.reqs.shed)
+		s.noteOutcome(tenant, outcomeShed, tk.QueueWait())
+		s.journalQuery(sqlText, tenant, outcomeShed, exec.QueryStats{}, true)
 		return Result{}, err
 	}
 	queueWait := tk.QueueWait()
@@ -213,10 +267,78 @@ func (s *Server) Submit(ctx context.Context, tenant string, prio int, pl *plan.P
 	batch, stats, err := s.host.Run(pl, exec.QueryOpts{Deadline: deadline, Tenant: tenant})
 	if err != nil {
 		inc(s.reqs.failed)
-		return Result{}, err
+		outcome := outcomeEngineFailure
+		if errors.Is(err, exec.ErrDeadlineExceeded) {
+			outcome = outcomeDeadline
+		} else if errors.Is(err, ErrHostClosed) {
+			// The host refused the work (shutdown), the engine did not break.
+			outcome = outcomeShed
+		}
+		s.noteOutcome(tenant, outcome, stats.Latency)
+		s.journalQuery(sqlText, tenant, outcome, stats, true)
+		return Result{QueryID: stats.QueryID, QError: stats.QError, QueueWait: queueWait}, err
 	}
 	inc(s.reqs.succeeded)
-	return Result{Batch: batch, Latency: stats.Latency, QueueWait: queueWait}, nil
+	s.noteOutcome(tenant, outcomeOK, stats.Latency)
+	s.journalQuery(sqlText, tenant, outcomeOK, stats, false)
+	return Result{
+		Batch:     batch,
+		Latency:   stats.Latency,
+		QueueWait: queueWait,
+		QueryID:   stats.QueryID,
+		QError:    stats.QError,
+	}, nil
+}
+
+// noteOutcome records one query on the tenant's SLO attribution histogram:
+// robustdb_tenant_query_latency_seconds{tenant,outcome}. For executed
+// queries the observation is the engine's virtual latency; for shed queries
+// it is the wall-clock queue wait (the only latency a shed query has).
+// Registration is idempotent, so the hot path is one registry map lookup.
+func (s *Server) noteOutcome(tenant, outcome string, latency time.Duration) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Histogram(trace.LabeledName("TenantQueryLatency",
+		"tenant", s.tenantPool.Get(tenant), "outcome", outcome)).Observe(latency)
+}
+
+// journalQuery records the query in the slow-query journal when it crosses
+// a journal gate (latency threshold, q-error bound, or failure). The
+// expensive parts — span copy, fresh compile, analyzed plan — are built only
+// for entries that will actually be recorded; with journaling off the whole
+// call is one nil check.
+func (s *Server) journalQuery(sqlText, tenant, outcome string, stats exec.QueryStats, failed bool) {
+	reason := s.journal.Reason(stats.Latency, stats.QError, failed)
+	if reason == "" {
+		return
+	}
+	e := journal.Entry{
+		QueryID:   stats.QueryID,
+		SQL:       sqlText,
+		Tenant:    tenant,
+		Outcome:   outcome,
+		Reason:    reason,
+		LatencyUS: stats.Latency.Microseconds(),
+		QError:    stats.QError,
+		WallTime:  time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	if stats.QueryID != "" {
+		if spans := s.host.Engine.Tracer.SpansFor(stats.QueryID); len(spans) > 0 {
+			e.Spans = journal.Waterfall(spans)
+			if sqlText != "" {
+				if payload, err := s.Explain(sqlText); err == nil {
+					analyzeOutcome := outcome
+					if outcome == outcomeOK {
+						analyzeOutcome = ""
+					}
+					plan.AttachActuals(payload, stats.QueryID, spans, analyzeOutcome)
+					e.Plan = payload
+				}
+			}
+		}
+	}
+	s.journal.Record(e)
 }
 
 // ErrBadQuery wraps SQL compilation failures so the wire layer can map them
@@ -230,7 +352,7 @@ func (s *Server) SubmitSQL(ctx context.Context, tenant string, prio int, query s
 		inc(s.reqs.badRequest)
 		return Result{}, err
 	}
-	return s.Submit(ctx, tenant, prio, pl, deadline)
+	return s.submit(ctx, tenant, prio, pl, query, deadline)
 }
 
 func (s *Server) plan(query string) (*plan.Plan, error) {
@@ -242,6 +364,11 @@ func (s *Server) plan(query string) (*plan.Plan, error) {
 	}
 	pl, err := sql.PlanQuery(s.cat, query)
 	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	// Estimate once at insert: cached plans are shared across concurrent
+	// requests, and EXPLAIN over a shared plan must not re-mutate it.
+	if err := pl.EstimateSizes(s.cat); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	s.plans.put(query, pl)
@@ -307,13 +434,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/explain", s.handleExplain)
 	mux.HandleFunc("/debug/admission", s.handleAdmissionStats)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	return mux
 }
 
+// handleSlowlog serves the slow-query journal as JSON Lines, oldest entry
+// first. 404 when journaling is disabled, so probes can distinguish "off"
+// from "empty".
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusNotFound, "bad-request", errors.New("server: slow-query journal disabled"), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	//lint:ignore wirestatus the status header is already committed above; a mid-stream encode failure means the connection broke
+	if err := s.journal.WriteJSONL(w); err != nil {
+		return
+	}
+}
+
 // ExplainRequest is the wire format of POST /v1/explain. The statement may
-// carry an optional EXPLAIN prefix; either spelling describes the plan.
+// carry an optional EXPLAIN (ANALYZE) prefix; ?analyze=1 or an EXPLAIN
+// ANALYZE spelling executes the statement and attaches per-node actuals.
+// Tenant/Priority/DeadlineMS apply only to the analyze path, where the
+// statement really runs through admission control.
 type ExplainRequest struct {
-	SQL string `json:"sql"`
+	SQL        string `json:"sql"`
+	Tenant     string `json:"tenant,omitempty"`
+	Priority   int    `json:"priority,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
 }
 
 // Explain compiles the statement and renders its plan tree with placement
@@ -344,8 +494,65 @@ func (s *Server) Explain(query string) (*plan.ExplainPayload, error) {
 	return payload, nil
 }
 
-// handleExplain serves POST /v1/explain: the plan document for a statement,
-// without executing it or passing through admission control.
+// ExplainAnalyze compiles the statement fresh, executes exactly that plan
+// through the full front-door path (admission, queueing, deadline), then
+// annotates the plan document with per-node actuals from the execution's
+// spans. Compiling fresh — never via the shared plan cache — is what makes
+// the correlation sound: the explained tree and the executed tree are the
+// same object, so span node ids align by construction. Shed queries return
+// the typed admission error (there is nothing to report); deadline and
+// engine failures still return a payload, with the outcome flagged and the
+// reached nodes carrying partial actuals.
+func (s *Server) ExplainAnalyze(ctx context.Context, tenant string, prio int, query string, deadline time.Duration) (*plan.ExplainPayload, error) {
+	if s.cat == nil {
+		return nil, errors.New("server: no catalog configured for SQL")
+	}
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	pl, err := sql.Compile(s.cat, st)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if err := pl.EstimateSizes(s.cat); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	// Compile-time placement decisions for the document, resolved on the
+	// pump like plain EXPLAIN; the analyze sections additionally report the
+	// processor each node actually ran on.
+	placement, err := s.host.Placement(pl)
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := s.submit(ctx, tenant, prio, pl, query, deadline)
+	if runErr != nil {
+		var ae *admission.Error
+		if errors.As(runErr, &ae) || res.QueryID == "" {
+			// Shed before execution: no spans exist, nothing to analyze.
+			return nil, runErr
+		}
+	}
+	payload, err := plan.Explain(pl, s.cat, placement)
+	if err != nil {
+		return nil, err
+	}
+	payload.SQL = query
+	outcome := ""
+	if runErr != nil {
+		outcome = outcomeEngineFailure
+		if errors.Is(runErr, exec.ErrDeadlineExceeded) {
+			outcome = outcomeDeadline
+		}
+	}
+	plan.AttachActuals(payload, res.QueryID, s.host.Engine.Tracer.SpansFor(res.QueryID), outcome)
+	return payload, nil
+}
+
+// handleExplain serves POST /v1/explain: the plan document for a statement.
+// Plain EXPLAIN never executes and never passes admission control;
+// ?analyze=1 (or an EXPLAIN ANALYZE statement) runs the query through the
+// full front-door path and attaches per-node actuals.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "bad-request", errors.New("server: POST only"), 0)
@@ -360,6 +567,25 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if req.SQL == "" {
 		inc(s.reqs.badRequest)
 		writeError(w, http.StatusBadRequest, "bad-request", errors.New("server: empty sql"), 0)
+		return
+	}
+	analyze := r.URL.Query().Get("analyze") == "1"
+	if !analyze {
+		if st, err := sql.Parse(req.SQL); err == nil && st.Analyze {
+			analyze = true
+		}
+	}
+	if analyze {
+		if req.Tenant == "" {
+			req.Tenant = "default"
+		}
+		payload, err := s.ExplainAnalyze(r.Context(), req.Tenant, req.Priority, req.SQL,
+			time.Duration(req.DeadlineMS)*time.Millisecond)
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, payload)
 		return
 	}
 	payload, err := s.Explain(req.SQL)
@@ -391,11 +617,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Tenant == "" {
 		req.Tenant = "default"
 	}
-	// An EXPLAIN statement describes its plan instead of executing: answer
-	// with the same document /v1/explain serves rather than silently running
-	// the query.
+	// An EXPLAIN statement describes its plan instead of executing; EXPLAIN
+	// ANALYZE executes it and describes the plan with actuals. Both answer
+	// with the same document /v1/explain serves.
 	if st, err := sql.Parse(req.SQL); err == nil && st.Explain {
-		payload, err := s.Explain(req.SQL)
+		var payload *plan.ExplainPayload
+		if st.Analyze {
+			payload, err = s.ExplainAnalyze(r.Context(), req.Tenant, req.Priority, req.SQL,
+				time.Duration(req.DeadlineMS)*time.Millisecond)
+		} else {
+			payload, err = s.Explain(req.SQL)
+		}
 		if err != nil {
 			s.writeQueryError(w, err)
 			return

@@ -8,9 +8,11 @@ import (
 
 // The AST of the supported subset.
 
-// Statement is a parsed SELECT, optionally prefixed with EXPLAIN.
+// Statement is a parsed SELECT, optionally prefixed with EXPLAIN or
+// EXPLAIN ANALYZE.
 type Statement struct {
 	Explain bool // EXPLAIN SELECT ...: describe the plan instead of running it
+	Analyze bool // EXPLAIN ANALYZE SELECT ...: run it, then describe plan + actuals
 	Items   []SelectItem
 	Tables  []string
 	Preds   []Pred
@@ -72,11 +74,13 @@ func Parse(input string) (*Statement, error) {
 	}
 	p := &parser{toks: toks}
 	explain := p.accept(tokIdent, "explain")
+	analyze := explain && p.accept(tokIdent, "analyze")
 	st, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
 	st.Explain = explain
+	st.Analyze = analyze
 	if !p.at(tokEOF, "") {
 		return nil, p.errf("unexpected %q after statement", p.cur().text)
 	}

@@ -53,6 +53,11 @@ type spanArgs struct {
 	// Compression is omitted when empty (uncompressed base columns) so
 	// goldens from uncompressed databases stay byte-identical.
 	Compression string `json:"compression,omitempty"`
+	// Actuals are omitted when zero so traces recorded before EXPLAIN
+	// ANALYZE (and query-level spans) keep the earlier format.
+	Rows            int64 `json:"rows,omitempty"`
+	OutBytes        int64 `json:"out_bytes,omitempty"`
+	DecompressBytes int64 `json:"decompress_bytes,omitempty"`
 }
 
 // eventArgs carries the event fields through the args object.
@@ -100,20 +105,23 @@ func WriteChrome(w io.Writer, spans []Span, events []Event) error {
 
 	for _, s := range spans {
 		args, err := json.Marshal(spanArgs{
-			Query:         s.Query,
-			Op:            s.Op,
-			Class:         s.Class,
-			Proc:          s.Proc,
-			Node:          s.Node,
-			QueueWaitUS:   micros(s.QueueWait),
-			TransferUS:    micros(s.Transfer),
-			Abort:         s.Abort,
-			Attempt:       s.Attempt,
-			HeapHighWater: s.HeapHighWater,
-			KernelWorkers: s.KernelWorkers,
-			Morsels:       s.MorselCount,
-			Tenant:        s.Tenant,
-			Compression:   s.Compression,
+			Query:           s.Query,
+			Op:              s.Op,
+			Class:           s.Class,
+			Proc:            s.Proc,
+			Node:            s.Node,
+			QueueWaitUS:     micros(s.QueueWait),
+			TransferUS:      micros(s.Transfer),
+			Abort:           s.Abort,
+			Attempt:         s.Attempt,
+			HeapHighWater:   s.HeapHighWater,
+			KernelWorkers:   s.KernelWorkers,
+			Morsels:         s.MorselCount,
+			Tenant:          s.Tenant,
+			Compression:     s.Compression,
+			Rows:            s.Rows,
+			OutBytes:        s.OutBytes,
+			DecompressBytes: s.DecompressBytes,
 		})
 		if err != nil {
 			return err
@@ -169,23 +177,26 @@ func ReadChrome(r io.Reader) ([]Span, []Event, error) {
 			}
 			start := time.Duration(ce.Ts * float64(time.Microsecond))
 			spans = append(spans, Span{
-				Query:         args.Query,
-				Name:          ce.Name,
-				Op:            args.Op,
-				Class:         args.Class,
-				Proc:          args.Proc,
-				Node:          args.Node,
-				Start:         start,
-				End:           start + time.Duration(dur*float64(time.Microsecond)),
-				QueueWait:     time.Duration(args.QueueWaitUS * float64(time.Microsecond)),
-				Transfer:      time.Duration(args.TransferUS * float64(time.Microsecond)),
-				Abort:         args.Abort,
-				Attempt:       args.Attempt,
-				HeapHighWater: args.HeapHighWater,
-				KernelWorkers: args.KernelWorkers,
-				MorselCount:   args.Morsels,
-				Tenant:        args.Tenant,
-				Compression:   args.Compression,
+				Query:           args.Query,
+				Name:            ce.Name,
+				Op:              args.Op,
+				Class:           args.Class,
+				Proc:            args.Proc,
+				Node:            args.Node,
+				Start:           start,
+				End:             start + time.Duration(dur*float64(time.Microsecond)),
+				QueueWait:       time.Duration(args.QueueWaitUS * float64(time.Microsecond)),
+				Transfer:        time.Duration(args.TransferUS * float64(time.Microsecond)),
+				Abort:           args.Abort,
+				Attempt:         args.Attempt,
+				HeapHighWater:   args.HeapHighWater,
+				KernelWorkers:   args.KernelWorkers,
+				MorselCount:     args.Morsels,
+				Tenant:          args.Tenant,
+				Compression:     args.Compression,
+				Rows:            args.Rows,
+				OutBytes:        args.OutBytes,
+				DecompressBytes: args.DecompressBytes,
 			})
 		case "i", "I":
 			var args eventArgs

@@ -14,6 +14,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -174,6 +175,105 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(1<<uint(histBuckets-1)) * time.Microsecond
 }
 
+// ratioCenter is the bucket index a ratio of exactly 1.0 falls just above:
+// RatioHistogram bucket i covers [2^(i-1-ratioCenter), 2^(i-ratioCenter)),
+// so bucket ratioCenter+1 is [1, 2) and the range spans 2^-16 … 2^15 around
+// a perfect estimate. Misestimations of 32768× or worse clamp into the edge
+// buckets.
+const ratioCenter = 16
+
+// RatioHistogram is a dimensionless exponential-bucket histogram for
+// estimate/actual ratios (and other log-scale factors). Buckets are powers
+// of two centered on 1.0, so a perfect cost model piles everything into the
+// [1, 2) bucket and drift is visible as mass sliding toward either tail.
+// Atomic like the duration histograms.
+type RatioHistogram struct {
+	name     string
+	count    atomic.Int64
+	sumMilli atomic.Int64 // sum in thousandths, atomically accumulable
+	buckets  [histBuckets]atomic.Int64
+}
+
+// Name returns the registered name.
+func (h *RatioHistogram) Name() string { return h.name }
+
+// Observe records one ratio. Non-positive ratios clamp into the lowest
+// bucket (they mean "no meaningful estimate", not a measurement).
+func (h *RatioHistogram) Observe(r float64) {
+	h.count.Add(1)
+	if r > 0 {
+		h.sumMilli.Add(int64(r * 1000))
+	}
+	h.buckets[ratioBucketOf(r)].Add(1)
+}
+
+// ratioBucketOf maps a ratio to its bucket index: the first bucket whose
+// upper edge exceeds it, the top bucket absorbing overflow.
+func ratioBucketOf(r float64) int {
+	if r <= 0 {
+		return 0
+	}
+	for i := 0; i < histBuckets-1; i++ {
+		if r < ratioEdge(i) {
+			return i
+		}
+	}
+	return histBuckets - 1
+}
+
+// ratioEdge returns the exclusive upper edge of ratio bucket i.
+func ratioEdge(i int) float64 {
+	exp := i - ratioCenter
+	if exp >= 0 {
+		return float64(int64(1) << uint(exp))
+	}
+	return 1 / float64(int64(1)<<uint(-exp))
+}
+
+// RatioBucketUpperEdge returns the exclusive upper edge of ratio bucket i;
+// exporters must render the top bucket as +Inf.
+func RatioBucketUpperEdge(i int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return ratioEdge(i)
+}
+
+// Count returns the number of observations.
+func (h *RatioHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the accumulated observed ratio mass.
+func (h *RatioHistogram) Sum() float64 { return float64(h.sumMilli.Load()) / 1000 }
+
+// FloatGauge is an atomic instantaneous float value (q-error of the last
+// completed query, a drift factor). Stored as IEEE-754 bits.
+type FloatGauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Name returns the registered name.
+func (g *FloatGauge) Name() string { return g.name }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Max raises the gauge to v if v is larger (a monotonic high-water mark).
+func (g *FloatGauge) Max(v float64) {
+	for {
+		cur := g.bits.Load()
+		if v <= math.Float64frombits(cur) || g.bits.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *FloatGauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // BucketUpperEdge returns the exclusive upper edge of histogram bucket i:
 // 1µs for bucket 0, 2^i µs for bucket i ≥ 1. The top bucket
 // (i = len(Buckets)-1) also absorbs every larger observation, so exporters
@@ -195,14 +295,23 @@ type HistogramSnapshot struct {
 	Buckets []int64 // len histBuckets, bucket i = [2^(i-1), 2^i) µs
 }
 
+// RatioSnapshot is the frozen state of one ratio histogram.
+type RatioSnapshot struct {
+	Count   int64
+	Sum     float64
+	Buckets []int64 // len histBuckets, edges from RatioBucketUpperEdge
+}
+
 // Snapshot is a frozen view of a registry: counters and gauges by name, plus
 // histogram states. Snapshots subtract (Delta) so callers can meter intervals
 // — per query, per phase, per figure point — out of one cumulative registry.
 type Snapshot struct {
-	Counters   map[string]int64
-	Durations  map[string]time.Duration
-	Gauges     map[string]int64
-	Histograms map[string]HistogramSnapshot
+	Counters    map[string]int64
+	Durations   map[string]time.Duration
+	Gauges      map[string]int64
+	FloatGauges map[string]float64
+	Histograms  map[string]HistogramSnapshot
+	Ratios      map[string]RatioSnapshot
 }
 
 // Delta returns the change from prev to s: counters, durations, and
@@ -210,10 +319,12 @@ type Snapshot struct {
 // Names absent from prev count from zero.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	out := Snapshot{
-		Counters:   make(map[string]int64, len(s.Counters)),
-		Durations:  make(map[string]time.Duration, len(s.Durations)),
-		Gauges:     make(map[string]int64, len(s.Gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Counters:    make(map[string]int64, len(s.Counters)),
+		Durations:   make(map[string]time.Duration, len(s.Durations)),
+		Gauges:      make(map[string]int64, len(s.Gauges)),
+		FloatGauges: make(map[string]float64, len(s.FloatGauges)),
+		Histograms:  make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Ratios:      make(map[string]RatioSnapshot, len(s.Ratios)),
 	}
 	for name, v := range s.Counters {
 		out.Counters[name] = v - prev.Counters[name]
@@ -223,6 +334,24 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	}
 	for name, v := range s.Gauges {
 		out.Gauges[name] = v
+	}
+	for name, v := range s.FloatGauges {
+		out.FloatGauges[name] = v
+	}
+	for name, h := range s.Ratios {
+		p := prev.Ratios[name]
+		d := RatioSnapshot{
+			Count:   h.Count - p.Count,
+			Sum:     h.Sum - p.Sum,
+			Buckets: make([]int64, len(h.Buckets)),
+		}
+		for i, b := range h.Buckets {
+			if i < len(p.Buckets) {
+				b -= p.Buckets[i]
+			}
+			d.Buckets[i] = b
+		}
+		out.Ratios[name] = d
 	}
 	for name, h := range s.Histograms {
 		p := prev.Histograms[name]
@@ -246,20 +375,24 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 // existing name returns the existing metric, so multiple components can share
 // a counter by name. Registration locks; the metrics themselves are lock-free.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	durations  map[string]*DurationCounter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	durations   map[string]*DurationCounter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
+	ratios      map[string]*RatioHistogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		durations:  make(map[string]*DurationCounter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		durations:   make(map[string]*DurationCounter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		histograms:  make(map[string]*Histogram),
+		ratios:      make(map[string]*RatioHistogram),
 	}
 }
 
@@ -315,6 +448,32 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// FloatGauge returns the named float gauge, registering it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.floatGauges[name]; ok {
+		return g
+	}
+	r.checkFresh(name, "floatgauge")
+	g := &FloatGauge{name: name}
+	r.floatGauges[name] = g
+	return g
+}
+
+// Ratio returns the named ratio histogram, registering it on first use.
+func (r *Registry) Ratio(name string) *RatioHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.ratios[name]; ok {
+		return h
+	}
+	r.checkFresh(name, "ratio")
+	h := &RatioHistogram{name: name}
+	r.ratios[name] = h
+	return h
+}
+
 // checkFresh panics when name is already registered under a different metric
 // kind — always a naming bug, and silently returning a second metric would
 // split the series.
@@ -326,7 +485,9 @@ func (r *Registry) checkFresh(name, kind string) {
 		{"counter", r.counters[name] != nil},
 		{"duration", r.durations[name] != nil},
 		{"gauge", r.gauges[name] != nil},
+		{"floatgauge", r.floatGauges[name] != nil},
 		{"histogram", r.histograms[name] != nil},
+		{"ratio", r.ratios[name] != nil},
 	}
 	for _, k := range kinds {
 		if k.has && k.label != kind {
@@ -339,7 +500,8 @@ func (r *Registry) checkFresh(name, kind string) {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.durations)+len(r.gauges)+len(r.histograms))
+	names := make([]string, 0, len(r.counters)+len(r.durations)+len(r.gauges)+
+		len(r.floatGauges)+len(r.histograms)+len(r.ratios))
 	for n := range r.counters {
 		names = append(names, n)
 	}
@@ -349,7 +511,13 @@ func (r *Registry) Names() []string {
 	for n := range r.gauges {
 		names = append(names, n)
 	}
+	for n := range r.floatGauges {
+		names = append(names, n)
+	}
 	for n := range r.histograms {
+		names = append(names, n)
+	}
+	for n := range r.ratios {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -361,10 +529,12 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Durations:  make(map[string]time.Duration, len(r.durations)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+		Counters:    make(map[string]int64, len(r.counters)),
+		Durations:   make(map[string]time.Duration, len(r.durations)),
+		Gauges:      make(map[string]int64, len(r.gauges)),
+		FloatGauges: make(map[string]float64, len(r.floatGauges)),
+		Histograms:  make(map[string]HistogramSnapshot, len(r.histograms)),
+		Ratios:      make(map[string]RatioSnapshot, len(r.ratios)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Load()
@@ -375,12 +545,22 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Load()
 	}
+	for name, g := range r.floatGauges {
+		s.FloatGauges[name] = g.Load()
+	}
 	for name, h := range r.histograms {
 		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: make([]int64, histBuckets)}
 		for i := range h.buckets {
 			hs.Buckets[i] = h.buckets[i].Load()
 		}
 		s.Histograms[name] = hs
+	}
+	for name, h := range r.ratios {
+		rs := RatioSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: make([]int64, histBuckets)}
+		for i := range h.buckets {
+			rs.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Ratios[name] = rs
 	}
 	return s
 }

@@ -224,6 +224,107 @@ func Summary(w io.Writer, spans []Span) error {
 	return ew.err
 }
 
+// Slowest prints the top-N queries by wall time, each with a per-operator
+// breakdown: for every plan node, the summed wall/queue/transfer time across
+// attempts, the processor of the final attempt, and the actual rows/bytes it
+// produced — the offline twin of EXPLAIN ANALYZE, driven purely from spans.
+// n <= 0 means all queries. The returned error is the first write error.
+func Slowest(w io.Writer, spans []Span, n int) error {
+	ew := &errWriter{w: w}
+	queries, ops := splitSpans(spans)
+	if len(queries) == 0 {
+		ew.printf("trace: no query spans\n")
+		return ew.err
+	}
+	sort.SliceStable(queries, func(i, j int) bool {
+		if queries[i].Duration() != queries[j].Duration() {
+			return queries[i].Duration() > queries[j].Duration()
+		}
+		return queries[i].Query < queries[j].Query
+	})
+	if n > 0 && n < len(queries) {
+		queries = queries[:n]
+	}
+	opsByQuery := make(map[string][]Span)
+	for _, s := range ops {
+		opsByQuery[s.Query] = append(opsByQuery[s.Query], s)
+	}
+	for rank, q := range queries {
+		status := "ok"
+		if q.Abort != "" {
+			status = "FAILED(" + q.Abort + ")"
+		}
+		tenant := ""
+		if q.Tenant != "" {
+			tenant = "  tenant=" + q.Tenant
+		}
+		ew.printf("#%d %s  latency=%s  status=%s%s\n",
+			rank+1, q.Query, fmtDur(q.Duration()), status, tenant)
+		for _, row := range perNodeBreakdown(opsByQuery[q.Query]) {
+			ew.printf("  node=%-3d %-7s wall=%-9s wait=%-9s xfer=%-9s attempts=%d rows=%-8d bytes=%-10d %s\n",
+				row.Node, row.Proc, fmtDur(row.Wall), fmtDur(row.QueueWait),
+				fmtDur(row.Transfer), row.Attempts, row.Rows, row.OutBytes, row.Op)
+		}
+	}
+	return ew.err
+}
+
+// NodeBreakdown aggregates one plan node's operator attempts within a query:
+// durations sum across attempts; processor and actuals come from the final
+// attempt (the one that completed, or the last to abort).
+type NodeBreakdown struct {
+	Node      int
+	Op        string
+	Proc      string
+	Attempts  int
+	Wall      time.Duration
+	QueueWait time.Duration
+	Transfer  time.Duration
+	Rows      int64
+	OutBytes  int64
+}
+
+// perNodeBreakdown folds one query's operator spans into per-node rows,
+// ordered by node id. Spans are grouped by plan node id, so retries and the
+// CPU fallback collapse into one row with attempts > 1.
+func perNodeBreakdown(ops []Span) []NodeBreakdown {
+	byNode := make(map[int]*NodeBreakdown)
+	lastAttempt := make(map[int]int)
+	var order []int
+	for _, s := range ops {
+		row := byNode[s.Node]
+		if row == nil {
+			row = &NodeBreakdown{Node: s.Node}
+			byNode[s.Node] = row
+			lastAttempt[s.Node] = -1
+			order = append(order, s.Node)
+		}
+		row.Attempts++
+		row.Wall += s.Duration()
+		row.QueueWait += s.QueueWait
+		row.Transfer += s.Transfer
+		// The highest-numbered attempt is the final one and carries the
+		// authoritative processor and actuals (aborted attempts record zero
+		// rows by construction).
+		if s.Attempt >= lastAttempt[s.Node] {
+			lastAttempt[s.Node] = s.Attempt
+			row.Op = s.Op
+			row.Proc = s.Proc
+			if s.Abort != "" {
+				row.Proc = s.Proc + "!" + s.Abort
+			}
+			row.Rows = s.Rows
+			row.OutBytes = s.OutBytes
+		}
+	}
+	sort.Ints(order)
+	out := make([]NodeBreakdown, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byNode[id])
+	}
+	return out
+}
+
 // QuerySummary is the machine-readable per-query aggregate emitted by
 // SummaryJSON (tracereport -json). Virtual times are reported in
 // microseconds: integral, lossless for the simulator's resolutions, and

@@ -55,6 +55,19 @@ type Span struct {
 	// Tenant is the submitting tenant when the query arrived through the
 	// network front door; empty for benchmark-driven runs.
 	Tenant string
+	// Rows is the actual output row count of a completed operator attempt
+	// (0 for aborted attempts and query-level spans). Together with
+	// OutBytes it is the "actual" side of EXPLAIN ANALYZE's
+	// estimate-vs-actual comparison.
+	Rows int64
+	// OutBytes is the actual output byte footprint of a completed attempt
+	// (0 for aborted attempts and query-level spans).
+	OutBytes int64
+	// DecompressBytes is the number of bytes materialized by decoding
+	// compressed columns during the attempt's kernel (best-effort: the
+	// decode meter is process-wide, so concurrent engines in one process
+	// may cross-attribute; within one engine the attribution is exact).
+	DecompressBytes int64
 	// Compression lists the compressed encodings ("bitpack", "rle",
 	// "bitpack+rle") of the base columns the operator scanned; empty when
 	// the operator read no compressed base columns, so traces from
@@ -183,6 +196,30 @@ func (t *Tracer) Events() []Event {
 	}
 	for i := 0; i < t.eventCount; i++ {
 		out = append(out, t.events[(start+i)%len(t.events)])
+	}
+	return out
+}
+
+// SpansFor returns the recorded spans of one query in emission order. It is
+// the EXPLAIN ANALYZE correlation read: cheaper than Spans() when one query
+// is wanted, because only matching spans are copied out. Safe on a nil
+// tracer (returns nil).
+func (t *Tracer) SpansFor(query string) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	start := 0
+	if t.spanCount == len(t.spans) {
+		start = t.spanNext
+	}
+	for i := 0; i < t.spanCount; i++ {
+		s := t.spans[(start+i)%len(t.spans)]
+		if s.Query == query {
+			out = append(out, s)
+		}
 	}
 	return out
 }

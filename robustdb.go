@@ -97,6 +97,9 @@ var (
 	// TraceSummaryJSON renders per-query aggregates as JSON Lines (one
 	// object per query).
 	TraceSummaryJSON = trace.SummaryJSON
+	// TraceSlowest renders the N slowest queries of a trace by wall time,
+	// each with a per-operator breakdown.
+	TraceSlowest = trace.Slowest
 )
 
 // NewFaultInjector builds a deterministic fault injector from a config; the
@@ -238,6 +241,45 @@ func (db *DB) ExplainSQL(query string) (*ExplainPayload, error) {
 		return nil, err
 	}
 	payload.SQL = query
+	return payload, nil
+}
+
+// ExplainAnalyzeSQL compiles the statement, executes it once on a fresh
+// simulated machine under the strategy, and returns the plan document with
+// per-node actuals attached (rows, bytes, virtual wall/queue/transfer time,
+// attempts, processor) — the library form of EXPLAIN ANALYZE. A tracer is
+// required to correlate execution spans back to plan nodes; one is attached
+// automatically when dev.Tracer is nil.
+func (db *DB) ExplainAnalyzeSQL(dev Device, strat Strategy, query string) (*ExplainPayload, error) {
+	pl, err := db.SQL(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := pl.EstimateSizes(db.cat); err != nil {
+		return nil, err
+	}
+	if dev.Tracer == nil {
+		dev.Tracer = trace.New(0)
+	}
+	_, _, err = db.RunWorkload(dev, strat, Workload{
+		Queries: []WorkloadQuery{{Name: "analyze", Plan: pl}},
+		Users:   1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	payload, err := plan.Explain(pl, db.cat, nil)
+	if err != nil {
+		return nil, err
+	}
+	payload.SQL = query
+	// The single executed query is the only query-class span in the tracer.
+	for _, s := range dev.Tracer.Spans() {
+		if s.Class == "query" {
+			plan.AttachActuals(payload, s.Query, dev.Tracer.SpansFor(s.Query), "")
+			break
+		}
+	}
 	return payload, nil
 }
 
