@@ -18,11 +18,17 @@ import (
 	"testing"
 	"time"
 
+	"robustdb/internal/chopping"
 	"robustdb/internal/column"
+	"robustdb/internal/cost"
 	"robustdb/internal/engine"
+	"robustdb/internal/exec"
 	"robustdb/internal/expr"
 	"robustdb/internal/figures"
 	"robustdb/internal/par"
+	"robustdb/internal/plan"
+	"robustdb/internal/sim"
+	"robustdb/internal/table"
 )
 
 // benchOpts is a reduced-scale configuration for the benchmark suite.
@@ -519,3 +525,135 @@ func BenchmarkMicroDecompressJoin(b *testing.B) {
 		}
 	}
 }
+
+// --- pipelined chunk executor micro set ---
+//
+// Each pipelined benchmark has a serial twin differing only in PipelineDepth
+// (2 vs 0). The interesting number is virtual time — the simulated latency
+// the overlap schedule saves — reported as vt_ns/op; wall ns/op only measures
+// simulator overhead. The CI gate holds the serial/pipelined virtual-time
+// ratio above 1.3x (see .github/workflows/ci.yml and cmd/benchdiff).
+
+// pipeBenchRows sizes the pipelined micro set: big enough that the chunk
+// sizer produces a deep schedule (hundreds of chunks of >= 1Ki rows).
+const pipeBenchRows = 1 << 19
+
+var (
+	pipeBenchOnce sync.Once
+	pipeBenchCat  *table.Catalog
+)
+
+// pipeBenchCatalog builds the fixed transfer-bound fact + dimension tables
+// the pipelined micro set shares.
+func pipeBenchCatalog() *table.Catalog {
+	pipeBenchOnce.Do(func() {
+		vals := make([]int64, pipeBenchRows)
+		qty := make([]int64, pipeBenchRows)
+		price := make([]float64, pipeBenchRows)
+		for i := range vals {
+			vals[i] = int64(i % 100)
+			qty[i] = int64(i % 4096)
+			price[i] = float64(i%10) + 0.5
+		}
+		dk := make([]int64, 4096)
+		dg := make([]int64, 4096)
+		for i := range dk {
+			dk[i] = int64(i)
+			dg[i] = int64(i % 32)
+		}
+		cat := table.NewCatalog()
+		cat.MustRegister(table.MustNew("bfact",
+			column.NewInt64("v", vals),
+			column.NewInt64("qty", qty),
+			column.NewFloat64("price", price),
+		))
+		cat.MustRegister(table.MustNew("bdim",
+			column.NewInt64("dk", dk),
+			column.NewInt64("dg", dg),
+		))
+		pipeBenchCat = cat
+	})
+	return pipeBenchCat
+}
+
+// leafGPUPlacer runs leaf operators (the chunkable scans the pipelined
+// executor drives) on the co-processor and everything downstream on the
+// host, so pipelined and serial twins pay identical non-leaf costs.
+type leafGPUPlacer struct{}
+
+func (leafGPUPlacer) Name() string { return "leaf-gpu" }
+func (leafGPUPlacer) CompileTime(_ *exec.Engine, p *Plan) map[int]cost.ProcKind {
+	m := make(map[int]cost.ProcKind)
+	for _, n := range p.Nodes() {
+		if len(n.Children) == 0 {
+			m[n.ID()] = cost.GPU
+		} else {
+			m[n.ID()] = cost.CPU
+		}
+	}
+	return m
+}
+func (leafGPUPlacer) RunTime(*exec.Engine, *plan.Node, []*exec.Value) cost.ProcKind {
+	return cost.CPU
+}
+
+// runPipeBench executes the plan on a fresh cold-cache engine per iteration
+// (a warm cache would skip the transfers the pipeline overlaps) and reports
+// the mean simulated latency as vt_ns/op.
+func runPipeBench(b *testing.B, mkPlan func() *Plan, depth int) {
+	b.Helper()
+	cat := pipeBenchCatalog()
+	var vt time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := exec.New(cat, exec.Config{
+			CacheBytes:    1 << 30,
+			HeapBytes:     1 << 30,
+			PipelineDepth: depth,
+			ChunkSizer:    chopping.PipelineChunkRows,
+		})
+		var st exec.QueryStats
+		var err error
+		e.Sim.Spawn("bench", func(p *sim.Proc) {
+			_, st, err = e.RunQuery(p, mkPlan(), leafGPUPlacer{})
+		})
+		e.Sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		vt += st.Latency
+	}
+	b.ReportMetric(float64(vt.Nanoseconds())/float64(b.N), "vt_ns/op")
+}
+
+// pipeFilterPlan is a selectivity-1 scan: pure transfer-bound chunk work.
+func pipeFilterPlan() *Plan {
+	return plan.New(plan.Scan("bfact", []string{"v", "qty", "price"}, expr.NewCmp("v", expr.LT, 1000)))
+}
+
+// pipeAggPlan feeds the pipelined scan into a host-side group-by.
+func pipeAggPlan() *Plan {
+	scan := plan.Scan("bfact", []string{"v", "qty", "price"}, expr.NewCmp("v", expr.LT, 1000))
+	return plan.New(plan.Aggregate(scan, []string{"v"}, []engine.AggSpec{
+		{Func: engine.Sum, Col: "price", As: "s"},
+	}))
+}
+
+// pipeJoinPlan probes the pipelined fact scan against a small dimension.
+func pipeJoinPlan() *Plan {
+	fact := plan.Scan("bfact", []string{"qty", "price"}, expr.NewCmp("v", expr.LT, 1000))
+	dim := plan.Scan("bdim", []string{"dk", "dg"}, nil)
+	return plan.New(plan.Join(dim, fact, "dk", "qty", []string{"dg"}, []string{"price"}))
+}
+
+func BenchmarkMicroPipelinedFilter(b *testing.B) { runPipeBench(b, pipeFilterPlan, 2) }
+
+func BenchmarkMicroSerialFilter(b *testing.B) { runPipeBench(b, pipeFilterPlan, 0) }
+
+func BenchmarkMicroPipelinedAgg(b *testing.B) { runPipeBench(b, pipeAggPlan, 2) }
+
+func BenchmarkMicroSerialAgg(b *testing.B) { runPipeBench(b, pipeAggPlan, 0) }
+
+func BenchmarkMicroPipelinedJoin(b *testing.B) { runPipeBench(b, pipeJoinPlan, 2) }
+
+func BenchmarkMicroSerialJoin(b *testing.B) { runPipeBench(b, pipeJoinPlan, 0) }

@@ -24,6 +24,13 @@
 // one's ns/op". Omitting :min reports the speedup without gating on it.
 // Ratio checks run in both gate and -update modes, so a re-pin cannot
 // silently accept a lost speedup.
+//
+// Custom per-op time metrics emitted via b.ReportMetric (units ending in
+// "_ns/op", e.g. the simulator's virtual-time "vt_ns/op") are parsed
+// alongside ns/op under the key "name@unit" — pin and assert them like any
+// benchmark:
+//
+//	benchdiff -ratios 'BenchmarkMicroPipelinedFilter@vt_ns/op=BenchmarkMicroSerialFilter@vt_ns/op:1.3' bench.txt
 package main
 
 import (
@@ -97,36 +104,41 @@ func main() {
 	os.Exit(code)
 }
 
-// parseBench extracts ns/op samples from `go test -bench` output and reduces
-// each benchmark (name with its -GOMAXPROCS suffix stripped) to the median.
+// parseBench extracts per-op metrics from `go test -bench` output and reduces
+// each to its median. The standard ns/op metric keys on the bare benchmark
+// name (with its -GOMAXPROCS suffix stripped); custom ReportMetric units
+// ("vt_ns/op", ...) key on "name@unit", addressable from -ratios specs and
+// pinned in the baseline like any other benchmark.
 func parseBench(r io.Reader) (map[string]float64, error) {
 	samples := make(map[string][]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		f := strings.Fields(sc.Text())
-		// "BenchmarkName-8   200   846718 ns/op [...]"
+		// "BenchmarkName-8   200   846718 ns/op   123 vt_ns/op [...]"
 		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
-			continue
-		}
-		nsIdx := -1
-		for i := 2; i < len(f); i++ {
-			if f[i] == "ns/op" {
-				nsIdx = i - 1
-				break
-			}
-		}
-		if nsIdx < 2 {
-			continue
-		}
-		ns, err := strconv.ParseFloat(f[nsIdx], 64)
-		if err != nil {
 			continue
 		}
 		name := f[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
 			name = name[:i]
 		}
-		samples[name] = append(samples[name], ns)
+		// Only time metrics gate: ns/op plus custom *_ns/op units. Memory
+		// columns (-benchmem's B/op, allocs/op) track a different axis and
+		// would double-weight every benchmark in the geomean.
+		for i := 3; i < len(f); i++ {
+			if f[i] != "ns/op" && !strings.HasSuffix(f[i], "_ns/op") {
+				continue
+			}
+			v, err := strconv.ParseFloat(f[i-1], 64)
+			if err != nil {
+				continue
+			}
+			key := name
+			if f[i] != "ns/op" {
+				key = name + "@" + f[i]
+			}
+			samples[key] = append(samples[key], v)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -130,6 +130,10 @@ func main() {
 	cacheFrac := flag.Float64("cache-frac", 0.5, "device cache / database bytes")
 	heapFrac := flag.Float64("heap-frac", 1.0, "device heap / database bytes")
 	admission := flag.Bool("admission", false, "admission control: one query at a time")
+	pipelineDepth := flag.Int("pipeline-depth", 2,
+		"in-flight chunk bound of the pipelined chunk executor (0 disables pipelining)")
+	pipelineCoExec := flag.Bool("pipeline-coexec", true,
+		"let the pipelined executor hand trailing chunks to the CPU when the device side is saturated")
 	kernelWorkers := flag.Int("kernel-workers", runtime.GOMAXPROCS(0),
 		"worker threads per operator kernel (1 = serial; results are bit-identical at any setting)")
 	seed := flag.Int64("seed", 0, "generator seed")
@@ -247,10 +251,12 @@ func main() {
 			}
 			strat, _ := strategyByName(*stratName) // validated above
 			dev := robustdb.Device{
-				CacheBytes:    int64(*cacheFrac * float64(db.TotalBytes())),
-				HeapBytes:     int64(*heapFrac * float64(db.TotalBytes())),
-				KernelWorkers: *kernelWorkers,
-				Log:           logger,
+				CacheBytes:     int64(*cacheFrac * float64(db.TotalBytes())),
+				HeapBytes:      int64(*heapFrac * float64(db.TotalBytes())),
+				KernelWorkers:  *kernelWorkers,
+				PipelineDepth:  *pipelineDepth,
+				PipelineCoExec: *pipelineCoExec,
+				Log:            logger,
 			}
 			payload, err = db.ExplainAnalyzeSQL(dev, strat, *explainSQL)
 		} else {
@@ -270,10 +276,12 @@ func main() {
 	}
 
 	dev := robustdb.Device{
-		CacheBytes:    int64(*cacheFrac * float64(db.TotalBytes())),
-		HeapBytes:     int64(*heapFrac * float64(db.TotalBytes())),
-		KernelWorkers: *kernelWorkers,
-		Log:           logger,
+		CacheBytes:     int64(*cacheFrac * float64(db.TotalBytes())),
+		HeapBytes:      int64(*heapFrac * float64(db.TotalBytes())),
+		KernelWorkers:  *kernelWorkers,
+		PipelineDepth:  *pipelineDepth,
+		PipelineCoExec: *pipelineCoExec,
+		Log:            logger,
 	}
 	logger.Info("database ready",
 		"component", "cli", "bench", *bench, "sf", *sf,

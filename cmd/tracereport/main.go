@@ -6,14 +6,16 @@
 //
 // Usage:
 //
-//	tracereport [-summary|-waterfall|-json|-slowest N] trace.json
+//	tracereport [-summary|-waterfall|-json|-slowest N|-pipeline] trace.json
 //
 // With no mode flag both text reports are printed, summary first. -json
 // emits the per-query summary as JSON Lines (one object per query) for
 // scripting — jq, spreadsheet import, CI assertions. -slowest N prints the
 // N slowest queries by wall time with a per-operator breakdown (rows,
 // bytes, attempts, wall/wait/transfer time per plan node) — the first stop
-// when chasing a slow query out of a recorded trace.
+// when chasing a slow query out of a recorded trace. -pipeline prints the
+// per-query pipeline view of a pipelined run: chunk schedule, transfer
+// overlap ratio, and the busy fraction of the h2d/compute/d2h lanes.
 package main
 
 import (
@@ -30,25 +32,26 @@ func main() {
 	waterfallOnly := flag.Bool("waterfall", false, "print only the per-query waterfall")
 	jsonOut := flag.Bool("json", false, "emit the per-query summary as JSON Lines (one object per query)")
 	slowest := flag.Int("slowest", 0, "print the N slowest queries by wall time with per-operator breakdowns")
+	pipeline := flag.Bool("pipeline", false, "print the per-query pipeline view (chunk schedule, overlap, lane utilization)")
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*summaryOnly, *waterfallOnly, *jsonOut, *slowest > 0} {
+	for _, m := range []bool{*summaryOnly, *waterfallOnly, *jsonOut, *slowest > 0, *pipeline} {
 		if m {
 			modes++
 		}
 	}
 	if flag.NArg() != 1 || modes > 1 || *slowest < 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracereport [-summary|-waterfall|-json|-slowest N] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracereport [-summary|-waterfall|-json|-slowest N|-pipeline] trace.json")
 		os.Exit(2)
 	}
-	if err := report(os.Stdout, flag.Arg(0), *summaryOnly, *waterfallOnly, *jsonOut, *slowest); err != nil {
+	if err := report(os.Stdout, flag.Arg(0), *summaryOnly, *waterfallOnly, *jsonOut, *pipeline, *slowest); err != nil {
 		fmt.Fprintln(os.Stderr, "tracereport:", err)
 		os.Exit(1)
 	}
 }
 
 // report loads the trace file and renders the selected report(s) to w.
-func report(w io.Writer, path string, summaryOnly, waterfallOnly, jsonOut bool, slowest int) error {
+func report(w io.Writer, path string, summaryOnly, waterfallOnly, jsonOut, pipeline bool, slowest int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -60,6 +63,9 @@ func report(w io.Writer, path string, summaryOnly, waterfallOnly, jsonOut bool, 
 	}
 	if jsonOut {
 		return robustdb.TraceSummaryJSON(w, spans)
+	}
+	if pipeline {
+		return robustdb.TracePipeline(w, spans)
 	}
 	if slowest > 0 {
 		return robustdb.TraceSlowest(w, spans, slowest)

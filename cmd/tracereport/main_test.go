@@ -51,7 +51,7 @@ func goldenTracePath(t *testing.T) string {
 
 func TestReportJSONGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := report(&buf, goldenTracePath(t), false, false, true, 0); err != nil {
+	if err := report(&buf, goldenTracePath(t), false, false, true, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "summary.golden.jsonl")
@@ -75,7 +75,7 @@ func TestReportJSONGolden(t *testing.T) {
 // object per query with the documented keys and consistent op counts.
 func TestReportJSONShape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := report(&buf, goldenTracePath(t), false, false, true, 0); err != nil {
+	if err := report(&buf, goldenTracePath(t), false, false, true, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
@@ -113,7 +113,7 @@ func TestReportJSONShape(t *testing.T) {
 // per-operator row carrying rows/bytes actuals.
 func TestReportSlowest(t *testing.T) {
 	var buf bytes.Buffer
-	if err := report(&buf, goldenTracePath(t), false, false, false, 2); err != nil {
+	if err := report(&buf, goldenTracePath(t), false, false, false, false, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -136,13 +136,13 @@ func TestReportSlowest(t *testing.T) {
 func TestReportTextModes(t *testing.T) {
 	path := goldenTracePath(t)
 	var summary, waterfall, both bytes.Buffer
-	if err := report(&summary, path, true, false, false, 0); err != nil {
+	if err := report(&summary, path, true, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := report(&waterfall, path, false, true, false, 0); err != nil {
+	if err := report(&waterfall, path, false, true, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := report(&both, path, false, false, false, 0); err != nil {
+	if err := report(&both, path, false, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if summary.Len() == 0 || waterfall.Len() == 0 {
@@ -151,5 +151,83 @@ func TestReportTextModes(t *testing.T) {
 	if both.Len() <= summary.Len() || both.Len() <= waterfall.Len() {
 		t.Fatalf("combined report (%d bytes) should exceed each single mode (%d, %d)",
 			both.Len(), summary.Len(), waterfall.Len())
+	}
+}
+
+// pipelinedTracePath runs a pinned workload with the pipelined chunk executor
+// enabled and a cache too small for the working set (so scans transfer, which
+// is what the pipeline overlaps) and writes its Chrome trace to a temp file.
+func pipelinedTracePath(t *testing.T) string {
+	t.Helper()
+	db := robustdb.OpenSSB(robustdb.SSBConfig{SF: 1, RowsPerSF: 100000, Seed: 42})
+	tr := robustdb.NewTracer(0)
+	dev := db.DeviceForWorkingSet(0.1)
+	dev.Tracer = tr
+	dev.PipelineDepth = 2
+	dev.PipelineCoExec = true
+	spec := robustdb.Workload{Queries: robustdb.SSBQueries()[:3], Users: 2}
+	if _, _, err := db.RunWorkload(dev, robustdb.Chopping(), spec); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := robustdb.WriteChromeTrace(f, tr.Spans(), tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReportPipelineGolden pins the -pipeline report of a deterministic
+// pipelined run: per-query chunk schedule, overlap ratio, and lane busy
+// fractions must reproduce byte-identically.
+func TestReportPipelineGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report(&buf, pipelinedTracePath(t), false, false, false, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "pipeline.golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("-pipeline report drifted from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestReportPipelineShape asserts the structure of the -pipeline view without
+// pinning bytes: every reported query carries a chunk count, an overlap
+// percentage, and the three resource lanes.
+func TestReportPipelineShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report(&buf, pipelinedTracePath(t), false, false, false, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"chunks=", "overlap=", "h2d", "compute", "d2h", "util="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pipeline view missing %q:\n%s", want, out)
+		}
+	}
+	// A serial trace reports the absence of pipelined operators explicitly.
+	var serial bytes.Buffer
+	if err := report(&serial, goldenTracePath(t), false, false, false, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(serial.String(), "no pipelined operators") {
+		t.Fatalf("serial trace should report no pipelined operators:\n%s", serial.String())
 	}
 }

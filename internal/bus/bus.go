@@ -47,6 +47,15 @@ type Link struct {
 	busy      time.Duration
 	transfers int64
 	faults    int64
+	// Interval-union busy accounting: service intervals of concurrent
+	// transfers on one link may overlap (the pipelined executor keeps several
+	// chunk transfers in flight), so busy time is accumulated per
+	// busy-interval — first service begin to last service end — not per
+	// transfer. With the capacity-1 slot this is identical to summing service
+	// times; it stays correct if the slot capacity ever grows.
+	active    int
+	busyStart time.Duration
+	onBusy    func(time.Duration)
 }
 
 // TransferHook is consulted before a fallible transfer moves data. Returning
@@ -125,20 +134,43 @@ func (b *Bus) transfer(p *sim.Proc, d Direction, n int64, fallible bool) error {
 	l := b.links[d]
 	l.slot.Acquire(p)
 	defer l.slot.Release()
+	l.beginService(p.Now())
 	if fallible && b.hook != nil {
 		if err := b.hook(d, n); err != nil {
 			p.Hold(l.latency)
-			l.busy += l.latency
 			l.faults++
+			l.endService(p.Now())
 			return err
 		}
 	}
 	dur := l.latency + time.Duration(float64(n)/l.bandwidth*float64(time.Second))
 	p.Hold(dur)
 	l.bytes += n
-	l.busy += dur
 	l.transfers++
+	l.endService(p.Now())
 	return nil
+}
+
+// beginService marks the start of one transfer's service interval. The first
+// concurrent transfer opens a busy interval.
+func (l *Link) beginService(now time.Duration) {
+	if l.active == 0 {
+		l.busyStart = now
+	}
+	l.active++
+}
+
+// endService marks the end of one transfer's service interval. The last
+// concurrent transfer closes the busy interval and accounts it.
+func (l *Link) endService(now time.Duration) {
+	l.active--
+	if l.active == 0 {
+		d := now - l.busyStart
+		l.busy += d
+		if l.onBusy != nil {
+			l.onBusy(d)
+		}
+	}
 }
 
 // Duration returns the service time (excluding queueing) of an n-byte
@@ -154,8 +186,23 @@ func (b *Bus) Duration(d Direction, n int64) time.Duration {
 // Bytes returns the total bytes moved on the link.
 func (l *Link) Bytes() int64 { return l.bytes }
 
-// BusyTime returns the accumulated service time of the link.
+// BusyTime returns the accumulated busy time of the link: the union of all
+// service intervals, correct under concurrent transfers (overlapping
+// intervals count once). An interval still open (a transfer in flight) is not
+// included until it closes.
 func (l *Link) BusyTime() time.Duration { return l.busy }
+
+// SetBusyMeter installs (or, with nil, removes) a hook invoked with the
+// duration of every closed busy interval — the engine mirrors link busy time
+// into its atomic metrics registry through it so /metrics sees
+// robustdb_bus_busy_seconds_total per direction as it accumulates.
+func (l *Link) SetBusyMeter(fn func(time.Duration)) { l.onBusy = fn }
+
+// InFlight returns the number of transfers currently in service on the link.
+func (l *Link) InFlight() int { return l.active }
+
+// Waiting returns the number of transfers queued on the link's FIFO slot.
+func (l *Link) Waiting() int { return l.slot.Waiting() }
 
 // Transfers returns the number of transfers served.
 func (l *Link) Transfers() int64 { return l.transfers }

@@ -87,15 +87,32 @@ func (LoadBalanced) RunTime(e *exec.Engine, n *plan.Node, inputs []*exec.Value) 
 		e.Learner.Estimate(n.Op.Class(), cost.CPU, work).Seconds()
 	gpuT := e.Outstanding(cost.GPU) +
 		e.Learner.Estimate(n.Op.Class(), cost.GPU, work).Seconds()
-	footprint := e.Params.HeapFootprint(n.Op.Class(), inBytes, inBytes)
-	if footprint > e.Heap.Available() {
-		// Would abort immediately; don't even try.
-		return tracePlace(e, n, cost.CPU, "heap-full")
+	reason := "load-balance"
+	pipelined := false
+	if est, ok := e.PipelinedGPUEstimate(n); ok {
+		// The pipelined executor would run this operator: price the GPU side
+		// with the overlap-aware makespan (which *includes* the chunk
+		// transfers) instead of the bare operator estimate — the executor
+		// hides most of the transfer, so summing it would overprice the GPU,
+		// while ignoring it (the plain-chopping model above) underprices a
+		// cold scan.
+		gpuT = e.Outstanding(cost.GPU) + est
+		reason = "load-balance-pipelined"
+		pipelined = true
+	}
+	if !pipelined {
+		// Whole-op footprint gate; pipelined operators reserve per chunk, so
+		// a heap too small for the whole operator still fits the chunks.
+		footprint := e.Params.HeapFootprint(n.Op.Class(), inBytes, inBytes)
+		if footprint > e.Heap.Available() {
+			// Would abort immediately; don't even try.
+			return tracePlace(e, n, cost.CPU, "heap-full")
+		}
 	}
 	if gpuT <= cpuT {
-		return tracePlace(e, n, cost.GPU, "load-balance")
+		return tracePlace(e, n, cost.GPU, reason)
 	}
-	return tracePlace(e, n, cost.CPU, "load-balance")
+	return tracePlace(e, n, cost.CPU, reason)
 }
 
 // tracePlace emits one operator-placement decision event (and, with a

@@ -1,0 +1,64 @@
+package chopping
+
+import (
+	"testing"
+
+	"robustdb/internal/cost"
+)
+
+// The chunk sizer's contract: chunks stay within [MinChunkRows, totalRows],
+// large tables always get at least depth+1 chunks (the pipeline cannot
+// overlap otherwise), and the fixed per-chunk overhead stays amortized.
+func TestPipelineChunkRowsBounds(t *testing.T) {
+	params := cost.DefaultParams()
+	learner := cost.NewLearner(params)
+	for _, totalRows := range []int{1, 512, 1024, 100_000, 10_000_000} {
+		for _, depth := range []int{0, 1, 2, 4, 8} {
+			rows := PipelineChunkRows(learner, params, cost.Selection, totalRows, 24, 16, depth)
+			if rows <= 0 {
+				t.Fatalf("rows=%d depth=%d: sizer returned %d", totalRows, depth, rows)
+			}
+			if rows > totalRows {
+				t.Fatalf("rows=%d depth=%d: chunk %d exceeds table", totalRows, depth, rows)
+			}
+			if totalRows >= MinChunkRows && rows < MinChunkRows {
+				t.Fatalf("rows=%d depth=%d: chunk %d below MinChunkRows", totalRows, depth, rows)
+			}
+			d := depth
+			if d < 1 {
+				d = 1
+			}
+			if totalRows/(d+1) >= MinChunkRows {
+				k := (totalRows + rows - 1) / rows
+				if k < d+1 {
+					t.Fatalf("rows=%d depth=%d: only %d chunks, pipeline cannot fill", totalRows, depth, k)
+				}
+			}
+		}
+	}
+	if PipelineChunkRows(learner, params, cost.Selection, 0, 24, 16, 2) != 0 {
+		t.Fatal("empty table must size to zero")
+	}
+}
+
+// The stage-time helper must agree with the machine params: upload and
+// download are latency + bytes/bandwidth, compute is the operator model.
+func TestPipelineStageTimes(t *testing.T) {
+	params := cost.DefaultParams()
+	up, compute, down := PipelineStageTimes(params, cost.Selection, 4096, 24, 16)
+	if up <= params.BusLatency || down <= params.BusLatency {
+		t.Fatalf("transfer stages must exceed bus latency: up=%v down=%v", up, down)
+	}
+	if up <= down {
+		t.Fatalf("24B/row upload (%v) should outweigh 16B/row download (%v)", up, down)
+	}
+	if compute <= params.Startup[cost.GPU] {
+		t.Fatalf("compute stage %v must exceed kernel startup", compute)
+	}
+	// On the default machine the bus is ~25x slower than the device: a
+	// selectivity-1 scan is transfer-bound, which is what the pipelined
+	// executor exploits.
+	if up < compute {
+		t.Fatalf("default machine should be transfer-bound: up=%v compute=%v", up, compute)
+	}
+}

@@ -162,6 +162,30 @@ func (p *Params) OpDuration(class OpClass, kind ProcKind, bytes int64) time.Dura
 // reads plus the bytes it writes.
 func Work(inBytes, outBytes int64) int64 { return inBytes + outBytes }
 
+// PipelinedDuration returns the makespan of a k-chunk pipelined schedule
+// with per-chunk stage times up (H2D), compute, and down (D2H): the pipeline
+// fills with one chunk through all three stages, then every further chunk
+// costs one cycle of the bottleneck stage. k <= 1 degenerates to the serial
+// sum. This is what placement prices instead of summed transfer + compute
+// when the pipelined executor would run the operator.
+func PipelinedDuration(up, compute, down time.Duration, k int) time.Duration {
+	if k <= 0 {
+		return 0
+	}
+	total := up + compute + down
+	if k == 1 {
+		return total
+	}
+	bottleneck := up
+	if compute > bottleneck {
+		bottleneck = compute
+	}
+	if down > bottleneck {
+		bottleneck = down
+	}
+	return total + time.Duration(k-1)*bottleneck
+}
+
 // HeapFootprint returns the device heap demand of an operator: scratch
 // space plus result, following the footprint constants of the paper and the
 // kernels it cites (He et al. [13]).

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"robustdb/internal/column"
 	"robustdb/internal/expr"
 	"robustdb/internal/par"
@@ -84,6 +86,67 @@ func parFilter(ctx *Ctx, b *Batch, pred expr.Predicate, n int) (column.PosList, 
 	out := make(column.PosList, 0, total)
 	for _, p := range parts {
 		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// FilterRange evaluates the predicate against rows [lo, hi) of the batch and
+// returns the qualifying positions as global row numbers. Predicates are
+// row-local, so concatenating FilterRange results over a partition of [0, n)
+// in range order reproduces Filter over the full batch bit-identically — the
+// property the pipelined chunk executor stitches on, and the same argument
+// parFilter makes per morsel. Columns are sliced zero-copy; a column type
+// without view support falls back to a full evaluation restricted to the
+// range (correct, merely not chunk-local).
+func FilterRange(ctx *Ctx, b *Batch, pred expr.Predicate, lo, hi int) (column.PosList, error) {
+	n := b.NumRows()
+	if lo < 0 || hi > n || lo > hi {
+		return nil, fmt.Errorf("engine: filter range [%d, %d) outside batch of %d rows", lo, hi, n)
+	}
+	if lo == 0 && hi == n {
+		return Filter(ctx, b, pred)
+	}
+	for _, name := range pred.Columns() {
+		if c, err := b.Column(name); err == nil {
+			if _, ok := sliceColumn(c, 0, 0); !ok {
+				return filterRangeSlow(ctx, b, pred, lo, hi)
+			}
+		}
+	}
+	view := make([]column.Column, len(b.cols))
+	for i, c := range b.cols {
+		v, ok := sliceColumn(c, lo, hi)
+		if !ok {
+			return filterRangeSlow(ctx, b, pred, lo, hi)
+		}
+		view[i] = v
+	}
+	vb, err := NewBatch(view...)
+	if err != nil {
+		return nil, err
+	}
+	pos, err := Filter(ctx, vb, pred)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pos {
+		pos[i] += int32(lo)
+	}
+	return pos, nil
+}
+
+// filterRangeSlow evaluates the predicate over the whole batch and keeps the
+// positions inside [lo, hi) — the defensive fallback for unsliceable columns.
+func filterRangeSlow(ctx *Ctx, b *Batch, pred expr.Predicate, lo, hi int) (column.PosList, error) {
+	all, err := Filter(ctx, b, pred)
+	if err != nil {
+		return nil, err
+	}
+	var out column.PosList
+	for _, p := range all {
+		if int(p) >= lo && int(p) < hi {
+			out = append(out, p)
+		}
 	}
 	return out, nil
 }

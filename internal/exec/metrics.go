@@ -112,6 +112,28 @@ type Metrics struct {
 	// max(est/actual, actual/est) — seen over the engine's lifetime
 	// (robustdb_q_error_max).
 	QErrorMax *trace.FloatGauge
+
+	// Pipelined chunk executor series (the transfer/compute overlap work).
+
+	// PipelinedOps counts operators that ran through the pipelined chunk
+	// executor instead of the serial transfer-then-compute path.
+	PipelinedOps *trace.Counter
+	// PipelineChunks counts chunks executed by the pipelined executor
+	// (both processors).
+	PipelineChunks *trace.Counter
+	// PipelineCPUChunks counts the chunks the co-execution policy handed to
+	// the CPU pool while the GPU worked the rest.
+	PipelineCPUChunks *trace.Counter
+	// QueryOverlapRatio observes, per completed query that ran pipelined
+	// operators, the fraction of transfer+compute time hidden by overlap:
+	// (sum of stage times − busy wall time) / sum of stage times, clamped to
+	// [0, 1]. 0 = fully serial, →1 = fully hidden.
+	QueryOverlapRatio *trace.RatioHistogram
+	// BusBusyH2D / BusBusyD2H mirror the bus links' interval-union busy time
+	// per direction, as a labeled family: robustdb_bus_busy_seconds_total
+	// {direction="h2d"|"d2h"}.
+	BusBusyH2D *trace.DurationCounter
+	BusBusyD2H *trace.DurationCounter
 }
 
 // NewMetrics builds a metrics set over a fresh registry.
@@ -150,6 +172,12 @@ func NewMetrics() *Metrics {
 		EstimateRowsRatio:  reg.Ratio("EstimateRowsRatio"),
 		EstimateBytesRatio: reg.Ratio("EstimateBytesRatio"),
 		QErrorMax:          reg.FloatGauge("QErrorMax"),
+		PipelinedOps:       reg.Counter("PipelinedOps"),
+		PipelineChunks:     reg.Counter("PipelineChunks"),
+		PipelineCPUChunks:  reg.Counter("PipelineCPUChunks"),
+		QueryOverlapRatio:  reg.Ratio("QueryOverlapRatio"),
+		BusBusyH2D:         reg.Duration(trace.LabeledName("BusBusy", "direction", "h2d")),
+		BusBusyD2H:         reg.Duration(trace.LabeledName("BusBusy", "direction", "d2h")),
 	}
 }
 

@@ -91,6 +91,12 @@ type opStats struct {
 	rows       int64
 	outBytes   int64
 	decompress int64
+	// Pipelined-executor measurements; all zero on the serial paths so serial
+	// trace goldens are unchanged.
+	pipeDepth     int
+	pipeChunks    int64
+	pipeCPUChunks int64
+	overlap       float64
 }
 
 // execOp runs one operator on the chosen processor. A GPU attempt that
@@ -106,6 +112,13 @@ type opStats struct {
 // placement decision (Figure 8, right).
 func (e *Engine) execOp(p *sim.Proc, q *query, n *plan.Node, kind cost.ProcKind, inputs []*Value) (*Value, error) {
 	e.pollReset(p.Now())
+	if kind == cost.GPU && e.pipeDepth > 0 && len(inputs) == 0 && e.Health.AllowGPU(p.Now()) {
+		// Chunkable leaves with data to transfer run through the pipelined
+		// executor; it declines (ran=false) when nothing would overlap.
+		if v, ran, err := e.runPipelined(p, q, n); ran {
+			return v, err
+		}
+	}
 	attempt := 0
 	if kind == cost.GPU {
 		for ; ; attempt++ {
@@ -187,6 +200,10 @@ func (e *Engine) traceOp(q *query, n *plan.Node, kind cost.ProcKind, attempt int
 		Rows:            rows,
 		OutBytes:        outBytes,
 		DecompressBytes: st.decompress,
+		PipelineDepth:   st.pipeDepth,
+		ChunkCount:      st.pipeChunks,
+		CPUChunks:       st.pipeCPUChunks,
+		Overlap:         st.overlap,
 	})
 }
 

@@ -37,6 +37,12 @@ type query struct {
 	// from operator completions, which the single-threaded simulator
 	// serializes.
 	qerror float64
+	// pipeStage / pipeHidden accumulate, over the query's pipelined
+	// operators, the ideal serial stage time and the part of it hidden by
+	// overlap; their ratio is the query's overlap ratio, observed on
+	// completion and stamped on the query span.
+	pipeStage  time.Duration
+	pipeHidden time.Duration
 }
 
 // QueryStats reports the outcome of one query.
@@ -134,6 +140,9 @@ func (e *Engine) RunQueryWith(p *sim.Proc, pl *plan.Plan, placer Placer, opts Qu
 		}, q.err
 	}
 	e.Metrics.QueriesCompleted.Inc()
+	if q.pipeStage > 0 {
+		e.Metrics.QueryOverlapRatio.Observe(q.overlapRatio())
+	}
 	q.traceQuery(q.finished, "")
 	if e.logEnabled(slog.LevelDebug) {
 		e.logEvent(slog.LevelDebug, "query completed",
@@ -149,6 +158,15 @@ func (e *Engine) RunQueryWith(p *sim.Proc, pl *plan.Plan, placer Placer, opts Qu
 	}, nil
 }
 
+// overlapRatio returns the fraction of the query's pipelined stage time
+// hidden by transfer/compute overlap (0 with no pipelined operators).
+func (q *query) overlapRatio() float64 {
+	if q.pipeStage <= 0 {
+		return 0
+	}
+	return float64(q.pipeHidden) / float64(q.pipeStage)
+}
+
 // traceQuery emits the query-level span every operator span of the query
 // nests inside. No-op with tracing off.
 func (q *query) traceQuery(end time.Duration, abort string) {
@@ -156,14 +174,15 @@ func (q *query) traceQuery(end time.Duration, abort string) {
 		return
 	}
 	q.engine.Tracer.Span(trace.Span{
-		Query:  q.name,
-		Name:   q.name,
-		Class:  "query",
-		Node:   -1,
-		Start:  q.started,
-		End:    end,
-		Abort:  abort,
-		Tenant: q.tenant,
+		Query:   q.name,
+		Name:    q.name,
+		Class:   "query",
+		Node:    -1,
+		Start:   q.started,
+		End:     end,
+		Abort:   abort,
+		Tenant:  q.tenant,
+		Overlap: q.overlapRatio(),
 	})
 }
 

@@ -6,7 +6,9 @@ import (
 
 	"robustdb/internal/cost"
 	"robustdb/internal/exec"
+	"robustdb/internal/expr"
 	"robustdb/internal/faults"
+	"robustdb/internal/plan"
 	"robustdb/internal/ssb"
 	"robustdb/internal/workload"
 )
@@ -147,6 +149,63 @@ func AblateFaultRate(o Options) *Figure {
 		YLabel: "workload execution time [ms]",
 		X:      xs,
 		Series: series,
+	}
+}
+
+// AblateOverlap sweeps the pipelined chunk executor's in-flight bound on a
+// transfer-bound GPU-only scan over an almost-cold cache (2% of the working
+// set). The query is a terminal wide selection — its result returns to the
+// host either way, so the serial and pipelined paths move the same bytes and
+// the sweep isolates the scheduling. Depth 0 is the serial
+// transfer-then-compute baseline; depth 1 double-buffers the upload of chunk
+// i+1 under the compute of chunk i; deeper schedules add little because one
+// extra in-flight chunk already hides the (dominant) transfer stage. Three
+// variants per depth: learner-sized chunks, learner-sized chunks plus CPU
+// co-execution of trailing chunks, and two coarse half-table chunks — coarse
+// chunks cap the hideable fraction at one stage boundary, which is why the
+// sizer aims for several chunks per table.
+func AblateOverlap(o Options) *Figure {
+	rows := o.rowsPerSF(ssb.DefaultRowsPerSF)
+	cat := ssbCatalog(microSF, rows, o.Seed)
+	scan := plan.Scan("lineorder",
+		[]string{"lo_discount", "lo_quantity", "lo_revenue"},
+		expr.NewBetween("lo_discount", 0, 100))
+	queries := []workload.Query{{Name: "overlap-scan", Plan: plan.New(scan)}}
+	footprint := WorkloadFootprint(cat, queries)
+	run := func(depth, chunkRows int, coExec bool) float64 {
+		cfg := exec.Config{
+			CacheBytes:        footprint / 50, // almost cold: transfers dominate
+			HeapBytes:         int64(8.5 * float64(footprint)),
+			PipelineDepth:     depth,
+			PipelineCoExec:    coExec,
+			PipelineChunkRows: chunkRows,
+		}
+		spec := workload.Spec{Queries: queries, Users: 1, TotalQueries: o.reps(1) * 8}
+		return ms(mustRun(cat, cfg, workload.GPUOnly(), spec).WorkloadTime)
+	}
+	depths := []int{0, 1, 2, 4, 8}
+	var xs []string
+	sized := Series{Label: "pipelined (learner-sized chunks)"}
+	coexec := Series{Label: "pipelined + CPU co-exec"}
+	coarse := Series{Label: "pipelined (2 half-table chunks)"}
+	factRows := rows * microSF
+	for _, depth := range depths {
+		label := fmt.Sprintf("%d", depth)
+		if depth == 0 {
+			label = "serial"
+		}
+		xs = append(xs, label)
+		sized.Y = append(sized.Y, run(depth, 0, false))
+		coexec.Y = append(coexec.Y, run(depth, 0, true))
+		coarse.Y = append(coarse.Y, run(depth, factRows/2, false))
+	}
+	return &Figure{
+		ID:     "ablate-overlap",
+		Title:  "Transfer/compute overlap vs pipeline depth and chunk size (cold cache, DESIGN.md §16)",
+		XLabel: "in-flight chunk bound",
+		YLabel: "workload execution time [ms]",
+		X:      xs,
+		Series: []Series{sized, coexec, coarse},
 	}
 }
 

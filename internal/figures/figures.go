@@ -232,6 +232,7 @@ func All() map[string]func(Options) []*Figure {
 		"admission-overload": func(o Options) []*Figure { return AdmissionOverload(o) },
 		"ablate-compression": func(o Options) []*Figure { return []*Figure{AblateCompression(o)} },
 		"ablate-faultrate":   func(o Options) []*Figure { return []*Figure{AblateFaultRate(o)} },
+		"ablate-overlap":     func(o Options) []*Figure { return []*Figure{AblateOverlap(o)} },
 		"ablate-poolsize":    func(o Options) []*Figure { return []*Figure{AblatePoolSize(o)} },
 		"ablate-abortsync":   func(o Options) []*Figure { return []*Figure{AblateAbortSync(o)} },
 	}

@@ -47,7 +47,7 @@ func TestIDsAndAll(t *testing.T) {
 	if len(ids) != len(All()) {
 		t.Fatal("IDs and All disagree")
 	}
-	if ids[0] != "fig1" || ids[len(ids)-6] != "fig25" {
+	if ids[0] != "fig1" || ids[len(ids)-7] != "fig25" {
 		t.Fatalf("IDs order wrong: %v", ids)
 	}
 	if ids[len(ids)-1] != "admission-overload" {
@@ -137,6 +137,39 @@ func TestContentionShapes(t *testing.T) {
 	mx, mn := maxMin(chop)
 	if mx/mn > 2.5 {
 		t.Fatalf("chopping should stay near-flat across users (%.2f spread)", mx/mn)
+	}
+}
+
+// Ablate-overlap: with a double-buffered schedule (depth 2) the pipelined
+// executor must beat the serial transfer-then-compute baseline on the
+// transfer-bound scan; CPU co-execution must not lose to GPU-only chunks;
+// two coarse half-table chunks must overlap less than learner-sized ones.
+func TestAblateOverlapShape(t *testing.T) {
+	// The overlap win needs enough rows that per-chunk bus latency and
+	// kernel startup are amortized; the `fast` budget is below that knee.
+	f := AblateOverlap(Options{RowsPerSF: 20000, Reps: 1, Seed: 1})
+	sized, coexec, coarse := f.Series[0].Y, f.Series[1].Y, f.Series[2].Y
+	if sized[0] != coexec[0] || sized[0] != coarse[0] {
+		t.Fatalf("depth 0 must be the shared serial baseline: %v %v %v",
+			sized[0], coexec[0], coarse[0])
+	}
+	serial := sized[0]
+	const depth2 = 2 // x index of the double-buffered default
+	if ratio := serial / sized[depth2]; ratio < 1.3 {
+		t.Fatalf("depth-2 pipelining %.2fx over serial, want >= 1.3x (serial %v, pipelined %v)",
+			ratio, serial, sized[depth2])
+	}
+	if coexec[depth2] > sized[depth2] {
+		t.Fatalf("CPU co-execution (%v) must not lose to GPU-only chunks (%v)",
+			coexec[depth2], sized[depth2])
+	}
+	if coarse[depth2] <= sized[depth2] {
+		t.Fatalf("2 half-table chunks (%v) must overlap less than learner-sized chunks (%v)",
+			coarse[depth2], sized[depth2])
+	}
+	if last := sized[len(sized)-1]; last >= serial {
+		t.Fatalf("deep schedules must not regress past serial (depth 8: %v, serial: %v)",
+			last, serial)
 	}
 }
 

@@ -50,6 +50,10 @@ func goldenRegistry() *trace.Registry {
 		"tenant", "t1", "outcome", "ok")).Observe(4 * time.Microsecond)
 	reg.Histogram(trace.LabeledName("TenantQueryLatency",
 		"tenant", "t1", "outcome", "shed")).Observe(90 * time.Microsecond)
+	// Labeled duration family, the shape of the pipelined executor's
+	// per-direction bus busy time.
+	reg.Duration(trace.LabeledName("BusBusy", "direction", "h2d")).Add(250 * time.Millisecond)
+	reg.Duration(trace.LabeledName("BusBusy", "direction", "d2h")).Add(80 * time.Millisecond)
 	return reg
 }
 

@@ -84,6 +84,13 @@ type ExplainAnalyze struct {
 	// DecompressBytes is the volume materialized by decoding compressed
 	// columns during the node's kernels, summed across attempts.
 	DecompressBytes int64 `json:"decompress_bytes,omitempty"`
+	// Pipeline fields come from the completed attempt of a node the engine
+	// ran through the pipelined chunk executor; all omitted on serial nodes,
+	// so pre-pipeline documents are byte-identical.
+	PipelineDepth  int     `json:"pipeline_depth,omitempty"`
+	PipelineChunks int64   `json:"pipeline_chunks,omitempty"`
+	CPUChunks      int64   `json:"pipeline_cpu_chunks,omitempty"`
+	OverlapPct     float64 `json:"overlap_pct,omitempty"`
 }
 
 // ExplainExec is the query-level execution summary of an EXPLAIN ANALYZE
@@ -250,6 +257,12 @@ func AttachActuals(payload *ExplainPayload, queryID string, spans []trace.Span, 
 			}
 			continue
 		}
+		if s.Class == "chunk" {
+			// Pipeline-stage spans are sub-attempt detail: counting them as
+			// attempts would corrupt the retry accounting. The attempt span of
+			// the pipelined operator already aggregates them.
+			continue
+		}
 		byNode[s.Node] = append(byNode[s.Node], s)
 	}
 	if outcome != "" {
@@ -296,6 +309,12 @@ func analyzeNode(spans []trace.Span) *ExplainAnalyze {
 			a.Status = "ok"
 			a.ActualRows = s.Rows
 			a.ActualBytes = s.OutBytes
+			if s.ChunkCount > 0 {
+				a.PipelineDepth = s.PipelineDepth
+				a.PipelineChunks = s.ChunkCount
+				a.CPUChunks = s.CPUChunks
+				a.OverlapPct = s.Overlap * 100
+			}
 		} else if a.Status == "missing" {
 			a.Status = "partial"
 		}

@@ -10,6 +10,47 @@ import (
 	"robustdb/internal/table"
 )
 
+// ChunkInfo describes the chunkable shape of a leaf operator for the
+// pipelined executor: how many rows it scans, how many bytes per row must
+// travel host→device, and how many bytes one selected output row costs
+// device→host.
+type ChunkInfo struct {
+	// Rows is the total row count of the scanned table.
+	Rows int
+	// InBytes is the total input volume (every base column the operator
+	// reads, in its stored encoding).
+	InBytes int64
+	// OutRowBytes is the estimated output bytes per *selected* row.
+	OutRowBytes float64
+}
+
+// InRowBytes returns the input bytes per scanned row.
+func (c ChunkInfo) InRowBytes() float64 {
+	if c.Rows <= 0 {
+		return 0
+	}
+	return float64(c.InBytes) / float64(c.Rows)
+}
+
+// ChunkableOp is an operator the pipelined executor can split into row-range
+// chunks. The contract is exactness: concatenating FilterChunk results over a
+// partition of [0, Rows) in range order and materializing once must be
+// bit-identical to Execute. Only leaf operators (no batch inputs) implement
+// it today.
+type ChunkableOp interface {
+	Operator
+	// ChunkInfo reports the chunkable shape, or an error when the catalog
+	// cannot resolve the operator's table.
+	ChunkInfo(cat *table.Catalog) (ChunkInfo, error)
+	// FilterChunk evaluates the operator's selection over rows [lo, hi) and
+	// returns the qualifying positions as global row numbers, in ascending
+	// order.
+	FilterChunk(ectx *engine.Ctx, cat *table.Catalog, lo, hi int) (column.PosList, error)
+	// MaterializeResult builds the operator's output batch from the stitched
+	// position list.
+	MaterializeResult(ectx *engine.Ctx, cat *table.Catalog, pos column.PosList) (*engine.Batch, error)
+}
+
 // ScanOp filters a base table and materializes the requested columns.
 // With a nil predicate it materializes the columns unfiltered; with an empty
 // column list it emits a single "<table>.rowid" position column (the shape of
@@ -57,41 +98,96 @@ func (o *ScanOp) BaseColumns() []table.ColumnID {
 	return out
 }
 
-// Execute runs the scan on real data.
+// Execute runs the scan on real data: one full-range chunk, stitched and
+// materialized — the serial special case of the chunked execution path, which
+// makes chunked and serial scans bit-identical by construction.
 func (o *ScanOp) Execute(ectx *engine.Ctx, cat *table.Catalog, _ []*engine.Batch) (*engine.Batch, error) {
 	t, err := cat.Table(o.Table)
 	if err != nil {
 		return nil, err
 	}
-	var pos column.PosList
-	if o.Pred != nil {
-		// Hand the predicate's base columns to the filter kernel in their
-		// stored encoding: compressed columns are scanned in the code domain
-		// (block skipping, run comparisons) and sliced per morsel without
-		// ever materializing.
-		seen := make(map[string]bool)
-		var predCols []column.Column
-		for _, name := range o.Pred.Columns() {
-			if seen[name] {
-				continue
-			}
-			seen[name] = true
+	pos, err := o.FilterChunk(ectx, cat, 0, t.NumRows())
+	if err != nil {
+		return nil, err
+	}
+	return o.MaterializeResult(ectx, cat, pos)
+}
+
+// ChunkInfo reports the scan's chunkable shape for the pipelined executor.
+func (o *ScanOp) ChunkInfo(cat *table.Catalog) (ChunkInfo, error) {
+	t, err := cat.Table(o.Table)
+	if err != nil {
+		return ChunkInfo{}, err
+	}
+	info := ChunkInfo{Rows: t.NumRows()}
+	for _, id := range o.BaseColumns() {
+		b, err := cat.ColumnBytes(id)
+		if err != nil {
+			return ChunkInfo{}, err
+		}
+		info.InBytes += b
+	}
+	if len(o.Cols) == 0 {
+		info.OutRowBytes = 8 // the rowid column
+	} else if info.Rows > 0 {
+		for _, name := range o.Cols {
 			c, err := t.Column(name)
 			if err != nil {
-				return nil, err
+				return ChunkInfo{}, err
 			}
-			predCols = append(predCols, c)
+			info.OutRowBytes += float64(c.Bytes()) / float64(info.Rows)
 		}
-		pb, err := engine.NewBatch(predCols...)
+	}
+	return info, nil
+}
+
+// FilterChunk evaluates the scan's predicate over rows [lo, hi), returning
+// global positions. With a nil predicate every row in the range qualifies.
+func (o *ScanOp) FilterChunk(ectx *engine.Ctx, cat *table.Catalog, lo, hi int) (column.PosList, error) {
+	t, err := cat.Table(o.Table)
+	if err != nil {
+		return nil, err
+	}
+	if o.Pred == nil {
+		if lo == 0 && hi == t.NumRows() {
+			return column.All(t.NumRows()), nil
+		}
+		pos := make(column.PosList, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			pos = append(pos, int32(i))
+		}
+		return pos, nil
+	}
+	// Hand the predicate's base columns to the filter kernel in their
+	// stored encoding: compressed columns are scanned in the code domain
+	// (block skipping, run comparisons) and sliced per morsel without
+	// ever materializing.
+	seen := make(map[string]bool)
+	var predCols []column.Column
+	for _, name := range o.Pred.Columns() {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		c, err := t.Column(name)
 		if err != nil {
 			return nil, err
 		}
-		pos, err = engine.Filter(ectx, pb, o.Pred)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		pos = column.All(t.NumRows())
+		predCols = append(predCols, c)
+	}
+	pb, err := engine.NewBatch(predCols...)
+	if err != nil {
+		return nil, err
+	}
+	return engine.FilterRange(ectx, pb, o.Pred, lo, hi)
+}
+
+// MaterializeResult gathers the requested columns through the stitched
+// position list (or emits the rowid column for a bare selection).
+func (o *ScanOp) MaterializeResult(ectx *engine.Ctx, cat *table.Catalog, pos column.PosList) (*engine.Batch, error) {
+	t, err := cat.Table(o.Table)
+	if err != nil {
+		return nil, err
 	}
 	if len(o.Cols) == 0 {
 		ids := make([]int64, len(pos))

@@ -58,6 +58,12 @@ type spanArgs struct {
 	Rows            int64 `json:"rows,omitempty"`
 	OutBytes        int64 `json:"out_bytes,omitempty"`
 	DecompressBytes int64 `json:"decompress_bytes,omitempty"`
+	// Pipeline fields are omitted when zero so serial-run traces (and their
+	// goldens) are byte-identical to the pre-pipeline format.
+	PipelineDepth int     `json:"pipeline_depth,omitempty"`
+	Chunks        int64   `json:"chunks,omitempty"`
+	CPUChunks     int64   `json:"cpu_chunks,omitempty"`
+	Overlap       float64 `json:"overlap,omitempty"`
 }
 
 // eventArgs carries the event fields through the args object.
@@ -122,6 +128,10 @@ func WriteChrome(w io.Writer, spans []Span, events []Event) error {
 			Rows:            s.Rows,
 			OutBytes:        s.OutBytes,
 			DecompressBytes: s.DecompressBytes,
+			PipelineDepth:   s.PipelineDepth,
+			Chunks:          s.ChunkCount,
+			CPUChunks:       s.CPUChunks,
+			Overlap:         s.Overlap,
 		})
 		if err != nil {
 			return err
@@ -197,6 +207,10 @@ func ReadChrome(r io.Reader) ([]Span, []Event, error) {
 				Rows:            args.Rows,
 				OutBytes:        args.OutBytes,
 				DecompressBytes: args.DecompressBytes,
+				PipelineDepth:   args.PipelineDepth,
+				ChunkCount:      args.Chunks,
+				CPUChunks:       args.CPUChunks,
+				Overlap:         args.Overlap,
 			})
 		case "i", "I":
 			var args eventArgs

@@ -29,7 +29,7 @@ func (ew *errWriter) printf(format string, args ...any) {
 // the first write error, if any.
 func Waterfall(w io.Writer, spans []Span, events []Event) error {
 	ew := &errWriter{w: w}
-	queries, ops := splitSpans(spans)
+	queries, ops, _ := splitSpans(spans)
 	if len(queries) == 0 && len(ops) == 0 {
 		ew.printf("trace: no spans\n")
 		return ew.err
@@ -98,6 +98,12 @@ func Waterfall(w io.Writer, spans []Span, events []Event) error {
 			if s.KernelWorkers > 0 {
 				par = fmt.Sprintf(" workers=%d morsels=%d", s.KernelWorkers, s.MorselCount)
 			}
+			// Pipelined attempts annotate their chunk schedule; serial spans
+			// carry no pipeline fields, keeping older reports byte-identical.
+			if s.ChunkCount > 0 {
+				par += fmt.Sprintf(" pipe=depth:%d,chunks:%d,cpu:%d,overlap:%.0f%%",
+					s.PipelineDepth, s.ChunkCount, s.CPUChunks, s.Overlap*100)
+			}
 			ew.printf("  %-7s |%s| %-9s +%-9s %-9s wait=%-9s xfer=%-9s %s%s\n",
 				trimQuery(s.Name, s.Query), bar, mark, fmtDur(s.Start-q.Start),
 				fmtDur(s.Duration()), fmtDur(s.QueueWait), fmtDur(s.Transfer), s.Op, par)
@@ -123,16 +129,22 @@ func Waterfall(w io.Writer, spans []Span, events []Event) error {
 	return ew.err
 }
 
-// splitSpans separates query-level spans from operator spans.
-func splitSpans(spans []Span) (queries, ops []Span) {
+// splitSpans separates query-level spans from operator spans. Pipeline chunk
+// stage spans (Class "chunk") are sub-attempt detail — counting them as
+// operator attempts would corrupt per-node accounting — so they come back in
+// their own slice; only the pipeline view reads them.
+func splitSpans(spans []Span) (queries, ops, chunks []Span) {
 	for _, s := range spans {
-		if s.Class == "query" {
+		switch s.Class {
+		case "query":
 			queries = append(queries, s)
-		} else {
+		case "chunk":
+			chunks = append(chunks, s)
+		default:
 			ops = append(ops, s)
 		}
 	}
-	return queries, ops
+	return queries, ops, chunks
 }
 
 func hasQuery(queries []Span, id string) bool {
@@ -193,7 +205,7 @@ func fmtDur(d time.Duration) string {
 // the first write error, if any.
 func Summary(w io.Writer, spans []Span) error {
 	ew := &errWriter{w: w}
-	queries, ops := splitSpans(spans)
+	queries, ops, _ := splitSpans(spans)
 	type agg struct {
 		name    string
 		total   time.Duration
@@ -231,7 +243,7 @@ func Summary(w io.Writer, spans []Span) error {
 // n <= 0 means all queries. The returned error is the first write error.
 func Slowest(w io.Writer, spans []Span, n int) error {
 	ew := &errWriter{w: w}
-	queries, ops := splitSpans(spans)
+	queries, ops, _ := splitSpans(spans)
 	if len(queries) == 0 {
 		ew.printf("trace: no query spans\n")
 		return ew.err
@@ -340,16 +352,22 @@ type QuerySummary struct {
 	// KernelWorkers is the largest kernel pool observed among the query's
 	// operators and Morsels the total morsel count; both are omitted for
 	// serial traces so existing goldens and consumers are unaffected.
-	KernelWorkers int    `json:"kernel_workers,omitempty"`
-	Morsels       int64  `json:"morsels,omitempty"`
-	Failed        string `json:"failed,omitempty"`
+	KernelWorkers int   `json:"kernel_workers,omitempty"`
+	Morsels       int64 `json:"morsels,omitempty"`
+	// Pipeline fields sum across the query's pipelined operator attempts;
+	// OverlapPct is the query span's transfer-overlap ratio. All omitted for
+	// non-pipelined traces so existing goldens are unaffected.
+	PipelineChunks    int64   `json:"pipeline_chunks,omitempty"`
+	PipelineCPUChunks int64   `json:"pipeline_cpu_chunks,omitempty"`
+	OverlapPct        float64 `json:"overlap_pct,omitempty"`
+	Failed            string  `json:"failed,omitempty"`
 }
 
 // SummaryJSON writes the per-query aggregates as JSON Lines: one object per
 // query, sorted by query id, deterministic for a deterministic trace. The
 // returned error is the first write or encode error, if any.
 func SummaryJSON(w io.Writer, spans []Span) error {
-	queries, ops := splitSpans(spans)
+	queries, ops, _ := splitSpans(spans)
 	opsByQuery := make(map[string][]Span)
 	for _, s := range ops {
 		opsByQuery[s.Query] = append(opsByQuery[s.Query], s)
@@ -377,10 +395,110 @@ func SummaryJSON(w io.Writer, spans []Span) error {
 				row.KernelWorkers = s.KernelWorkers
 			}
 			row.Morsels += s.MorselCount
+			row.PipelineChunks += s.ChunkCount
+			row.PipelineCPUChunks += s.CPUChunks
+		}
+		if q.Overlap > 0 {
+			row.OverlapPct = q.Overlap * 100
 		}
 		if err := enc.Encode(row); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// PipelineView prints the per-query pipeline report (tracereport -pipeline):
+// for every query that ran pipelined operators, the chunk schedule (chunks,
+// CPU-executed chunks, depth), the transfer-overlap ratio, and the busy
+// fraction of each resource lane — h2d uploads, device compute, d2h
+// downloads — within the query's window, computed as the interval union of
+// the chunk stage spans. Queries without chunk spans are skipped; a trace
+// with none reports that explicitly. The returned error is the first write
+// error, if any.
+func PipelineView(w io.Writer, spans []Span) error {
+	ew := &errWriter{w: w}
+	queries, ops, chunks := splitSpans(spans)
+	if len(chunks) == 0 {
+		ew.printf("trace: no pipelined operators\n")
+		return ew.err
+	}
+	chunksByQuery := make(map[string][]Span)
+	for _, s := range chunks {
+		chunksByQuery[s.Query] = append(chunksByQuery[s.Query], s)
+	}
+	opsByQuery := make(map[string][]Span)
+	for _, s := range ops {
+		opsByQuery[s.Query] = append(opsByQuery[s.Query], s)
+	}
+	sort.SliceStable(queries, func(i, j int) bool { return queries[i].Query < queries[j].Query })
+	for _, q := range queries {
+		cs := chunksByQuery[q.Query]
+		if len(cs) == 0 {
+			continue
+		}
+		var depth int
+		var chunkCount, cpuChunks int64
+		for _, s := range opsByQuery[q.Query] {
+			if s.ChunkCount == 0 {
+				continue
+			}
+			chunkCount += s.ChunkCount
+			cpuChunks += s.CPUChunks
+			if s.PipelineDepth > depth {
+				depth = s.PipelineDepth
+			}
+		}
+		var up, comp, down []Span
+		for _, s := range cs {
+			switch s.Op {
+			case "upload":
+				up = append(up, s)
+			case "download":
+				down = append(down, s)
+			case "compute":
+				if s.Proc == "gpu" {
+					comp = append(comp, s)
+				}
+			}
+		}
+		window := q.Duration()
+		ew.printf("%s  latency=%s  depth=%d  chunks=%d (cpu=%d)  overlap=%.0f%%\n",
+			q.Query, fmtDur(window), depth, chunkCount, cpuChunks, q.Overlap*100)
+		ew.printf("  h2d     busy=%-9s util=%s\n", fmtDur(unionDuration(up)), fmtPct(unionDuration(up), window))
+		ew.printf("  compute busy=%-9s util=%s\n", fmtDur(unionDuration(comp)), fmtPct(unionDuration(comp), window))
+		ew.printf("  d2h     busy=%-9s util=%s\n", fmtDur(unionDuration(down)), fmtPct(unionDuration(down), window))
+	}
+	return ew.err
+}
+
+// unionDuration returns the total length of the interval union of the spans —
+// wall time during which at least one of them was active. Overlapping chunk
+// stages (concurrent links, parallel CPU chunks) are counted once.
+func unionDuration(spans []Span) time.Duration {
+	if len(spans) == 0 {
+		return 0
+	}
+	iv := make([]Span, len(spans))
+	copy(iv, spans)
+	sort.SliceStable(iv, func(i, j int) bool { return iv[i].Start < iv[j].Start })
+	var total time.Duration
+	curStart, curEnd := iv[0].Start, iv[0].End
+	for _, s := range iv[1:] {
+		if s.Start > curEnd {
+			total += curEnd - curStart
+			curStart, curEnd = s.Start, s.End
+		} else if s.End > curEnd {
+			curEnd = s.End
+		}
+	}
+	return total + (curEnd - curStart)
+}
+
+// fmtPct renders part/whole as a percentage, guarding an empty window.
+func fmtPct(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.0f%%", float64(part)/float64(whole)*100)
 }

@@ -73,6 +73,19 @@ type Span struct {
 	// the operator read no compressed base columns, so traces from
 	// uncompressed databases keep the earlier format byte-identical.
 	Compression string
+	// PipelineDepth is the buffered-chunk bound of a pipelined operator
+	// attempt (0 for serial attempts, chunk-stage spans, and query spans, so
+	// non-pipelined traces keep the earlier format byte-identical).
+	PipelineDepth int
+	// ChunkCount is the number of chunks a pipelined attempt executed.
+	ChunkCount int64
+	// CPUChunks is how many of those chunks the co-execution policy ran on
+	// the CPU pool.
+	CPUChunks int64
+	// Overlap is the fraction of the ideal serial stage time hidden by
+	// transfer/compute overlap: on pipelined operator attempts the attempt's
+	// own ratio, on query spans the query-wide ratio (0 without pipelining).
+	Overlap float64
 }
 
 // Duration returns the span length.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"robustdb/internal/bus"
+	"robustdb/internal/chopping"
 	"robustdb/internal/exec"
 	"robustdb/internal/placement"
 	"robustdb/internal/plan"
@@ -163,6 +164,12 @@ func NewEngine(cat *table.Catalog, cfg exec.Config, strat Strategy, warm []Query
 	}
 	if strat.CPUWorkers > 0 {
 		cfg.CPUWorkers = strat.CPUWorkers
+	}
+	if cfg.PipelineDepth > 0 && cfg.ChunkSizer == nil {
+		// Wire the learner-driven chunk sizer of the chopping package as the
+		// default for pipelined engines (exec cannot import chopping, so the
+		// dependency is injected here).
+		cfg.ChunkSizer = chopping.PipelineChunkRows
 	}
 	e := exec.New(cat, cfg)
 

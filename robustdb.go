@@ -97,6 +97,10 @@ var (
 	// TraceSummaryJSON renders per-query aggregates as JSON Lines (one
 	// object per query).
 	TraceSummaryJSON = trace.SummaryJSON
+	// TracePipeline renders the per-query pipeline view of a trace: chunk
+	// schedule, transfer-overlap ratio, and per-lane (h2d/compute/d2h) busy
+	// fractions of every query that ran pipelined operators.
+	TracePipeline = trace.PipelineView
 	// TraceSlowest renders the N slowest queries of a trace by wall time,
 	// each with a per-operator breakdown.
 	TraceSlowest = trace.Slowest

@@ -132,7 +132,7 @@ func TestRegenerateFigureFacade(t *testing.T) {
 	if _, err := RegenerateFigure("fig99", FigureOptions{}); err == nil {
 		t.Fatal("expected unknown figure error")
 	}
-	if len(FigureIDs()) != 26 {
+	if len(FigureIDs()) != 27 {
 		t.Fatalf("figure ids = %d", len(FigureIDs()))
 	}
 }
